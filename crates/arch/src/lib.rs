@@ -1,0 +1,52 @@
+//! # phox-arch
+//!
+//! Shared accelerator-architecture machinery for the TRON and GHOST
+//! simulators:
+//!
+//! * [`metrics`] — energy/latency ledgers and the GOPS / EPB figures of
+//!   merit used by every figure in the paper's evaluation;
+//! * [`pipeline`] — pipelined stage-chain timing (fill + initiation
+//!   interval);
+//! * [`schedule`] — matmul tiling onto fixed analog arrays, double-buffer
+//!   overlap, and workload balancing over execution lanes.
+//!
+//! # Example
+//!
+//! ```
+//! use phox_arch::metrics::PerfReport;
+//!
+//! # fn main() -> Result<(), phox_arch::ArchError> {
+//! let r = PerfReport::new(2_000_000_000, 16_000_000_000, 1e-3, 0.05)?;
+//! assert!((r.gops() - 2000.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod pipeline;
+pub mod schedule;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for architecture-model configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A metric or dimension was invalid.
+    InvalidMetric {
+        /// Which constraint was violated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidMetric { what } => write!(f, "invalid metric: {what}"),
+        }
+    }
+}
+
+impl Error for ArchError {}

@@ -1,0 +1,234 @@
+//! Energy/latency ledgers and the two figures of merit of the paper's
+//! evaluation: **GOPS** (giga-operations per second, Figs. 9/11) and
+//! **EPB** (energy per bit, Figs. 8/10).
+
+use crate::ArchError;
+
+/// Itemised energy consumption of one inference, J.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyLedger {
+    /// Laser wall-plug energy.
+    pub laser_j: f64,
+    /// MR tuning (EO + TO) energy.
+    pub tuning_j: f64,
+    /// DAC conversion energy.
+    pub dac_j: f64,
+    /// ADC conversion energy.
+    pub adc_j: f64,
+    /// Photodetector/TIA/SOA energy.
+    pub receiver_j: f64,
+    /// Digital logic energy (softmax LUTs, control).
+    pub digital_j: f64,
+    /// On-chip buffer + off-chip memory energy.
+    pub memory_j: f64,
+    /// Static/leakage energy over the run.
+    pub static_j: f64,
+}
+
+impl EnergyLedger {
+    /// Total energy, J.
+    pub fn total_j(&self) -> f64 {
+        self.laser_j
+            + self.tuning_j
+            + self.dac_j
+            + self.adc_j
+            + self.receiver_j
+            + self.digital_j
+            + self.memory_j
+            + self.static_j
+    }
+
+    /// Component-wise sum.
+    pub fn combine(&self, other: &EnergyLedger) -> EnergyLedger {
+        EnergyLedger {
+            laser_j: self.laser_j + other.laser_j,
+            tuning_j: self.tuning_j + other.tuning_j,
+            dac_j: self.dac_j + other.dac_j,
+            adc_j: self.adc_j + other.adc_j,
+            receiver_j: self.receiver_j + other.receiver_j,
+            digital_j: self.digital_j + other.digital_j,
+            memory_j: self.memory_j + other.memory_j,
+            static_j: self.static_j + other.static_j,
+        }
+    }
+
+    /// Scales every component (e.g. repeating identical layers).
+    pub fn scale(&self, k: f64) -> EnergyLedger {
+        EnergyLedger {
+            laser_j: self.laser_j * k,
+            tuning_j: self.tuning_j * k,
+            dac_j: self.dac_j * k,
+            adc_j: self.adc_j * k,
+            receiver_j: self.receiver_j * k,
+            digital_j: self.digital_j * k,
+            memory_j: self.memory_j * k,
+            static_j: self.static_j * k,
+        }
+    }
+}
+
+/// Itemised latency of one inference, s.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyLedger {
+    /// Optical compute time (symbol periods through the MR arrays).
+    pub compute_s: f64,
+    /// Memory transfer time not hidden behind compute.
+    pub memory_s: f64,
+    /// ADC/DAC conversion time not hidden behind compute.
+    pub conversion_s: f64,
+    /// Digital post-processing (softmax LUT etc.).
+    pub digital_s: f64,
+}
+
+impl LatencyLedger {
+    /// Total latency, s.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.memory_s + self.conversion_s + self.digital_s
+    }
+
+    /// Component-wise sum.
+    pub fn combine(&self, other: &LatencyLedger) -> LatencyLedger {
+        LatencyLedger {
+            compute_s: self.compute_s + other.compute_s,
+            memory_s: self.memory_s + other.memory_s,
+            conversion_s: self.conversion_s + other.conversion_s,
+            digital_s: self.digital_s + other.digital_s,
+        }
+    }
+
+    /// Scales every component.
+    pub fn scale(&self, k: f64) -> LatencyLedger {
+        LatencyLedger {
+            compute_s: self.compute_s * k,
+            memory_s: self.memory_s * k,
+            conversion_s: self.conversion_s * k,
+            digital_s: self.digital_s * k,
+        }
+    }
+}
+
+/// The final performance report of one inference on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfReport {
+    /// Total operations performed (2 ops per MAC).
+    pub ops: u64,
+    /// Bits of computational work (ops × precision).
+    pub bits: u64,
+    /// End-to-end latency, s.
+    pub latency_s: f64,
+    /// Total energy, J.
+    pub energy_j: f64,
+}
+
+impl PerfReport {
+    /// Builds a report, validating positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidMetric`] when ops/bits are zero or
+    /// latency/energy are non-positive.
+    pub fn new(ops: u64, bits: u64, latency_s: f64, energy_j: f64) -> Result<Self, ArchError> {
+        if ops == 0 || bits == 0 {
+            return Err(ArchError::InvalidMetric {
+                what: "ops and bits must be non-zero",
+            });
+        }
+        if !(latency_s > 0.0 && energy_j > 0.0) {
+            return Err(ArchError::InvalidMetric {
+                what: "latency and energy must be positive",
+            });
+        }
+        Ok(PerfReport {
+            ops,
+            bits,
+            latency_s,
+            energy_j,
+        })
+    }
+
+    /// Throughput in giga-operations per second.
+    pub fn gops(&self) -> f64 {
+        self.ops as f64 / self.latency_s / 1e9
+    }
+
+    /// Energy per bit of computational work, J/bit.
+    pub fn epb_j(&self) -> f64 {
+        self.energy_j / self.bits as f64
+    }
+
+    /// Average power, W.
+    pub fn power_w(&self) -> f64 {
+        self.energy_j / self.latency_s
+    }
+
+    /// Throughput improvement of `self` over `other` (×).
+    pub fn speedup_over(&self, other: &PerfReport) -> f64 {
+        self.gops() / other.gops()
+    }
+
+    /// Energy-efficiency improvement of `self` over `other` (×, higher is
+    /// better: `other`'s EPB divided by ours).
+    pub fn efficiency_over(&self, other: &PerfReport) -> f64 {
+        other.epb_j() / self.epb_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ledger_totals_and_combines() {
+        let a = EnergyLedger {
+            laser_j: 1.0,
+            tuning_j: 2.0,
+            dac_j: 3.0,
+            adc_j: 4.0,
+            receiver_j: 5.0,
+            digital_j: 6.0,
+            memory_j: 7.0,
+            static_j: 8.0,
+        };
+        assert_eq!(a.total_j(), 36.0);
+        let b = a.combine(&a);
+        assert_eq!(b.total_j(), 72.0);
+        assert_eq!(a.scale(0.5).total_j(), 18.0);
+    }
+
+    #[test]
+    fn latency_ledger_totals() {
+        let l = LatencyLedger {
+            compute_s: 1.0,
+            memory_s: 2.0,
+            conversion_s: 3.0,
+            digital_s: 4.0,
+        };
+        assert_eq!(l.total_s(), 10.0);
+        assert_eq!(l.combine(&l).total_s(), 20.0);
+        assert_eq!(l.scale(2.0).compute_s, 2.0);
+    }
+
+    #[test]
+    fn perf_report_figures_of_merit() {
+        // 1e12 ops in 1 ms using 1 J -> 1000 GOPS... 1e12/1e-3/1e9 = 1e6 GOPS.
+        let r = PerfReport::new(1_000_000_000_000, 8_000_000_000_000, 1e-3, 1.0).unwrap();
+        assert!((r.gops() - 1e6).abs() < 1e-6);
+        assert!((r.epb_j() - 1.25e-13).abs() < 1e-25);
+        assert!((r.power_w() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparisons() {
+        let fast = PerfReport::new(1000, 8000, 1e-6, 1e-6).unwrap();
+        let slow = PerfReport::new(1000, 8000, 1e-5, 1e-4).unwrap();
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-9);
+        assert!((fast.efficiency_over(&slow) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PerfReport::new(0, 8, 1.0, 1.0).is_err());
+        assert!(PerfReport::new(1, 8, 0.0, 1.0).is_err());
+        assert!(PerfReport::new(1, 8, 1.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Pipelined execution timing.
+//!
+//! Both accelerators stream tiles through a fixed stage chain
+//! (DAC → optical array → BPD/ADC → digital). When the stages are
+//! pipelined, `n` items complete in `fill + (n−1) · II` where the
+//! initiation interval `II` is the slowest stage and `fill` is the sum of
+//! all stage latencies.
+
+use crate::ArchError;
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStage {
+    /// Stage name for reporting.
+    pub name: String,
+    /// Stage latency, s.
+    pub latency_s: f64,
+}
+
+impl PipelineStage {
+    /// Creates a stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidMetric`] for a non-positive latency.
+    pub fn new(name: &str, latency_s: f64) -> Result<Self, ArchError> {
+        if !(latency_s > 0.0 && latency_s.is_finite()) {
+            return Err(ArchError::InvalidMetric {
+                what: "stage latency must be positive and finite",
+            });
+        }
+        Ok(PipelineStage {
+            name: name.to_owned(),
+            latency_s,
+        })
+    }
+}
+
+/// A linear pipeline of stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    stages: Vec<PipelineStage>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidMetric`] when no stages are given.
+    pub fn new(stages: Vec<PipelineStage>) -> Result<Self, ArchError> {
+        if stages.is_empty() {
+            return Err(ArchError::InvalidMetric {
+                what: "pipeline needs at least one stage",
+            });
+        }
+        Ok(Pipeline { stages })
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[PipelineStage] {
+        &self.stages
+    }
+
+    /// Fill latency: time for the first item to emerge, s.
+    pub fn fill_latency_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.latency_s).sum()
+    }
+
+    /// Initiation interval: the slowest stage, s.
+    pub fn initiation_interval_s(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.latency_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Time for `items` items through the pipelined chain, s.
+    pub fn pipelined_time_s(&self, items: u64) -> f64 {
+        if items == 0 {
+            return 0.0;
+        }
+        self.fill_latency_s() + (items - 1) as f64 * self.initiation_interval_s()
+    }
+
+    /// Time for `items` items with no pipelining (ablation baseline), s.
+    pub fn serial_time_s(&self, items: u64) -> f64 {
+        items as f64 * self.fill_latency_s()
+    }
+
+    /// The stage that limits throughput.
+    pub fn bottleneck(&self) -> &PipelineStage {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).expect("finite"))
+            .expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe() -> Pipeline {
+        Pipeline::new(vec![
+            PipelineStage::new("dac", 1e-10).unwrap(),
+            PipelineStage::new("optical", 2e-10).unwrap(),
+            PipelineStage::new("adc", 1e-10).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fill_and_interval() {
+        let p = pipe();
+        assert!((p.fill_latency_s() - 4e-10).abs() < 1e-22);
+        assert!((p.initiation_interval_s() - 2e-10).abs() < 1e-22);
+        assert_eq!(p.bottleneck().name, "optical");
+    }
+
+    #[test]
+    fn pipelined_beats_serial() {
+        let p = pipe();
+        let n = 1000;
+        assert!(p.pipelined_time_s(n) < p.serial_time_s(n) / 1.5);
+        // Asymptotically II-bound: ~2e-10 per item.
+        let per_item = p.pipelined_time_s(100_000) / 100_000.0;
+        assert!((per_item - 2e-10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_one_items() {
+        let p = pipe();
+        assert_eq!(p.pipelined_time_s(0), 0.0);
+        assert!((p.pipelined_time_s(1) - p.fill_latency_s()).abs() < 1e-22);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PipelineStage::new("x", 0.0).is_err());
+        assert!(PipelineStage::new("x", f64::INFINITY).is_err());
+        assert!(Pipeline::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # phox-baselines
+//!
+//! The electronic comparison platforms of the paper's evaluation:
+//!
+//! * [`roofline`] — calibrated roofline models of the general-purpose
+//!   platforms (V100, A100, TPU v2/v4, Xeon) whose numbers the paper
+//!   measured directly;
+//! * [`reported`] — published operating points of the specialised
+//!   accelerators (TransPIM, FPGA accelerators, VAQF; GRIP, HyGCN, EnGN,
+//!   HW_ACC, ReGNN, ReGraphX), used exactly as the paper used reported
+//!   values;
+//! * [`suite`] — the two comparison suites of Figs. 8–9 and 10–11.
+//!
+//! # Example
+//!
+//! ```
+//! use phox_baselines::roofline::{RooflinePlatform, WorkloadKind};
+//! use phox_nn::transformer::TransformerConfig;
+//!
+//! # fn main() -> Result<(), phox_baselines::BaselineError> {
+//! let census = TransformerConfig::bert_base(128).census();
+//! let gpu = RooflinePlatform::v100();
+//! let perf = gpu.evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)?;
+//! assert!(perf.gops() > 1_000.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod reported;
+pub mod roofline;
+pub mod suite;
+
+use std::error::Error;
+use std::fmt;
+
+pub use suite::{gnn_suite, transformer_suite, Baseline};
+
+/// Error type for baseline evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The workload census was degenerate.
+    InvalidWorkload {
+        /// Which constraint was violated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidWorkload { what } => {
+                write!(f, "invalid workload: {what}")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}

@@ -1,0 +1,251 @@
+//! Roofline models of the general-purpose comparison platforms.
+//!
+//! §VI: the paper "directly acquired outcomes from model executions on
+//! the GPU, CPU, and TPU platforms". Offline we reproduce those
+//! measurements with a calibrated roofline: attainable throughput is
+//! `min(peak · efficiency, arithmetic-intensity · bandwidth ·
+//! mem-efficiency)` plus a fixed per-layer dispatch overhead. The
+//! efficiency factors are calibrated against published framework
+//! measurements (cuDNN/FasterTransformer for dense transformer kernels;
+//! DGL/PyG for sparse GNN kernels, which sustain only a fraction of
+//! peak on irregular gather/scatter) — see DESIGN.md's substitution
+//! table.
+
+use phox_arch::metrics::PerfReport;
+use phox_nn::OpCensus;
+
+use crate::BaselineError;
+
+/// Workload character, selecting which efficiency factor applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Dense MatMul-dominated (transformers).
+    DenseTransformer,
+    /// Sparse, irregular gather/scatter (GNNs).
+    SparseGnn,
+}
+
+/// A roofline-modelled general-purpose platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePlatform {
+    /// Platform name as it appears in the figures.
+    pub name: String,
+    /// Peak throughput at the workload precision, ops/s.
+    pub peak_ops_per_s: f64,
+    /// Peak memory bandwidth, bytes/s.
+    pub mem_bw_bytes_per_s: f64,
+    /// Board/package power while busy, W.
+    pub power_w: f64,
+    /// Fraction of peak sustained on dense kernels.
+    pub dense_efficiency: f64,
+    /// Fraction of peak sustained on sparse/irregular kernels.
+    pub sparse_efficiency: f64,
+    /// Fraction of peak bandwidth sustained on irregular access.
+    pub mem_efficiency: f64,
+    /// Fixed dispatch/launch overhead per layer on dense kernels, s.
+    pub dense_overhead_s: f64,
+    /// Fixed per-layer overhead on sparse full-graph kernels
+    /// (framework graph setup, gather/scatter launches), s.
+    pub sparse_overhead_s: f64,
+}
+
+impl RooflinePlatform {
+    /// NVIDIA V100-SXM2: 125 TOPS tensor-core peak, 900 GB/s HBM2,
+    /// 300 W. Dense efficiency 0.5 (FasterTransformer-class), sparse
+    /// 0.005 (DGL-class), 50 µs/layer launch overhead.
+    pub fn v100() -> Self {
+        RooflinePlatform {
+            name: "GPU (V100)".into(),
+            peak_ops_per_s: 125e12,
+            mem_bw_bytes_per_s: 900e9,
+            power_w: 300.0,
+            dense_efficiency: 0.5,
+            sparse_efficiency: 0.005,
+            mem_efficiency: 0.6,
+            dense_overhead_s: 50e-6,
+            sparse_overhead_s: 500e-6,
+        }
+    }
+
+    /// NVIDIA A100-SXM4: 624 TOPS int8 peak, 1 555 GB/s, 400 W.
+    pub fn a100() -> Self {
+        RooflinePlatform {
+            name: "GPU (A100)".into(),
+            peak_ops_per_s: 624e12,
+            mem_bw_bytes_per_s: 1555e9,
+            power_w: 400.0,
+            dense_efficiency: 0.5,
+            sparse_efficiency: 0.005,
+            mem_efficiency: 0.6,
+            dense_overhead_s: 50e-6,
+            sparse_overhead_s: 500e-6,
+        }
+    }
+
+    /// Google TPU v2: 45 TOPS bf16 per chip, 600 GB/s HBM, 280 W.
+    pub fn tpu_v2() -> Self {
+        RooflinePlatform {
+            name: "TPU v2".into(),
+            peak_ops_per_s: 45e12,
+            mem_bw_bytes_per_s: 600e9,
+            power_w: 280.0,
+            dense_efficiency: 0.55,
+            sparse_efficiency: 0.004,
+            mem_efficiency: 0.6,
+            dense_overhead_s: 40e-6,
+            sparse_overhead_s: 600e-6,
+        }
+    }
+
+    /// Google TPU v4: 275 TOPS int8 per chip, 1 200 GB/s, 350 W.
+    pub fn tpu_v4() -> Self {
+        RooflinePlatform {
+            name: "TPU v4".into(),
+            peak_ops_per_s: 275e12,
+            mem_bw_bytes_per_s: 1200e9,
+            power_w: 350.0,
+            dense_efficiency: 0.55,
+            sparse_efficiency: 0.004,
+            mem_efficiency: 0.6,
+            dense_overhead_s: 40e-6,
+            sparse_overhead_s: 600e-6,
+        }
+    }
+
+    /// Intel Xeon (Skylake-SP class): ~3 TOPS int8 (VNNI), 120 GB/s,
+    /// 150 W; better sparse efficiency than GPUs (no launch penalty) but
+    /// far lower peak.
+    pub fn xeon() -> Self {
+        RooflinePlatform {
+            name: "CPU (Xeon)".into(),
+            peak_ops_per_s: 3e12,
+            mem_bw_bytes_per_s: 120e9,
+            power_w: 150.0,
+            dense_efficiency: 0.4,
+            sparse_efficiency: 0.05,
+            mem_efficiency: 0.5,
+            dense_overhead_s: 5e-6,
+            sparse_overhead_s: 50e-6,
+        }
+    }
+
+    /// Evaluates one inference of a workload with the given census.
+    /// `layers` sets the dispatch overhead; `batch` amortises weight
+    /// streaming (the same batching the photonic simulators use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidWorkload`] for an empty census or
+    /// zero batch.
+    pub fn evaluate(
+        &self,
+        census: &OpCensus,
+        kind: WorkloadKind,
+        layers: usize,
+        batch: usize,
+    ) -> Result<PerfReport, BaselineError> {
+        if census.total_ops() == 0 || batch == 0 {
+            return Err(BaselineError::InvalidWorkload {
+                what: "census must be non-empty and batch non-zero",
+            });
+        }
+        let (eff, overhead) = match kind {
+            WorkloadKind::DenseTransformer => (self.dense_efficiency, self.dense_overhead_s),
+            WorkloadKind::SparseGnn => (self.sparse_efficiency, self.sparse_overhead_s),
+        };
+        let compute_roof = self.peak_ops_per_s * eff;
+        // Batched traffic: weights once, activations per batch item.
+        let bytes = census.offchip_bytes as f64
+            + (batch.saturating_sub(1)) as f64 * census.activation_bytes as f64;
+        let ops = census.total_ops() as f64 * batch as f64;
+        let ai = ops / bytes.max(1.0);
+        let mem_roof = ai * self.mem_bw_bytes_per_s * self.mem_efficiency;
+        let attainable = compute_roof.min(mem_roof);
+        let time_batch = ops / attainable + layers as f64 * overhead;
+        let time = time_batch / batch as f64;
+        let energy = self.power_w * time;
+        PerfReport::new(census.total_ops(), census.total_bits(), time, energy).map_err(|_| {
+            BaselineError::InvalidWorkload {
+                what: "degenerate performance figures",
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_nn::transformer::TransformerConfig;
+
+    #[test]
+    fn v100_bert_base_matches_published_scale() {
+        // FasterTransformer-class BERT-base inference at seq 128,
+        // batch 16: ~0.3-1.5 ms/inference on V100.
+        let census = TransformerConfig::bert_base(128).census();
+        let r = RooflinePlatform::v100()
+            .evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)
+            .unwrap();
+        assert!(
+            r.latency_s > 0.2e-3 && r.latency_s < 2e-3,
+            "latency {}",
+            r.latency_s
+        );
+        // EPB around 1-3 pJ/bit for a 300 W GPU.
+        let epb_pj = r.epb_j() * 1e12;
+        assert!(epb_pj > 0.3 && epb_pj < 10.0, "epb {epb_pj}");
+    }
+
+    #[test]
+    fn sparse_kind_is_much_slower_than_dense() {
+        let census = TransformerConfig::bert_base(128).census();
+        let p = RooflinePlatform::a100();
+        let dense = p
+            .evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)
+            .unwrap();
+        let sparse = p
+            .evaluate(&census, WorkloadKind::SparseGnn, 12, 16)
+            .unwrap();
+        assert!(sparse.latency_s > dense.latency_s * 10.0);
+    }
+
+    #[test]
+    fn cpu_is_slowest_platform_on_dense() {
+        let census = TransformerConfig::bert_base(128).census();
+        let gpu = RooflinePlatform::v100()
+            .evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)
+            .unwrap();
+        let tpu = RooflinePlatform::tpu_v2()
+            .evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)
+            .unwrap();
+        let cpu = RooflinePlatform::xeon()
+            .evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)
+            .unwrap();
+        assert!(cpu.gops() < gpu.gops());
+        assert!(cpu.gops() < tpu.gops());
+    }
+
+    #[test]
+    fn batching_improves_throughput() {
+        let census = TransformerConfig::bert_base(128).census();
+        let p = RooflinePlatform::v100();
+        let b1 = p
+            .evaluate(&census, WorkloadKind::DenseTransformer, 12, 1)
+            .unwrap();
+        let b16 = p
+            .evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)
+            .unwrap();
+        assert!(b16.gops() > b1.gops());
+    }
+
+    #[test]
+    fn rejects_degenerate_workloads() {
+        let empty = OpCensus::default();
+        assert!(RooflinePlatform::v100()
+            .evaluate(&empty, WorkloadKind::DenseTransformer, 1, 1)
+            .is_err());
+        let census = TransformerConfig::bert_base(128).census();
+        assert!(RooflinePlatform::v100()
+            .evaluate(&census, WorkloadKind::DenseTransformer, 1, 0)
+            .is_err());
+    }
+}

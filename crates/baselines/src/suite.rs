@@ -1,0 +1,123 @@
+//! The comparison suites of Figs. 8–11.
+//!
+//! * TRON is compared against V100, TPU v2, Xeon, TransPIM, FPGA_Acc1,
+//!   VAQF and FPGA_Acc2 (Figs. 8–9);
+//! * GHOST against GRIP, HyGCN, EnGN, HW_ACC, ReGNN, ReGraphX, TPU v4,
+//!   Xeon and A100 (Figs. 10–11).
+
+use phox_arch::metrics::PerfReport;
+use phox_nn::OpCensus;
+
+use crate::reported::ReportedAccelerator;
+use crate::roofline::{RooflinePlatform, WorkloadKind};
+use crate::BaselineError;
+
+/// A comparison platform: either a roofline-modelled general-purpose
+/// device or a reported specialised accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Baseline {
+    /// Roofline-modelled platform (GPU/TPU/CPU).
+    Roofline(RooflinePlatform),
+    /// Published accelerator operating point.
+    Reported(ReportedAccelerator),
+}
+
+impl Baseline {
+    /// Platform display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Baseline::Roofline(p) => &p.name,
+            Baseline::Reported(a) => &a.name,
+        }
+    }
+
+    /// Evaluates one inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates platform evaluation failures.
+    pub fn evaluate(
+        &self,
+        census: &OpCensus,
+        kind: WorkloadKind,
+        layers: usize,
+        batch: usize,
+    ) -> Result<PerfReport, BaselineError> {
+        match self {
+            Baseline::Roofline(p) => p.evaluate(census, kind, layers, batch),
+            Baseline::Reported(a) => a.evaluate(census),
+        }
+    }
+}
+
+/// The transformer comparison suite of Figs. 8–9, in the paper's order.
+pub fn transformer_suite() -> Vec<Baseline> {
+    vec![
+        Baseline::Roofline(RooflinePlatform::v100()),
+        Baseline::Roofline(RooflinePlatform::tpu_v2()),
+        Baseline::Roofline(RooflinePlatform::xeon()),
+        Baseline::Reported(ReportedAccelerator::transpim()),
+        Baseline::Reported(ReportedAccelerator::fpga_acc1()),
+        Baseline::Reported(ReportedAccelerator::vaqf()),
+        Baseline::Reported(ReportedAccelerator::fpga_acc2()),
+    ]
+}
+
+/// The GNN comparison suite of Figs. 10–11, in the paper's order.
+pub fn gnn_suite() -> Vec<Baseline> {
+    vec![
+        Baseline::Reported(ReportedAccelerator::grip()),
+        Baseline::Reported(ReportedAccelerator::hygcn()),
+        Baseline::Reported(ReportedAccelerator::engn()),
+        Baseline::Reported(ReportedAccelerator::hw_acc()),
+        Baseline::Reported(ReportedAccelerator::regnn()),
+        Baseline::Reported(ReportedAccelerator::regraphx()),
+        Baseline::Roofline(RooflinePlatform::tpu_v4()),
+        Baseline::Roofline(RooflinePlatform::xeon()),
+        Baseline::Roofline(RooflinePlatform::a100()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_nn::transformer::TransformerConfig;
+
+    #[test]
+    fn suites_have_paper_membership() {
+        let t = transformer_suite();
+        assert_eq!(t.len(), 7);
+        assert!(t.iter().any(|b| b.name().contains("V100")));
+        assert!(t.iter().any(|b| b.name() == "TransPIM"));
+        let g = gnn_suite();
+        assert_eq!(g.len(), 9);
+        assert!(g.iter().any(|b| b.name() == "HyGCN"));
+        assert!(g.iter().any(|b| b.name().contains("A100")));
+    }
+
+    #[test]
+    fn every_baseline_evaluates_bert() {
+        let census = TransformerConfig::bert_base(128).census();
+        for b in transformer_suite() {
+            let r = b
+                .evaluate(&census, WorkloadKind::DenseTransformer, 12, 16)
+                .unwrap();
+            assert!(r.gops() > 0.0, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn every_gnn_baseline_evaluates() {
+        let census = phox_nn::gnn::GnnConfig::two_layer(
+            phox_nn::gnn::GnnKind::Gcn,
+            1433,
+            16,
+            7,
+        )
+        .census(2708, 10556);
+        for b in gnn_suite() {
+            let r = b.evaluate(&census, WorkloadKind::SparseGnn, 2, 1).unwrap();
+            assert!(r.gops() > 0.0, "{}", b.name());
+        }
+    }
+}

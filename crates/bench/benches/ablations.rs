@@ -1,0 +1,73 @@
+//! Ablation benches A1–A3: tuning policy, GHOST orchestration
+//! optimizations, and the eq. (3) decomposition — plus the design-space
+//! sweep (E7) that sizes both accelerators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phox_bench as bench;
+use phox_core::photonics::design_space;
+use phox_core::photonics::tuning::{HybridTuning, ThermalField};
+use phox_core::prelude::*;
+
+fn ablations(c: &mut Criterion) {
+    println!("{}", bench::ablate_tuning().expect("A1"));
+    let ghost = bench::paper_ghost().expect("paper GHOST");
+    println!("{}", bench::ablate_ghost(ghost.config()).expect("A2"));
+    let tron = bench::paper_tron().expect("paper TRON");
+    println!("{}", bench::ablate_tron(&tron).expect("A3"));
+    println!("{}", bench::design_space_table().expect("E7"));
+    println!("{}", bench::summary(&tron, &ghost).expect("E8"));
+
+    // A1: hybrid tuning plan + TED eigen-solve.
+    let tuning = HybridTuning::default();
+    c.bench_function("a1/hybrid_tuning_plan", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..40 {
+                let shift = 0.05 * i as f64;
+                if let Ok(op) = tuning.tune(black_box(shift)) {
+                    acc += op.power_w;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    let field = ThermalField::new(16, 8.0, 10.0).expect("field");
+    let targets: Vec<f64> = (0..16).map(|i| 0.4 + 0.02 * i as f64).collect();
+    c.bench_function("a1/ted_eigen_solve", |b| {
+        b.iter(|| black_box(field.ted_power(black_box(&targets)).expect("ted")))
+    });
+
+    // A2: GHOST with and without the optimization bundle.
+    let reddit = GnnWorkload::sampled(
+        GnnConfig::two_layer(GnnKind::GraphSage, 602, 128, 41),
+        GraphShape::reddit(),
+        25,
+    );
+    let none = GhostAccelerator::new(GhostConfig {
+        optimizations: Optimizations::none(),
+        ..ghost.config().clone()
+    })
+    .expect("ghost none");
+    c.bench_function("a2/ghost_optimized", |b| {
+        b.iter(|| black_box(ghost.simulate(black_box(&reddit)).expect("simulate")))
+    });
+    c.bench_function("a2/ghost_unoptimized", |b| {
+        b.iter(|| black_box(none.simulate(black_box(&reddit)).expect("simulate")))
+    });
+
+    // A3: TRON end-to-end simulation (the decomposition's cost model).
+    let bert = TransformerConfig::bert_base(128);
+    c.bench_function("a3/tron_simulate_bert", |b| {
+        b.iter(|| black_box(tron.simulate(black_box(&bert)).expect("simulate")))
+    });
+
+    // E7: the design-space sweep itself.
+    c.bench_function("e7/design_space_sweep", |b| {
+        b.iter(|| black_box(design_space::sweep(black_box(&SweepConfig::default())).expect("sweep")))
+    });
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E3 / Fig. 10 bench: times the GHOST EPB simulation per GNN workload,
+//! and prints the regenerated series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phox_bench as bench;
+
+fn fig10(c: &mut Criterion) {
+    let ghost = bench::paper_ghost().expect("paper GHOST");
+    println!("{}", bench::fig10_epb_ghost(&ghost).expect("fig10").render());
+
+    let mut group = c.benchmark_group("fig10_epb_ghost");
+    for workload in bench::ghost_workloads() {
+        let label = format!("{}/{}", workload.model.kind, workload.shape.name);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let report = ghost.simulate(black_box(&workload)).expect("simulate");
+                black_box(report.perf.epb_j())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 / Fig. 11 bench: times the full GHOST-vs-baselines throughput
+//! comparison per workload, and prints the regenerated series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phox_bench as bench;
+use phox_core::prelude::*;
+
+fn fig11(c: &mut Criterion) {
+    let ghost = bench::paper_ghost().expect("paper GHOST");
+    println!("{}", bench::fig11_gops_ghost(&ghost).expect("fig11").render());
+
+    let mut group = c.benchmark_group("fig11_gops_ghost");
+    for workload in bench::ghost_workloads() {
+        let label = format!("{}/{}", workload.model.kind, workload.shape.name);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let rows = ghost_comparison(black_box(&ghost), black_box(&workload))
+                    .expect("comparison");
+                black_box(claims(&rows))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

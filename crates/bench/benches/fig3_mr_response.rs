@@ -1,0 +1,53 @@
+//! E5 / Fig. 3 bench: times the device-level kernels behind the MR
+//! response and crosstalk curves — the transmission evaluation, the
+//! parameter-imprint solve, and the bank-level crosstalk analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phox_bench as bench;
+use phox_core::photonics::crosstalk::HeterodyneAnalysis;
+use phox_core::prelude::*;
+
+fn fig3(c: &mut Criterion) {
+    println!("{}", bench::fig3_mr_response().expect("fig3"));
+    let mr = MrConfig::default().validated().expect("valid MR");
+
+    c.bench_function("fig3/through_transmission", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut d = -0.5;
+            while d <= 0.5 {
+                acc += mr.through_transmission(black_box(1550.0 + d), 1550.0);
+                d += 0.01;
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("fig3/imprint_solve", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..100 {
+                let target = 0.01 + 0.0098 * i as f64;
+                acc += mr.detuning_for_target(black_box(target)).expect("in range");
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("fig3/heterodyne_worst_case", |b| {
+        b.iter(|| {
+            let a = HeterodyneAnalysis::new(&mr, black_box(8), black_box(1.6))
+                .expect("fits FSR");
+            black_box(a.worst_case())
+        })
+    });
+
+    c.bench_function("fig3/max_channels_search", |b| {
+        b.iter(|| black_box(HeterodyneAnalysis::max_channels(&mr, black_box(1.2), 8)))
+    });
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

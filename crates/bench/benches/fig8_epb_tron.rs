@@ -1,0 +1,28 @@
+//! E1 / Fig. 8 bench: times the TRON EPB simulation for every
+//! transformer workload of the figure, and prints the regenerated series
+//! once at startup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phox_bench as bench;
+
+fn fig8(c: &mut Criterion) {
+    let tron = bench::paper_tron().expect("paper TRON");
+    // Print the figure once so the bench log doubles as the artifact.
+    println!("{}", bench::fig8_epb_tron(&tron).expect("fig8").render());
+
+    let mut group = c.benchmark_group("fig8_epb_tron");
+    for model in bench::tron_workloads() {
+        group.bench_function(model.name.clone(), |b| {
+            b.iter(|| {
+                let report = tron.simulate(black_box(&model)).expect("simulate");
+                black_box(report.perf.epb_j())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 / Fig. 9 bench: times the full TRON-vs-baselines throughput
+//! comparison per workload, and prints the regenerated series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phox_bench as bench;
+use phox_core::prelude::*;
+
+fn fig9(c: &mut Criterion) {
+    let tron = bench::paper_tron().expect("paper TRON");
+    println!("{}", bench::fig9_gops_tron(&tron).expect("fig9").render());
+
+    let mut group = c.benchmark_group("fig9_gops_tron");
+    for model in bench::tron_workloads() {
+        group.bench_function(model.name.clone(), |b| {
+            b.iter(|| {
+                let rows = tron_comparison(black_box(&tron), black_box(&model))
+                    .expect("comparison");
+                black_box(claims(&rows))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

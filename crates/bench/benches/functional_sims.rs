@@ -1,0 +1,45 @@
+//! Benchmarks of the *functional* (value-level) simulators themselves —
+//! how fast the analog signal-chain model executes real inference, which
+//! bounds the size of accuracy experiments the repository can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use phox_core::nn::datasets::sbm;
+use phox_core::prelude::*;
+
+fn functional(c: &mut Criterion) {
+    // TRON functional: tiny transformer forward.
+    let model = TransformerModel::random(TransformerConfig::tiny(16), 1).expect("model");
+    let x = Prng::new(2).fill_normal(16, 32, 0.0, 1.0);
+    let mut tsim = TronFunctional::new(&TronConfig::default(), 3).expect("sim");
+    c.bench_function("functional/tron_tiny_forward", |b| {
+        b.iter(|| black_box(tsim.forward(black_box(&model), black_box(&x)).expect("forward")))
+    });
+
+    // GHOST functional: GCN over an SBM community graph.
+    let task = sbm(3, 12, 16, 0.5, 0.05, 4).expect("task");
+    let gnn = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 16, 32, 3), 5).expect("model");
+    let mut gsim = GhostFunctional::new(&GhostConfig::default(), 6).expect("sim");
+    c.bench_function("functional/ghost_gcn_forward", |b| {
+        b.iter(|| {
+            black_box(
+                gsim.forward(black_box(&gnn), &task.graph, &task.features)
+                    .expect("forward"),
+            )
+        })
+    });
+
+    // The raw analog matmul kernel.
+    use phox_core::photonics::analog::AnalogEngine;
+    let mut eng = AnalogEngine::new(2e-3, 8, 8, 7).expect("engine");
+    let mut rng = Prng::new(8);
+    let a = rng.fill_normal(32, 64, 0.0, 1.0);
+    let bm = rng.fill_normal(64, 32, 0.0, 1.0);
+    c.bench_function("functional/analog_matmul_32x64x32", |b| {
+        b.iter(|| black_box(eng.matmul(black_box(&a), black_box(&bm)).expect("matmul")))
+    });
+}
+
+criterion_group!(benches, functional);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Regenerates the paper's tables and figures on the command line.
+//!
+//! ```sh
+//! cargo run -p phox-bench --bin figures --release            # everything
+//! cargo run -p phox-bench --bin figures --release -- fig8    # one figure
+//! cargo run -p phox-bench --bin figures --release -- fig8 --json   # machine-readable
+//! ```
+//!
+//! Targets: `fig3 fig8 fig9 fig10 fig11 quant dse summary
+//! ablate-tuning ablate-ghost ablate-tron variation pcm noise bits breakdown generation coherent sweeps all`.
+
+use phox_bench as bench;
+use phox_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let target = args.first().map(String::as_str).unwrap_or("all");
+    let emit = |fig: phox_bench::Figure| -> Result<String, Box<dyn std::error::Error>> {
+        Ok(if json { fig.to_json()? } else { fig.render() })
+    };
+
+    // Built lazily: the device-level targets don't need the simulators.
+    let mut tron: Option<TronAccelerator> = None;
+    let mut ghost: Option<GhostAccelerator> = None;
+    let need_tron = |t: &mut Option<TronAccelerator>| -> Result<(), PhotonicError> {
+        if t.is_none() {
+            *t = Some(bench::paper_tron()?);
+        }
+        Ok(())
+    };
+    let need_ghost = |g: &mut Option<GhostAccelerator>| -> Result<(), PhotonicError> {
+        if g.is_none() {
+            *g = Some(bench::paper_ghost()?);
+        }
+        Ok(())
+    };
+
+    let all = target == "all";
+    let mut matched = false;
+
+    if all || target == "fig3" {
+        matched = true;
+        println!("{}", bench::fig3_mr_response()?);
+    }
+    if all || target == "fig8" {
+        matched = true;
+        need_tron(&mut tron)?;
+        println!("{}", emit(bench::fig8_epb_tron(tron.as_ref().expect("built"))?)?);
+    }
+    if all || target == "fig9" {
+        matched = true;
+        need_tron(&mut tron)?;
+        println!("{}", emit(bench::fig9_gops_tron(tron.as_ref().expect("built"))?)?);
+    }
+    if all || target == "fig10" {
+        matched = true;
+        need_ghost(&mut ghost)?;
+        println!("{}", emit(bench::fig10_epb_ghost(ghost.as_ref().expect("built"))?)?);
+    }
+    if all || target == "fig11" {
+        matched = true;
+        need_ghost(&mut ghost)?;
+        println!("{}", emit(bench::fig11_gops_ghost(ghost.as_ref().expect("built"))?)?);
+    }
+    if all || target == "quant" {
+        matched = true;
+        println!("{}", bench::quantization_table()?);
+    }
+    if all || target == "dse" {
+        matched = true;
+        println!("{}", bench::design_space_table()?);
+    }
+    if all || target == "summary" {
+        matched = true;
+        need_tron(&mut tron)?;
+        need_ghost(&mut ghost)?;
+        println!(
+            "{}",
+            bench::summary(
+                tron.as_ref().expect("built"),
+                ghost.as_ref().expect("built")
+            )?
+        );
+    }
+    if all || target == "ablate-tuning" {
+        matched = true;
+        println!("{}", bench::ablate_tuning()?);
+    }
+    if all || target == "ablate-ghost" {
+        matched = true;
+        need_ghost(&mut ghost)?;
+        println!(
+            "{}",
+            bench::ablate_ghost(ghost.as_ref().expect("built").config())?
+        );
+    }
+    if all || target == "ablate-tron" {
+        matched = true;
+        need_tron(&mut tron)?;
+        println!("{}", bench::ablate_tron(tron.as_ref().expect("built"))?);
+    }
+
+    if all || target == "variation" {
+        matched = true;
+        need_tron(&mut tron)?;
+        println!("{}", bench::variation_table(tron.as_ref().expect("built"))?);
+    }
+    if all || target == "pcm" {
+        matched = true;
+        println!("{}", bench::pcm_table()?);
+    }
+    if all || target == "noise" {
+        matched = true;
+        println!("{}", bench::noise_robustness_table()?);
+    }
+    if all || target == "bits" {
+        matched = true;
+        println!("{}", bench::precision_table()?);
+    }
+    if all || target == "breakdown" {
+        matched = true;
+        need_tron(&mut tron)?;
+        need_ghost(&mut ghost)?;
+        println!(
+            "{}",
+            bench::energy_breakdown(
+                tron.as_ref().expect("built"),
+                ghost.as_ref().expect("built")
+            )?
+        );
+    }
+    if all || target == "coherent" {
+        matched = true;
+        println!("{}", bench::coherent_table()?);
+    }
+    if all || target == "generation" {
+        matched = true;
+        need_tron(&mut tron)?;
+        println!("{}", bench::generation_table(tron.as_ref().expect("built"))?);
+    }
+    if all || target == "sweeps" {
+        matched = true;
+        need_tron(&mut tron)?;
+        need_ghost(&mut ghost)?;
+        println!(
+            "{}",
+            bench::sensitivity_sweeps(
+                tron.as_ref().expect("built"),
+                ghost.as_ref().expect("built")
+            )?
+        );
+    }
+
+    if !matched {
+        eprintln!(
+            "unknown target '{target}'; use one of: fig3 fig8 fig9 fig10 fig11 quant dse summary ablate-tuning ablate-ghost ablate-tron variation pcm noise bits breakdown generation coherent sweeps all"
+        );
+        std::process::exit(2);
+    }
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! Cross-platform comparison harness — the machinery behind Figs. 8–11
+//! and the paper's headline claims (experiment E8):
+//!
+//! > *"Our photonic hardware LLM accelerator exhibited at least 14×
+//! > better throughput and 8× better energy efficiency \[...\]. Our
+//! > photonic graph processing accelerator showed a minimum of 10.2×
+//! > throughput improvement and 3.8× better energy efficiency."*
+
+use phox_arch::metrics::PerfReport;
+use phox_baselines::roofline::WorkloadKind;
+use phox_ghost::{GhostAccelerator, GnnWorkload};
+use phox_nn::transformer::TransformerConfig;
+use phox_photonics::PhotonicError;
+use phox_tron::TronAccelerator;
+
+/// One row of a comparison figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Platform name.
+    pub platform: String,
+    /// Throughput, GOPS (Figs. 9/11).
+    pub gops: f64,
+    /// Energy per bit, J/bit (Figs. 8/10).
+    pub epb_j: f64,
+    /// End-to-end latency, s.
+    pub latency_s: f64,
+}
+
+impl ComparisonRow {
+    fn from_perf(platform: &str, perf: &PerfReport) -> Self {
+        ComparisonRow {
+            platform: platform.to_owned(),
+            gops: perf.gops(),
+            epb_j: perf.epb_j(),
+            latency_s: perf.latency_s,
+        }
+    }
+}
+
+/// Minimum improvement factors of the photonic accelerator over every
+/// platform in a comparison (the paper's "at least N×" claims).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Claims {
+    /// Minimum throughput ratio over all comparators.
+    pub min_speedup: f64,
+    /// Minimum energy-efficiency (EPB) ratio over all comparators.
+    pub min_efficiency: f64,
+}
+
+/// Runs one transformer workload on TRON and the Fig. 8/9 suite.
+///
+/// The first row is TRON itself, followed by the baselines in the
+/// paper's order.
+///
+/// # Errors
+///
+/// Propagates simulation and baseline-evaluation failures.
+pub fn tron_comparison(
+    tron: &TronAccelerator,
+    model: &TransformerConfig,
+) -> Result<Vec<ComparisonRow>, PhotonicError> {
+    let report = tron.simulate(model)?;
+    let census = model.census();
+    let mut rows = vec![ComparisonRow::from_perf("TRON", &report.perf)];
+    for b in phox_baselines::transformer_suite() {
+        let perf = b
+            .evaluate(
+                &census,
+                WorkloadKind::DenseTransformer,
+                model.layers,
+                tron.config().batch,
+            )
+            .map_err(|_| PhotonicError::InvalidConfig {
+                what: "baseline evaluation failed",
+            })?;
+        rows.push(ComparisonRow::from_perf(b.name(), &perf));
+    }
+    Ok(rows)
+}
+
+/// Runs one GNN workload on GHOST and the Fig. 10/11 suite.
+///
+/// # Errors
+///
+/// Propagates simulation and baseline-evaluation failures.
+pub fn ghost_comparison(
+    ghost: &GhostAccelerator,
+    workload: &GnnWorkload,
+) -> Result<Vec<ComparisonRow>, PhotonicError> {
+    let report = ghost.simulate(workload)?;
+    let census = workload.census();
+    let layers = workload.model.layers();
+    let mut rows = vec![ComparisonRow::from_perf("GHOST", &report.perf)];
+    for b in phox_baselines::gnn_suite() {
+        let perf = b
+            .evaluate(&census, WorkloadKind::SparseGnn, layers, 1)
+            .map_err(|_| PhotonicError::InvalidConfig {
+                what: "baseline evaluation failed",
+            })?;
+        rows.push(ComparisonRow::from_perf(b.name(), &perf));
+    }
+    Ok(rows)
+}
+
+/// Computes the minimum improvement factors of row 0 (the photonic
+/// accelerator) over every other row.
+///
+/// # Panics
+///
+/// Panics if `rows` has fewer than two entries.
+pub fn claims(rows: &[ComparisonRow]) -> Claims {
+    assert!(rows.len() >= 2, "claims need the accelerator plus baselines");
+    let ours = &rows[0];
+    let mut min_speedup = f64::INFINITY;
+    let mut min_efficiency = f64::INFINITY;
+    for other in &rows[1..] {
+        min_speedup = min_speedup.min(ours.gops / other.gops);
+        min_efficiency = min_efficiency.min(other.epb_j / ours.epb_j);
+    }
+    Claims {
+        min_speedup,
+        min_efficiency,
+    }
+}
+
+/// Aggregates claims over several comparisons by taking the global
+/// minimum (the paper's cross-workload "at least" statement).
+pub fn aggregate_claims(all: &[Claims]) -> Claims {
+    Claims {
+        min_speedup: all.iter().map(|c| c.min_speedup).fold(f64::INFINITY, f64::min),
+        min_efficiency: all
+            .iter()
+            .map(|c| c.min_efficiency)
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_ghost::GhostConfig;
+    use phox_nn::datasets::GraphShape;
+    use phox_nn::gnn::{GnnConfig, GnnKind};
+    use phox_tron::TronConfig;
+
+    #[test]
+    fn tron_comparison_has_all_platforms() {
+        let tron = TronAccelerator::new(TronConfig::default()).unwrap();
+        let rows = tron_comparison(&tron, &TransformerConfig::bert_base(128)).unwrap();
+        assert_eq!(rows.len(), 8); // TRON + 7 baselines
+        assert_eq!(rows[0].platform, "TRON");
+    }
+
+    #[test]
+    fn tron_beats_every_baseline_on_bert() {
+        let tron = TronAccelerator::new(TronConfig::default()).unwrap();
+        let rows = tron_comparison(&tron, &TransformerConfig::bert_base(128)).unwrap();
+        let c = claims(&rows);
+        assert!(c.min_speedup > 1.0, "min speedup {}", c.min_speedup);
+        assert!(c.min_efficiency > 1.0, "min efficiency {}", c.min_efficiency);
+    }
+
+    #[test]
+    fn ghost_comparison_has_all_platforms() {
+        let ghost = GhostAccelerator::new(GhostConfig::default()).unwrap();
+        let w = GnnWorkload::new(
+            GnnConfig::two_layer(GnnKind::Gcn, 1433, 16, 7),
+            GraphShape::cora(),
+        );
+        let rows = ghost_comparison(&ghost, &w).unwrap();
+        assert_eq!(rows.len(), 10); // GHOST + 9 baselines
+        assert_eq!(rows[0].platform, "GHOST");
+    }
+
+    #[test]
+    fn ghost_beats_every_baseline_on_cora() {
+        let ghost = GhostAccelerator::new(GhostConfig::default()).unwrap();
+        let w = GnnWorkload::new(
+            GnnConfig::two_layer(GnnKind::Gcn, 1433, 16, 7),
+            GraphShape::cora(),
+        );
+        let rows = ghost_comparison(&ghost, &w).unwrap();
+        let c = claims(&rows);
+        assert!(c.min_speedup > 1.0, "min speedup {}", c.min_speedup);
+        assert!(c.min_efficiency > 1.0, "min efficiency {}", c.min_efficiency);
+    }
+
+    #[test]
+    fn aggregate_takes_global_minimum() {
+        let a = Claims {
+            min_speedup: 20.0,
+            min_efficiency: 9.0,
+        };
+        let b = Claims {
+            min_speedup: 14.0,
+            min_efficiency: 12.0,
+        };
+        let g = aggregate_claims(&[a, b]);
+        assert_eq!(g.min_speedup, 14.0);
+        assert_eq!(g.min_efficiency, 9.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! GHOST hardware configuration.
+//!
+//! The architecture of Fig. 6: `V` execution lanes, each owning a gather
+//! unit, a coherent-summation reduce unit (Fig. 7(a)), an MR-bank-array
+//! transform unit (Fig. 7(b)) and an SOA update unit; `N` edge-control
+//! units fetch input vertices. The orchestration optimizations of §V.D
+//! (graph buffering and partitioning, execution pipelining, weight-DAC
+//! sharing, workload balancing) are individually toggleable so the A2
+//! ablation can quantify each.
+
+use phox_photonics::converter::{Adc, Dac};
+use phox_photonics::design_space::{self, SweepConfig};
+use phox_photonics::link::{Laser, WdmLink};
+use phox_photonics::mr::MrConfig;
+use phox_photonics::noise::NoiseBudget;
+use phox_photonics::tuning::HybridTuning;
+use phox_photonics::PhotonicError;
+
+/// The §V.D orchestration and scheduling optimizations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// "Buffer and partition": tile the graph into on-chip feature
+    /// blocks so neighbour features are fetched from HBM once instead of
+    /// per edge.
+    pub partition: bool,
+    /// Overlap the aggregate and combine/update stages of consecutive
+    /// vertex blocks.
+    pub pipelining: bool,
+    /// Share the (identical) combine-weight DACs across vertices instead
+    /// of reprogramming per vertex.
+    pub dac_sharing: bool,
+    /// Balance vertices over lanes by degree (LPT) instead of
+    /// round-robin.
+    pub balancing: bool,
+}
+
+impl Default for Optimizations {
+    /// All optimizations on (the configuration evaluated in the paper).
+    fn default() -> Self {
+        Optimizations {
+            partition: true,
+            pipelining: true,
+            dac_sharing: true,
+            balancing: true,
+        }
+    }
+}
+
+impl Optimizations {
+    /// Every optimization disabled (the ablation baseline).
+    pub fn none() -> Self {
+        Optimizations {
+            partition: false,
+            pipelining: false,
+            dac_sharing: false,
+            balancing: false,
+        }
+    }
+}
+
+/// Full GHOST hardware configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhostConfig {
+    /// Execution lanes (`V` in Fig. 6) — output vertices processed
+    /// concurrently.
+    pub lanes: usize,
+    /// Feature rows per reduce unit (features summed concurrently).
+    pub reduce_rows: usize,
+    /// Neighbour columns per reduce unit (neighbours per coherent pass).
+    pub reduce_branches: usize,
+    /// Rows of each transform-unit MR bank array.
+    pub array_rows: usize,
+    /// Wavelengths per transform-array row.
+    pub array_channels: usize,
+    /// Edge-control units fetching input vertices (`N` in §V.D).
+    pub edge_units: usize,
+    /// Input vertices buffered on chip per partition block.
+    pub input_block: usize,
+    /// Analog symbol rate, symbols/s.
+    pub symbol_rate_hz: f64,
+    /// Orchestration optimizations.
+    pub optimizations: Optimizations,
+    /// Ring configuration.
+    pub mr: MrConfig,
+    /// Tuning circuit policy.
+    pub tuning: HybridTuning,
+    /// Output converter.
+    pub adc: Adc,
+    /// Drive converter.
+    pub dac: Dac,
+    /// Receiver noise budget.
+    pub noise: NoiseBudget,
+    /// Laser source.
+    pub laser: Laser,
+}
+
+impl Default for GhostConfig {
+    /// 64 lanes with 16×16 reduce units and 32-row × 16-wavelength
+    /// transform arrays at 10 GHz symbols.
+    fn default() -> Self {
+        GhostConfig {
+            lanes: 64,
+            reduce_rows: 16,
+            reduce_branches: 16,
+            array_rows: 32,
+            array_channels: 16,
+            edge_units: 64,
+            input_block: 4096,
+            symbol_rate_hz: 10e9,
+            optimizations: Optimizations::default(),
+            mr: MrConfig::default(),
+            tuning: HybridTuning::default(),
+            adc: Adc::default(),
+            dac: Dac::default(),
+            noise: NoiseBudget::default(),
+            laser: Laser::default(),
+        }
+    }
+}
+
+impl GhostConfig {
+    /// Derives the wavelength parallelism and ring design from the
+    /// photonic design-space sweep (§VI).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures.
+    pub fn from_design_space(sweep: &SweepConfig) -> Result<Self, PhotonicError> {
+        let outcome = design_space::sweep(sweep)?;
+        let best = outcome.best().expect("sweep succeeded, feasible non-empty");
+        Ok(GhostConfig {
+            array_channels: best.channels,
+            reduce_rows: best.channels,
+            mr: best.mr,
+            ..GhostConfig::default()
+        })
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero counts or an
+    /// unrealisable symbol rate.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.lanes == 0
+            || self.reduce_rows == 0
+            || self.reduce_branches == 0
+            || self.array_rows == 0
+            || self.array_channels == 0
+            || self.edge_units == 0
+            || self.input_block == 0
+        {
+            return Err(PhotonicError::InvalidConfig {
+                what: "GHOST unit counts must be non-zero",
+            });
+        }
+        if !(self.symbol_rate_hz > 0.0 && self.symbol_rate_hz.is_finite()) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "symbol rate must be positive",
+            });
+        }
+        if self.symbol_rate_hz > self.adc.rate_hz {
+            return Err(PhotonicError::InvalidConfig {
+                what: "symbol rate cannot exceed the ADC sampling rate",
+            });
+        }
+        self.mr.validated()?;
+        Ok(self)
+    }
+
+    /// Peak MAC rate of the transform units, MACs/s.
+    pub fn peak_transform_macs_per_s(&self) -> f64 {
+        self.lanes as f64
+            * self.array_rows as f64
+            * self.array_channels as f64
+            * self.symbol_rate_hz
+    }
+
+    /// Peak add rate of the reduce units, adds/s.
+    pub fn peak_reduce_adds_per_s(&self) -> f64 {
+        self.lanes as f64
+            * self.reduce_rows as f64
+            * self.reduce_branches as f64
+            * self.symbol_rate_hz
+    }
+
+    /// The WDM link template for one transform-array waveguide.
+    pub fn link(&self) -> WdmLink {
+        WdmLink {
+            channels: self.array_channels,
+            through_mrs: 2 * self.array_channels,
+            ..WdmLink::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = GhostConfig::default().validated().unwrap();
+        assert_eq!(c.lanes, 64);
+        assert!(c.peak_transform_macs_per_s() > 1e14);
+        assert!(c.peak_reduce_adds_per_s() > 1e14);
+    }
+
+    #[test]
+    fn optimizations_toggle() {
+        let all = Optimizations::default();
+        assert!(all.partition && all.pipelining && all.dac_sharing && all.balancing);
+        let none = Optimizations::none();
+        assert!(!none.partition && !none.pipelining && !none.dac_sharing && !none.balancing);
+    }
+
+    #[test]
+    fn design_space_configuration_valid() {
+        let c = GhostConfig::from_design_space(&SweepConfig::default()).unwrap();
+        assert!(c.array_channels >= 16);
+        assert!(c.validated().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(GhostConfig {
+            lanes: 0,
+            ..GhostConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(GhostConfig {
+            symbol_rate_hz: 1e12,
+            ..GhostConfig::default()
+        }
+        .validated()
+        .is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Functional (value-level) simulation of the GHOST analog datapath.
+//!
+//! Executes an actual GNN inference through the modelled photonic
+//! pipeline: coherent-summation aggregation (sum/mean) and
+//! optical-comparator `max` (Fig. 7(a)), transform-unit matmuls through
+//! the shared [`AnalogEngine`], per-edge LUT-softmax attention for GAT,
+//! and SOA update activations. Validated against the digital int8
+//! reference of `phox-nn`.
+
+use phox_nn::gnn::{Aggregation, CsrGraph, GnnKind, GnnModel};
+use phox_photonics::analog::AnalogEngine;
+use phox_photonics::devices::OpticalActivation;
+use phox_photonics::summation::OpticalComparator;
+use phox_photonics::PhotonicError;
+use phox_tensor::{ops, Matrix};
+
+use crate::config::GhostConfig;
+
+/// Functional GHOST simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhostFunctional {
+    engine: AnalogEngine,
+    comparator: OpticalComparator,
+}
+
+impl GhostFunctional {
+    /// Builds the functional simulator with receiver noise from the
+    /// configuration's 8-bit optical budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates noise-budget failures.
+    pub fn new(config: &GhostConfig, seed: u64) -> Result<Self, PhotonicError> {
+        Ok(GhostFunctional {
+            engine: AnalogEngine::from_noise_budget(&config.noise, config.adc.bits, seed)?,
+            comparator: OpticalComparator::default(),
+        })
+    }
+
+    /// Builds a noiseless simulator (quantization effects only).
+    pub fn ideal(config: &GhostConfig, seed: u64) -> Self {
+        GhostFunctional {
+            engine: AnalogEngine::ideal(config.adc.bits, config.dac.bits, seed),
+            comparator: OpticalComparator::default(),
+        }
+    }
+
+    /// Builds a simulator with an explicit receiver noise level for
+    /// robustness sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures.
+    pub fn with_noise(
+        config: &GhostConfig,
+        relative_sigma: f64,
+        seed: u64,
+    ) -> Result<Self, PhotonicError> {
+        Ok(GhostFunctional {
+            engine: AnalogEngine::new(relative_sigma, config.adc.bits, config.dac.bits, seed)?,
+            comparator: OpticalComparator::default(),
+        })
+    }
+
+    /// The underlying analog engine.
+    pub fn engine(&self) -> &AnalogEngine {
+        &self.engine
+    }
+
+    /// Runs the photonic inference of `model` over `graph` with node
+    /// `features` (`nodes × dims[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] on shape mismatch.
+    pub fn forward(
+        &mut self,
+        model: &GnnModel,
+        graph: &CsrGraph,
+        features: &Matrix,
+    ) -> Result<Matrix, PhotonicError> {
+        let cfg = model.config().clone();
+        if features.rows() != graph.num_nodes() || features.cols() != cfg.dims[0] {
+            return Err(PhotonicError::InvalidConfig {
+                what: "feature shape must match graph and model",
+            });
+        }
+        let mut h = features.clone();
+        let last = cfg.layers() - 1;
+        for (l, lw) in model.layers().iter().enumerate() {
+            h = match cfg.kind {
+                GnnKind::Gcn => {
+                    let agg = self.optical_aggregate(graph, &h, Aggregation::Mean, true)?;
+                    self.engine.matmul(&agg, &lw.w)?
+                }
+                GnnKind::GraphSage => {
+                    let agg = self.optical_aggregate(graph, &h, cfg.aggregation, false)?;
+                    let cat = h.hconcat(&agg).map_err(|_| PhotonicError::InvalidConfig {
+                        what: "concat shape mismatch",
+                    })?;
+                    self.engine.matmul(&cat, &lw.w)?
+                }
+                GnnKind::Gin => {
+                    let agg = self.optical_aggregate(graph, &h, Aggregation::Sum, false)?;
+                    let mixed = h.scale(1.0 + model.epsilon()).add(&agg).map_err(|_| {
+                        PhotonicError::InvalidConfig {
+                            what: "GIN mix shape mismatch",
+                        }
+                    })?;
+                    self.engine.matmul(&mixed, &lw.w)?
+                }
+                GnnKind::Gat => self.gat_layer(graph, &h, lw)?,
+            };
+            if l != last {
+                // SOA ReLU in the update units.
+                h = self.engine.soa_activate(OpticalActivation::Relu, &h);
+            }
+        }
+        Ok(h)
+    }
+
+    /// Optical aggregation through the reduce units: sum/mean use
+    /// coherent summation, max uses the optical comparator tournament.
+    fn optical_aggregate(
+        &mut self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        agg: Aggregation,
+        include_self: bool,
+    ) -> Result<Matrix, PhotonicError> {
+        let f = h.cols();
+        let n = graph.num_nodes();
+        let mut out = Matrix::zeros(n, f);
+        for v in 0..n {
+            let mut members: Vec<usize> = Vec::new();
+            if include_self {
+                members.push(v);
+            }
+            members.extend(graph.neighbors(v).iter().map(|&u| u as usize));
+            if members.is_empty() {
+                continue;
+            }
+            match agg {
+                Aggregation::Sum | Aggregation::Mean => {
+                    // Stack member feature rows and coherently sum the
+                    // columns.
+                    let mut stack = Matrix::zeros(members.len(), f);
+                    for (r, &u) in members.iter().enumerate() {
+                        for c in 0..f {
+                            stack.set(r, c, h.get(u, c));
+                        }
+                    }
+                    let summed = self.engine.coherent_sum_rows(&stack)?;
+                    let denom = if agg == Aggregation::Mean {
+                        members.len() as f64
+                    } else {
+                        1.0
+                    };
+                    for c in 0..f {
+                        out.set(v, c, summed[c] / denom);
+                    }
+                }
+                Aggregation::Max => {
+                    for c in 0..f {
+                        let vals: Vec<f64> = members.iter().map(|&u| h.get(u, c)).collect();
+                        out.set(v, c, self.comparator.max(&vals)?);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// GAT layer: optical transform, digital LUT attention softmax,
+    /// attention-weighted coherent accumulation.
+    fn gat_layer(
+        &mut self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        lw: &phox_nn::gnn::GnnLayerWeights,
+    ) -> Result<Matrix, PhotonicError> {
+        let z = self.engine.matmul(h, &lw.w)?;
+        let fout = z.cols();
+        let n = graph.num_nodes();
+        let mut src_logit = vec![0.0; n];
+        let mut dst_logit = vec![0.0; n];
+        for v in 0..n {
+            let mut s = 0.0;
+            let mut d = 0.0;
+            for c in 0..fout {
+                s += z.get(v, c) * lw.a_src[c];
+                d += z.get(v, c) * lw.a_dst[c];
+            }
+            src_logit[v] = s;
+            dst_logit[v] = d;
+        }
+        let mut out = Matrix::zeros(n, fout);
+        for v in 0..n {
+            let neigh = graph.neighbors(v);
+            if neigh.is_empty() {
+                for c in 0..fout {
+                    out.set(v, c, z.get(v, c));
+                }
+                continue;
+            }
+            let logits: Vec<f64> = neigh
+                .iter()
+                .map(|&u| ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2))
+                .collect();
+            let alphas = self.engine.lut_softmax_slice(&logits);
+            // Weighted coherent accumulation of neighbour transforms.
+            let mut stack = Matrix::zeros(neigh.len(), fout);
+            for (r, (&u, &a)) in neigh.iter().zip(alphas.iter()).enumerate() {
+                for c in 0..fout {
+                    stack.set(r, c, a * z.get(u as usize, c));
+                }
+            }
+            let summed = self.engine.coherent_sum_rows(&stack)?;
+            for c in 0..fout {
+                out.set(v, c, summed[c]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_nn::datasets::sbm;
+    use phox_nn::gnn::GnnConfig;
+    use phox_tensor::{stats, Prng};
+
+    fn small_task() -> phox_nn::datasets::LabelledGraph {
+        sbm(3, 8, 12, 0.5, 0.05, 71).unwrap()
+    }
+
+    #[test]
+    fn functional_tracks_reference_for_all_kinds() {
+        let task = small_task();
+        for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat] {
+            let model = GnnModel::random(GnnConfig::two_layer(kind, 12, 16, 3), 72).unwrap();
+            let reference = model.forward(&task.graph, &task.features).unwrap();
+            let mut sim = GhostFunctional::new(&GhostConfig::default(), 73).unwrap();
+            let photonic = sim.forward(&model, &task.graph, &task.features).unwrap();
+            let err = stats::relative_error(&reference, &photonic);
+            assert!(err < 0.4, "{kind}: photonic error {err}");
+        }
+    }
+
+    #[test]
+    fn predictions_mostly_agree_with_reference() {
+        let task = small_task();
+        let model =
+            GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 74).unwrap();
+        let reference = model.forward(&task.graph, &task.features).unwrap();
+        let mut sim = GhostFunctional::new(&GhostConfig::default(), 75).unwrap();
+        let photonic = sim.forward(&model, &task.graph, &task.features).unwrap();
+        let agree = stats::accuracy(
+            &ops::argmax_rows(&photonic),
+            &ops::argmax_rows(&reference),
+        );
+        assert!(agree >= 0.8, "agreement {agree}");
+    }
+
+    #[test]
+    fn max_aggregation_through_comparator() {
+        let g = CsrGraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let mut x = Matrix::zeros(3, 2);
+        x.set(0, 0, 5.0);
+        x.set(1, 0, 3.0);
+        let cfg = GnnConfig {
+            kind: GnnKind::GraphSage,
+            dims: vec![2, 2],
+            aggregation: Aggregation::Max,
+        };
+        let model = GnnModel::random(cfg, 76).unwrap();
+        let mut sim = GhostFunctional::ideal(&GhostConfig::default(), 77);
+        let agg = sim
+            .optical_aggregate(&g, &x, Aggregation::Max, false)
+            .unwrap();
+        assert_eq!(agg.get(2, 0), 5.0);
+        let _ = model;
+    }
+
+    #[test]
+    fn shape_validation() {
+        let task = small_task();
+        let model =
+            GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 78).unwrap();
+        let mut sim = GhostFunctional::ideal(&GhostConfig::default(), 79);
+        let bad = Matrix::zeros(task.graph.num_nodes(), 11);
+        assert!(sim.forward(&model, &task.graph, &bad).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let task = small_task();
+        let model =
+            GnnModel::random(GnnConfig::two_layer(GnnKind::Gin, 12, 16, 3), 80).unwrap();
+        let mut a = GhostFunctional::new(&GhostConfig::default(), 81).unwrap();
+        let mut b = GhostFunctional::new(&GhostConfig::default(), 81).unwrap();
+        assert_eq!(
+            a.forward(&model, &task.graph, &task.features).unwrap(),
+            b.forward(&model, &task.graph, &task.features).unwrap()
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_survive() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        let x = Prng::new(82).fill_normal(3, 4, 0.0, 1.0);
+        for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat] {
+            let model = GnnModel::random(GnnConfig::two_layer(kind, 4, 8, 2), 83).unwrap();
+            let mut sim = GhostFunctional::ideal(&GhostConfig::default(), 84);
+            let y = sim.forward(&model, &g, &x).unwrap();
+            assert!(y.as_slice().iter().all(|v| v.is_finite()), "{kind}");
+        }
+    }
+}

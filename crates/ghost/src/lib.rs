@@ -1,0 +1,49 @@
+//! # phox-ghost
+//!
+//! **GHOST** — the silicon-photonic graph-neural-network accelerator of
+//! §V.D, simulated at two levels:
+//!
+//! * [`perf`] — architecture-level performance/energy simulation of the
+//!   aggregate (coherent reduce) / combine (transform arrays) / update
+//!   (SOA) lanes, with the §V.D orchestration optimizations (buffer &
+//!   partition, pipelining, weight-DAC sharing, workload balancing)
+//!   individually toggleable for the ablation study;
+//! * [`functional`] — value-level simulation of the analog datapath over
+//!   real graphs, validated against the digital reference models of
+//!   `phox-nn`;
+//! * [`partition`] — the "buffer and partition" graph tiling.
+//!
+//! # Example
+//!
+//! ```
+//! use phox_ghost::config::GhostConfig;
+//! use phox_ghost::perf::{GhostAccelerator, GnnWorkload};
+//! use phox_nn::datasets::GraphShape;
+//! use phox_nn::gnn::{GnnConfig, GnnKind};
+//!
+//! # fn main() -> Result<(), phox_photonics::PhotonicError> {
+//! let ghost = GhostAccelerator::new(GhostConfig::default())?;
+//! let workload = GnnWorkload::new(
+//!     GnnConfig::two_layer(GnnKind::Gcn, 1433, 16, 7),
+//!     GraphShape::cora(),
+//! );
+//! let report = ghost.simulate(&workload)?;
+//! assert!(report.perf.gops() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+// Index-based loops are the clearest idiom for the dense-matrix and
+// per-ring arithmetic throughout this crate.
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod functional;
+pub mod partition;
+pub mod perf;
+
+pub use config::{GhostConfig, Optimizations};
+pub use functional::GhostFunctional;
+pub use perf::{GhostAccelerator, GhostReport, GnnWorkload};

@@ -1,0 +1,277 @@
+//! Off-chip memory channel model (HBM-class).
+//!
+//! Both accelerators stream weights and graph data from high-bandwidth
+//! memory (the paper's TransPIM comparison explicitly targets HBM
+//! dataflows). We model a channel by its sustained bandwidth, per-bit
+//! transfer energy, and fixed access latency — the three quantities the
+//! architecture simulator consumes.
+
+use crate::MemError;
+
+/// One HBM-class memory channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmChannel {
+    /// Sustained bandwidth, bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+    /// Transfer energy, J/bit.
+    pub energy_per_bit_j: f64,
+    /// Row-access latency, s.
+    pub latency_s: f64,
+}
+
+impl Default for HbmChannel {
+    /// An HBM2-class channel: 32 GB/s, 3.9 pJ/bit, 100 ns access.
+    fn default() -> Self {
+        HbmChannel {
+            bandwidth_bytes_per_s: 32e9,
+            energy_per_bit_j: 3.9e-12,
+            latency_s: 100e-9,
+        }
+    }
+}
+
+impl HbmChannel {
+    /// Validates the channel parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] for non-positive values.
+    pub fn validated(self) -> Result<Self, MemError> {
+        if self.bandwidth_bytes_per_s <= 0.0
+            || self.energy_per_bit_j <= 0.0
+            || self.latency_s < 0.0
+        {
+            return Err(MemError::InvalidConfig {
+                what: "channel parameters must be positive",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Time to transfer `bytes`, s (latency + streaming).
+    pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Energy to transfer `bytes`, J.
+    pub fn transfer_energy_j(&self, bytes: usize) -> f64 {
+        bytes as f64 * 8.0 * self.energy_per_bit_j
+    }
+}
+
+/// A stack of parallel channels (e.g. a 4-channel HBM stack).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmStack {
+    /// Per-channel model.
+    pub channel: HbmChannel,
+    /// Number of channels striped across.
+    pub channels: usize,
+}
+
+impl Default for HbmStack {
+    /// Four default channels (128 GB/s aggregate).
+    fn default() -> Self {
+        HbmStack {
+            channel: HbmChannel::default(),
+            channels: 4,
+        }
+    }
+}
+
+impl HbmStack {
+    /// Validates the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] for a zero channel count or an
+    /// invalid channel.
+    pub fn validated(self) -> Result<Self, MemError> {
+        if self.channels == 0 {
+            return Err(MemError::InvalidConfig {
+                what: "stack needs at least one channel",
+            });
+        }
+        self.channel.validated()?;
+        Ok(self)
+    }
+
+    /// Aggregate bandwidth, bytes/s.
+    pub fn bandwidth_bytes_per_s(&self) -> f64 {
+        self.channel.bandwidth_bytes_per_s * self.channels as f64
+    }
+
+    /// Time to transfer `bytes` striped across all channels, s.
+    pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.channel.latency_s + bytes as f64 / self.bandwidth_bytes_per_s()
+    }
+
+    /// Energy to transfer `bytes`, J (per-bit energy is per-channel
+    /// invariant).
+    pub fn transfer_energy_j(&self, bytes: usize) -> f64 {
+        self.channel.transfer_energy_j(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_channel_numbers() {
+        let c = HbmChannel::default().validated().unwrap();
+        // 1 KiB: 100 ns + 1024/32e9 = 132 ns.
+        let t = c.transfer_time_s(1024);
+        assert!((t - 132e-9).abs() < 1e-12, "t = {t}");
+        // Energy: 8192 bits · 3.9 pJ = 31.95 nJ... actually 31.9e-9.
+        let e = c.transfer_energy_j(1024);
+        assert!((e - 1024.0 * 8.0 * 3.9e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let c = HbmChannel::default();
+        assert_eq!(c.transfer_time_s(0), 0.0);
+        assert_eq!(c.transfer_energy_j(0), 0.0);
+    }
+
+    #[test]
+    fn stack_bandwidth_scales() {
+        let s = HbmStack::default().validated().unwrap();
+        assert!((s.bandwidth_bytes_per_s() - 128e9).abs() < 1.0);
+        // Large transfers are ~4x faster than one channel.
+        let one = s.channel.transfer_time_s(1 << 30);
+        let four = s.transfer_time_s(1 << 30);
+        assert!(four < one / 3.0);
+    }
+
+    #[test]
+    fn stack_energy_equals_channel_energy() {
+        let s = HbmStack::default();
+        assert_eq!(s.transfer_energy_j(4096), s.channel.transfer_energy_j(4096));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HbmChannel {
+            bandwidth_bytes_per_s: 0.0,
+            ..HbmChannel::default()
+        }
+        .validated()
+        .is_err());
+        assert!(HbmStack {
+            channels: 0,
+            ..HbmStack::default()
+        }
+        .validated()
+        .is_err());
+    }
+}
+
+/// An embedded-DRAM macro: denser and cheaper-per-bit than SRAM for the
+/// multi-megabyte feature buffers GHOST-class accelerators need, at the
+/// cost of refresh power and longer access latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edram {
+    /// Capacity, bytes.
+    pub capacity_bytes: usize,
+    /// Access word width, bytes.
+    pub word_bytes: usize,
+}
+
+impl Edram {
+    /// Builds a validated eDRAM macro.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] for zero sizes or a word wider
+    /// than the macro.
+    pub fn new(capacity_bytes: usize, word_bytes: usize) -> Result<Self, MemError> {
+        if capacity_bytes == 0 || word_bytes == 0 || word_bytes > capacity_bytes {
+            return Err(MemError::InvalidConfig {
+                what: "eDRAM capacity and word size must be non-zero and consistent",
+            });
+        }
+        Ok(Edram {
+            capacity_bytes,
+            word_bytes,
+        })
+    }
+
+    /// Dynamic energy of one access, J — roughly 2× an equally sized
+    /// SRAM's bitline energy but with weaker capacity scaling (folded
+    /// trench cells): `E = 1 pJ · (KiB)^0.35 · (word/8B)^0.7`.
+    pub fn access_energy_j(&self) -> f64 {
+        let kib = self.capacity_bytes as f64 / 1024.0;
+        let word_factor = (self.word_bytes as f64 / 8.0).powf(0.7);
+        1e-12 * kib.powf(0.35) * word_factor
+    }
+
+    /// Access latency, s: `t = 1 ns + 0.1 ns · sqrt(KiB)` — several times
+    /// an SRAM of the same capacity.
+    pub fn access_latency_s(&self) -> f64 {
+        1e-9 + 0.1e-9 * (self.capacity_bytes as f64 / 1024.0).sqrt()
+    }
+
+    /// Refresh power, W (≈ 1 µW per KiB — the eDRAM tax SRAM does not
+    /// pay, but an order of magnitude below SRAM leakage per bit).
+    pub fn refresh_power_w(&self) -> f64 {
+        1e-6 * self.capacity_bytes as f64 / 1024.0
+    }
+
+    /// Energy to stream `bytes` through the macro, J.
+    pub fn stream_energy_j(&self, bytes: usize) -> f64 {
+        bytes.div_ceil(self.word_bytes) as f64 * self.access_energy_j()
+    }
+}
+
+#[cfg(test)]
+mod edram_tests {
+    use super::*;
+    use crate::sram::{Sram, SramConfig};
+
+    #[test]
+    fn edram_denser_tradeoff_vs_sram() {
+        // Same 8 MiB capacity: eDRAM accesses cost less than the big
+        // SRAM's, latency is worse, and refresh replaces leakage at a
+        // lower price.
+        let cap = 8 * 1024 * 1024;
+        let edram = Edram::new(cap, 32).unwrap();
+        let sram = Sram::new(SramConfig {
+            capacity_bytes: cap,
+            word_bytes: 32,
+            banks: 1,
+        })
+        .unwrap();
+        assert!(edram.access_energy_j() < sram.read_energy_j());
+        assert!(edram.access_latency_s() > sram.access_latency_s());
+        assert!(edram.refresh_power_w() < sram.leakage_w());
+    }
+
+    #[test]
+    fn energy_grows_sublinearly_with_capacity() {
+        let small = Edram::new(1024 * 1024, 32).unwrap();
+        let large = Edram::new(16 * 1024 * 1024, 32).unwrap();
+        let ratio = large.access_energy_j() / small.access_energy_j();
+        assert!(ratio > 1.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn stream_energy_counts_words() {
+        let e = Edram::new(1024 * 1024, 32).unwrap();
+        assert!((e.stream_energy_j(320) - 10.0 * e.access_energy_j()).abs() < 1e-24);
+        assert_eq!(e.stream_energy_j(0), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Edram::new(0, 16).is_err());
+        assert!(Edram::new(1024, 0).is_err());
+        assert!(Edram::new(16, 32).is_err());
+    }
+}

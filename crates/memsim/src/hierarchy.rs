@@ -1,0 +1,256 @@
+//! A named collection of buffers plus an off-chip stack, with an access
+//! ledger — the memory subsystem both accelerator simulators charge their
+//! traffic to.
+
+use std::collections::BTreeMap;
+
+use crate::dram::HbmStack;
+use crate::sram::{Sram, SramConfig};
+use crate::MemError;
+
+/// Running totals for one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BufferLedger {
+    /// Bytes read so far.
+    pub bytes_read: usize,
+    /// Bytes written so far.
+    pub bytes_written: usize,
+    /// Dynamic energy accumulated, J.
+    pub energy_j: f64,
+    /// Serialized access time accumulated, s.
+    pub time_s: f64,
+}
+
+/// A memory hierarchy: named on-chip SRAM buffers and one off-chip stack.
+///
+/// # Example
+///
+/// ```
+/// use phox_memsim::hierarchy::MemorySystem;
+/// use phox_memsim::sram::SramConfig;
+///
+/// # fn main() -> Result<(), phox_memsim::MemError> {
+/// let mut mem = MemorySystem::new();
+/// mem.add_buffer("weights", SramConfig::default())?;
+/// mem.read("weights", 4096)?;
+/// assert!(mem.total_dynamic_energy_j() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemorySystem {
+    buffers: BTreeMap<String, (Sram, BufferLedger)>,
+    offchip: HbmStack,
+    offchip_ledger: BufferLedger,
+}
+
+impl MemorySystem {
+    /// Creates an empty hierarchy with the default HBM stack.
+    pub fn new() -> Self {
+        MemorySystem::default()
+    }
+
+    /// Creates a hierarchy with an explicit off-chip stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] if the stack is invalid.
+    pub fn with_offchip(offchip: HbmStack) -> Result<Self, MemError> {
+        Ok(MemorySystem {
+            offchip: offchip.validated()?,
+            ..MemorySystem::default()
+        })
+    }
+
+    /// Adds (or replaces) a named buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] when the SRAM configuration is
+    /// invalid.
+    pub fn add_buffer(&mut self, name: &str, config: SramConfig) -> Result<(), MemError> {
+        let sram = Sram::new(config)?;
+        self.buffers
+            .insert(name.to_owned(), (sram, BufferLedger::default()));
+        Ok(())
+    }
+
+    /// Names of all buffers.
+    pub fn buffer_names(&self) -> Vec<&str> {
+        self.buffers.keys().map(String::as_str).collect()
+    }
+
+    /// Charges a read of `bytes` to buffer `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnknownBuffer`] when the name is not present.
+    pub fn read(&mut self, name: &str, bytes: usize) -> Result<(), MemError> {
+        let (sram, ledger) = self
+            .buffers
+            .get_mut(name)
+            .ok_or_else(|| MemError::UnknownBuffer { name: name.into() })?;
+        ledger.bytes_read += bytes;
+        ledger.energy_j += sram.read_bytes_energy_j(bytes);
+        ledger.time_s += sram.accesses_for(bytes) as f64 * sram.access_latency_s();
+        Ok(())
+    }
+
+    /// Charges a write of `bytes` to buffer `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnknownBuffer`] when the name is not present.
+    pub fn write(&mut self, name: &str, bytes: usize) -> Result<(), MemError> {
+        let (sram, ledger) = self
+            .buffers
+            .get_mut(name)
+            .ok_or_else(|| MemError::UnknownBuffer { name: name.into() })?;
+        ledger.bytes_written += bytes;
+        ledger.energy_j += sram.write_bytes_energy_j(bytes);
+        ledger.time_s += sram.accesses_for(bytes) as f64 * sram.access_latency_s();
+        Ok(())
+    }
+
+    /// Charges an off-chip transfer of `bytes` (direction-agnostic).
+    pub fn offchip_transfer(&mut self, bytes: usize) {
+        self.offchip_ledger.bytes_read += bytes;
+        self.offchip_ledger.energy_j += self.offchip.transfer_energy_j(bytes);
+        self.offchip_ledger.time_s += self.offchip.transfer_time_s(bytes);
+    }
+
+    /// Ledger of one buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::UnknownBuffer`] when the name is not present.
+    pub fn ledger(&self, name: &str) -> Result<BufferLedger, MemError> {
+        self.buffers
+            .get(name)
+            .map(|(_, l)| *l)
+            .ok_or_else(|| MemError::UnknownBuffer { name: name.into() })
+    }
+
+    /// Ledger of the off-chip stack.
+    pub fn offchip_ledger(&self) -> BufferLedger {
+        self.offchip_ledger
+    }
+
+    /// Total dynamic energy across all buffers and the off-chip stack, J.
+    pub fn total_dynamic_energy_j(&self) -> f64 {
+        self.buffers.values().map(|(_, l)| l.energy_j).sum::<f64>()
+            + self.offchip_ledger.energy_j
+    }
+
+    /// Total serialized access time, s (upper bound; the architecture
+    /// model overlaps most of it with compute).
+    pub fn total_time_s(&self) -> f64 {
+        self.buffers.values().map(|(_, l)| l.time_s).sum::<f64>() + self.offchip_ledger.time_s
+    }
+
+    /// Total leakage power of all on-chip buffers, W.
+    pub fn total_leakage_w(&self) -> f64 {
+        self.buffers.values().map(|(s, _)| s.leakage_w()).sum()
+    }
+
+    /// Resets all ledgers (keeps the configuration).
+    pub fn reset(&mut self) {
+        for (_, ledger) in self.buffers.values_mut() {
+            *ledger = BufferLedger::default();
+        }
+        self.offchip_ledger = BufferLedger::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MemorySystem {
+        let mut m = MemorySystem::new();
+        m.add_buffer("act", SramConfig::default()).unwrap();
+        m.add_buffer(
+            "wgt",
+            SramConfig {
+                capacity_bytes: 256 * 1024,
+                word_bytes: 32,
+                banks: 2,
+            },
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn reads_accumulate_energy_and_bytes() {
+        let mut m = system();
+        m.read("act", 1024).unwrap();
+        m.read("act", 1024).unwrap();
+        let l = m.ledger("act").unwrap();
+        assert_eq!(l.bytes_read, 2048);
+        assert!(l.energy_j > 0.0);
+        assert!(l.time_s > 0.0);
+    }
+
+    #[test]
+    fn writes_tracked_separately() {
+        let mut m = system();
+        m.write("wgt", 4096).unwrap();
+        let l = m.ledger("wgt").unwrap();
+        assert_eq!(l.bytes_written, 4096);
+        assert_eq!(l.bytes_read, 0);
+    }
+
+    #[test]
+    fn unknown_buffer_errors() {
+        let mut m = system();
+        assert!(matches!(
+            m.read("nope", 1),
+            Err(MemError::UnknownBuffer { .. })
+        ));
+        assert!(m.ledger("nope").is_err());
+    }
+
+    #[test]
+    fn offchip_counts() {
+        let mut m = system();
+        m.offchip_transfer(1 << 20);
+        assert!(m.offchip_ledger().energy_j > 0.0);
+        assert!(m.total_dynamic_energy_j() >= m.offchip_ledger().energy_j);
+    }
+
+    #[test]
+    fn totals_sum_buffers() {
+        let mut m = system();
+        m.read("act", 100).unwrap();
+        m.write("wgt", 100).unwrap();
+        let sum = m.ledger("act").unwrap().energy_j + m.ledger("wgt").unwrap().energy_j;
+        assert!((m.total_dynamic_energy_j() - sum).abs() < 1e-20);
+    }
+
+    #[test]
+    fn leakage_counts_all_buffers() {
+        let m = system();
+        // 64 KiB + 256 KiB = 320 KiB → 3.2 mW.
+        assert!((m.total_leakage_w() - 3.2e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reset_clears_ledgers_but_keeps_buffers() {
+        let mut m = system();
+        m.read("act", 1024).unwrap();
+        m.offchip_transfer(1024);
+        m.reset();
+        assert_eq!(m.ledger("act").unwrap().bytes_read, 0);
+        assert_eq!(m.offchip_ledger().energy_j, 0.0);
+        assert_eq!(m.buffer_names().len(), 2);
+    }
+
+    #[test]
+    fn replacing_buffer_resets_its_ledger() {
+        let mut m = system();
+        m.read("act", 1024).unwrap();
+        m.add_buffer("act", SramConfig::default()).unwrap();
+        assert_eq!(m.ledger("act").unwrap().bytes_read, 0);
+    }
+}

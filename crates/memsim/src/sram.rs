@@ -1,0 +1,218 @@
+//! Analytic SRAM buffer model (CACTI substitute).
+//!
+//! The paper uses CACTI for *"all the memories and buffers employed in our
+//! accelerators"* (§VI). CACTI decomposes an SRAM into wordline/bitline/
+//! sense-amp stages whose energy and delay grow roughly with the square
+//! root of capacity (H-tree geometry). We use the same scaling law with
+//! coefficients calibrated to published CACTI 7 numbers at a 32 nm logic
+//! node:
+//!
+//! | capacity | word | CACTI read energy | model |
+//! |---|---|---|---|
+//! | 8 KiB   | 8 B  | ≈ 1.7 pJ | 1.66 pJ |
+//! | 64 KiB  | 16 B | ≈ 7 pJ   | 6.75 pJ |
+//! | 1 MiB   | 32 B | ≈ 40 pJ  | 42 pJ   |
+//!
+//! which is comfortably within the factor the architecture comparisons
+//! need (the EPB figures span orders of magnitude between platforms).
+
+use crate::MemError;
+
+/// Configuration of one SRAM buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SramConfig {
+    /// Total capacity, bytes.
+    pub capacity_bytes: usize,
+    /// Access word width, bytes.
+    pub word_bytes: usize,
+    /// Number of independent banks (accessed capacity is
+    /// `capacity/banks`).
+    pub banks: usize,
+}
+
+impl Default for SramConfig {
+    /// A 64 KiB, 16-byte-word, single-bank buffer.
+    fn default() -> Self {
+        SramConfig {
+            capacity_bytes: 64 * 1024,
+            word_bytes: 16,
+            banks: 1,
+        }
+    }
+}
+
+/// An SRAM buffer with CACTI-style analytic energy/latency estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sram {
+    config: SramConfig,
+}
+
+impl Sram {
+    /// Builds a validated SRAM model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidConfig`] when the capacity is zero, the
+    /// word exceeds the per-bank capacity, or `banks == 0`.
+    pub fn new(config: SramConfig) -> Result<Self, MemError> {
+        if config.capacity_bytes == 0 || config.word_bytes == 0 || config.banks == 0 {
+            return Err(MemError::InvalidConfig {
+                what: "capacity, word size and bank count must be non-zero",
+            });
+        }
+        if config.word_bytes > config.capacity_bytes / config.banks {
+            return Err(MemError::InvalidConfig {
+                what: "word size exceeds per-bank capacity",
+            });
+        }
+        Ok(Sram { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SramConfig {
+        &self.config
+    }
+
+    /// Effective capacity seen by one access (per-bank), KiB.
+    fn bank_kib(&self) -> f64 {
+        self.config.capacity_bytes as f64 / self.config.banks as f64 / 1024.0
+    }
+
+    /// Dynamic energy of one read access, J.
+    ///
+    /// `E = 0.5 pJ · sqrt(KiB_per_bank) · (word/8B)^0.7 + 0.25 pJ`.
+    pub fn read_energy_j(&self) -> f64 {
+        let word_factor = (self.config.word_bytes as f64 / 8.0).powf(0.7);
+        (0.5e-12 * self.bank_kib().sqrt() * word_factor) + 0.25e-12
+    }
+
+    /// Dynamic energy of one write access, J (≈ 1.2× read: bitline swing
+    /// on both rails).
+    pub fn write_energy_j(&self) -> f64 {
+        1.2 * self.read_energy_j()
+    }
+
+    /// Access latency, s: `t = 0.15 ns + 0.067 ns · sqrt(KiB_per_bank)`.
+    pub fn access_latency_s(&self) -> f64 {
+        0.15e-9 + 0.067e-9 * self.bank_kib().sqrt()
+    }
+
+    /// Static leakage power of the whole array, W
+    /// (≈ 10 µW per KiB at 32 nm).
+    pub fn leakage_w(&self) -> f64 {
+        10e-6 * self.config.capacity_bytes as f64 / 1024.0
+    }
+
+    /// Energy to stream `bytes` through the buffer (reads), J.
+    pub fn read_bytes_energy_j(&self, bytes: usize) -> f64 {
+        self.accesses_for(bytes) as f64 * self.read_energy_j()
+    }
+
+    /// Energy to stream `bytes` into the buffer (writes), J.
+    pub fn write_bytes_energy_j(&self, bytes: usize) -> f64 {
+        self.accesses_for(bytes) as f64 * self.write_energy_j()
+    }
+
+    /// Number of word accesses needed for `bytes` (rounded up).
+    pub fn accesses_for(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.config.word_bytes)
+    }
+
+    /// Peak streaming bandwidth of the buffer, bytes/s
+    /// (`banks · word / latency`).
+    pub fn bandwidth_bytes_per_s(&self) -> f64 {
+        self.config.banks as f64 * self.config.word_bytes as f64 / self.access_latency_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sram(cap: usize, word: usize, banks: usize) -> Sram {
+        Sram::new(SramConfig {
+            capacity_bytes: cap,
+            word_bytes: word,
+            banks,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn calibration_points_match_doc_table() {
+        let a = sram(8 * 1024, 8, 1);
+        assert!((a.read_energy_j() - 1.66e-12).abs() < 0.05e-12, "{}", a.read_energy_j());
+        let b = sram(64 * 1024, 16, 1);
+        assert!((b.read_energy_j() - 6.75e-12).abs() < 0.3e-12, "{}", b.read_energy_j());
+        let c = sram(1024 * 1024, 32, 1);
+        assert!((c.read_energy_j() - 42e-12).abs() < 3e-12, "{}", c.read_energy_j());
+    }
+
+    #[test]
+    fn energy_grows_with_capacity() {
+        assert!(sram(256 * 1024, 16, 1).read_energy_j() > sram(16 * 1024, 16, 1).read_energy_j());
+    }
+
+    #[test]
+    fn banking_reduces_access_energy_and_latency() {
+        let mono = sram(256 * 1024, 16, 1);
+        let banked = sram(256 * 1024, 16, 4);
+        assert!(banked.read_energy_j() < mono.read_energy_j());
+        assert!(banked.access_latency_s() < mono.access_latency_s());
+        // Leakage is unchanged (same total cells).
+        assert_eq!(banked.leakage_w(), mono.leakage_w());
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let s = sram(64 * 1024, 16, 1);
+        assert!(s.write_energy_j() > s.read_energy_j());
+    }
+
+    #[test]
+    fn streaming_energy_counts_word_accesses() {
+        let s = sram(64 * 1024, 16, 1);
+        assert_eq!(s.accesses_for(160), 10);
+        assert_eq!(s.accesses_for(161), 11);
+        assert_eq!(s.accesses_for(0), 0);
+        assert!((s.read_bytes_energy_j(160) - 10.0 * s.read_energy_j()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_banks() {
+        let one = sram(64 * 1024, 16, 1);
+        let four = sram(64 * 1024, 16, 4);
+        assert!(four.bandwidth_bytes_per_s() > one.bandwidth_bytes_per_s() * 2.0);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(Sram::new(SramConfig {
+            capacity_bytes: 0,
+            ..SramConfig::default()
+        })
+        .is_err());
+        assert!(Sram::new(SramConfig {
+            word_bytes: 0,
+            ..SramConfig::default()
+        })
+        .is_err());
+        assert!(Sram::new(SramConfig {
+            banks: 0,
+            ..SramConfig::default()
+        })
+        .is_err());
+        // Word larger than a bank.
+        assert!(Sram::new(SramConfig {
+            capacity_bytes: 1024,
+            word_bytes: 2048,
+            banks: 1,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn leakage_proportional_to_capacity() {
+        assert!((sram(1024 * 1024, 16, 1).leakage_w() - 10.24e-3).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Operation census: the static work inventory of a model on a workload.
+//!
+//! Both the photonic accelerator simulators and the electronic baselines
+//! consume the same census, so throughput/energy comparisons are
+//! apples-to-apples — exactly how the paper computes GOPS and EPB
+//! ("directly acquired outcomes from model executions ... to calculate the
+//! Energy Per Bit (EPB) and Giga Operations Per Second (GOPS) for each
+//! model and dataset", §VI).
+
+/// Static operation counts for one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCensus {
+    /// Multiply-accumulate operations (dense linear algebra).
+    pub macs: u64,
+    /// Elementwise additions outside MACs (aggregations, residuals).
+    pub adds: u64,
+    /// Softmax input elements.
+    pub softmax_elements: u64,
+    /// Layer-norm input elements.
+    pub layernorm_elements: u64,
+    /// Nonlinear activation evaluations (ReLU/GELU/σ/tanh).
+    pub activation_elements: u64,
+    /// Model parameter bytes (at 8-bit precision).
+    pub weight_bytes: u64,
+    /// Peak activation bytes streamed between layers (8-bit).
+    pub activation_bytes: u64,
+    /// Bytes that must come from off-chip memory at least once.
+    pub offchip_bytes: u64,
+}
+
+impl OpCensus {
+    /// Total operations, counting each MAC as 2 ops (mul + add) and each
+    /// non-MAC elementwise item as 1 op — the GOPS denominator.
+    pub fn total_ops(&self) -> u64 {
+        2 * self.macs
+            + self.adds
+            + self.softmax_elements
+            + self.layernorm_elements
+            + self.activation_elements
+    }
+
+    /// Total processed bits at 8-bit precision — the EPB denominator
+    /// (energy / bits of computational work).
+    pub fn total_bits(&self) -> u64 {
+        self.total_ops() * 8
+    }
+
+    /// Arithmetic intensity, ops per off-chip byte (roofline x-axis).
+    /// Infinite if the workload needs no off-chip traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.offchip_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.total_ops() as f64 / self.offchip_bytes as f64
+        }
+    }
+
+    /// Component-wise sum of two censuses (e.g. stacking layers).
+    pub fn combine(&self, other: &OpCensus) -> OpCensus {
+        OpCensus {
+            macs: self.macs + other.macs,
+            adds: self.adds + other.adds,
+            softmax_elements: self.softmax_elements + other.softmax_elements,
+            layernorm_elements: self.layernorm_elements + other.layernorm_elements,
+            activation_elements: self.activation_elements + other.activation_elements,
+            weight_bytes: self.weight_bytes + other.weight_bytes,
+            activation_bytes: self.activation_bytes.max(other.activation_bytes),
+            offchip_bytes: self.offchip_bytes + other.offchip_bytes,
+        }
+    }
+
+    /// Scales all counts by an integer factor (e.g. repeating a layer).
+    pub fn repeat(&self, times: u64) -> OpCensus {
+        OpCensus {
+            macs: self.macs * times,
+            adds: self.adds * times,
+            softmax_elements: self.softmax_elements * times,
+            layernorm_elements: self.layernorm_elements * times,
+            activation_elements: self.activation_elements * times,
+            weight_bytes: self.weight_bytes * times,
+            activation_bytes: self.activation_bytes,
+            offchip_bytes: self.offchip_bytes * times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpCensus {
+        OpCensus {
+            macs: 100,
+            adds: 10,
+            softmax_elements: 5,
+            layernorm_elements: 5,
+            activation_elements: 20,
+            weight_bytes: 400,
+            activation_bytes: 64,
+            offchip_bytes: 400,
+        }
+    }
+
+    #[test]
+    fn total_ops_weights_macs_double() {
+        assert_eq!(sample().total_ops(), 200 + 10 + 5 + 5 + 20);
+    }
+
+    #[test]
+    fn total_bits_is_ops_times_precision() {
+        assert_eq!(sample().total_bits(), sample().total_ops() * 8);
+    }
+
+    #[test]
+    fn arithmetic_intensity_ratio() {
+        let c = sample();
+        assert!((c.arithmetic_intensity() - 240.0 / 400.0).abs() < 1e-12);
+        let free = OpCensus {
+            offchip_bytes: 0,
+            ..c
+        };
+        assert!(free.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn combine_sums_and_maxes() {
+        let a = sample();
+        let b = sample();
+        let c = a.combine(&b);
+        assert_eq!(c.macs, 200);
+        assert_eq!(c.activation_bytes, 64); // max, not sum
+        assert_eq!(c.offchip_bytes, 800);
+    }
+
+    #[test]
+    fn repeat_scales_counts() {
+        let c = sample().repeat(12);
+        assert_eq!(c.macs, 1200);
+        assert_eq!(c.activation_bytes, 64);
+    }
+}

@@ -1,0 +1,424 @@
+//! Synthetic workload generators with published dataset shapes.
+//!
+//! The paper evaluates GHOST on standard graph benchmarks and TRON on
+//! standard NLP/vision models. Real datasets are not available offline, so
+//! we generate deterministic synthetic graphs whose *shape statistics*
+//! (vertex count, edge count, feature width, class count, degree skew)
+//! match the published benchmarks — EPB/GOPS depend only on those shapes
+//! (see the substitution table in DESIGN.md).
+//!
+//! Two generators are provided:
+//!
+//! * [`GraphShape::instantiate`] uses an R-MAT-style recursive generator,
+//!   matching the heavy-tailed degree distributions of real-world graphs
+//!   (the irregularity that makes GNN acceleration hard, §III);
+//! * [`sbm`] builds stochastic-block-model graphs with planted community
+//!   structure, used by the accuracy experiments so that classification is
+//!   learnable-by-construction.
+
+use phox_tensor::{Matrix, Prng, TensorError};
+
+use crate::gnn::CsrGraph;
+
+/// Shape statistics of a graph benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphShape {
+    /// Benchmark name.
+    pub name: String,
+    /// Vertex count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Input feature width.
+    pub features: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl GraphShape {
+    /// Cora citation network: 2 708 vertices, 10 556 edges, 1 433
+    /// features, 7 classes.
+    pub fn cora() -> Self {
+        GraphShape {
+            name: "Cora".into(),
+            nodes: 2_708,
+            edges: 10_556,
+            features: 1_433,
+            classes: 7,
+        }
+    }
+
+    /// Citeseer citation network: 3 327 / 9 104 / 3 703 / 6.
+    pub fn citeseer() -> Self {
+        GraphShape {
+            name: "Citeseer".into(),
+            nodes: 3_327,
+            edges: 9_104,
+            features: 3_703,
+            classes: 6,
+        }
+    }
+
+    /// Pubmed citation network: 19 717 / 88 648 / 500 / 3.
+    pub fn pubmed() -> Self {
+        GraphShape {
+            name: "Pubmed".into(),
+            nodes: 19_717,
+            edges: 88_648,
+            features: 500,
+            classes: 3,
+        }
+    }
+
+    /// Reddit post graph: 232 965 / 114 615 892 / 602 / 41. Only used for
+    /// shape-level performance modelling (never instantiated in tests).
+    pub fn reddit() -> Self {
+        GraphShape {
+            name: "Reddit".into(),
+            nodes: 232_965,
+            edges: 114_615_892,
+            features: 602,
+            classes: 41,
+        }
+    }
+
+    /// All four benchmark shapes in the paper's GHOST evaluation order.
+    pub fn paper_benchmarks() -> Vec<GraphShape> {
+        vec![
+            GraphShape::cora(),
+            GraphShape::citeseer(),
+            GraphShape::pubmed(),
+            GraphShape::reddit(),
+        ]
+    }
+
+    /// Average degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.edges as f64 / self.nodes as f64
+    }
+
+    /// Instantiates an R-MAT-style graph with this shape (deterministic in
+    /// `seed`). Vertex ids are scrambled so the power-law hubs are not
+    /// clustered at low indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for degenerate shapes.
+    pub fn instantiate(&self, seed: u64) -> Result<CsrGraph, TensorError> {
+        if self.nodes == 0 {
+            return Err(TensorError::InvalidDimension {
+                what: "graph shape has zero nodes",
+            });
+        }
+        let mut rng = Prng::new(seed);
+        // R-MAT partition probabilities (a, b, c, d) = (0.57, 0.19, 0.19,
+        // 0.05): the standard Graph500 skew.
+        let (a, b, c) = (0.57, 0.19, 0.19);
+        let levels = (self.nodes as f64).log2().ceil() as u32;
+        let side = 1usize << levels;
+        let mut edges = Vec::with_capacity(self.edges);
+        // Simple id scramble: multiply by an odd constant mod side.
+        let scramble = |v: usize| -> u32 {
+            ((v.wrapping_mul(0x9E37_79B1) >> 7) % self.nodes) as u32
+        };
+        while edges.len() < self.edges {
+            let (mut lo_r, mut hi_r) = (0usize, side);
+            let (mut lo_c, mut hi_c) = (0usize, side);
+            for _ in 0..levels {
+                let p = rng.next_f64();
+                let (top, left) = if p < a {
+                    (true, true)
+                } else if p < a + b {
+                    (true, false)
+                } else if p < a + b + c {
+                    (false, true)
+                } else {
+                    (false, false)
+                };
+                let mid_r = (lo_r + hi_r) / 2;
+                let mid_c = (lo_c + hi_c) / 2;
+                if top {
+                    hi_r = mid_r;
+                } else {
+                    lo_r = mid_r;
+                }
+                if left {
+                    hi_c = mid_c;
+                } else {
+                    lo_c = mid_c;
+                }
+            }
+            if lo_r < self.nodes && lo_c < self.nodes {
+                // Reject self-loops after scrambling: the scramble is not
+                // injective, so distinct cells can collide on a vertex.
+                let (src, dst) = (scramble(lo_r), scramble(lo_c));
+                if src != dst {
+                    edges.push((src, dst));
+                }
+            }
+        }
+        CsrGraph::from_edges(self.nodes, &edges)
+    }
+
+    /// Random node features for this shape (deterministic in `seed`).
+    pub fn random_features(&self, seed: u64) -> Matrix {
+        Prng::new(seed).fill_uniform(self.nodes, self.features, 0.0, 1.0)
+    }
+}
+
+/// A small labelled graph classification task (graph + features +
+/// ground-truth labels), produced by [`sbm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledGraph {
+    /// The graph.
+    pub graph: CsrGraph,
+    /// Node features, `nodes x features`.
+    pub features: Matrix,
+    /// Ground-truth community label per node.
+    pub labels: Vec<usize>,
+}
+
+/// Generates a stochastic-block-model graph: `communities` equally-sized
+/// groups of `per_community` vertices, intra-community edge probability
+/// `p_in`, inter-community `p_out`, with class-correlated features
+/// (community mean + noise).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for zero sizes or
+/// probabilities outside `[0, 1]`.
+pub fn sbm(
+    communities: usize,
+    per_community: usize,
+    features: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<LabelledGraph, TensorError> {
+    if communities == 0 || per_community == 0 || features == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "sbm sizes must be non-zero",
+        });
+    }
+    if !(0.0..=1.0).contains(&p_in) || !(0.0..=1.0).contains(&p_out) {
+        return Err(TensorError::InvalidDimension {
+            what: "sbm probabilities must be in [0, 1]",
+        });
+    }
+    let n = communities * per_community;
+    let mut rng = Prng::new(seed);
+    let labels: Vec<usize> = (0..n).map(|v| v / per_community).collect();
+
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if rng.bernoulli(p) {
+                edges.push((u as u32, v as u32));
+            }
+        }
+    }
+    let graph = CsrGraph::from_edges(n, &edges)?;
+
+    // Community-mean features: mean vector per class, unit-ish noise.
+    let mut means = Vec::with_capacity(communities);
+    for _ in 0..communities {
+        let m: Vec<f64> = (0..features).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        means.push(m);
+    }
+    let mut feats = Matrix::zeros(n, features);
+    for v in 0..n {
+        for c in 0..features {
+            feats.set(v, c, means[labels[v]][c] + rng.normal(0.0, 0.3));
+        }
+    }
+    Ok(LabelledGraph {
+        graph,
+        features: feats,
+        labels,
+    })
+}
+
+/// A token-sequence workload for transformer accuracy experiments:
+/// sequences whose mean embedding determines the class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledSequences {
+    /// One matrix (`seq_len x d_model`) per example.
+    pub inputs: Vec<Matrix>,
+    /// Class label per example.
+    pub labels: Vec<usize>,
+    /// Class mean embeddings (`classes x d_model`), usable as a fixed
+    /// readout.
+    pub class_means: Matrix,
+}
+
+/// Generates `examples` sequences of shape `seq_len x d_model` in
+/// `classes` classes; each sequence is its class-mean embedding plus
+/// per-token noise.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for zero sizes.
+pub fn labelled_sequences(
+    examples: usize,
+    classes: usize,
+    seq_len: usize,
+    d_model: usize,
+    seed: u64,
+) -> Result<LabelledSequences, TensorError> {
+    if examples == 0 || classes == 0 || seq_len == 0 || d_model == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "sequence task sizes must be non-zero",
+        });
+    }
+    let mut rng = Prng::new(seed);
+    let class_means = rng.fill_uniform(classes, d_model, -1.0, 1.0);
+    let mut inputs = Vec::with_capacity(examples);
+    let mut labels = Vec::with_capacity(examples);
+    for e in 0..examples {
+        let label = e % classes;
+        let mut x = Matrix::zeros(seq_len, d_model);
+        for t in 0..seq_len {
+            for c in 0..d_model {
+                x.set(t, c, class_means.get(label, c) + rng.normal(0.0, 0.5));
+            }
+        }
+        inputs.push(x);
+        labels.push(label);
+    }
+    Ok(LabelledSequences {
+        inputs,
+        labels,
+        class_means,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_shapes() {
+        let cora = GraphShape::cora();
+        assert_eq!((cora.nodes, cora.edges, cora.features, cora.classes), (2708, 10556, 1433, 7));
+        assert_eq!(GraphShape::paper_benchmarks().len(), 4);
+        assert!(GraphShape::reddit().avg_degree() > 400.0);
+    }
+
+    #[test]
+    fn rmat_instantiation_matches_shape() {
+        let shape = GraphShape {
+            name: "test".into(),
+            nodes: 500,
+            edges: 2_000,
+            features: 16,
+            classes: 4,
+        };
+        let g = shape.instantiate(1).unwrap();
+        assert_eq!(g.num_nodes(), 500);
+        assert_eq!(g.num_edges(), 2_000);
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let shape = GraphShape {
+            name: "t".into(),
+            nodes: 200,
+            edges: 800,
+            features: 8,
+            classes: 2,
+        };
+        assert_eq!(shape.instantiate(7).unwrap(), shape.instantiate(7).unwrap());
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let shape = GraphShape {
+            name: "t".into(),
+            nodes: 1_000,
+            edges: 8_000,
+            features: 8,
+            classes: 2,
+        };
+        let g = shape.instantiate(3).unwrap();
+        // Hubs: the max degree should far exceed the average (power law).
+        assert!(
+            g.max_degree() as f64 > 4.0 * g.avg_degree(),
+            "max {} avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn sbm_labels_and_sizes() {
+        let t = sbm(3, 10, 8, 0.5, 0.05, 11).unwrap();
+        assert_eq!(t.graph.num_nodes(), 30);
+        assert_eq!(t.labels.len(), 30);
+        assert_eq!(t.features.shape(), (30, 8));
+        assert_eq!(t.labels[0], 0);
+        assert_eq!(t.labels[29], 2);
+    }
+
+    #[test]
+    fn sbm_has_community_structure() {
+        let t = sbm(2, 20, 4, 0.6, 0.05, 13).unwrap();
+        // Count intra vs inter community edges.
+        let mut intra = 0;
+        let mut inter = 0;
+        for v in 0..t.graph.num_nodes() {
+            for &u in t.graph.neighbors(v) {
+                if t.labels[u as usize] == t.labels[v] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > inter * 3, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn sbm_validation() {
+        assert!(sbm(0, 10, 8, 0.5, 0.1, 1).is_err());
+        assert!(sbm(2, 10, 8, 1.5, 0.1, 1).is_err());
+    }
+
+    #[test]
+    fn sequences_are_class_separable() {
+        let t = labelled_sequences(20, 4, 8, 16, 17).unwrap();
+        assert_eq!(t.inputs.len(), 20);
+        // Nearest-class-mean on the mean embedding should mostly match.
+        let mut hits = 0;
+        for (x, &label) in t.inputs.iter().zip(&t.labels) {
+            let mut mean = [0.0f64; 16];
+            for r in 0..x.rows() {
+                for (c, m) in mean.iter_mut().enumerate() {
+                    *m += x.get(r, c) / x.rows() as f64;
+                }
+            }
+            let mut best = (f64::INFINITY, 0);
+            for k in 0..4 {
+                let d: f64 = (0..16)
+                    .map(|c| (mean[c] - t.class_means.get(k, c)).powi(2))
+                    .sum();
+                if d < best.0 {
+                    best = (d, k);
+                }
+            }
+            if best.1 == label {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 18, "only {hits}/20 separable");
+    }
+
+    #[test]
+    fn sequences_validation() {
+        assert!(labelled_sequences(0, 2, 8, 8, 1).is_err());
+        assert!(labelled_sequences(4, 2, 0, 8, 1).is_err());
+    }
+}

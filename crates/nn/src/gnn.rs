@@ -1,0 +1,746 @@
+//! Graph neural network reference models (§III of the paper).
+//!
+//! GNN inference follows the three stages of Fig. 2: **aggregate**
+//! (reduce each vertex's neighbourhood to one feature vector with
+//! sum/mean/max), **combine** (linear transform with learned weights) and
+//! **update** (non-linear activation). The model families the paper's
+//! GHOST evaluation covers are GCN, GraphSAGE, GIN and GAT.
+
+use phox_tensor::{ops, quant, Matrix, Prng, TensorError};
+
+use crate::census::OpCensus;
+
+/// A directed graph in compressed sparse row form (in-neighbour lists).
+///
+/// # Example
+///
+/// ```
+/// use phox_nn::gnn::CsrGraph;
+///
+/// # fn main() -> Result<(), phox_tensor::TensorError> {
+/// // 0 -> 1, 0 -> 2, 1 -> 2
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)])?;
+/// assert_eq!(g.neighbors(2), &[0, 1]);
+/// assert_eq!(g.num_edges(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from `(src, dst)` edge pairs; each edge makes
+    /// `src` an in-neighbour of `dst`. Parallel edges are kept; vertex ids
+    /// must be `< num_nodes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for zero nodes or an
+    /// out-of-range vertex id.
+    pub fn from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Result<Self, TensorError> {
+        if num_nodes == 0 {
+            return Err(TensorError::InvalidDimension {
+                what: "graph requires at least one node",
+            });
+        }
+        let mut degree = vec![0usize; num_nodes];
+        for &(s, d) in edges {
+            if s as usize >= num_nodes || d as usize >= num_nodes {
+                return Err(TensorError::InvalidDimension {
+                    what: "edge endpoint out of range",
+                });
+            }
+            degree[d as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0);
+        for n in 0..num_nodes {
+            offsets.push(offsets[n] + degree[n]);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            neighbors[cursor[d as usize]] = s;
+            cursor[d as usize] += 1;
+        }
+        // Sort each adjacency list for determinism.
+        for n in 0..num_nodes {
+            neighbors[offsets[n]..offsets[n + 1]].sort_unstable();
+        }
+        Ok(CsrGraph { offsets, neighbors })
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// In-neighbours of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// In-degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Average in-degree.
+    pub fn avg_degree(&self) -> f64 {
+        self.num_edges() as f64 / self.num_nodes() as f64
+    }
+
+    /// Maximum in-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+/// Neighbourhood reduction function (Fig. 2 stage 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregation {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise mean.
+    Mean,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl std::fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Aggregation::Sum => write!(f, "sum"),
+            Aggregation::Mean => write!(f, "mean"),
+            Aggregation::Max => write!(f, "max"),
+        }
+    }
+}
+
+/// The GNN model families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GnnKind {
+    /// Graph convolutional network (mean aggregation with self-loop).
+    Gcn,
+    /// GraphSAGE (self features concatenated with the mean of
+    /// neighbours).
+    GraphSage,
+    /// Graph isomorphism network (`(1+ε)·h_v + Σ neighbours`, then MLP).
+    Gin,
+    /// Graph attention network (attention-weighted neighbour sum).
+    Gat,
+}
+
+impl std::fmt::Display for GnnKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` honours width/alignment flags in format strings.
+        f.pad(match self {
+            GnnKind::Gcn => "GCN",
+            GnnKind::GraphSage => "GraphSAGE",
+            GnnKind::Gin => "GIN",
+            GnnKind::Gat => "GAT",
+        })
+    }
+}
+
+/// Hyper-parameters of a GNN stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnConfig {
+    /// Model family.
+    pub kind: GnnKind,
+    /// Feature width per layer boundary: `dims[0]` is the input feature
+    /// size, `dims.last()` the output (class logits) size.
+    pub dims: Vec<usize>,
+    /// Default aggregation for kinds that allow a choice (GraphSAGE).
+    pub aggregation: Aggregation,
+}
+
+impl GnnConfig {
+    /// A two-layer model `input -> hidden -> classes`, the configuration
+    /// used for citation-network benchmarks.
+    pub fn two_layer(kind: GnnKind, input: usize, hidden: usize, classes: usize) -> Self {
+        GnnConfig {
+            kind,
+            dims: vec![input, hidden, classes],
+            aggregation: match kind {
+                GnnKind::Gcn => Aggregation::Mean,
+                GnnKind::GraphSage => Aggregation::Mean,
+                GnnKind::Gin => Aggregation::Sum,
+                GnnKind::Gat => Aggregation::Sum,
+            },
+        }
+    }
+
+    /// Validates the layer dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when fewer than two dims
+    /// or a zero dim is given.
+    pub fn validated(self) -> Result<Self, TensorError> {
+        if self.dims.len() < 2 {
+            return Err(TensorError::InvalidDimension {
+                what: "GNN needs at least input and output dims",
+            });
+        }
+        if self.dims.contains(&0) {
+            return Err(TensorError::InvalidDimension {
+                what: "GNN dims must be non-zero",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Parameter count (combine matrices; GraphSAGE doubles the input of
+    /// each layer; GAT adds per-layer attention vectors).
+    pub fn parameter_count(&self) -> u64 {
+        let mut p = 0u64;
+        for l in 0..self.layers() {
+            let fin = self.dims[l] as u64;
+            let fout = self.dims[l + 1] as u64;
+            p += match self.kind {
+                GnnKind::GraphSage => 2 * fin * fout,
+                _ => fin * fout,
+            };
+            if self.kind == GnnKind::Gat {
+                p += 2 * fout; // attention vector a = [a_src || a_dst]
+            }
+        }
+        p
+    }
+
+    /// Static operation census of one full-graph inference.
+    pub fn census(&self, nodes: u64, edges: u64) -> OpCensus {
+        let mut total = OpCensus::default();
+        for l in 0..self.layers() {
+            let fin = self.dims[l] as u64;
+            let fout = self.dims[l + 1] as u64;
+            // Aggregation: one add per edge per input feature.
+            let adds = edges * fin;
+            // Combine: nodes × fin × fout MACs (2× for SAGE's concat).
+            let combine_in = match self.kind {
+                GnnKind::GraphSage => 2 * fin,
+                _ => fin,
+            };
+            let macs = nodes * combine_in * fout;
+            // GAT: per-edge attention scores (2·fout MACs each) and a
+            // per-node softmax over the neighbour scores.
+            let (gat_macs, softmax) = if self.kind == GnnKind::Gat {
+                (edges * 2 * fout, edges)
+            } else {
+                (0, 0)
+            };
+            let layer = OpCensus {
+                macs: macs + gat_macs,
+                adds,
+                softmax_elements: softmax,
+                layernorm_elements: 0,
+                activation_elements: nodes * fout,
+                weight_bytes: match self.kind {
+                    GnnKind::GraphSage => 2 * fin * fout,
+                    _ => fin * fout,
+                },
+                activation_bytes: nodes * fin.max(fout),
+                // Feature matrix + weights stream from off-chip; edges as
+                // 4-byte indices.
+                offchip_bytes: nodes * fin + fin * fout + 4 * edges,
+            };
+            total = total.combine(&layer);
+        }
+        total
+    }
+}
+
+/// Weights of one GNN layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnLayerWeights {
+    /// Combine matrix (`fin x fout`, or `2fin x fout` for GraphSAGE).
+    pub w: Matrix,
+    /// GAT attention vector for the source part, length `fout`.
+    pub a_src: Vec<f64>,
+    /// GAT attention vector for the destination part, length `fout`.
+    pub a_dst: Vec<f64>,
+}
+
+/// An executable GNN with materialized weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnModel {
+    config: GnnConfig,
+    layers: Vec<GnnLayerWeights>,
+    /// GIN's epsilon.
+    epsilon: f64,
+}
+
+impl GnnModel {
+    /// Materializes a model with Xavier-initialised random weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn random(config: GnnConfig, seed: u64) -> Result<Self, TensorError> {
+        let config = config.validated()?;
+        let mut rng = Prng::new(seed);
+        let mut layers = Vec::with_capacity(config.layers());
+        for l in 0..config.layers() {
+            let fin = config.dims[l];
+            let fout = config.dims[l + 1];
+            let rows = if config.kind == GnnKind::GraphSage {
+                2 * fin
+            } else {
+                fin
+            };
+            let a_src = (0..fout).map(|_| rng.uniform(-0.5, 0.5)).collect();
+            let a_dst = (0..fout).map(|_| rng.uniform(-0.5, 0.5)).collect();
+            layers.push(GnnLayerWeights {
+                w: rng.xavier(rows, fout),
+                a_src,
+                a_dst,
+            });
+        }
+        Ok(GnnModel {
+            config,
+            layers,
+            epsilon: 0.1,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GnnConfig {
+        &self.config
+    }
+
+    /// The layer weights.
+    pub fn layers(&self) -> &[GnnLayerWeights] {
+        &self.layers
+    }
+
+    /// GIN's epsilon mixing coefficient.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Full-precision reference inference: `features` is
+    /// `num_nodes x dims[0]`; returns `num_nodes x dims.last()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `features` does not match the graph and
+    /// configuration.
+    pub fn forward(&self, graph: &CsrGraph, features: &Matrix) -> Result<Matrix, TensorError> {
+        self.forward_with(graph, features, &|m| m.clone())
+    }
+
+    /// Inference with fake int8 quantization on all matmul operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `features` does not match.
+    pub fn forward_quantized(
+        &self,
+        graph: &CsrGraph,
+        features: &Matrix,
+    ) -> Result<Matrix, TensorError> {
+        self.forward_with(graph, features, &quant::fake_quantize)
+    }
+
+    /// Inference with fake quantization at an arbitrary bit width (the
+    /// precision-sensitivity analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for `bits` outside
+    /// `2..=16` and shape errors for mismatched inputs.
+    pub fn forward_quantized_bits(
+        &self,
+        graph: &CsrGraph,
+        features: &Matrix,
+        bits: u32,
+    ) -> Result<Matrix, TensorError> {
+        quant::fake_quantize_bits(&Matrix::zeros(1, 1), bits)?;
+        self.forward_with(graph, features, &move |m| {
+            quant::fake_quantize_bits(m, bits).expect("bit width validated above")
+        })
+    }
+
+    fn forward_with(
+        &self,
+        graph: &CsrGraph,
+        features: &Matrix,
+        pre: &dyn Fn(&Matrix) -> Matrix,
+    ) -> Result<Matrix, TensorError> {
+        if features.rows() != graph.num_nodes() || features.cols() != self.config.dims[0] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: features.shape(),
+                rhs: (graph.num_nodes(), self.config.dims[0]),
+            });
+        }
+        let mut h = features.clone();
+        let last = self.layers.len() - 1;
+        for (l, lw) in self.layers.iter().enumerate() {
+            h = match self.config.kind {
+                GnnKind::Gcn => self.gcn_layer(graph, &h, lw, pre)?,
+                GnnKind::GraphSage => self.sage_layer(graph, &h, lw, pre)?,
+                GnnKind::Gin => self.gin_layer(graph, &h, lw, pre)?,
+                GnnKind::Gat => self.gat_layer(graph, &h, lw, pre)?,
+            };
+            // Hidden layers use ReLU; the output layer stays linear
+            // (logits).
+            if l != last {
+                h = ops::relu(&h);
+            }
+        }
+        Ok(h)
+    }
+
+    /// Aggregates neighbour features (plus optionally the vertex itself)
+    /// with the given reduction — the reference semantics of GHOST's
+    /// reduce units (exposed for validation against the optical
+    /// implementation).
+    pub fn aggregate(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        agg: Aggregation,
+        include_self: bool,
+    ) -> Matrix {
+        let f = h.cols();
+        let mut out = Matrix::zeros(h.rows(), f);
+        for v in 0..graph.num_nodes() {
+            let neigh = graph.neighbors(v);
+            match agg {
+                Aggregation::Sum | Aggregation::Mean => {
+                    let mut acc = vec![0.0; f];
+                    if include_self {
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            *a += h.get(v, c);
+                        }
+                    }
+                    for &u in neigh {
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            *a += h.get(u as usize, c);
+                        }
+                    }
+                    let denom = if agg == Aggregation::Mean {
+                        (neigh.len() + usize::from(include_self)).max(1) as f64
+                    } else {
+                        1.0
+                    };
+                    for c in 0..f {
+                        out.set(v, c, acc[c] / denom);
+                    }
+                }
+                Aggregation::Max => {
+                    let mut acc = vec![f64::NEG_INFINITY; f];
+                    if include_self {
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            *a = a.max(h.get(v, c));
+                        }
+                    }
+                    for &u in neigh {
+                        for (c, a) in acc.iter_mut().enumerate() {
+                            *a = a.max(h.get(u as usize, c));
+                        }
+                    }
+                    for c in 0..f {
+                        let v_out = if acc[c].is_finite() { acc[c] } else { 0.0 };
+                        out.set(v, c, v_out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn gcn_layer(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        lw: &GnnLayerWeights,
+        pre: &dyn Fn(&Matrix) -> Matrix,
+    ) -> Result<Matrix, TensorError> {
+        let agg = self.aggregate(graph, h, Aggregation::Mean, true);
+        pre(&agg).matmul(&pre(&lw.w))
+    }
+
+    fn sage_layer(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        lw: &GnnLayerWeights,
+        pre: &dyn Fn(&Matrix) -> Matrix,
+    ) -> Result<Matrix, TensorError> {
+        let agg = self.aggregate(graph, h, self.config.aggregation, false);
+        let cat = h.hconcat(&agg)?;
+        pre(&cat).matmul(&pre(&lw.w))
+    }
+
+    fn gin_layer(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        lw: &GnnLayerWeights,
+        pre: &dyn Fn(&Matrix) -> Matrix,
+    ) -> Result<Matrix, TensorError> {
+        let agg = self.aggregate(graph, h, Aggregation::Sum, false);
+        let mixed = h.scale(1.0 + self.epsilon).add(&agg)?;
+        pre(&mixed).matmul(&pre(&lw.w))
+    }
+
+    fn gat_layer(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        lw: &GnnLayerWeights,
+        pre: &dyn Fn(&Matrix) -> Matrix,
+    ) -> Result<Matrix, TensorError> {
+        // Transform first: z = h·W, then attention over edges.
+        let z = pre(h).matmul(&pre(&lw.w))?;
+        let fout = z.cols();
+        let n = graph.num_nodes();
+        // Per-node source/destination attention logits.
+        let mut src_logit = vec![0.0; n];
+        let mut dst_logit = vec![0.0; n];
+        for v in 0..n {
+            let mut s = 0.0;
+            let mut d = 0.0;
+            for c in 0..fout {
+                s += z.get(v, c) * lw.a_src[c];
+                d += z.get(v, c) * lw.a_dst[c];
+            }
+            src_logit[v] = s;
+            dst_logit[v] = d;
+        }
+        let mut out = Matrix::zeros(n, fout);
+        for v in 0..n {
+            let neigh = graph.neighbors(v);
+            if neigh.is_empty() {
+                // Self-attention fallback: the node keeps its own
+                // transform.
+                for c in 0..fout {
+                    out.set(v, c, z.get(v, c));
+                }
+                continue;
+            }
+            // α_u = softmax_u(LeakyReLU(src(u) + dst(v))).
+            let mut logits: Vec<f64> = neigh
+                .iter()
+                .map(|&u| ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2))
+                .collect();
+            let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for l in logits.iter_mut() {
+                *l = (*l - m).exp();
+                sum += *l;
+            }
+            for (i, &u) in neigh.iter().enumerate() {
+                let alpha = logits[i] / sum;
+                for c in 0..fout {
+                    let cur = out.get(v, c);
+                    out.set(v, c, cur + alpha * z.get(u as usize, c));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_tensor::stats;
+
+    fn triangle() -> CsrGraph {
+        // Bidirectional triangle.
+        CsrGraph::from_edges(
+            3,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_construction_and_sorting() {
+        let g = CsrGraph::from_edges(4, &[(2, 0), (1, 0), (3, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn csr_rejects_bad_edges() {
+        assert!(CsrGraph::from_edges(0, &[]).is_err());
+        assert!(CsrGraph::from_edges(2, &[(0, 5)]).is_err());
+    }
+
+    #[test]
+    fn all_kinds_produce_logits() {
+        let g = triangle();
+        let x = Prng::new(1).fill_normal(3, 8, 0.0, 1.0);
+        for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat] {
+            let m = GnnModel::random(GnnConfig::two_layer(kind, 8, 16, 4), 42).unwrap();
+            let y = m.forward(&g, &x).unwrap();
+            assert_eq!(y.shape(), (3, 4), "{kind}");
+            assert!(y.as_slice().iter().all(|v| v.is_finite()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn forward_shape_validation() {
+        let g = triangle();
+        let m = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 8, 16, 4), 1).unwrap();
+        assert!(m.forward(&g, &Matrix::zeros(3, 7)).is_err());
+        assert!(m.forward(&g, &Matrix::zeros(2, 8)).is_err());
+    }
+
+    #[test]
+    fn gcn_on_uniform_features_is_uniform() {
+        // Mean aggregation of identical features leaves them identical,
+        // so all vertices get the same logits.
+        let g = triangle();
+        let x = Matrix::filled(3, 8, 0.5);
+        let m = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 8, 16, 4), 2).unwrap();
+        let y = m.forward(&g, &x).unwrap();
+        for c in 0..4 {
+            assert!((y.get(0, c) - y.get(1, c)).abs() < 1e-9);
+            assert!((y.get(1, c) - y.get(2, c)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn isolated_node_survives_all_kinds() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]).unwrap(); // node 2 isolated
+        let x = Prng::new(3).fill_normal(3, 4, 0.0, 1.0);
+        for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat] {
+            let m = GnnModel::random(GnnConfig::two_layer(kind, 4, 8, 2), 4).unwrap();
+            let y = m.forward(&g, &x).unwrap();
+            assert!(y.as_slice().iter().all(|v| v.is_finite()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn gat_attention_weights_sum_to_one() {
+        // Indirect check: with identical transforms, GAT output equals
+        // the common value regardless of attention distribution.
+        let g = triangle();
+        let x = Matrix::filled(3, 4, 1.0);
+        let m = GnnModel::random(GnnConfig::two_layer(GnnKind::Gat, 4, 4, 2), 5).unwrap();
+        let y = m.forward(&g, &x).unwrap();
+        for c in 0..2 {
+            assert!((y.get(0, c) - y.get(1, c)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_full_precision() {
+        let g = triangle();
+        let x = Prng::new(6).fill_normal(3, 8, 0.0, 1.0);
+        let m = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 8, 16, 4), 7).unwrap();
+        let y = m.forward(&g, &x).unwrap();
+        let yq = m.forward_quantized(&g, &x).unwrap();
+        assert!(stats::relative_error(&y, &yq) < 0.1);
+    }
+
+    #[test]
+    fn census_counts_scale_with_edges() {
+        let cfg = GnnConfig::two_layer(GnnKind::Gcn, 128, 64, 8);
+        let sparse = cfg.census(1000, 5_000);
+        let dense = cfg.census(1000, 50_000);
+        assert!(dense.adds > sparse.adds * 9);
+        assert_eq!(dense.macs, sparse.macs); // combine is edge-independent
+    }
+
+    #[test]
+    fn sage_census_doubles_combine() {
+        let gcn = GnnConfig::two_layer(GnnKind::Gcn, 128, 64, 8).census(1000, 5000);
+        let sage = GnnConfig::two_layer(GnnKind::GraphSage, 128, 64, 8).census(1000, 5000);
+        assert_eq!(sage.macs, gcn.macs * 2);
+    }
+
+    #[test]
+    fn gat_census_adds_attention_work() {
+        let gcn = GnnConfig::two_layer(GnnKind::Gcn, 128, 64, 8).census(1000, 5000);
+        let gat = GnnConfig::two_layer(GnnKind::Gat, 128, 64, 8).census(1000, 5000);
+        assert!(gat.macs > gcn.macs);
+        assert!(gat.softmax_elements > 0);
+        assert_eq!(gcn.softmax_elements, 0);
+    }
+
+    #[test]
+    fn parameter_counts() {
+        let gcn = GnnConfig::two_layer(GnnKind::Gcn, 100, 50, 10);
+        assert_eq!(gcn.parameter_count(), 100 * 50 + 50 * 10);
+        let sage = GnnConfig::two_layer(GnnKind::GraphSage, 100, 50, 10);
+        assert_eq!(sage.parameter_count(), 2 * (100 * 50 + 50 * 10));
+        let gat = GnnConfig::two_layer(GnnKind::Gat, 100, 50, 10);
+        assert_eq!(gat.parameter_count(), 100 * 50 + 50 * 10 + 2 * 50 + 2 * 10);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GnnConfig {
+            kind: GnnKind::Gcn,
+            dims: vec![8],
+            aggregation: Aggregation::Sum,
+        }
+        .validated()
+        .is_err());
+        assert!(GnnConfig {
+            kind: GnnKind::Gcn,
+            dims: vec![8, 0, 4],
+            aggregation: Aggregation::Sum,
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn aggregate_reductions_match_reference() {
+        let g = CsrGraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        let mut x = Matrix::zeros(3, 2);
+        x.set(0, 0, 5.0);
+        x.set(1, 0, 3.0);
+        x.set(2, 1, 7.0);
+        let m = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 2, 4, 2), 8).unwrap();
+
+        let sum = m.aggregate(&g, &x, Aggregation::Sum, false);
+        assert_eq!(sum.get(2, 0), 8.0);
+        assert_eq!(sum.get(2, 1), 0.0);
+
+        let mean = m.aggregate(&g, &x, Aggregation::Mean, false);
+        assert_eq!(mean.get(2, 0), 4.0);
+
+        let max = m.aggregate(&g, &x, Aggregation::Max, false);
+        assert_eq!(max.get(2, 0), 5.0);
+
+        // include_self folds the vertex's own features in.
+        let sum_self = m.aggregate(&g, &x, Aggregation::Sum, true);
+        assert_eq!(sum_self.get(2, 1), 7.0);
+
+        // Isolated vertices aggregate to zero without self.
+        assert_eq!(sum.get(0, 0), 0.0);
+        assert_eq!(max.get(0, 0), 0.0);
+    }
+}

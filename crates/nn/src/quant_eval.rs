@@ -1,0 +1,151 @@
+//! Quantization accuracy evaluation (experiment E6).
+//!
+//! §VI of the paper: *"Based on our analysis conducted for each model and
+//! dataset, we concluded that employing 8-bit model quantization yields
+//! algorithmic accuracy comparable to models utilizing full (32-bit)
+//! precision."* This module reproduces that analysis on synthetic
+//! separable tasks: it runs the fp64 reference and the fake-int8 forward
+//! passes of a model over a labelled workload and reports classification
+//! accuracy and prediction agreement.
+
+use phox_tensor::{ops, stats, Matrix, TensorError};
+
+use crate::datasets::{LabelledGraph, LabelledSequences};
+use crate::gnn::GnnModel;
+use crate::transformer::TransformerModel;
+
+/// Accuracy comparison between full precision and int8 execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantReport {
+    /// Classification accuracy of the fp64 reference.
+    pub fp_accuracy: f64,
+    /// Classification accuracy of the int8 (fake-quantized) model.
+    pub int8_accuracy: f64,
+    /// Fraction of examples where both models predict the same class.
+    pub agreement: f64,
+    /// Mean relative output error between the two forward passes.
+    pub mean_relative_error: f64,
+}
+
+impl QuantReport {
+    /// The paper's acceptance criterion: int8 accuracy within
+    /// `tolerance` (absolute) of full precision.
+    pub fn is_comparable(&self, tolerance: f64) -> bool {
+        (self.fp_accuracy - self.int8_accuracy).abs() <= tolerance
+    }
+}
+
+/// Evaluates a GNN on a labelled graph: node classification by logits
+/// argmax.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn evaluate_gnn(model: &GnnModel, task: &LabelledGraph) -> Result<QuantReport, TensorError> {
+    let fp = model.forward(&task.graph, &task.features)?;
+    let q = model.forward_quantized(&task.graph, &task.features)?;
+    let fp_pred = ops::argmax_rows(&fp);
+    let q_pred = ops::argmax_rows(&q);
+    Ok(QuantReport {
+        fp_accuracy: stats::accuracy(&fp_pred, &task.labels),
+        int8_accuracy: stats::accuracy(&q_pred, &task.labels),
+        agreement: stats::accuracy(&fp_pred, &q_pred),
+        mean_relative_error: stats::relative_error(&fp, &q),
+    })
+}
+
+/// Evaluates a transformer on labelled sequences: classification via a
+/// fixed nearest-class-mean readout over the mean output embedding.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn evaluate_transformer(
+    model: &TransformerModel,
+    task: &LabelledSequences,
+) -> Result<QuantReport, TensorError> {
+    let mut fp_pred = Vec::with_capacity(task.inputs.len());
+    let mut q_pred = Vec::with_capacity(task.inputs.len());
+    let mut rel_err_sum = 0.0;
+    for x in &task.inputs {
+        let fp = model.forward(x)?;
+        let q = model.forward_quantized(x)?;
+        rel_err_sum += stats::relative_error(&fp, &q);
+        fp_pred.push(classify(&fp, &task.class_means));
+        q_pred.push(classify(&q, &task.class_means));
+    }
+    Ok(QuantReport {
+        fp_accuracy: stats::accuracy(&fp_pred, &task.labels),
+        int8_accuracy: stats::accuracy(&q_pred, &task.labels),
+        agreement: stats::accuracy(&fp_pred, &q_pred),
+        mean_relative_error: rel_err_sum / task.inputs.len() as f64,
+    })
+}
+
+/// Nearest-class-mean classification on the *input-mean* direction: the
+/// transformer output is projected onto each class mean and the largest
+/// response wins.
+fn classify(output: &Matrix, class_means: &Matrix) -> usize {
+    let d = output.cols();
+    let mut mean = vec![0.0; d];
+    for r in 0..output.rows() {
+        for c in 0..d {
+            mean[c] += output.get(r, c) / output.rows() as f64;
+        }
+    }
+    let mut best = (f64::NEG_INFINITY, 0);
+    for k in 0..class_means.rows() {
+        let mut dot = 0.0;
+        for c in 0..d {
+            dot += mean[c] * class_means.get(k, c);
+        }
+        if dot > best.0 {
+            best = (dot, k);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{labelled_sequences, sbm};
+    use crate::gnn::{GnnConfig, GnnKind};
+    use crate::transformer::{TransformerConfig, TransformerModel};
+
+    #[test]
+    fn gnn_int8_accuracy_comparable_to_fp() {
+        let task = sbm(3, 12, 16, 0.5, 0.05, 21).unwrap();
+        for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat] {
+            let model =
+                GnnModel::random(GnnConfig::two_layer(kind, 16, 32, 3), 22).unwrap();
+            let r = evaluate_gnn(&model, &task).unwrap();
+            // Random weights: accuracy itself is incidental, but int8
+            // must track fp predictions closely.
+            assert!(r.agreement >= 0.9, "{kind}: agreement {}", r.agreement);
+            assert!(r.is_comparable(0.1), "{kind}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn transformer_int8_accuracy_comparable_to_fp() {
+        let task = labelled_sequences(12, 3, 8, 32, 23).unwrap();
+        let model = TransformerModel::random(TransformerConfig::tiny(8), 24).unwrap();
+        let r = evaluate_transformer(&model, &task).unwrap();
+        assert!(r.agreement >= 0.8, "agreement {}", r.agreement);
+        assert!(r.is_comparable(0.25), "{r:?}");
+        assert!(r.mean_relative_error < 0.2, "err {}", r.mean_relative_error);
+    }
+
+    #[test]
+    fn comparable_criterion() {
+        let r = QuantReport {
+            fp_accuracy: 0.9,
+            int8_accuracy: 0.88,
+            agreement: 0.95,
+            mean_relative_error: 0.02,
+        };
+        assert!(r.is_comparable(0.05));
+        assert!(!r.is_comparable(0.01));
+    }
+}

@@ -1,0 +1,252 @@
+//! Graph-processing task heads beyond node classification.
+//!
+//! §III of the paper: GNNs attain *"remarkable performance in many tasks
+//! such as node classification, link prediction, and graph
+//! classification."* Node classification is covered by
+//! [`crate::quant_eval`]; this module adds the other two, so the
+//! accelerator simulators can be validated on the full task family the
+//! paper motivates.
+
+use phox_tensor::{Matrix, Prng, TensorError};
+
+use crate::datasets::sbm;
+use crate::gnn::{CsrGraph, GnnModel};
+
+/// Result of a link-prediction evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkPredictionReport {
+    /// Fraction of (positive, negative) pairs ranked correctly
+    /// (pairwise AUC estimate).
+    pub auc: f64,
+    /// Number of pairs evaluated.
+    pub pairs: usize,
+}
+
+/// Scores a candidate edge `(u, v)` as the dot product of the two
+/// vertices' final-layer embeddings — the standard decoder for GNN link
+/// prediction.
+///
+/// # Panics
+///
+/// Panics if `u`/`v` are out of range for the embedding matrix.
+pub fn edge_score(embeddings: &Matrix, u: usize, v: usize) -> f64 {
+    let mut s = 0.0;
+    for c in 0..embeddings.cols() {
+        s += embeddings.get(u, c) * embeddings.get(v, c);
+    }
+    s
+}
+
+/// Link prediction over a graph: embeds the vertices with `model`, then
+/// checks how often an existing edge outscores a random non-edge
+/// (a pairwise AUC estimate over `pairs` samples).
+///
+/// # Errors
+///
+/// Propagates embedding (forward-pass) errors; returns
+/// [`TensorError::InvalidDimension`] when the graph has no edges or
+/// `pairs == 0`.
+pub fn link_prediction(
+    model: &GnnModel,
+    graph: &CsrGraph,
+    features: &Matrix,
+    pairs: usize,
+    seed: u64,
+) -> Result<LinkPredictionReport, TensorError> {
+    if graph.num_edges() == 0 || pairs == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "link prediction needs edges and a non-zero sample count",
+        });
+    }
+    let embeddings = model.forward(graph, features)?;
+    let n = graph.num_nodes();
+    let mut rng = Prng::new(seed);
+    // Collect the positive edge list once.
+    let mut positives = Vec::with_capacity(graph.num_edges());
+    for v in 0..n {
+        for &u in graph.neighbors(v) {
+            positives.push((u as usize, v));
+        }
+    }
+    let mut correct = 0usize;
+    let mut counted = 0usize;
+    for _ in 0..pairs {
+        let &(pu, pv) = &positives[rng.next_index(positives.len())];
+        // Rejection-sample a non-edge.
+        let mut tries = 0;
+        let negative = loop {
+            let nu = rng.next_index(n);
+            let nv = rng.next_index(n);
+            if nu != nv && !graph.neighbors(nv).contains(&(nu as u32)) {
+                break Some((nu, nv));
+            }
+            tries += 1;
+            if tries > 64 {
+                break None; // extremely dense graph: skip this pair
+            }
+        };
+        let Some((nu, nv)) = negative else { continue };
+        counted += 1;
+        if edge_score(&embeddings, pu, pv) > edge_score(&embeddings, nu, nv) {
+            correct += 1;
+        }
+    }
+    if counted == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "no negative pairs could be sampled",
+        });
+    }
+    Ok(LinkPredictionReport {
+        auc: correct as f64 / counted as f64,
+        pairs: counted,
+    })
+}
+
+/// A labelled multi-graph classification task: several small graphs, each
+/// belonging to one of two structural classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphClassificationTask {
+    /// The graphs with their node features.
+    pub graphs: Vec<(CsrGraph, Matrix)>,
+    /// Class label per graph (0 = dense communities, 1 = sparse).
+    pub labels: Vec<usize>,
+}
+
+/// Generates a two-class graph-classification task: class 0 graphs have
+/// dense intra-community structure, class 1 graphs sparse structure.
+///
+/// # Errors
+///
+/// Propagates generator failures.
+pub fn graph_classification_task(
+    graphs_per_class: usize,
+    seed: u64,
+) -> Result<GraphClassificationTask, TensorError> {
+    if graphs_per_class == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "need at least one graph per class",
+        });
+    }
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..graphs_per_class {
+        let dense = sbm(2, 8, 8, 0.7, 0.05, seed.wrapping_add(i as u64))?;
+        graphs.push((dense.graph, dense.features));
+        labels.push(0);
+        let sparse = sbm(2, 8, 8, 0.15, 0.05, seed.wrapping_add(1000 + i as u64))?;
+        graphs.push((sparse.graph, sparse.features));
+        labels.push(1);
+    }
+    Ok(GraphClassificationTask { graphs, labels })
+}
+
+/// Mean-pools a graph's vertex embeddings into one read-out vector.
+pub fn mean_pool(embeddings: &Matrix) -> Vec<f64> {
+    let mut pooled = vec![0.0; embeddings.cols()];
+    for r in 0..embeddings.rows() {
+        for (c, p) in pooled.iter_mut().enumerate() {
+            *p += embeddings.get(r, c) / embeddings.rows() as f64;
+        }
+    }
+    pooled
+}
+
+/// Graph classification via embedding + mean pooling + nearest class
+/// centroid (centroids fit on the task itself — structure-recovery
+/// evaluation, not generalisation).
+///
+/// # Errors
+///
+/// Propagates embedding errors.
+pub fn graph_classification_accuracy(
+    model: &GnnModel,
+    task: &GraphClassificationTask,
+) -> Result<f64, TensorError> {
+    let dims = model.config().dims.clone();
+    let out_dim = *dims.last().expect("validated config");
+    // Embed every graph.
+    let mut pooled = Vec::with_capacity(task.graphs.len());
+    for (graph, features) in &task.graphs {
+        let emb = model.forward(graph, features)?;
+        pooled.push(mean_pool(&emb));
+    }
+    // Class centroids.
+    let mut centroids = [vec![0.0; out_dim], vec![0.0; out_dim]];
+    let mut counts = [0usize; 2];
+    for (p, &label) in pooled.iter().zip(&task.labels) {
+        counts[label] += 1;
+        for (c, v) in centroids[label].iter_mut().zip(p) {
+            *c += v;
+        }
+    }
+    for (centroid, count) in centroids.iter_mut().zip(counts) {
+        for c in centroid.iter_mut() {
+            *c /= count.max(1) as f64;
+        }
+    }
+    // Nearest-centroid classification.
+    let mut hits = 0;
+    for (p, &label) in pooled.iter().zip(&task.labels) {
+        let d0: f64 = p.iter().zip(&centroids[0]).map(|(a, b)| (a - b).powi(2)).sum();
+        let d1: f64 = p.iter().zip(&centroids[1]).map(|(a, b)| (a - b).powi(2)).sum();
+        let pred = usize::from(d1 < d0);
+        if pred == label {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / task.graphs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gnn::{GnnConfig, GnnKind};
+
+    #[test]
+    fn link_prediction_beats_chance_on_community_graphs() {
+        // In an SBM, intra-community vertices share embedding structure,
+        // so real edges should outscore random non-edges.
+        let task = sbm(3, 12, 16, 0.5, 0.02, 111).unwrap();
+        let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 16, 32, 8), 112).unwrap();
+        let r = link_prediction(&model, &task.graph, &task.features, 400, 113).unwrap();
+        assert!(r.auc > 0.6, "AUC {}", r.auc);
+        assert!(r.pairs > 300);
+    }
+
+    #[test]
+    fn link_prediction_validates_inputs() {
+        let g = CsrGraph::from_edges(4, &[]).unwrap();
+        let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 4, 8, 2), 1).unwrap();
+        let x = Matrix::zeros(4, 4);
+        assert!(link_prediction(&model, &g, &x, 10, 1).is_err());
+    }
+
+    #[test]
+    fn edge_score_is_symmetric_dot_product() {
+        let e = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]).unwrap();
+        assert_eq!(edge_score(&e, 0, 1), 1.0);
+        assert_eq!(edge_score(&e, 1, 0), 1.0);
+    }
+
+    #[test]
+    fn graph_classification_separates_structural_classes() {
+        let task = graph_classification_task(6, 211).unwrap();
+        assert_eq!(task.graphs.len(), 12);
+        // GIN (sum aggregation) is sensitive to density, the separating
+        // statistic between the two classes.
+        let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gin, 8, 16, 4), 212).unwrap();
+        let acc = graph_classification_accuracy(&model, &task).unwrap();
+        assert!(acc >= 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mean_pool_averages_rows() {
+        let e = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(mean_pool(&e), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn task_generator_validates() {
+        assert!(graph_classification_task(0, 1).is_err());
+    }
+}

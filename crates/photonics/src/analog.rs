@@ -1,0 +1,323 @@
+//! Generic analog compute engine: value-level simulation of an MR-based
+//! photonic datapath, shared by the TRON and GHOST functional
+//! simulators.
+//!
+//! The engine models the full signal chain of one analog operation:
+//! int8 DAC quantization of every operand, signed arithmetic through the
+//! balanced-photodetector positive/negative arms, receiver noise
+//! injection, and 8-bit ADC read-back with per-tile auto-ranging.
+
+use phox_tensor::{ops, Matrix, Prng, Quantizer};
+
+use crate::devices::{OpticalActivation, Soa};
+use crate::noise::{perturb, NoiseBudget};
+use crate::PhotonicError;
+
+/// A value-level analog compute engine.
+///
+/// # Example
+///
+/// ```
+/// use phox_photonics::analog::AnalogEngine;
+/// use phox_tensor::{Matrix, Prng};
+///
+/// # fn main() -> Result<(), phox_photonics::PhotonicError> {
+/// let mut engine = AnalogEngine::new(2e-3, 8, 8, 42)?;
+/// let a = Prng::new(1).fill_normal(4, 8, 0.0, 1.0);
+/// let b = Prng::new(2).fill_normal(8, 4, 0.0, 1.0);
+/// // Analog matmul: int8 DACs, BPD arms, noise, 8-bit ADC read-back.
+/// let y = engine.matmul(&a, &b)?;
+/// let exact = a.matmul(&b).expect("shapes agree");
+/// assert!(phox_tensor::stats::relative_error(&exact, &y) < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogEngine {
+    relative_sigma: f64,
+    adc_bits: u32,
+    dac_bits: u32,
+    soa: Soa,
+    rng: Prng,
+}
+
+impl AnalogEngine {
+    /// Builds an engine with an explicit receiver noise level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for a negative sigma or
+    /// out-of-range converter resolutions.
+    pub fn new(
+        relative_sigma: f64,
+        adc_bits: u32,
+        dac_bits: u32,
+        seed: u64,
+    ) -> Result<Self, PhotonicError> {
+        if relative_sigma < 0.0 || !relative_sigma.is_finite() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "relative sigma must be non-negative and finite",
+            });
+        }
+        if !(1..=16).contains(&adc_bits) || !(1..=16).contains(&dac_bits) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "converter resolutions must be 1..=16 bits",
+            });
+        }
+        Ok(AnalogEngine {
+            relative_sigma,
+            adc_bits,
+            dac_bits,
+            soa: Soa::default(),
+            rng: Prng::new(seed),
+        })
+    }
+
+    /// Builds an engine whose noise level comes from a [`NoiseBudget`]
+    /// provisioned for `bits` of precision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates noise-budget failures.
+    pub fn from_noise_budget(
+        budget: &NoiseBudget,
+        bits: u32,
+        seed: u64,
+    ) -> Result<Self, PhotonicError> {
+        let rx = budget.required_power_w(bits)?;
+        let report = budget.evaluate(rx)?;
+        AnalogEngine::new(report.relative_sigma, bits, bits, seed)
+    }
+
+    /// A noiseless engine (quantization effects only).
+    pub fn ideal(adc_bits: u32, dac_bits: u32, seed: u64) -> Self {
+        AnalogEngine {
+            relative_sigma: 0.0,
+            adc_bits,
+            dac_bits,
+            soa: Soa::default(),
+            rng: Prng::new(seed),
+        }
+    }
+
+    /// Receiver relative noise (σ/signal).
+    pub fn relative_sigma(&self) -> f64 {
+        self.relative_sigma
+    }
+
+    /// Analog matrix multiplication `a · b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] on inner-dimension
+    /// mismatch.
+    pub fn matmul(&mut self, a: &Matrix, b: &Matrix) -> Result<Matrix, PhotonicError> {
+        if a.cols() != b.rows() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "matmul inner dimensions must agree",
+            });
+        }
+        // DAC stage: symmetric int8 levels.
+        let qa = Quantizer::calibrate(a).quantize(a);
+        let qb = Quantizer::calibrate(b).quantize(b);
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let full_scale = 127.0 * 127.0 * k as f64;
+
+        let mut raw = Matrix::zeros(m, n);
+        let mut abs_max = 0.0f64;
+        for i in 0..m {
+            for j in 0..n {
+                // Positive and negative BPD arms accumulate level
+                // products by sign.
+                let mut pos = 0.0;
+                let mut neg = 0.0;
+                for kk in 0..k {
+                    let p = qa.level(i, kk) as i32 * qb.level(kk, j) as i32;
+                    if p >= 0 {
+                        pos += p as f64;
+                    } else {
+                        neg -= p as f64;
+                    }
+                }
+                let pos_n = perturb(pos, self.relative_sigma, &mut self.rng);
+                let neg_n = perturb(neg, self.relative_sigma, &mut self.rng);
+                let diff = pos_n - neg_n;
+                raw.set(i, j, diff);
+                abs_max = abs_max.max(diff.abs());
+            }
+        }
+        // ADC stage: signed quantization with per-tile auto-ranging (the
+        // TIA gain is set to the tile's dynamic range).
+        let range = if abs_max > 0.0 { abs_max } else { full_scale };
+        let levels = (2u64.pow(self.adc_bits - 1) - 1) as f64;
+        let scale = qa.scale() * qb.scale();
+        Ok(raw.map(|v| {
+            let q = (v / range * levels).round() / levels * range;
+            q * scale
+        }))
+    }
+
+    /// Coherent summation of the rows of `inputs` (each column summed
+    /// across rows), with receiver-noise perturbation — the value-level
+    /// model of a reduce unit's column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] on an empty input.
+    pub fn coherent_sum_rows(&mut self, inputs: &Matrix) -> Result<Vec<f64>, PhotonicError> {
+        if inputs.is_empty() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "coherent sum needs at least one row",
+            });
+        }
+        let mut out = Vec::with_capacity(inputs.cols());
+        for c in 0..inputs.cols() {
+            let s: f64 = (0..inputs.rows()).map(|r| inputs.get(r, c)).sum();
+            out.push(perturb(s, self.relative_sigma, &mut self.rng));
+        }
+        Ok(out)
+    }
+
+    /// Digital LUT softmax: row-wise softmax with probabilities quantized
+    /// to the LUT's output grid.
+    pub fn lut_softmax(&mut self, logits: &Matrix) -> Matrix {
+        let p = ops::softmax_rows(logits);
+        let levels = (2u64.pow(self.dac_bits) - 1) as f64;
+        p.map(|v| (v * levels).round() / levels)
+    }
+
+    /// LUT softmax over a plain slice (per-neighbour attention weights in
+    /// GAT).
+    pub fn lut_softmax_slice(&mut self, logits: &[f64]) -> Vec<f64> {
+        if logits.is_empty() {
+            return Vec::new();
+        }
+        let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|&v| (v - m).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let levels = (2u64.pow(self.dac_bits) - 1) as f64;
+        exps.iter()
+            .map(|&e| ((e / sum) * levels).round() / levels)
+            .collect()
+    }
+
+    /// Optical LayerNorm: exact normalization followed by analog
+    /// perturbation of the single-MR gain stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] on a parameter-length
+    /// mismatch.
+    pub fn optical_layer_norm(
+        &mut self,
+        x: &Matrix,
+        gamma: &[f64],
+        beta: &[f64],
+    ) -> Result<Matrix, PhotonicError> {
+        let ln = ops::layer_norm(x, gamma, beta, 1e-9).map_err(|_| {
+            PhotonicError::InvalidConfig {
+                what: "layer norm parameter length mismatch",
+            }
+        })?;
+        let sigma = self.relative_sigma;
+        let rng = &mut self.rng;
+        Ok(ln.map(|v| perturb(v, sigma, rng)))
+    }
+
+    /// Coherent residual addition with receiver-noise perturbation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] on shape mismatch.
+    pub fn coherent_add(&mut self, a: &Matrix, b: &Matrix) -> Result<Matrix, PhotonicError> {
+        let sum = a.add(b).map_err(|_| PhotonicError::InvalidConfig {
+            what: "residual operands must share a shape",
+        })?;
+        let sigma = self.relative_sigma;
+        let rng = &mut self.rng;
+        Ok(sum.map(|v| perturb(v, sigma, rng)))
+    }
+
+    /// SOA-based optical activation applied elementwise, with the SOA's
+    /// calibration residual plus receiver noise.
+    pub fn soa_activate(&mut self, f: OpticalActivation, x: &Matrix) -> Matrix {
+        let sigma = (self.relative_sigma.powi(2) + self.soa.activation_error.powi(2)).sqrt();
+        let soa = self.soa;
+        let rng = &mut self.rng;
+        x.map(|v| perturb(soa.activate(f, v), sigma, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_tensor::stats;
+
+    #[test]
+    fn matmul_matches_digital_within_tolerance() {
+        let mut eng = AnalogEngine::new(2e-3, 8, 8, 1).unwrap();
+        let mut rng = Prng::new(2);
+        let a = rng.fill_normal(8, 16, 0.0, 1.0);
+        let b = rng.fill_normal(16, 8, 0.0, 1.0);
+        let analog = eng.matmul(&a, &b).unwrap();
+        let exact = a.matmul(&b).unwrap();
+        assert!(stats::relative_error(&exact, &analog) < 0.05);
+    }
+
+    #[test]
+    fn ideal_error_is_pure_quantization() {
+        let mut eng = AnalogEngine::ideal(8, 8, 1);
+        let mut rng = Prng::new(3);
+        let a = rng.fill_normal(8, 16, 0.0, 1.0);
+        let b = rng.fill_normal(16, 8, 0.0, 1.0);
+        let err = stats::relative_error(
+            &a.matmul(&b).unwrap(),
+            &eng.matmul(&a, &b).unwrap(),
+        );
+        assert!(err < 0.02, "{err}");
+    }
+
+    #[test]
+    fn matmul_validates_shapes() {
+        let mut eng = AnalogEngine::ideal(8, 8, 1);
+        assert!(eng.matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn coherent_sum_rows_sums() {
+        let mut eng = AnalogEngine::ideal(8, 8, 1);
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let s = eng.coherent_sum_rows(&m).unwrap();
+        assert!((s[0] - 9.0).abs() < 1e-12);
+        assert!((s[1] - 12.0).abs() < 1e-12);
+        assert!(eng.coherent_sum_rows(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn lut_softmax_slice_sums_near_one() {
+        let mut eng = AnalogEngine::ideal(8, 8, 1);
+        let p = eng.lut_softmax_slice(&[1.0, 2.0, 3.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 0.02);
+        assert!(eng.lut_softmax_slice(&[]).is_empty());
+    }
+
+    #[test]
+    fn soa_activation_close_to_ideal() {
+        let mut eng = AnalogEngine::ideal(8, 8, 7);
+        let x = Matrix::from_rows(&[&[-1.0, 0.5, 2.0]]).unwrap();
+        let y = eng.soa_activate(OpticalActivation::Relu, &x);
+        // SOA residual is ~0.5 %: outputs near the ideal ReLU.
+        assert!(y.get(0, 0).abs() < 0.05);
+        assert!((y.get(0, 1) - 0.5).abs() < 0.05);
+        assert!((y.get(0, 2) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(AnalogEngine::new(-1.0, 8, 8, 1).is_err());
+        assert!(AnalogEngine::new(0.0, 0, 8, 1).is_err());
+        assert!(AnalogEngine::new(0.0, 8, 32, 1).is_err());
+        assert!(AnalogEngine::from_noise_budget(&NoiseBudget::default(), 8, 1).is_ok());
+    }
+}

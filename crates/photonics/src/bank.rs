@@ -1,0 +1,337 @@
+//! MR banks and bank arrays — the non-coherent multiply engines.
+//!
+//! Fig. 3(c) of the paper: a WDM waveguide carries one wavelength per
+//! vector element and passes through *two* banks of MRs. The first bank
+//! imprints the activation vector onto the wavelengths; the second bank
+//! imprints the weight vector onto the same signals, so each wavelength
+//! exits carrying the elementwise product `wᵢ·aᵢ`. A photodetector
+//! integrating the waveguide output accumulates the dot product.
+//!
+//! A *bank array* (Fig. 5(a)) stacks `K` such waveguide rows sharing the
+//! same `N` wavelengths to perform a `K×N`-tile matrix–vector
+//! multiplication per cycle.
+
+use crate::converter::{Adc, Dac};
+use crate::mr::MrConfig;
+use crate::tuning::{HybridTuning, TuningMechanism};
+use crate::PhotonicError;
+use phox_tensor::{Matrix, Prng};
+
+/// A bank of `n` MRs on one waveguide, one per WDM channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrBank {
+    mr: MrConfig,
+    tuning: HybridTuning,
+    channels: usize,
+}
+
+/// Energy/latency cost of programming one bank with a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BankOpCost {
+    /// Summed tuning power held during the symbol, W.
+    pub tuning_power_w: f64,
+    /// Worst-case settling latency across the rings, s.
+    pub settle_latency_s: f64,
+    /// Number of rings that needed slow TO tuning.
+    pub to_tunings: usize,
+    /// Number of rings tuned electro-optically.
+    pub eo_tunings: usize,
+}
+
+impl MrBank {
+    /// Creates a bank of `channels` rings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero channels or an
+    /// invalid ring configuration.
+    pub fn new(mr: MrConfig, tuning: HybridTuning, channels: usize) -> Result<Self, PhotonicError> {
+        if channels == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "bank requires at least one channel",
+            });
+        }
+        let mr = mr.validated()?;
+        Ok(MrBank {
+            mr,
+            tuning,
+            channels,
+        })
+    }
+
+    /// Ring configuration shared by all channels.
+    pub fn mr(&self) -> &MrConfig {
+        &self.mr
+    }
+
+    /// Number of channels (rings).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Imprints a vector of normalized magnitudes (each in
+    /// `[T_min, 1]`) onto the channels: returns the per-channel
+    /// transmissions actually realized (after the DAC grid) and the cost.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhotonicError::InvalidConfig`] if `values` length differs from
+    ///   the channel count,
+    /// * imprint errors from [`MrConfig::detuning_for_target`].
+    pub fn imprint(&self, values: &[f64], dac: &Dac) -> Result<(Vec<f64>, BankOpCost), PhotonicError> {
+        if values.len() != self.channels {
+            return Err(PhotonicError::InvalidConfig {
+                what: "imprint vector length must equal channel count",
+            });
+        }
+        let mut realized = Vec::with_capacity(values.len());
+        let mut cost = BankOpCost::default();
+        for &v in values {
+            // The DAC quantizes the drive; map through the ring response.
+            let clamped = v.clamp(self.mr.min_transmission, 1.0);
+            let driven = self.mr.min_transmission
+                + dac.drive(
+                    (clamped - self.mr.min_transmission) / (1.0 - self.mr.min_transmission),
+                ) * (1.0 - self.mr.min_transmission);
+            let detuning = self.mr.detuning_for_target(driven)?;
+            let op = self.tuning.tune(detuning)?;
+            cost.tuning_power_w += op.power_w;
+            cost.settle_latency_s = cost.settle_latency_s.max(op.latency_s);
+            match op.mechanism {
+                TuningMechanism::ElectroOptic => cost.eo_tunings += 1,
+                TuningMechanism::ThermoOptic => cost.to_tunings += 1,
+            }
+            realized.push(self.mr.transmission_at_detuning(detuning));
+        }
+        Ok((realized, cost))
+    }
+}
+
+/// Two cascaded banks on shared waveguides: the elementwise multiplier of
+/// Fig. 3(c), extended to a `K×N` bank array (Fig. 5(a)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MrBankArray {
+    bank: MrBank,
+    rows: usize,
+}
+
+/// Result of one analog `K×N`-tile dot-product evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileResult {
+    /// Per-row accumulated dot products (normalized optical units).
+    pub values: Vec<f64>,
+    /// Aggregate programming cost of both banks.
+    pub cost: BankOpCost,
+}
+
+impl MrBankArray {
+    /// Creates a `rows x channels` bank array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero rows, or bank
+    /// construction errors.
+    pub fn new(
+        mr: MrConfig,
+        tuning: HybridTuning,
+        rows: usize,
+        channels: usize,
+    ) -> Result<Self, PhotonicError> {
+        if rows == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "bank array requires at least one row",
+            });
+        }
+        Ok(MrBankArray {
+            bank: MrBank::new(mr, tuning, channels)?,
+            rows,
+        })
+    }
+
+    /// Number of waveguide rows (`K`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of wavelengths per row (`N`).
+    pub fn channels(&self) -> usize {
+        self.bank.channels()
+    }
+
+    /// Total MR count (`2·K·N`: activation bank + weight bank).
+    pub fn mr_count(&self) -> usize {
+        2 * self.rows * self.bank.channels()
+    }
+
+    /// Computes one analog tile: for each row `r`,
+    /// `out[r] = Σ_n weights[r][n] · activations[n]`, with each factor
+    /// passed through the MR imprint (DAC grid + Lorentzian read-back) and
+    /// optional noise injection.
+    ///
+    /// `activations` and the rows of `weights` must be normalized
+    /// magnitudes in `[0, 1]` (signs are handled by the caller's
+    /// positive/negative BPD arms; see `phox-tron`).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `weights` is not `rows x channels` or
+    /// `activations` length differs from the channel count; propagates
+    /// imprint errors.
+    pub fn evaluate(
+        &self,
+        weights: &Matrix,
+        activations: &[f64],
+        dac: &Dac,
+        adc: &Adc,
+        relative_sigma: f64,
+        rng: &mut Prng,
+    ) -> Result<TileResult, PhotonicError> {
+        if weights.rows() != self.rows || weights.cols() != self.bank.channels() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "weight tile shape must match bank array",
+            });
+        }
+        if activations.len() != self.bank.channels() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "activation length must equal channel count",
+            });
+        }
+        // Activation bank is shared across rows (same WDM comb feeds all
+        // rows through a splitter tree).
+        let (acts, mut cost) = self.bank.imprint(activations, dac)?;
+        let mut values = Vec::with_capacity(self.rows);
+        let n = self.bank.channels();
+        for r in 0..self.rows {
+            let (ws, wcost) = self.bank.imprint(weights.row(r), dac)?;
+            cost.tuning_power_w += wcost.tuning_power_w;
+            cost.settle_latency_s = cost.settle_latency_s.max(wcost.settle_latency_s);
+            cost.to_tunings += wcost.to_tunings;
+            cost.eo_tunings += wcost.eo_tunings;
+            // Photodetector integrates all wavelengths: Σ wᵢ·aᵢ.
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += ws[i] * acts[i];
+            }
+            let noisy = crate::noise::perturb(acc, relative_sigma, rng);
+            // ADC quantizes the normalized accumulation (full scale = n).
+            let digital = adc.sample((noisy / n as f64).clamp(0.0, 1.0)) * n as f64;
+            values.push(digital);
+        }
+        Ok(TileResult { values, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::converter::{Adc, Dac};
+
+    fn bank(n: usize) -> MrBank {
+        MrBank::new(MrConfig::default(), HybridTuning::default(), n).unwrap()
+    }
+
+    fn array(k: usize, n: usize) -> MrBankArray {
+        MrBankArray::new(MrConfig::default(), HybridTuning::default(), k, n).unwrap()
+    }
+
+    #[test]
+    fn imprint_realizes_targets() {
+        let b = bank(4);
+        let dac = Dac::default();
+        let targets = [0.1, 0.4, 0.7, 0.95];
+        let (realized, cost) = b.imprint(&targets, &dac).unwrap();
+        for (r, t) in realized.iter().zip(targets.iter()) {
+            // DAC grid at 8 bits: error well below 1%.
+            assert!((r - t).abs() < 0.01, "{r} vs {t}");
+        }
+        assert_eq!(cost.eo_tunings + cost.to_tunings, 4);
+        assert!(cost.tuning_power_w > 0.0);
+    }
+
+    #[test]
+    fn imprint_rejects_wrong_length() {
+        let b = bank(4);
+        assert!(b.imprint(&[0.5; 3], &Dac::default()).is_err());
+    }
+
+    #[test]
+    fn values_below_floor_are_clamped() {
+        let b = bank(1);
+        let (realized, _) = b.imprint(&[0.0], &Dac::default()).unwrap();
+        // Cannot go below the extinction floor.
+        assert!((realized[0] - b.mr().min_transmission).abs() < 1e-9);
+    }
+
+    #[test]
+    fn array_counts() {
+        let a = array(3, 8);
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.channels(), 8);
+        assert_eq!(a.mr_count(), 48);
+    }
+
+    #[test]
+    fn noiseless_tile_matches_digital_dot_product() {
+        let a = array(2, 8);
+        let mut rng = Prng::new(1);
+        let mut w = Matrix::zeros(2, 8);
+        let acts: Vec<f64> = (0..8).map(|i| 0.1 + 0.1 * i as f64).collect();
+        for c in 0..8 {
+            w.set(0, c, 0.5);
+            w.set(1, c, 0.9 - 0.05 * c as f64);
+        }
+        let r = a
+            .evaluate(&w, &acts, &Dac::default(), &Adc::default(), 0.0, &mut rng)
+            .unwrap();
+        for row in 0..2 {
+            let expected: f64 = (0..8).map(|i| w.get(row, i) * acts[i]).sum();
+            let got = r.values[row];
+            // ADC full scale is n=8, so half an LSB is 8/2/255 ≈ 0.016;
+            // plus imprint grid error.
+            assert!((got - expected).abs() < 0.1, "row {row}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn noisy_tile_stays_close() {
+        let a = array(1, 16);
+        let mut rng = Prng::new(7);
+        let w = Matrix::filled(1, 16, 0.5);
+        let acts = vec![0.5; 16];
+        let r = a
+            .evaluate(&w, &acts, &Dac::default(), &Adc::default(), 2e-3, &mut rng)
+            .unwrap();
+        let expected = 16.0 * 0.25;
+        assert!((r.values[0] - expected).abs() < 0.2, "{}", r.values[0]);
+    }
+
+    #[test]
+    fn tile_shape_validation() {
+        let a = array(2, 4);
+        let mut rng = Prng::new(1);
+        let bad_w = Matrix::zeros(3, 4);
+        assert!(a
+            .evaluate(&bad_w, &[0.5; 4], &Dac::default(), &Adc::default(), 0.0, &mut rng)
+            .is_err());
+        let w = Matrix::zeros(2, 4);
+        assert!(a
+            .evaluate(&w, &[0.5; 3], &Dac::default(), &Adc::default(), 0.0, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn all_tunings_are_eo_for_default_config() {
+        // Default MR tuning range (1 nm) exceeds EO range (0.5 nm), so
+        // some high-transmission targets may need TO; but moderate values
+        // stay EO. Check the split is reported.
+        let b = bank(3);
+        let (_, cost) = b.imprint(&[0.2, 0.5, 0.8], &Dac::default()).unwrap();
+        assert_eq!(cost.eo_tunings + cost.to_tunings, 3);
+    }
+
+    #[test]
+    fn zero_rows_or_channels_rejected() {
+        assert!(MrBank::new(MrConfig::default(), HybridTuning::default(), 0).is_err());
+        assert!(MrBankArray::new(MrConfig::default(), HybridTuning::default(), 0, 4).is_err());
+    }
+}

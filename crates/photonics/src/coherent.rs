@@ -1,0 +1,285 @@
+//! Coherent (single-wavelength, phase-encoded) photonic computing — the
+//! alternative §IV contrasts with the paper's non-coherent design:
+//!
+//! > *"Coherent architectures utilize a single wavelength where the
+//! > parameters are imprinted onto the optical signal's phase. On the
+//! > other hand, multiple wavelengths are leveraged in non-coherent
+//! > architectures and the parameters are imprinted onto the optical
+//! > signal's amplitude."*
+//!
+//! Coherent accelerators realise an `N×N` weight matrix as a mesh of
+//! Mach-Zehnder interferometers (MZIs): a Reck/Clements triangular or
+//! rectangular mesh needs `N(N−1)/2` MZIs, each holding two phase
+//! shifters. This module models the device (phase-shifter power,
+//! insertion loss, phase-quantization precision) and provides the
+//! coherent-vs-non-coherent comparison that motivates the paper's choice
+//! of the non-coherent MR approach for its accelerators.
+
+use crate::mr::MrConfig;
+use crate::PhotonicError;
+
+/// A Mach-Zehnder interferometer with two thermo-optic phase shifters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mzi {
+    /// Insertion loss per MZI, dB.
+    pub insertion_loss_db: f64,
+    /// Power to hold one phase shifter at π, W.
+    pub phase_shifter_pi_power_w: f64,
+    /// Phase-setting resolution, bits (DAC-limited).
+    pub phase_bits: u32,
+    /// Device footprint, µm² (MZIs are much larger than MRs).
+    pub footprint_um2: f64,
+}
+
+impl Default for Mzi {
+    /// Representative thermo-optic silicon MZI: 0.25 dB IL, 20 mW per π
+    /// phase shift, 8-bit phase setting, ~70×300 µm footprint.
+    fn default() -> Self {
+        Mzi {
+            insertion_loss_db: 0.25,
+            phase_shifter_pi_power_w: 20e-3,
+            phase_bits: 8,
+            footprint_um2: 21_000.0,
+        }
+    }
+}
+
+impl Mzi {
+    /// Validates device parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for non-physical values.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.insertion_loss_db < 0.0
+            || self.phase_shifter_pi_power_w <= 0.0
+            || self.footprint_um2 <= 0.0
+        {
+            return Err(PhotonicError::InvalidConfig {
+                what: "MZI parameters must be positive",
+            });
+        }
+        if !(2..=16).contains(&self.phase_bits) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "phase resolution must be 2..=16 bits",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Mean holding power of one MZI with uniformly distributed phases
+    /// (two shifters at π/2 on average), W.
+    pub fn mean_power_w(&self) -> f64 {
+        self.phase_shifter_pi_power_w // 2 shifters × π/2 average
+    }
+}
+
+/// A coherent `N×N` MZI mesh (Clements rectangular decomposition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MziMesh {
+    /// Matrix dimension `N` (inputs = outputs).
+    pub n: usize,
+    /// The constituent MZI device.
+    pub mzi: Mzi,
+}
+
+impl MziMesh {
+    /// Builds a mesh realising an `n×n` unitary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for `n < 2` or an invalid
+    /// device.
+    pub fn new(n: usize, mzi: Mzi) -> Result<Self, PhotonicError> {
+        if n < 2 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "mesh dimension must be at least 2",
+            });
+        }
+        Ok(MziMesh {
+            n,
+            mzi: mzi.validated()?,
+        })
+    }
+
+    /// Number of MZIs: `N(N−1)/2` (Clements/Reck decomposition of an
+    /// `N×N` unitary).
+    pub fn mzi_count(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+
+    /// Optical depth: the longest MZI path a signal traverses
+    /// (`N` columns in a Clements mesh).
+    pub fn optical_depth(&self) -> usize {
+        self.n
+    }
+
+    /// End-to-end insertion loss along the longest path, dB.
+    pub fn path_loss_db(&self) -> f64 {
+        self.optical_depth() as f64 * self.mzi.insertion_loss_db
+    }
+
+    /// Static holding power of the programmed mesh, W.
+    pub fn holding_power_w(&self) -> f64 {
+        self.mzi_count() as f64 * self.mzi.mean_power_w()
+    }
+
+    /// Total mesh footprint, µm².
+    pub fn footprint_um2(&self) -> f64 {
+        self.mzi_count() as f64 * self.mzi.footprint_um2
+    }
+
+    /// Worst-case relative output error from phase quantization: each of
+    /// the ~`N` traversed MZIs contributes a phase error of at most half
+    /// an LSB (`π/2^bits`), and the errors accumulate as a random walk
+    /// over the path (`√depth` scaling).
+    pub fn phase_error_bound(&self) -> f64 {
+        let lsb = std::f64::consts::PI / 2f64.powi(self.mzi.phase_bits as i32);
+        (self.optical_depth() as f64).sqrt() * lsb / 2.0
+    }
+
+    /// `true` when phase quantization supports `bits` of output
+    /// precision (error below half an LSB of the target).
+    pub fn supports_bits(&self, bits: u32) -> bool {
+        self.phase_error_bound() <= 2f64.powi(-(bits as i32 + 1))
+    }
+}
+
+/// Head-to-head comparison of a coherent MZI mesh against a non-coherent
+/// MR bank array realising the same `N×N` MAC tile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceComparison {
+    /// Tile dimension.
+    pub n: usize,
+    /// MZI mesh device count vs `2·N·N` MRs.
+    pub mzi_count: usize,
+    /// MR count of the equivalent non-coherent array.
+    pub mr_count: usize,
+    /// Mesh footprint, µm².
+    pub mzi_footprint_um2: f64,
+    /// MR array footprint, µm².
+    pub mr_footprint_um2: f64,
+    /// Mesh holding power, W.
+    pub mzi_power_w: f64,
+    /// Worst-case coherent path loss, dB.
+    pub mzi_path_loss_db: f64,
+    /// Non-coherent bus loss (`N` through-rings per waveguide), dB.
+    pub mr_path_loss_db: f64,
+    /// `true` if the mesh sustains 8-bit phase precision.
+    pub mzi_supports_8_bits: bool,
+}
+
+/// Compares the two §IV computing styles at tile size `n`.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn compare(n: usize, mzi: Mzi, mr: &MrConfig) -> Result<CoherenceComparison, PhotonicError> {
+    let mesh = MziMesh::new(n, mzi)?;
+    let mr = mr.validated()?;
+    // An MR occupies roughly a (2R + gap)² tile.
+    let mr_side_um = 2.0 * mr.radius_um + 5.0;
+    let mr_count = 2 * n * n;
+    Ok(CoherenceComparison {
+        n,
+        mzi_count: mesh.mzi_count(),
+        mr_count,
+        mzi_footprint_um2: mesh.footprint_um2(),
+        mr_footprint_um2: mr_count as f64 * mr_side_um * mr_side_um,
+        mzi_power_w: mesh.holding_power_w(),
+        mzi_path_loss_db: mesh.path_loss_db(),
+        mr_path_loss_db: 2.0 * n as f64 * mr.insertion_loss_db,
+        mzi_supports_8_bits: mesh.supports_bits(8),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts_follow_clements() {
+        let mesh = MziMesh::new(8, Mzi::default()).unwrap();
+        assert_eq!(mesh.mzi_count(), 28);
+        assert_eq!(mesh.optical_depth(), 8);
+        let big = MziMesh::new(64, Mzi::default()).unwrap();
+        assert_eq!(big.mzi_count(), 2016);
+    }
+
+    #[test]
+    fn path_loss_scales_with_depth() {
+        let small = MziMesh::new(8, Mzi::default()).unwrap();
+        let large = MziMesh::new(32, Mzi::default()).unwrap();
+        assert!(large.path_loss_db() > small.path_loss_db() * 3.0);
+        assert!((small.path_loss_db() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_error_grows_with_mesh_size() {
+        let small = MziMesh::new(8, Mzi::default()).unwrap();
+        let large = MziMesh::new(64, Mzi::default()).unwrap();
+        assert!(large.phase_error_bound() > small.phase_error_bound());
+        // 8-bit phases cannot deliver 8-bit outputs at any useful depth:
+        // π/256 per MZI already exceeds half an 8-bit LSB.
+        assert!(!small.supports_bits(8));
+    }
+
+    #[test]
+    fn finer_phases_restore_precision() {
+        let coarse = MziMesh::new(
+            8,
+            Mzi {
+                phase_bits: 8,
+                ..Mzi::default()
+            },
+        )
+        .unwrap();
+        let fine = MziMesh::new(
+            8,
+            Mzi {
+                phase_bits: 14,
+                ..Mzi::default()
+            },
+        )
+        .unwrap();
+        assert!(fine.phase_error_bound() < coarse.phase_error_bound() / 32.0);
+        assert!(fine.supports_bits(8));
+    }
+
+    #[test]
+    fn comparison_favours_non_coherent_at_accelerator_scales() {
+        // The quantitative version of §IV's design choice: at the
+        // 25-wavelength tile the accelerators use, the MZI mesh loses on
+        // loss and holding power.
+        let c = compare(25, Mzi::default(), &MrConfig::default()).unwrap();
+        assert!(c.mzi_path_loss_db > c.mr_path_loss_db);
+        assert!(!c.mzi_supports_8_bits);
+        // Footprint: the mesh's fewer devices are individually huge.
+        assert!(c.mzi_footprint_um2 > c.mr_footprint_um2);
+        // Holding power: thousands of thermo-optic shifters.
+        assert!(c.mzi_power_w > 1.0, "mesh power {}", c.mzi_power_w);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MziMesh::new(1, Mzi::default()).is_err());
+        assert!(Mzi {
+            phase_bits: 1,
+            ..Mzi::default()
+        }
+        .validated()
+        .is_err());
+        assert!(Mzi {
+            insertion_loss_db: -1.0,
+            ..Mzi::default()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn mean_power_is_one_pi_equivalent() {
+        let mzi = Mzi::default();
+        assert!((mzi.mean_power_w() - 20e-3).abs() < 1e-12);
+    }
+}

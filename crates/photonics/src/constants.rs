@@ -1,0 +1,88 @@
+//! Physical constants and unit helpers.
+//!
+//! Conventions used throughout `phox-photonics`:
+//!
+//! * wavelengths in **nanometres** (`nm`),
+//! * optical/electrical power in **watts** (`W`) with dBm helpers,
+//! * energy in **joules** (`J`),
+//! * time in **seconds** (`s`),
+//! * temperatures in **kelvin** (`K`).
+
+/// Elementary charge, in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant, in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Speed of light in vacuum, in m/s.
+pub const SPEED_OF_LIGHT: f64 = 2.997_924_58e8;
+
+/// Planck constant, in J·s.
+pub const PLANCK: f64 = 6.626_070_15e-34;
+
+/// Default operating temperature, in kelvin (300 K ≈ room temperature).
+pub const ROOM_TEMPERATURE_K: f64 = 300.0;
+
+/// The C-band carrier wavelength used by default, in nm.
+pub const DEFAULT_WAVELENGTH_NM: f64 = 1550.0;
+
+/// Converts a power in watts to dBm.
+///
+/// # Panics
+///
+/// Panics if `watts` is not strictly positive.
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    assert!(watts > 0.0, "dBm of non-positive power");
+    10.0 * (watts / 1e-3).log10()
+}
+
+/// Converts a power in dBm to watts.
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    1e-3 * 10f64.powf(dbm / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// # Panics
+///
+/// Panics if `ratio` is not strictly positive.
+pub fn ratio_to_db(ratio: f64) -> f64 {
+    assert!(ratio > 0.0, "dB of non-positive ratio");
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+pub fn db_to_ratio(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_roundtrip() {
+        for &p in &[1e-6, 1e-3, 0.5, 2.0] {
+            let back = dbm_to_watts(watts_to_dbm(p));
+            assert!((back - p).abs() / p < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_dbm_is_one_milliwatt() {
+        assert!((dbm_to_watts(0.0) - 1e-3).abs() < 1e-18);
+        assert!(watts_to_dbm(1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_ratio_roundtrip() {
+        assert!((db_to_ratio(ratio_to_db(0.5)) - 0.5).abs() < 1e-12);
+        assert!((ratio_to_db(100.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn negative_power_panics() {
+        watts_to_dbm(-1.0);
+    }
+}

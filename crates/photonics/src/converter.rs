@@ -1,0 +1,226 @@
+//! Data converter (ADC/DAC) energy and latency models.
+//!
+//! Opto-electronic conversions are where photonic accelerators pay their
+//! tax: every optical result must be digitised (ADC) and every operand
+//! imprinted by a tuning circuit driven through a DAC. Both architectures
+//! minimise these conversions (e.g. TRON's eq. (3) decomposition exists to
+//! avoid a digital transpose), so the converter model directly shapes the
+//! energy results of Figs. 8 and 10.
+//!
+//! The energy model is the standard Walden figure-of-merit:
+//! `E_conv = FoM · 2^bits` per conversion.
+
+use crate::PhotonicError;
+
+/// An analog-to-digital converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    /// Resolution, bits.
+    pub bits: u32,
+    /// Sampling rate, samples/s.
+    pub rate_hz: f64,
+    /// Walden figure of merit, J per conversion-step.
+    pub walden_fom_j: f64,
+}
+
+impl Default for Adc {
+    /// 8-bit, 10 GS/s, 30 fJ/step — representative of published
+    /// high-speed CMOS ADCs used in photonic accelerator studies.
+    fn default() -> Self {
+        Adc {
+            bits: 8,
+            rate_hz: 10e9,
+            walden_fom_j: 30e-15,
+        }
+    }
+}
+
+impl Adc {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero bits/rate or a
+    /// non-positive FoM.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.bits == 0 || self.bits > 16 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "ADC resolution must be 1..=16 bits",
+            });
+        }
+        if !(self.rate_hz > 0.0 && self.walden_fom_j > 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "ADC rate and FoM must be positive",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Energy per conversion, J.
+    pub fn energy_per_conversion_j(&self) -> f64 {
+        self.walden_fom_j * 2f64.powi(self.bits as i32)
+    }
+
+    /// Conversion latency (one sample period), s.
+    pub fn latency_s(&self) -> f64 {
+        1.0 / self.rate_hz
+    }
+
+    /// Average power when converting continuously at full rate, W.
+    pub fn power_w(&self) -> f64 {
+        self.energy_per_conversion_j() * self.rate_hz
+    }
+
+    /// Quantizes a normalized value in `[0, 1]` to the ADC's grid — the
+    /// digital read-back used by functional simulation.
+    pub fn sample(&self, x: f64) -> f64 {
+        let levels = (2u64.pow(self.bits) - 1) as f64;
+        (x.clamp(0.0, 1.0) * levels).round() / levels
+    }
+}
+
+/// A digital-to-analog converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dac {
+    /// Resolution, bits.
+    pub bits: u32,
+    /// Update rate, samples/s.
+    pub rate_hz: f64,
+    /// Energy figure of merit, J per conversion-step.
+    pub fom_j: f64,
+}
+
+impl Default for Dac {
+    /// 8-bit, 10 GS/s, 8 fJ/step (DACs are cheaper than ADCs).
+    fn default() -> Self {
+        Dac {
+            bits: 8,
+            rate_hz: 10e9,
+            fom_j: 8e-15,
+        }
+    }
+}
+
+impl Dac {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero bits/rate or a
+    /// non-positive FoM.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.bits == 0 || self.bits > 16 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "DAC resolution must be 1..=16 bits",
+            });
+        }
+        if !(self.rate_hz > 0.0 && self.fom_j > 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "DAC rate and FoM must be positive",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Energy per conversion, J.
+    pub fn energy_per_conversion_j(&self) -> f64 {
+        self.fom_j * 2f64.powi(self.bits as i32)
+    }
+
+    /// Conversion latency (one sample period), s.
+    pub fn latency_s(&self) -> f64 {
+        1.0 / self.rate_hz
+    }
+
+    /// Average power when updating continuously at full rate, W.
+    pub fn power_w(&self) -> f64 {
+        self.energy_per_conversion_j() * self.rate_hz
+    }
+
+    /// Quantizes a normalized drive value in `[0, 1]` to the DAC grid.
+    pub fn drive(&self, x: f64) -> f64 {
+        let levels = (2u64.pow(self.bits) - 1) as f64;
+        (x.clamp(0.0, 1.0) * levels).round() / levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_energy_follows_walden() {
+        let adc = Adc::default();
+        assert!((adc.energy_per_conversion_j() - 30e-15 * 256.0).abs() < 1e-27);
+        // Doubling bits doubles energy per extra bit (exponential).
+        let adc10 = Adc { bits: 10, ..adc };
+        assert!((adc10.energy_per_conversion_j() / adc.energy_per_conversion_j() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adc_latency_and_power() {
+        let adc = Adc::default();
+        assert!((adc.latency_s() - 1e-10).abs() < 1e-22);
+        assert!((adc.power_w() - adc.energy_per_conversion_j() * 10e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adc_sampling_quantizes_to_grid() {
+        let adc = Adc {
+            bits: 2,
+            ..Adc::default()
+        };
+        // 2-bit grid: {0, 1/3, 2/3, 1}; 0.5 rounds half-up to 2/3.
+        assert_eq!(adc.sample(0.0), 0.0);
+        assert!((adc.sample(0.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(adc.sample(1.0), 1.0);
+        assert_eq!(adc.sample(2.0), 1.0); // clamped
+        assert_eq!(adc.sample(-1.0), 0.0);
+    }
+
+    #[test]
+    fn adc_8bit_error_below_half_lsb() {
+        let adc = Adc::default();
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert!((adc.sample(x) - x).abs() <= 0.5 / 255.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dac_cheaper_than_adc() {
+        assert!(Dac::default().energy_per_conversion_j() < Adc::default().energy_per_conversion_j());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(Adc {
+            bits: 0,
+            ..Adc::default()
+        }
+        .validated()
+        .is_err());
+        assert!(Adc {
+            bits: 20,
+            ..Adc::default()
+        }
+        .validated()
+        .is_err());
+        assert!(Dac {
+            rate_hz: 0.0,
+            ..Dac::default()
+        }
+        .validated()
+        .is_err());
+        assert!(Adc::default().validated().is_ok());
+        assert!(Dac::default().validated().is_ok());
+    }
+
+    #[test]
+    fn dac_drive_grid() {
+        let dac = Dac::default();
+        assert_eq!(dac.drive(0.0), 0.0);
+        assert_eq!(dac.drive(1.0), 1.0);
+        assert!((dac.drive(0.5) - 0.5).abs() <= 0.5 / 255.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Crosstalk noise models: heterodyne (inter-channel), homodyne
+//! (coherent), and the aggregate signal-integrity criterion.
+//!
+//! §V.B of the paper identifies three analog noise sources that must be
+//! controlled for correct 8-bit execution: thermal crosstalk (handled by
+//! TED, see [`crate::tuning`]), heterodyne crosstalk between WDM channels
+//! sharing a waveguide (the shaded regions of Fig. 3(d)), and homodyne
+//! crosstalk between same-wavelength signals in coherent summation
+//! circuits.
+
+use crate::mr::MrConfig;
+use crate::PhotonicError;
+
+/// Heterodyne (inter-channel) crosstalk analysis for an MR bank on one
+/// waveguide.
+///
+/// Channel `j`'s Lorentzian tail evaluated at victim channel `i`'s
+/// wavelength leaks `X_ij = (Γ/2)² / (Δλ_ij² + (Γ/2)²)` of its power into
+/// the victim's detection band. The figure of merit is the worst-case
+/// total leak across the bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeterodyneAnalysis {
+    /// Number of WDM channels on the waveguide.
+    pub channels: usize,
+    /// Uniform channel spacing, nm.
+    pub spacing_nm: f64,
+    /// Resonance linewidth (FWHM), nm.
+    pub fwhm_nm: f64,
+    /// Free spectral range of the rings, nm. The comb of `channels`
+    /// wavelengths must fit inside one FSR.
+    pub fsr_nm: f64,
+}
+
+impl HeterodyneAnalysis {
+    /// Builds the analysis for a bank of identical rings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] if `channels == 0` or the
+    /// spacing is non-positive, and [`PhotonicError::FsrExceeded`] if the
+    /// channel comb does not fit within one FSR.
+    pub fn new(
+        mr: &MrConfig,
+        channels: usize,
+        spacing_nm: f64,
+    ) -> Result<Self, PhotonicError> {
+        if channels == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "heterodyne analysis requires at least one channel",
+            });
+        }
+        if spacing_nm <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "channel spacing must be positive",
+            });
+        }
+        let comb_width = spacing_nm * (channels.saturating_sub(1)) as f64;
+        let fsr = mr.fsr_nm();
+        // Leave one spacing of guard band so channel 0's image at +FSR
+        // does not alias onto the last channel.
+        if comb_width + spacing_nm > fsr {
+            return Err(PhotonicError::FsrExceeded {
+                required_nm: comb_width + spacing_nm,
+                fsr_nm: fsr,
+            });
+        }
+        Ok(HeterodyneAnalysis {
+            channels,
+            spacing_nm,
+            fwhm_nm: mr.fwhm_nm(),
+            fsr_nm: fsr,
+        })
+    }
+
+    /// Crosstalk power ratio leaked from a channel `k` spacings away.
+    pub fn pairwise(&self, k_spacings: usize) -> f64 {
+        if k_spacings == 0 {
+            return 1.0;
+        }
+        let hw = self.fwhm_nm / 2.0;
+        let d = self.spacing_nm * k_spacings as f64;
+        hw * hw / (d * d + hw * hw)
+    }
+
+    /// Total crosstalk-to-signal power ratio experienced by channel
+    /// `victim` (0-based index in the comb): sum of all other channels'
+    /// Lorentzian tails, including the first FSR images.
+    pub fn total_at(&self, victim: usize) -> f64 {
+        let hw = self.fwhm_nm / 2.0;
+        let mut x = 0.0;
+        for j in 0..self.channels {
+            if j == victim {
+                continue;
+            }
+            let d = (j as f64 - victim as f64).abs() * self.spacing_nm;
+            x += hw * hw / (d * d + hw * hw);
+            // Periodic image one FSR away.
+            let d_img = self.fsr_nm - d;
+            x += hw * hw / (d_img * d_img + hw * hw);
+        }
+        x
+    }
+
+    /// Worst-case total crosstalk over all channels (a middle channel sees
+    /// neighbours on both sides).
+    pub fn worst_case(&self) -> f64 {
+        (0..self.channels)
+            .map(|v| self.total_at(v))
+            .fold(0.0, f64::max)
+    }
+
+    /// The paper's feasibility criterion: the aggregate crosstalk must
+    /// stay below half an LSB of the target bit precision,
+    /// `X_total ≤ 2^−(bits+1)` (so "negligible crosstalk noise", §V.B).
+    pub fn supports_bits(&self, bits: u32) -> bool {
+        self.worst_case() <= 2f64.powi(-(bits as i32 + 1))
+    }
+
+    /// Largest channel count at this spacing that still supports `bits`
+    /// of precision (and fits the FSR). A single channel has no
+    /// inter-channel crosstalk, so the result is at least 1 whenever the
+    /// comb construction itself succeeds.
+    pub fn max_channels(mr: &MrConfig, spacing_nm: f64, bits: u32) -> usize {
+        let mut best = 0;
+        for n in 1..=512 {
+            match HeterodyneAnalysis::new(mr, n, spacing_nm) {
+                Ok(a) => {
+                    if a.supports_bits(bits) {
+                        best = n;
+                    } else {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        best
+    }
+}
+
+/// Homodyne (coherent, same-wavelength) crosstalk for a coherent summation
+/// circuit with `branches` interfering arms (§V.B).
+///
+/// A fraction `leakage` of each branch's power couples into stray paths
+/// and re-interferes with the output with arbitrary phase. The worst-case
+/// *amplitude* error of coherent interference is `2·sqrt(P_leak/P_sig)`
+/// per branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HomodyneAnalysis {
+    /// Number of coherently interfering branches.
+    pub branches: usize,
+    /// Per-branch power leakage ratio (from
+    /// [`MrConfig::homodyne_leakage`]).
+    pub leakage: f64,
+}
+
+impl HomodyneAnalysis {
+    /// Builds the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero branches or a
+    /// leakage outside `[0, 1)`.
+    pub fn new(branches: usize, leakage: f64) -> Result<Self, PhotonicError> {
+        if branches == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "homodyne analysis requires at least one branch",
+            });
+        }
+        if !(0.0..1.0).contains(&leakage) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "leakage must be in [0, 1)",
+            });
+        }
+        Ok(HomodyneAnalysis { branches, leakage })
+    }
+
+    /// Worst-case relative amplitude error of the summed output.
+    pub fn worst_case_amplitude_error(&self) -> f64 {
+        2.0 * (self.leakage).sqrt() * self.branches as f64
+            / (self.branches as f64).sqrt()
+        // = 2·sqrt(leakage·branches): leaked fields add in power across
+        // branches (random phases), so the net stray amplitude grows as
+        // sqrt(branches).
+    }
+
+    /// Feasibility: the amplitude error must stay below half an LSB of
+    /// `bits` precision.
+    pub fn supports_bits(&self, bits: u32) -> bool {
+        self.worst_case_amplitude_error() <= 2f64.powi(-(bits as i32 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mr_q(q: f64) -> MrConfig {
+        MrConfig {
+            q_factor: q,
+            ..MrConfig::default()
+        }
+        .validated()
+        .unwrap()
+    }
+
+    #[test]
+    fn pairwise_crosstalk_falls_with_distance() {
+        let a = HeterodyneAnalysis::new(&mr_q(12_000.0), 4, 2.0).unwrap();
+        assert!(a.pairwise(1) > a.pairwise(2));
+        assert!(a.pairwise(2) > a.pairwise(3));
+        assert_eq!(a.pairwise(0), 1.0);
+    }
+
+    #[test]
+    fn pairwise_matches_lorentzian_tail() {
+        let mr = mr_q(15_500.0); // FWHM = 0.1 nm
+        let a = HeterodyneAnalysis::new(&mr, 2, 1.0).unwrap();
+        // (0.05)^2 / (1 + 0.0025) ≈ 2.49e-3
+        let expected = 0.05_f64.powi(2) / (1.0 + 0.05_f64.powi(2));
+        assert!((a.pairwise(1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn middle_channel_is_worst() {
+        let a = HeterodyneAnalysis::new(&mr_q(12_000.0), 5, 2.0).unwrap();
+        let middle = a.total_at(2);
+        let edge = a.total_at(0);
+        assert!(middle > edge);
+        assert_eq!(a.worst_case(), middle);
+    }
+
+    #[test]
+    fn wider_spacing_reduces_crosstalk() {
+        let narrow = HeterodyneAnalysis::new(&mr_q(12_000.0), 4, 1.0).unwrap();
+        let wide = HeterodyneAnalysis::new(&mr_q(12_000.0), 4, 3.0).unwrap();
+        assert!(wide.worst_case() < narrow.worst_case());
+    }
+
+    #[test]
+    fn higher_q_supports_more_channels() {
+        let lo = HeterodyneAnalysis::max_channels(&mr_q(5_000.0), 1.5, 8);
+        let hi = HeterodyneAnalysis::max_channels(&mr_q(20_000.0), 1.5, 8);
+        assert!(hi > lo, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn fsr_constraint_enforced() {
+        let mr = mr_q(12_000.0); // FSR ≈ 18.2 nm for R = 5 µm
+        assert!(matches!(
+            HeterodyneAnalysis::new(&mr, 32, 2.0),
+            Err(PhotonicError::FsrExceeded { .. })
+        ));
+        assert!(HeterodyneAnalysis::new(&mr, 8, 2.0).is_ok());
+    }
+
+    #[test]
+    fn precision_criterion_is_half_lsb() {
+        let a = HeterodyneAnalysis::new(&mr_q(20_000.0), 2, 8.0).unwrap();
+        let x = a.worst_case();
+        assert_eq!(a.supports_bits(8), x <= 2f64.powi(-9));
+    }
+
+    #[test]
+    fn max_channels_one_when_crosstalk_dominates() {
+        // Very low Q: fat lines, massive crosstalk at 8 bits — only a
+        // single (crosstalk-free) channel survives.
+        let n = HeterodyneAnalysis::max_channels(&mr_q(500.0), 0.5, 8);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn homodyne_error_grows_with_branches() {
+        let small = HomodyneAnalysis::new(4, 1e-6).unwrap();
+        let large = HomodyneAnalysis::new(64, 1e-6).unwrap();
+        assert!(large.worst_case_amplitude_error() > small.worst_case_amplitude_error());
+    }
+
+    #[test]
+    fn homodyne_feasible_with_wide_gap() {
+        // Wide coupling gap -> tiny leakage -> 8 bits feasible.
+        let mr = MrConfig {
+            coupling_gap_nm: 400.0,
+            ..MrConfig::default()
+        };
+        let h = HomodyneAnalysis::new(16, mr.homodyne_leakage()).unwrap();
+        assert!(h.supports_bits(8), "error {}", h.worst_case_amplitude_error());
+    }
+
+    #[test]
+    fn homodyne_infeasible_with_narrow_gap() {
+        let mr = MrConfig {
+            coupling_gap_nm: 100.0,
+            ..MrConfig::default()
+        };
+        let h = HomodyneAnalysis::new(16, mr.homodyne_leakage()).unwrap();
+        assert!(!h.supports_bits(8));
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(HeterodyneAnalysis::new(&mr_q(12_000.0), 0, 1.0).is_err());
+        assert!(HeterodyneAnalysis::new(&mr_q(12_000.0), 4, 0.0).is_err());
+        assert!(HomodyneAnalysis::new(0, 0.1).is_err());
+        assert!(HomodyneAnalysis::new(4, 1.0).is_err());
+    }
+}

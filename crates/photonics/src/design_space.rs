@@ -1,0 +1,317 @@
+//! Constraint-driven design-space exploration for MR banks.
+//!
+//! §VI: *"The specific architectural details of each hardware accelerator
+//! such as the numbers of the computational blocks, were determined
+//! through detailed design-space analysis."* This module reproduces that
+//! analysis (experiment E7 in DESIGN.md): it sweeps ring radius, quality
+//! factor, channel spacing, and coupling gap, and keeps only the design
+//! points where
+//!
+//! 1. the WDM comb fits inside one free spectral range,
+//! 2. worst-case heterodyne crosstalk stays below half an 8-bit LSB,
+//! 3. homodyne crosstalk in coherent blocks supports 8 bits,
+//! 4. the receiver noise budget reaches 8 effective bits, and
+//! 5. the laser can supply the required per-channel power.
+//!
+//! Among feasible points it selects the one maximising wavelength
+//! parallelism, breaking ties with lower laser power.
+
+use crate::crosstalk::{HeterodyneAnalysis, HomodyneAnalysis};
+use crate::link::{Laser, WdmLink};
+use crate::mr::MrConfig;
+use crate::noise::NoiseBudget;
+use crate::PhotonicError;
+
+/// Bounds of the design-space sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Candidate ring radii, µm.
+    pub radii_um: Vec<f64>,
+    /// Candidate quality factors.
+    pub q_factors: Vec<f64>,
+    /// Candidate channel spacings, nm.
+    pub spacings_nm: Vec<f64>,
+    /// Candidate coupling gaps, nm.
+    pub gaps_nm: Vec<f64>,
+    /// Target precision, bits.
+    pub bits: u32,
+    /// Coherent-summation branch count the homodyne check must support.
+    pub coherent_branches: usize,
+    /// Laser available to provision links.
+    pub laser: Laser,
+    /// Receiver noise budget template (crosstalk is filled in per point).
+    pub noise: NoiseBudget,
+}
+
+impl Default for SweepConfig {
+    /// The sweep used for the paper-style design-space analysis: radii
+    /// {3, 5, 8} µm, Q ∈ {5k, 10k, 15k, 20k, 30k}, spacing 0.4–3.2 nm,
+    /// gaps {200, 300, 400, 500} nm, 8-bit target, 16 coherent branches.
+    fn default() -> Self {
+        SweepConfig {
+            radii_um: vec![3.0, 5.0, 8.0],
+            q_factors: vec![5_000.0, 10_000.0, 15_000.0, 20_000.0, 30_000.0],
+            spacings_nm: vec![0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.2],
+            gaps_nm: vec![200.0, 300.0, 400.0, 500.0],
+            bits: 8,
+            coherent_branches: 16,
+            laser: Laser::default(),
+            noise: NoiseBudget::default(),
+        }
+    }
+}
+
+/// A feasible design point with its figures of merit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The ring configuration.
+    pub mr: MrConfig,
+    /// Channel spacing, nm.
+    pub spacing_nm: f64,
+    /// Number of WDM channels supported per waveguide.
+    pub channels: usize,
+    /// Worst-case heterodyne crosstalk ratio.
+    pub heterodyne_crosstalk: f64,
+    /// Homodyne amplitude-error bound at the configured branch count.
+    pub homodyne_error: f64,
+    /// Effective bits achieved by the noise budget at the provisioned
+    /// receive power.
+    pub enob: f64,
+    /// Laser power provisioned per channel, dBm.
+    pub laser_power_per_channel_dbm: f64,
+    /// Laser electrical power for one fully-populated waveguide, W.
+    pub laser_electrical_w: f64,
+}
+
+/// Result of a sweep: all feasible points plus sweep statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// All feasible design points found.
+    pub feasible: Vec<DesignPoint>,
+    /// Number of candidate points examined.
+    pub examined: usize,
+    /// How many candidates failed each constraint (diagnostics):
+    /// `[fsr, heterodyne, homodyne, noise, laser]`.
+    pub rejections: [usize; 5],
+}
+
+impl SweepOutcome {
+    /// The best point: maximum channels, then minimum laser power.
+    pub fn best(&self) -> Option<&DesignPoint> {
+        self.feasible.iter().max_by(|a, b| {
+            a.channels
+                .cmp(&b.channels)
+                .then(
+                    b.laser_electrical_w
+                        .partial_cmp(&a.laser_electrical_w)
+                        .expect("finite powers"),
+                )
+        })
+    }
+}
+
+/// Runs the sweep.
+///
+/// # Example
+///
+/// ```
+/// use phox_photonics::design_space::{sweep, SweepConfig};
+///
+/// # fn main() -> Result<(), phox_photonics::PhotonicError> {
+/// let outcome = sweep(&SweepConfig::default())?;
+/// let best = outcome.best().expect("feasible set is non-empty");
+/// assert!(best.enob >= 8.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`PhotonicError::InvalidConfig`] when the sweep lists are
+/// empty, and [`PhotonicError::NoFeasibleDesign`] when no candidate
+/// satisfies all constraints.
+pub fn sweep(config: &SweepConfig) -> Result<SweepOutcome, PhotonicError> {
+    if config.radii_um.is_empty()
+        || config.q_factors.is_empty()
+        || config.spacings_nm.is_empty()
+        || config.gaps_nm.is_empty()
+    {
+        return Err(PhotonicError::InvalidConfig {
+            what: "sweep lists must be non-empty",
+        });
+    }
+    let mut feasible = Vec::new();
+    let mut examined = 0;
+    let mut rejections = [0usize; 5];
+
+    for &radius in &config.radii_um {
+        for &q in &config.q_factors {
+            for &gap in &config.gaps_nm {
+                let mr = MrConfig {
+                    radius_um: radius,
+                    q_factor: q,
+                    coupling_gap_nm: gap,
+                    ..MrConfig::default()
+                }
+                .validated()?;
+                for &spacing in &config.spacings_nm {
+                    examined += 1;
+                    match evaluate_point(config, &mr, spacing) {
+                        Ok(point) => feasible.push(point),
+                        Err(stage) => rejections[stage] += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    if feasible.is_empty() {
+        return Err(PhotonicError::NoFeasibleDesign { examined });
+    }
+    Ok(SweepOutcome {
+        feasible,
+        examined,
+        rejections,
+    })
+}
+
+/// Evaluates one candidate; `Err(stage)` identifies the failed constraint
+/// (0 = FSR, 1 = heterodyne, 2 = homodyne, 3 = noise, 4 = laser).
+fn evaluate_point(
+    config: &SweepConfig,
+    mr: &MrConfig,
+    spacing: f64,
+) -> Result<DesignPoint, usize> {
+    // Constraint 1+2: largest comb that fits the FSR with acceptable
+    // heterodyne crosstalk.
+    let channels = HeterodyneAnalysis::max_channels(mr, spacing, config.bits);
+    if channels < 2 {
+        // Distinguish "does not fit" from "too much crosstalk".
+        let fits = HeterodyneAnalysis::new(mr, 2, spacing).is_ok();
+        return Err(if fits { 1 } else { 0 });
+    }
+    let het = HeterodyneAnalysis::new(mr, channels, spacing).expect("validated by max_channels");
+    let x_het = het.worst_case();
+
+    // Constraint 3: homodyne crosstalk in the coherent blocks.
+    let hom = HomodyneAnalysis::new(config.coherent_branches, mr.homodyne_leakage())
+        .map_err(|_| 2usize)?;
+    if !hom.supports_bits(config.bits) {
+        return Err(2);
+    }
+
+    // Constraint 4: noise budget including residual heterodyne crosstalk.
+    let noise = NoiseBudget {
+        crosstalk_ratio: x_het,
+        ..config.noise
+    };
+    let required_rx_w = noise.required_power_w(config.bits).map_err(|_| 3usize)?;
+
+    // Constraint 5: laser can supply it through the bank's losses.
+    let link = WdmLink {
+        channels,
+        through_mrs: channels, // every signal passes the whole bank
+        ..WdmLink::default()
+    };
+    let budget = config.laser.provision(&link, required_rx_w).map_err(|_| 4usize)?;
+    let enob = noise
+        .evaluate(required_rx_w)
+        .map(|r| r.enob)
+        .map_err(|_| 3usize)?;
+
+    Ok(DesignPoint {
+        mr: *mr,
+        spacing_nm: spacing,
+        channels,
+        heterodyne_crosstalk: x_het,
+        homodyne_error: hom.worst_case_amplitude_error(),
+        enob,
+        laser_power_per_channel_dbm: budget.laser_power_per_channel_dbm,
+        laser_electrical_w: budget.laser_electrical_w,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_finds_feasible_points() {
+        let out = sweep(&SweepConfig::default()).unwrap();
+        assert!(!out.feasible.is_empty());
+        assert!(out.examined > out.feasible.len());
+        let best = out.best().unwrap();
+        assert!(best.channels >= 8, "best channels = {}", best.channels);
+        assert!(best.enob >= 8.0);
+    }
+
+    #[test]
+    fn best_point_maximises_channels() {
+        let out = sweep(&SweepConfig::default()).unwrap();
+        let best = out.best().unwrap();
+        assert!(out.feasible.iter().all(|p| p.channels <= best.channels));
+    }
+
+    #[test]
+    fn impossible_targets_yield_no_feasible_design() {
+        let config = SweepConfig {
+            bits: 16, // unreachable with these devices
+            ..SweepConfig::default()
+        };
+        assert!(matches!(
+            sweep(&config),
+            Err(PhotonicError::NoFeasibleDesign { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sweep_lists_rejected() {
+        let config = SweepConfig {
+            radii_um: vec![],
+            ..SweepConfig::default()
+        };
+        assert!(matches!(
+            sweep(&config),
+            Err(PhotonicError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn narrow_gaps_rejected_for_homodyne() {
+        let config = SweepConfig {
+            gaps_nm: vec![150.0],
+            ..SweepConfig::default()
+        };
+        // All points should fail the homodyne constraint.
+        match sweep(&config) {
+            Err(PhotonicError::NoFeasibleDesign { .. }) => {}
+            Ok(out) => panic!("expected no feasible design, got {}", out.feasible.len()),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn rejection_diagnostics_cover_examined() {
+        let out = sweep(&SweepConfig::default()).unwrap();
+        let rejected: usize = out.rejections.iter().sum();
+        assert_eq!(rejected + out.feasible.len(), out.examined);
+    }
+
+    #[test]
+    fn smaller_rings_allow_more_channels() {
+        // Smaller radius -> larger FSR -> more channels at fixed spacing.
+        let small = SweepConfig {
+            radii_um: vec![3.0],
+            q_factors: vec![20_000.0],
+            gaps_nm: vec![400.0],
+            ..SweepConfig::default()
+        };
+        let large = SweepConfig {
+            radii_um: vec![8.0],
+            ..small.clone()
+        };
+        let s = sweep(&small).unwrap();
+        let l = sweep(&large).unwrap();
+        assert!(s.best().unwrap().channels > l.best().unwrap().channels);
+    }
+}

@@ -1,0 +1,174 @@
+//! # phox-photonics
+//!
+//! Silicon-photonic device models for the TRON (transformer) and GHOST
+//! (GNN) accelerator simulators: microring resonators, EO/TO/TED tuning,
+//! heterodyne/homodyne/thermal crosstalk, VCSELs, balanced
+//! photodetectors, SOAs, ADC/DAC converters, receiver noise budgets, WDM
+//! link power budgets, MR bank arrays, coherent summation, and a
+//! constraint-driven design-space search.
+//!
+//! The models follow §IV–§V of *"Accelerating Neural Networks for Large
+//! Language Models and Graph Processing with Silicon Photonics"*
+//! (DATE 2024); see the repository DESIGN.md for the substitution table
+//! mapping each paper artifact (Lumerical-calibrated device curves) to the
+//! analytic model implemented here.
+//!
+//! # Example
+//!
+//! ```
+//! use phox_photonics::mr::MrConfig;
+//! use phox_photonics::crosstalk::HeterodyneAnalysis;
+//!
+//! # fn main() -> Result<(), phox_photonics::PhotonicError> {
+//! let mr = MrConfig::default().validated()?;
+//! // How many 8-bit-clean WDM channels fit at 1.6 nm spacing?
+//! let n = HeterodyneAnalysis::max_channels(&mr, 1.6, 8);
+//! assert!(n >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+// Index-based loops are the clearest idiom for the dense-matrix and
+// per-ring arithmetic throughout this crate.
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod analog;
+pub mod bank;
+pub mod coherent;
+pub mod constants;
+pub mod converter;
+pub mod crosstalk;
+pub mod design_space;
+pub mod devices;
+pub mod link;
+pub mod mr;
+pub mod noise;
+pub mod pcm;
+pub mod summation;
+pub mod tuning;
+pub mod variation;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all photonic device and design-space operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhotonicError {
+    /// A configuration field was non-physical.
+    InvalidConfig {
+        /// Which constraint was violated.
+        what: &'static str,
+    },
+    /// A value was outside the representable range.
+    ValueOutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Lower bound of the valid range.
+        lo: f64,
+        /// Upper bound of the valid range.
+        hi: f64,
+    },
+    /// A required resonance shift exceeded the tuning range.
+    TuningRangeExceeded {
+        /// Shift that was requested, nm.
+        required_nm: f64,
+        /// Maximum available shift, nm.
+        available_nm: f64,
+    },
+    /// A WDM comb did not fit within one free spectral range.
+    FsrExceeded {
+        /// Comb width required, nm.
+        required_nm: f64,
+        /// Available FSR, nm.
+        fsr_nm: f64,
+    },
+    /// Received optical power fell below photodetector sensitivity.
+    SignalUndetectable {
+        /// Received power, dBm.
+        received_dbm: f64,
+        /// Detector sensitivity, dBm.
+        sensitivity_dbm: f64,
+    },
+    /// The noise budget cannot reach the target precision at any power.
+    PrecisionUnreachable {
+        /// Target effective bits.
+        target_bits: u32,
+        /// Best achievable effective bits.
+        achieved_bits: f64,
+    },
+    /// The laser cannot supply the required per-channel power.
+    LaserBudgetExceeded {
+        /// Required laser power, dBm.
+        required_dbm: f64,
+        /// Available laser power, dBm.
+        available_dbm: f64,
+    },
+    /// A design-space sweep found no feasible point.
+    NoFeasibleDesign {
+        /// Number of candidates examined.
+        examined: usize,
+    },
+    /// A numerical routine failed.
+    NumericalFailure {
+        /// Which routine.
+        what: &'static str,
+        /// Underlying detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PhotonicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhotonicError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            PhotonicError::ValueOutOfRange { value, lo, hi } => {
+                write!(f, "value {value} outside representable range [{lo}, {hi}]")
+            }
+            PhotonicError::TuningRangeExceeded {
+                required_nm,
+                available_nm,
+            } => write!(
+                f,
+                "tuning range exceeded: need {required_nm:.4} nm, have {available_nm:.4} nm"
+            ),
+            PhotonicError::FsrExceeded {
+                required_nm,
+                fsr_nm,
+            } => write!(
+                f,
+                "channel comb of {required_nm:.3} nm exceeds the {fsr_nm:.3} nm free spectral range"
+            ),
+            PhotonicError::SignalUndetectable {
+                received_dbm,
+                sensitivity_dbm,
+            } => write!(
+                f,
+                "received {received_dbm:.2} dBm is below the {sensitivity_dbm:.2} dBm sensitivity"
+            ),
+            PhotonicError::PrecisionUnreachable {
+                target_bits,
+                achieved_bits,
+            } => write!(
+                f,
+                "cannot reach {target_bits} effective bits (best achievable {achieved_bits:.2})"
+            ),
+            PhotonicError::LaserBudgetExceeded {
+                required_dbm,
+                available_dbm,
+            } => write!(
+                f,
+                "laser budget exceeded: need {required_dbm:.2} dBm per channel, have {available_dbm:.2} dBm"
+            ),
+            PhotonicError::NoFeasibleDesign { examined } => {
+                write!(f, "no feasible design point among {examined} candidates")
+            }
+            PhotonicError::NumericalFailure { what, detail } => {
+                write!(f, "numerical failure in {what}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for PhotonicError {}

@@ -1,0 +1,258 @@
+//! WDM link power budget and laser model.
+//!
+//! Every compute waveguide must deliver enough optical power to the
+//! photodetector for the noise budget to sustain 8 effective bits, after
+//! paying all insertion losses along the path. The budget walls off
+//! infeasible design points (too many rings on a waveguide, too little
+//! laser power) and contributes the laser's electrical draw to the energy
+//! ledger.
+
+use crate::constants::{dbm_to_watts, watts_to_dbm};
+use crate::PhotonicError;
+
+/// Loss inventory of one WDM compute waveguide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WdmLink {
+    /// Number of wavelengths multiplexed on the waveguide.
+    pub channels: usize,
+    /// Number of MRs each signal passes *through* (off-resonance rings on
+    /// the shared bus).
+    pub through_mrs: usize,
+    /// Through-port insertion loss per off-resonance MR, dB.
+    pub mr_through_loss_db: f64,
+    /// Number of on-resonance (actively modulating) MR encounters.
+    pub active_mrs: usize,
+    /// Drop/modulation loss per active MR, dB.
+    pub mr_active_loss_db: f64,
+    /// Waveguide propagation loss, dB/cm.
+    pub propagation_db_per_cm: f64,
+    /// Physical path length, cm.
+    pub length_cm: f64,
+    /// Number of Y-splitters along the path.
+    pub splitters: usize,
+    /// Loss per splitter, dB (3 dB for an even split plus excess loss).
+    pub splitter_loss_db: f64,
+    /// Fiber/chip coupling loss at each end, dB.
+    pub coupler_loss_db: f64,
+    /// Design margin, dB.
+    pub margin_db: f64,
+}
+
+impl Default for WdmLink {
+    /// A representative intra-accelerator path: 16 channels, 16 through
+    /// rings at 0.05 dB, 2 active rings at 0.5 dB, 1 dB/cm over 0.5 cm,
+    /// one splitter (3.2 dB), 1.5 dB couplers, 3 dB margin.
+    fn default() -> Self {
+        WdmLink {
+            channels: 16,
+            through_mrs: 16,
+            mr_through_loss_db: 0.05,
+            active_mrs: 2,
+            mr_active_loss_db: 0.5,
+            propagation_db_per_cm: 1.0,
+            length_cm: 0.5,
+            splitters: 1,
+            splitter_loss_db: 3.2,
+            coupler_loss_db: 1.5,
+            margin_db: 3.0,
+        }
+    }
+}
+
+impl WdmLink {
+    /// Validates the inventory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero channels or
+    /// negative loss entries.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.channels == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "link requires at least one channel",
+            });
+        }
+        let losses = [
+            self.mr_through_loss_db,
+            self.mr_active_loss_db,
+            self.propagation_db_per_cm,
+            self.length_cm,
+            self.splitter_loss_db,
+            self.coupler_loss_db,
+            self.margin_db,
+        ];
+        if losses.iter().any(|&l| l < 0.0 || !l.is_finite()) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "losses must be non-negative and finite",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Total end-to-end loss, dB (margin included).
+    pub fn total_loss_db(&self) -> f64 {
+        self.through_mrs as f64 * self.mr_through_loss_db
+            + self.active_mrs as f64 * self.mr_active_loss_db
+            + self.propagation_db_per_cm * self.length_cm
+            + self.splitters as f64 * self.splitter_loss_db
+            + 2.0 * self.coupler_loss_db
+            + self.margin_db
+    }
+
+    /// Laser power required *per wavelength* (dBm) to deliver
+    /// `required_rx_w` watts to the detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] if the required receive
+    /// power is non-positive.
+    pub fn required_laser_power_dbm(&self, required_rx_w: f64) -> Result<f64, PhotonicError> {
+        if required_rx_w <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "required receive power must be positive",
+            });
+        }
+        Ok(watts_to_dbm(required_rx_w) + self.total_loss_db())
+    }
+}
+
+/// An off-chip (or co-packaged) multi-wavelength laser source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laser {
+    /// Maximum optical power per wavelength, dBm.
+    pub max_power_per_channel_dbm: f64,
+    /// Wall-plug efficiency (optical/electrical), in `(0, 1]`.
+    pub wall_plug_efficiency: f64,
+}
+
+impl Default for Laser {
+    /// 10 dBm per comb line at 20 % wall-plug efficiency.
+    fn default() -> Self {
+        Laser {
+            max_power_per_channel_dbm: 10.0,
+            wall_plug_efficiency: 0.2,
+        }
+    }
+}
+
+/// The provisioned optical supply for one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Laser power actually provisioned per channel, dBm.
+    pub laser_power_per_channel_dbm: f64,
+    /// Number of channels.
+    pub channels: usize,
+    /// Total electrical power drawn by the laser for this link, W.
+    pub laser_electrical_w: f64,
+    /// Power arriving at the detector per channel, W.
+    pub received_w: f64,
+    /// Slack between provisioned and required laser power, dB.
+    pub slack_db: f64,
+}
+
+impl Laser {
+    /// Provisions this laser for `link`, so that `required_rx_w` reaches
+    /// the detector on every channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::LaserBudgetExceeded`] when the per-channel
+    /// requirement exceeds the laser's maximum.
+    pub fn provision(&self, link: &WdmLink, required_rx_w: f64) -> Result<LinkBudget, PhotonicError> {
+        let need_dbm = link.required_laser_power_dbm(required_rx_w)?;
+        if need_dbm > self.max_power_per_channel_dbm {
+            return Err(PhotonicError::LaserBudgetExceeded {
+                required_dbm: need_dbm,
+                available_dbm: self.max_power_per_channel_dbm,
+            });
+        }
+        let optical_per_channel = dbm_to_watts(need_dbm);
+        let electrical = optical_per_channel * link.channels as f64 / self.wall_plug_efficiency;
+        Ok(LinkBudget {
+            laser_power_per_channel_dbm: need_dbm,
+            channels: link.channels,
+            laser_electrical_w: electrical,
+            received_w: required_rx_w,
+            slack_db: self.max_power_per_channel_dbm - need_dbm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_loss_inventory_adds_up() {
+        let l = WdmLink::default().validated().unwrap();
+        // 16·0.05 + 2·0.5 + 0.5 + 3.2 + 3.0 + 3.0 = 11.5 dB.
+        assert!((l.total_loss_db() - 11.5).abs() < 1e-9, "{}", l.total_loss_db());
+    }
+
+    #[test]
+    fn required_laser_power_adds_loss() {
+        let l = WdmLink::default();
+        // 0.1 mW rx = -10 dBm; plus 11.5 dB loss = 1.5 dBm.
+        let p = l.required_laser_power_dbm(1e-4).unwrap();
+        assert!((p - 1.5).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn provisioning_within_budget() {
+        let link = WdmLink::default();
+        let laser = Laser::default();
+        let b = laser.provision(&link, 1e-4).unwrap();
+        assert!(b.slack_db > 0.0);
+        assert_eq!(b.channels, 16);
+        // Electrical = optical·channels/η.
+        let optical = dbm_to_watts(b.laser_power_per_channel_dbm);
+        assert!((b.laser_electrical_w - optical * 16.0 / 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provisioning_fails_when_loss_too_high() {
+        let link = WdmLink {
+            through_mrs: 64,
+            mr_through_loss_db: 0.5, // pathological: 32 dB of ring loss
+            ..WdmLink::default()
+        };
+        let laser = Laser::default();
+        assert!(matches!(
+            laser.provision(&link, 1e-3),
+            Err(PhotonicError::LaserBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn more_rings_need_more_power() {
+        let short = WdmLink {
+            through_mrs: 8,
+            ..WdmLink::default()
+        };
+        let long = WdmLink {
+            through_mrs: 32,
+            ..WdmLink::default()
+        };
+        let ps = short.required_laser_power_dbm(1e-4).unwrap();
+        let pl = long.required_laser_power_dbm(1e-4).unwrap();
+        assert!(pl > ps);
+        assert!((pl - ps - 24.0 * 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(WdmLink {
+            channels: 0,
+            ..WdmLink::default()
+        }
+        .validated()
+        .is_err());
+        assert!(WdmLink {
+            coupler_loss_db: -1.0,
+            ..WdmLink::default()
+        }
+        .validated()
+        .is_err());
+        assert!(WdmLink::default().required_laser_power_dbm(0.0).is_err());
+    }
+}

@@ -1,0 +1,406 @@
+//! Microring resonator (MR) device physics.
+//!
+//! The MR is the core opto-electronic compute device of both TRON and
+//! GHOST (§IV of the paper). Each MR is designed/tuned to a resonant
+//! wavelength (eq. (2)):
+//!
+//! ```text
+//! λ_MR = (2πR / m) · n_eff
+//! ```
+//!
+//! where `R` is the ring radius, `m` the resonance order and `n_eff` the
+//! effective index. A tuning circuit perturbs `n_eff`, shifting the
+//! resonance by `Δλ_MR` and thereby modulating the through-port amplitude —
+//! this is how a parameter is *imprinted* onto an optical signal
+//! (Fig. 3(a)).
+//!
+//! We model the through-port response with the standard first-order
+//! Lorentzian approximation used across the silicon-photonic accelerator
+//! literature (the paper calibrates its MRs with Ansys Lumerical; the
+//! architecture simulator only consumes the resulting transmission curve,
+//! which this model reproduces — see DESIGN.md substitution table).
+
+use crate::constants::DEFAULT_WAVELENGTH_NM;
+use crate::PhotonicError;
+
+/// Geometric and optical configuration of a microring resonator.
+///
+/// # Example
+///
+/// ```
+/// use phox_photonics::mr::MrConfig;
+///
+/// # fn main() -> Result<(), phox_photonics::PhotonicError> {
+/// let mr = MrConfig::default().validated()?;
+/// // A 1550 nm-band ring has a free spectral range of several nm.
+/// assert!(mr.fsr_nm() > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrConfig {
+    /// Ring radius, µm.
+    pub radius_um: f64,
+    /// Loaded quality factor.
+    pub q_factor: f64,
+    /// Effective index of the ring waveguide mode.
+    pub n_eff: f64,
+    /// Group index (sets the free spectral range).
+    pub n_group: f64,
+    /// Minimum through-port transmission on resonance (extinction floor,
+    /// linear power ratio in `[0, 1)`).
+    pub min_transmission: f64,
+    /// Through-port insertion loss when the ring is far off resonance, dB.
+    pub insertion_loss_db: f64,
+    /// Gap between the bus and ring waveguides, nm. Wider gaps reduce the
+    /// homodyne (coherent) crosstalk coupled back into the bus (§V.B).
+    pub coupling_gap_nm: f64,
+    /// Maximum achievable resonance shift from the tuning circuit, nm.
+    pub max_tuning_range_nm: f64,
+}
+
+impl Default for MrConfig {
+    /// A representative C-band silicon MR: R = 5 µm, Q = 12 000,
+    /// n_eff = 2.4, n_g = 4.2, 20 dB extinction, 0.05 dB insertion loss,
+    /// 200 nm coupling gap, ±1 nm tuning range.
+    fn default() -> Self {
+        MrConfig {
+            radius_um: 5.0,
+            q_factor: 12_000.0,
+            n_eff: 2.4,
+            n_group: 4.2,
+            min_transmission: 0.01,
+            insertion_loss_db: 0.05,
+            coupling_gap_nm: 200.0,
+            max_tuning_range_nm: 1.0,
+        }
+    }
+}
+
+impl MrConfig {
+    /// Validates physical plausibility of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] when any field is
+    /// non-physical (non-positive radius/Q/indices, extinction floor
+    /// outside `[0, 1)`, or a negative tuning range).
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if !(self.radius_um > 0.0 && self.radius_um.is_finite()) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "ring radius must be positive",
+            });
+        }
+        if !(self.q_factor > 100.0 && self.q_factor.is_finite()) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "quality factor must exceed 100",
+            });
+        }
+        if !(self.n_eff > 1.0 && self.n_group >= self.n_eff) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "indices must satisfy n_group >= n_eff > 1",
+            });
+        }
+        if !(0.0..1.0).contains(&self.min_transmission) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "min transmission must be in [0, 1)",
+            });
+        }
+        if self.insertion_loss_db < 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "insertion loss must be non-negative",
+            });
+        }
+        if self.max_tuning_range_nm < 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "tuning range must be non-negative",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Ring circumference, in nm.
+    pub fn circumference_nm(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.radius_um * 1e3
+    }
+
+    /// Resonant wavelength for resonance order `m` (eq. (2) of the paper):
+    /// `λ = 2πR·n_eff / m`.
+    pub fn resonant_wavelength_nm(&self, order: u32) -> f64 {
+        self.circumference_nm() * self.n_eff / order as f64
+    }
+
+    /// The resonance order whose wavelength is closest to the target
+    /// (default 1550 nm C-band carrier).
+    pub fn order_near(&self, target_nm: f64) -> u32 {
+        let m = (self.circumference_nm() * self.n_eff / target_nm).round();
+        m.max(1.0) as u32
+    }
+
+    /// Free spectral range near the default carrier:
+    /// `FSR = λ² / (n_g · L)`.
+    pub fn fsr_nm(&self) -> f64 {
+        DEFAULT_WAVELENGTH_NM * DEFAULT_WAVELENGTH_NM / (self.n_group * self.circumference_nm())
+    }
+
+    /// Full width at half maximum of the resonance: `Γ = λ/Q`.
+    pub fn fwhm_nm(&self) -> f64 {
+        DEFAULT_WAVELENGTH_NM / self.q_factor
+    }
+
+    /// Through-port power transmission at `lambda_nm` for a ring resonant
+    /// at `resonance_nm` (first-order Lorentzian dip, Fig. 3(a)):
+    ///
+    /// `T(λ) = 1 − (1 − T_min)·(Γ/2)² / ((λ−λ_r)² + (Γ/2)²)`
+    ///
+    /// scaled by the off-resonance insertion loss.
+    pub fn through_transmission(&self, lambda_nm: f64, resonance_nm: f64) -> f64 {
+        let hw = self.fwhm_nm() / 2.0;
+        let det = lambda_nm - resonance_nm;
+        let lorentz = hw * hw / (det * det + hw * hw);
+        let dip = 1.0 - (1.0 - self.min_transmission) * lorentz;
+        dip * crate::constants::db_to_ratio(-self.insertion_loss_db)
+    }
+
+    /// Drop-port power transmission (complement of the dip, before loss).
+    pub fn drop_transmission(&self, lambda_nm: f64, resonance_nm: f64) -> f64 {
+        let hw = self.fwhm_nm() / 2.0;
+        let det = lambda_nm - resonance_nm;
+        (1.0 - self.min_transmission) * hw * hw / (det * det + hw * hw)
+    }
+
+    /// Finds the resonance detuning `δλ ≥ 0` (nm) that makes the
+    /// through-port transmit the normalized amplitude `target ∈ [T_min, 1]`
+    /// of the carrier — the *parameter imprinting* operation.
+    ///
+    /// Inverting the Lorentzian:
+    /// `δλ = (Γ/2) · sqrt((1−T_min)/(1−T) − 1)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhotonicError::ValueOutOfRange`] if `target` is outside
+    ///   `[T_min, 1]` (the device cannot represent it), and
+    /// * [`PhotonicError::TuningRangeExceeded`] if the required detuning
+    ///   exceeds [`MrConfig::max_tuning_range_nm`].
+    pub fn detuning_for_target(&self, target: f64) -> Result<f64, PhotonicError> {
+        let tmin = self.min_transmission;
+        if !(tmin..=1.0).contains(&target) {
+            return Err(PhotonicError::ValueOutOfRange {
+                value: target,
+                lo: tmin,
+                hi: 1.0,
+            });
+        }
+        let hw = self.fwhm_nm() / 2.0;
+        let detuning = if target >= 1.0 {
+            // Fully transparent: park the ring at the edge of its range.
+            self.max_tuning_range_nm
+        } else {
+            hw * ((1.0 - tmin) / (1.0 - target) - 1.0).max(0.0).sqrt()
+        };
+        if detuning > self.max_tuning_range_nm {
+            return Err(PhotonicError::TuningRangeExceeded {
+                required_nm: detuning,
+                available_nm: self.max_tuning_range_nm,
+            });
+        }
+        Ok(detuning)
+    }
+
+    /// Normalized transmission reached at detuning `δλ` (the imprint
+    /// read-back, without insertion loss). Inverse of
+    /// [`MrConfig::detuning_for_target`].
+    pub fn transmission_at_detuning(&self, detuning_nm: f64) -> f64 {
+        let hw = self.fwhm_nm() / 2.0;
+        let lorentz = hw * hw / (detuning_nm * detuning_nm + hw * hw);
+        1.0 - (1.0 - self.min_transmission) * lorentz
+    }
+
+    /// Fraction of on-resonance optical power that leaks back into the bus
+    /// with a phase shift, producing homodyne crosstalk. Falls
+    /// exponentially with the coupling gap (§V.B: increasing the gap
+    /// "reduces the amount of crosstalk signal being coupled over from the
+    /// MR to the main waveguide").
+    pub fn homodyne_leakage(&self) -> f64 {
+        // Calibrated so a 100 nm gap leaks ~1%, a 300 nm gap ~2.4e-6, and a
+        // 400 nm gap ~4e-8 (negligible for 8-bit coherent summation).
+        1e-2 * (-(self.coupling_gap_nm - 100.0) / 24.0).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mr() -> MrConfig {
+        MrConfig::default().validated().unwrap()
+    }
+
+    #[test]
+    fn resonance_equation_matches_eq2() {
+        let m = mr();
+        // λ = 2πR n_eff / m, with R in nm.
+        let order = m.order_near(1550.0);
+        let lambda = m.resonant_wavelength_nm(order);
+        let expected = 2.0 * std::f64::consts::PI * 5.0e3 * 2.4 / order as f64;
+        assert!((lambda - expected).abs() < 1e-9);
+        // Should be near the C-band target.
+        assert!((lambda - 1550.0).abs() < m.fsr_nm());
+    }
+
+    #[test]
+    fn fsr_reasonable_for_5um_ring() {
+        // λ²/(n_g·2πR) = 1550²/(4.2·31 416) ≈ 18.2 nm.
+        let fsr = mr().fsr_nm();
+        assert!((fsr - 18.2).abs() < 0.5, "fsr = {fsr}");
+    }
+
+    #[test]
+    fn fwhm_is_lambda_over_q() {
+        let m = mr();
+        assert!((m.fwhm_nm() - 1550.0 / 12_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_resonance_transmission_is_floor() {
+        let m = mr();
+        let t = m.through_transmission(1550.0, 1550.0);
+        let floor = m.min_transmission * crate::constants::db_to_ratio(-m.insertion_loss_db);
+        assert!((t - floor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_off_resonance_transmission_is_near_unity() {
+        let m = mr();
+        let t = m.through_transmission(1550.0, 1560.0);
+        assert!(t > 0.98, "t = {t}");
+    }
+
+    #[test]
+    fn transmission_bounded() {
+        let m = mr();
+        for i in 0..200 {
+            let lam = 1540.0 + i as f64 * 0.1;
+            let t = m.through_transmission(lam, 1550.0);
+            assert!((0.0..=1.0).contains(&t));
+            let d = m.drop_transmission(lam, 1550.0);
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn half_max_at_half_width() {
+        let m = mr();
+        let hw = m.fwhm_nm() / 2.0;
+        let drop = m.drop_transmission(1550.0 + hw, 1550.0);
+        assert!((drop - (1.0 - m.min_transmission) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imprint_roundtrip() {
+        let m = mr();
+        for &target in &[0.02, 0.1, 0.35, 0.6, 0.9, 0.99] {
+            let d = m.detuning_for_target(target).unwrap();
+            let back = m.transmission_at_detuning(d);
+            assert!(
+                (back - target).abs() < 1e-9,
+                "target {target}, got {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn imprint_rejects_unreachable_targets() {
+        let m = mr();
+        assert!(matches!(
+            m.detuning_for_target(0.001),
+            Err(PhotonicError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.detuning_for_target(1.5),
+            Err(PhotonicError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn imprint_respects_tuning_range() {
+        let cfg = MrConfig {
+            max_tuning_range_nm: 0.01, // absurdly small range
+            ..MrConfig::default()
+        };
+        let m = cfg.validated().unwrap();
+        // High transmission needs large detuning -> must fail.
+        assert!(matches!(
+            m.detuning_for_target(0.999),
+            Err(PhotonicError::TuningRangeExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn detuning_monotonic_in_target() {
+        let m = mr();
+        let mut last = -1.0;
+        for i in 1..=9 {
+            let t = 0.1 * i as f64;
+            let d = m.detuning_for_target(t).unwrap();
+            assert!(d > last, "detuning should grow with target transmission");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn homodyne_leakage_falls_with_gap() {
+        let narrow = MrConfig {
+            coupling_gap_nm: 100.0,
+            ..MrConfig::default()
+        };
+        let wide = MrConfig {
+            coupling_gap_nm: 300.0,
+            ..MrConfig::default()
+        };
+        assert!(narrow.homodyne_leakage() > wide.homodyne_leakage() * 10.0);
+        assert!((narrow.homodyne_leakage() - 1e-2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(MrConfig {
+            radius_um: -1.0,
+            ..MrConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(MrConfig {
+            q_factor: 10.0,
+            ..MrConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(MrConfig {
+            min_transmission: 1.0,
+            ..MrConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(MrConfig {
+            n_eff: 5.0,
+            n_group: 2.0,
+            ..MrConfig::default()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn higher_q_means_narrower_line() {
+        let lo = MrConfig {
+            q_factor: 5_000.0,
+            ..MrConfig::default()
+        };
+        let hi = MrConfig {
+            q_factor: 20_000.0,
+            ..MrConfig::default()
+        };
+        assert!(hi.fwhm_nm() < lo.fwhm_nm());
+    }
+}

@@ -1,0 +1,266 @@
+//! Non-volatile optical weight memory (§VII future work).
+//!
+//! The paper's conclusion names *"alternative non-volatile optical memory
+//! cells"* as an open direction: phase-change-material (PCM, e.g. GST)
+//! cells can hold a weight's optical attenuation with **zero static
+//! power**, eliminating the weight DAC conversions and tuning holds of a
+//! volatile MR weight bank — at the cost of slow, energy-hungry writes
+//! and a limited number of discrete levels.
+//!
+//! [`PcmCell`] models the cell; [`weight_storage_comparison`] answers the
+//! design question the paper poses: *at what weight-reuse factor does
+//! non-volatile storage win?*
+
+use crate::converter::Dac;
+use crate::tuning::HybridTuning;
+use crate::PhotonicError;
+
+/// A phase-change optical memory cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcmCell {
+    /// Distinguishable transmission levels.
+    pub levels: u32,
+    /// Energy of one programming pulse sequence (full rewrite), J.
+    pub write_energy_j: f64,
+    /// Write latency (amorphization/crystallization pulses), s.
+    pub write_latency_s: f64,
+    /// Endurance: writes before the cell degrades.
+    pub endurance_writes: u64,
+    /// Extra insertion loss of the cell in the waveguide, dB.
+    pub insertion_loss_db: f64,
+}
+
+impl Default for PcmCell {
+    /// A GST-on-waveguide cell: 32 levels (5 bits/cell — two cells per
+    /// 8-bit weight in practice), ~20 nJ per rewrite, 200 ns write,
+    /// 10⁸ writes endurance, 0.5 dB insertion loss.
+    fn default() -> Self {
+        PcmCell {
+            levels: 32,
+            write_energy_j: 20e-9,
+            write_latency_s: 200e-9,
+            endurance_writes: 100_000_000,
+            insertion_loss_db: 0.5,
+        }
+    }
+}
+
+impl PcmCell {
+    /// Validates the cell parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for non-physical values.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.levels < 2 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "PCM cell needs at least two levels",
+            });
+        }
+        if self.write_energy_j <= 0.0 || self.write_latency_s <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "PCM write cost must be positive",
+            });
+        }
+        if self.endurance_writes == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "PCM endurance must be non-zero",
+            });
+        }
+        if self.insertion_loss_db < 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "insertion loss must be non-negative",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Effective bits per cell.
+    pub fn bits(&self) -> f64 {
+        (self.levels as f64).log2()
+    }
+
+    /// Cells needed to store one weight of `weight_bits` bits.
+    pub fn cells_per_weight(&self, weight_bits: u32) -> u32 {
+        (weight_bits as f64 / self.bits()).ceil() as u32
+    }
+
+    /// Quantizes a normalized magnitude in `[0, 1]` onto the cell's
+    /// level grid (the read-back value).
+    pub fn quantize(&self, x: f64) -> f64 {
+        let levels = (self.levels - 1) as f64;
+        (x.clamp(0.0, 1.0) * levels).round() / levels
+    }
+
+    /// Energy to program one `weight_bits`-bit weight, J.
+    pub fn program_weight_energy_j(&self, weight_bits: u32) -> f64 {
+        self.cells_per_weight(weight_bits) as f64 * self.write_energy_j
+    }
+}
+
+/// Outcome of the volatile-vs-non-volatile weight-storage comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageComparison {
+    /// Energy per weight per use with DAC-tuned volatile MR storage, J.
+    pub tuned_energy_per_use_j: f64,
+    /// Energy per weight per use with PCM storage at the given reuse, J.
+    pub pcm_energy_per_use_j: f64,
+    /// The reuse factor at which PCM becomes cheaper.
+    pub crossover_reuse: f64,
+    /// `true` when PCM wins at the analysed reuse factor.
+    pub pcm_wins: bool,
+}
+
+/// Compares volatile (DAC + EO-tuning per pass) against PCM
+/// (write once, reuse `reuse` times) weight storage.
+///
+/// * Volatile: every use pays one DAC conversion plus the tuning hold for
+///   one symbol (`hold_s`).
+/// * PCM: one programming event amortised over `reuse` uses; reads are
+///   free (the cell sits passively in the waveguide).
+///
+/// # Errors
+///
+/// Returns [`PhotonicError::InvalidConfig`] for a zero reuse factor.
+pub fn weight_storage_comparison(
+    cell: &PcmCell,
+    dac: &Dac,
+    tuning: &HybridTuning,
+    weight_bits: u32,
+    hold_s: f64,
+    reuse: u64,
+) -> Result<StorageComparison, PhotonicError> {
+    let cell = cell.validated()?;
+    if reuse == 0 {
+        return Err(PhotonicError::InvalidConfig {
+            what: "reuse factor must be non-zero",
+        });
+    }
+    // Volatile path: DAC conversion + a mid-range EO hold per use.
+    let eo = tuning.tune(0.25)?;
+    let tuned_per_use = dac.energy_per_conversion_j() + eo.power_w * hold_s;
+    // PCM path: one write amortised over the reuse window.
+    let write = cell.program_weight_energy_j(weight_bits);
+    let pcm_per_use = write / reuse as f64;
+    let crossover = write / tuned_per_use;
+    Ok(StorageComparison {
+        tuned_energy_per_use_j: tuned_per_use,
+        pcm_energy_per_use_j: pcm_per_use,
+        crossover_reuse: crossover,
+        pcm_wins: pcm_per_use < tuned_per_use,
+    })
+}
+
+/// Lifetime of a PCM weight bank under a given reprogramming rate, s.
+///
+/// # Errors
+///
+/// Returns [`PhotonicError::InvalidConfig`] for a non-positive rate.
+pub fn pcm_lifetime_s(cell: &PcmCell, rewrites_per_s: f64) -> Result<f64, PhotonicError> {
+    if rewrites_per_s <= 0.0 {
+        return Err(PhotonicError::InvalidConfig {
+            what: "rewrite rate must be positive",
+        });
+    }
+    Ok(cell.endurance_writes as f64 / rewrites_per_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cell_is_five_bits() {
+        let c = PcmCell::default().validated().unwrap();
+        assert!((c.bits() - 5.0).abs() < 1e-12);
+        assert_eq!(c.cells_per_weight(8), 2);
+        assert_eq!(c.cells_per_weight(5), 1);
+        assert!((c.program_weight_energy_j(8) - 40e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantize_respects_level_grid() {
+        let c = PcmCell {
+            levels: 4,
+            ..PcmCell::default()
+        };
+        // Grid {0, 1/3, 2/3, 1}.
+        assert_eq!(c.quantize(0.0), 0.0);
+        assert!((c.quantize(0.4) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.quantize(1.0), 1.0);
+        assert_eq!(c.quantize(5.0), 1.0);
+    }
+
+    #[test]
+    fn pcm_wins_at_high_reuse_loses_at_low() {
+        let cell = PcmCell::default();
+        let dac = Dac::default();
+        let tuning = HybridTuning::default();
+        let low = weight_storage_comparison(&cell, &dac, &tuning, 8, 1e-10, 10).unwrap();
+        assert!(!low.pcm_wins, "{low:?}");
+        let high =
+            weight_storage_comparison(&cell, &dac, &tuning, 8, 1e-10, 1_000_000_000).unwrap();
+        assert!(high.pcm_wins, "{high:?}");
+    }
+
+    #[test]
+    fn crossover_is_consistent() {
+        let cell = PcmCell::default();
+        let dac = Dac::default();
+        let tuning = HybridTuning::default();
+        let c = weight_storage_comparison(&cell, &dac, &tuning, 8, 1e-10, 100).unwrap();
+        // At exactly the crossover reuse, the two costs match.
+        let at = weight_storage_comparison(
+            &cell,
+            &dac,
+            &tuning,
+            8,
+            1e-10,
+            c.crossover_reuse.ceil() as u64,
+        )
+        .unwrap();
+        let ratio = at.pcm_energy_per_use_j / at.tuned_energy_per_use_j;
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn lifetime_from_endurance() {
+        let cell = PcmCell::default();
+        // Reprogramming once per second: 1e8 seconds ≈ 3 years.
+        let life = pcm_lifetime_s(&cell, 1.0).unwrap();
+        assert!((life - 1e8).abs() < 1.0);
+        assert!(pcm_lifetime_s(&cell, 0.0).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PcmCell {
+            levels: 1,
+            ..PcmCell::default()
+        }
+        .validated()
+        .is_err());
+        assert!(PcmCell {
+            write_energy_j: 0.0,
+            ..PcmCell::default()
+        }
+        .validated()
+        .is_err());
+        assert!(PcmCell {
+            endurance_writes: 0,
+            ..PcmCell::default()
+        }
+        .validated()
+        .is_err());
+        let cell = PcmCell::default();
+        assert!(weight_storage_comparison(
+            &cell,
+            &Dac::default(),
+            &HybridTuning::default(),
+            8,
+            1e-10,
+            0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Coherent summation and the optical comparator.
+//!
+//! Fig. 3(b): several VCSELs emit at the *same* wavelength; an MR per
+//! branch imprints a value onto each signal's amplitude, and when the
+//! waveguides meet, constructive interference sums the fields. TRON uses
+//! this for residual connections (§V.C); GHOST's reduce units are built
+//! from it (§V.D, Fig. 7(a)), with an optical comparator variant for the
+//! `max` aggregation.
+
+use crate::crosstalk::HomodyneAnalysis;
+use crate::devices::Vcsel;
+use crate::mr::MrConfig;
+use crate::PhotonicError;
+use phox_tensor::Prng;
+
+/// A coherent summation block with a fixed number of branches.
+///
+/// # Example
+///
+/// ```
+/// use phox_photonics::summation::CoherentSummer;
+/// use phox_photonics::mr::MrConfig;
+/// use phox_photonics::devices::Vcsel;
+/// use phox_tensor::Prng;
+///
+/// # fn main() -> Result<(), phox_photonics::PhotonicError> {
+/// let mr = MrConfig { coupling_gap_nm: 450.0, ..MrConfig::default() };
+/// let summer = CoherentSummer::new(mr, Vcsel::default(), 4)?;
+/// let mut rng = Prng::new(1);
+/// let out = summer.sum(&[0.1, 0.2, 0.3, 0.4], &mut rng)?;
+/// assert!((out.value - 1.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoherentSummer {
+    mr: MrConfig,
+    vcsel: Vcsel,
+    branches: usize,
+    homodyne: HomodyneAnalysis,
+}
+
+/// Outcome of one coherent summation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumResult {
+    /// The computed sum (normalized units).
+    pub value: f64,
+    /// Electrical power drawn by the VCSEL array during the symbol, W.
+    pub vcsel_power_w: f64,
+    /// Worst-case relative error bound from homodyne crosstalk.
+    pub error_bound: f64,
+}
+
+impl CoherentSummer {
+    /// Creates a summer over `branches` same-wavelength inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero branches or an
+    /// invalid ring configuration, and propagates homodyne-analysis
+    /// construction errors.
+    pub fn new(mr: MrConfig, vcsel: Vcsel, branches: usize) -> Result<Self, PhotonicError> {
+        let mr = mr.validated()?;
+        if branches == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "summer requires at least one branch",
+            });
+        }
+        let homodyne = HomodyneAnalysis::new(branches, mr.homodyne_leakage())?;
+        Ok(CoherentSummer {
+            mr,
+            vcsel,
+            branches,
+            homodyne,
+        })
+    }
+
+    /// Number of branches.
+    pub fn branches(&self) -> usize {
+        self.branches
+    }
+
+    /// Worst-case relative amplitude error from homodyne crosstalk.
+    pub fn error_bound(&self) -> f64 {
+        self.homodyne.worst_case_amplitude_error()
+    }
+
+    /// `true` when the block's crosstalk supports `bits` of precision.
+    pub fn supports_bits(&self, bits: u32) -> bool {
+        self.homodyne.supports_bits(bits)
+    }
+
+    /// Sums normalized magnitudes in `[0, 1]`, injecting a random
+    /// homodyne-crosstalk perturbation within the analytical bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] if the number of values
+    /// differs from the branch count or any value is outside `[0, 1]`.
+    pub fn sum(&self, values: &[f64], rng: &mut Prng) -> Result<SumResult, PhotonicError> {
+        if values.len() != self.branches {
+            return Err(PhotonicError::InvalidConfig {
+                what: "value count must equal branch count",
+            });
+        }
+        if values.iter().any(|v| !(0.0..=1.0).contains(v)) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "coherent summation inputs must lie in [0, 1]",
+            });
+        }
+        let ideal: f64 = values.iter().sum();
+        let bound = self.error_bound();
+        // Phase-random crosstalk: uniform within ±bound of the ideal sum.
+        let value = ideal * (1.0 + rng.uniform(-bound, bound));
+        let mut vcsel_power = 0.0;
+        for &v in values {
+            let (_, elec) = self.vcsel.emit(v)?;
+            vcsel_power += elec;
+        }
+        Ok(SumResult {
+            value,
+            vcsel_power_w: vcsel_power,
+            error_bound: bound,
+        })
+    }
+
+    /// Mean of the branch values (used for the `mean` reduction: an
+    /// optical sum followed by a fixed 1/n attenuation stage).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CoherentSummer::sum`].
+    pub fn mean(&self, values: &[f64], rng: &mut Prng) -> Result<SumResult, PhotonicError> {
+        let mut r = self.sum(values, rng)?;
+        r.value /= self.branches as f64;
+        Ok(r)
+    }
+}
+
+/// The optical comparator used to support `max` aggregation (Fig. 7(a)).
+///
+/// Pairwise comparison of optical amplitudes through a nonlinear
+/// thresholding element; a tournament over the branches yields the
+/// maximum in `ceil(log2(n))` stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticalComparator {
+    /// Relative amplitude resolution below which two signals are
+    /// indistinguishable (comparator dead-zone).
+    pub resolution: f64,
+}
+
+impl Default for OpticalComparator {
+    /// 0.1 % dead-zone — comfortably below one 8-bit LSB.
+    fn default() -> Self {
+        OpticalComparator { resolution: 1e-3 }
+    }
+}
+
+impl OpticalComparator {
+    /// Compares two normalized amplitudes, returning the larger; within
+    /// the dead-zone the first argument wins (deterministic tie-break).
+    pub fn max2(&self, a: f64, b: f64) -> f64 {
+        if (a - b).abs() <= self.resolution {
+            a
+        } else {
+            a.max(b)
+        }
+    }
+
+    /// Tournament maximum over a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] on an empty slice.
+    pub fn max(&self, values: &[f64]) -> Result<f64, PhotonicError> {
+        if values.is_empty() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "comparator requires at least one value",
+            });
+        }
+        let mut best = values[0];
+        for &v in &values[1..] {
+            best = self.max2(best, v);
+        }
+        Ok(best)
+    }
+
+    /// Number of comparator stages for `n` inputs (`ceil(log2 n)`).
+    pub fn stages(n: usize) -> u32 {
+        if n <= 1 {
+            0
+        } else {
+            (n as f64).log2().ceil() as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summer(branches: usize) -> CoherentSummer {
+        // Wide coupling gap keeps homodyne crosstalk negligible.
+        let mr = MrConfig {
+            coupling_gap_nm: 450.0,
+            ..MrConfig::default()
+        };
+        CoherentSummer::new(mr, Vcsel::default(), branches).unwrap()
+    }
+
+    #[test]
+    fn sum_matches_ideal_within_bound() {
+        let s = summer(8);
+        let mut rng = Prng::new(3);
+        let values = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let r = s.sum(&values, &mut rng).unwrap();
+        let ideal = 3.6;
+        assert!((r.value - ideal).abs() <= ideal * r.error_bound * 1.0001);
+    }
+
+    #[test]
+    fn wide_gap_supports_8_bits() {
+        let s = summer(16);
+        assert!(s.supports_bits(8), "bound {}", s.error_bound());
+    }
+
+    #[test]
+    fn narrow_gap_fails_8_bits() {
+        let mr = MrConfig {
+            coupling_gap_nm: 150.0,
+            ..MrConfig::default()
+        };
+        let s = CoherentSummer::new(mr, Vcsel::default(), 16).unwrap();
+        assert!(!s.supports_bits(8));
+    }
+
+    #[test]
+    fn sum_validates_inputs() {
+        let s = summer(4);
+        let mut rng = Prng::new(1);
+        assert!(s.sum(&[0.5; 3], &mut rng).is_err());
+        assert!(s.sum(&[0.5, 0.5, 0.5, 1.5], &mut rng).is_err());
+    }
+
+    #[test]
+    fn mean_divides_by_branches() {
+        let s = summer(4);
+        let mut rng = Prng::new(2);
+        let r = s.mean(&[0.4; 4], &mut rng).unwrap();
+        assert!((r.value - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn vcsel_power_scales_with_amplitudes() {
+        let s = summer(2);
+        let mut rng = Prng::new(5);
+        let low = s.sum(&[0.1, 0.1], &mut rng).unwrap();
+        let high = s.sum(&[0.9, 0.9], &mut rng).unwrap();
+        assert!(high.vcsel_power_w > low.vcsel_power_w);
+    }
+
+    #[test]
+    fn comparator_finds_maximum() {
+        let c = OpticalComparator::default();
+        assert_eq!(c.max(&[0.1, 0.9, 0.4]).unwrap(), 0.9);
+        assert!(c.max(&[]).is_err());
+    }
+
+    #[test]
+    fn comparator_dead_zone_tie_breaks_first() {
+        let c = OpticalComparator { resolution: 0.01 };
+        assert_eq!(c.max2(0.500, 0.505), 0.500);
+        assert_eq!(c.max2(0.500, 0.600), 0.600);
+    }
+
+    #[test]
+    fn comparator_stage_count() {
+        assert_eq!(OpticalComparator::stages(1), 0);
+        assert_eq!(OpticalComparator::stages(2), 1);
+        assert_eq!(OpticalComparator::stages(8), 3);
+        assert_eq!(OpticalComparator::stages(9), 4);
+    }
+}

@@ -1,0 +1,439 @@
+//! Tuning circuit models: electro-optic (EO), thermo-optic (TO), the
+//! hybrid policy of §V.A, and thermal-eigenmode decomposition (TED).
+//!
+//! From the paper:
+//!
+//! > *"EO tuning operates at a faster rate and consumes less power, but it
+//! > cannot be used for large tuning ranges. \[...\] We have employed a
+//! > hybrid tuning approach \[...\] EO tuning is leveraged for fast
+//! > induction of small Δλ_MR, whereas slower TO tuning is only enabled
+//! > infrequently when there is a need for larger Δλ_MR. Additionally, our
+//! > designs integrate the thermal eigenmode decomposition method (TED)
+//! > \[...\] to effectively decrease the power consumption associated with
+//! > TO tuning and mitigate thermal crosstalk."*
+
+use phox_tensor::{eig, Matrix};
+
+use crate::PhotonicError;
+
+/// Which physical mechanism performed a tuning operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TuningMechanism {
+    /// Electro-optic (carrier injection/depletion): ns-scale, µW-scale,
+    /// small range.
+    ElectroOptic,
+    /// Thermo-optic (micro-heater): µs-scale, mW-scale, large range.
+    ThermoOptic,
+}
+
+impl std::fmt::Display for TuningMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuningMechanism::ElectroOptic => write!(f, "EO"),
+            TuningMechanism::ThermoOptic => write!(f, "TO"),
+        }
+    }
+}
+
+/// Power/latency characteristics of the two tuning mechanisms and the
+/// hybrid switching threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningConfig {
+    /// Maximum resonance shift achievable electro-optically, nm.
+    pub eo_range_nm: f64,
+    /// EO tuning power per nm of shift, W/nm.
+    pub eo_power_per_nm: f64,
+    /// EO settling latency, s.
+    pub eo_latency_s: f64,
+    /// Maximum resonance shift achievable thermo-optically, nm.
+    pub to_range_nm: f64,
+    /// TO heater power per nm of shift, W/nm.
+    pub to_power_per_nm: f64,
+    /// TO settling latency, s.
+    pub to_latency_s: f64,
+}
+
+impl Default for TuningConfig {
+    /// Representative published values: EO ±0.5 nm at 4 µW/nm settling in
+    /// 1 ns; TO ±4 nm at 20 mW/nm settling in 4 µs.
+    fn default() -> Self {
+        TuningConfig {
+            eo_range_nm: 0.5,
+            eo_power_per_nm: 4e-6,
+            eo_latency_s: 1e-9,
+            to_range_nm: 4.0,
+            to_power_per_nm: 20e-3,
+            to_latency_s: 4e-6,
+        }
+    }
+}
+
+/// Outcome of one tuning operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningOp {
+    /// Mechanism chosen by the hybrid policy.
+    pub mechanism: TuningMechanism,
+    /// Steady-state power drawn while the shift is held, W.
+    pub power_w: f64,
+    /// Settling latency, s.
+    pub latency_s: f64,
+}
+
+impl TuningOp {
+    /// Energy consumed if the shift is held for `hold_s` seconds
+    /// (settling included).
+    pub fn energy_j(&self, hold_s: f64) -> f64 {
+        self.power_w * (self.latency_s + hold_s)
+    }
+}
+
+/// The hybrid EO/TO tuning policy of §V.A.
+///
+/// # Example
+///
+/// ```
+/// use phox_photonics::tuning::{HybridTuning, TuningMechanism};
+///
+/// # fn main() -> Result<(), phox_photonics::PhotonicError> {
+/// let policy = HybridTuning::default();
+/// // Small shifts go electro-optic (fast, cheap)...
+/// assert_eq!(policy.tune(0.2)?.mechanism, TuningMechanism::ElectroOptic);
+/// // ...large shifts fall back to thermo-optic.
+/// assert_eq!(policy.tune(2.0)?.mechanism, TuningMechanism::ThermoOptic);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HybridTuning {
+    /// Mechanism characteristics.
+    pub config: TuningConfig,
+}
+
+impl HybridTuning {
+    /// Creates the policy with the given characteristics.
+    pub fn new(config: TuningConfig) -> Self {
+        HybridTuning { config }
+    }
+
+    /// Plans a resonance shift of `|delta_nm|`: EO when the shift fits the
+    /// EO range, TO otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::TuningRangeExceeded`] when the shift
+    /// exceeds even the TO range.
+    pub fn tune(&self, delta_nm: f64) -> Result<TuningOp, PhotonicError> {
+        let d = delta_nm.abs();
+        let c = &self.config;
+        if d <= c.eo_range_nm {
+            Ok(TuningOp {
+                mechanism: TuningMechanism::ElectroOptic,
+                power_w: d * c.eo_power_per_nm,
+                latency_s: c.eo_latency_s,
+            })
+        } else if d <= c.to_range_nm {
+            Ok(TuningOp {
+                mechanism: TuningMechanism::ThermoOptic,
+                power_w: d * c.to_power_per_nm,
+                latency_s: c.to_latency_s,
+            })
+        } else {
+            Err(PhotonicError::TuningRangeExceeded {
+                required_nm: d,
+                available_nm: c.to_range_nm,
+            })
+        }
+    }
+
+    /// Plans an EO-only shift (ablation baseline A1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::TuningRangeExceeded`] beyond the EO range.
+    pub fn tune_eo_only(&self, delta_nm: f64) -> Result<TuningOp, PhotonicError> {
+        let d = delta_nm.abs();
+        if d > self.config.eo_range_nm {
+            return Err(PhotonicError::TuningRangeExceeded {
+                required_nm: d,
+                available_nm: self.config.eo_range_nm,
+            });
+        }
+        Ok(TuningOp {
+            mechanism: TuningMechanism::ElectroOptic,
+            power_w: d * self.config.eo_power_per_nm,
+            latency_s: self.config.eo_latency_s,
+        })
+    }
+
+    /// Plans a TO-only shift (ablation baseline A1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::TuningRangeExceeded`] beyond the TO range.
+    pub fn tune_to_only(&self, delta_nm: f64) -> Result<TuningOp, PhotonicError> {
+        let d = delta_nm.abs();
+        if d > self.config.to_range_nm {
+            return Err(PhotonicError::TuningRangeExceeded {
+                required_nm: d,
+                available_nm: self.config.to_range_nm,
+            });
+        }
+        Ok(TuningOp {
+            mechanism: TuningMechanism::ThermoOptic,
+            power_w: d * self.config.to_power_per_nm,
+            latency_s: self.config.to_latency_s,
+        })
+    }
+}
+
+/// Thermal model of a row of micro-heaters with inter-heater crosstalk,
+/// and the TED method that decorrelates them.
+///
+/// Heater `j` raises the temperature of ring `i` by `C_ij · p_j`, where
+/// the coupling matrix `C_ij = exp(−d_ij/d₀)` decays with the pitch
+/// between rings. Naively driving each heater to its own target ignores
+/// the crosstalk (rings overshoot, wasting corrective power); TED solves
+/// the coupled system `C·p = t` through the symmetric eigendecomposition
+/// of `C`, so the *exact* target temperatures are reached with lower total
+/// power and no thermal crosstalk error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalField {
+    coupling: Matrix,
+    pitch_um: f64,
+    decay_um: f64,
+}
+
+impl ThermalField {
+    /// Builds the coupling matrix for `n` rings at `pitch_um` spacing with
+    /// coupling decay length `decay_um`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for `n == 0` or
+    /// non-positive geometry.
+    pub fn new(n: usize, pitch_um: f64, decay_um: f64) -> Result<Self, PhotonicError> {
+        if n == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "thermal field requires at least one ring",
+            });
+        }
+        if pitch_um <= 0.0 || decay_um <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "thermal field geometry must be positive",
+            });
+        }
+        let mut c = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let d = (i as f64 - j as f64).abs() * pitch_um;
+                c.set(i, j, (-d / decay_um).exp());
+            }
+        }
+        Ok(ThermalField {
+            coupling: c,
+            pitch_um,
+            decay_um,
+        })
+    }
+
+    /// Number of rings.
+    pub fn len(&self) -> usize {
+        self.coupling.rows()
+    }
+
+    /// `true` if the field has no rings (cannot occur for a constructed
+    /// field; provided for `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The coupling matrix.
+    pub fn coupling(&self) -> &Matrix {
+        &self.coupling
+    }
+
+    /// Ring pitch, µm.
+    pub fn pitch_um(&self) -> f64 {
+        self.pitch_um
+    }
+
+    /// Coupling decay length, µm.
+    pub fn decay_um(&self) -> f64 {
+        self.decay_um
+    }
+
+    /// Naive per-heater drive: each heater drives its own target ignoring
+    /// crosstalk, then pays corrective power for the residual error.
+    /// Returns total power in the same (arbitrary-but-consistent)
+    /// power-per-unit-temperature units as the targets.
+    pub fn naive_power(&self, targets: &[f64]) -> Result<f64, PhotonicError> {
+        self.check_targets(targets)?;
+        // Drive p_i = t_i; the resulting temperature error from crosstalk
+        // must be corrected by additional (absolute) drive on each ring.
+        let n = targets.len();
+        let mut total = 0.0;
+        for i in 0..n {
+            let mut achieved = 0.0;
+            for j in 0..n {
+                achieved += self.coupling.get(i, j) * targets[j];
+            }
+            // Power actually expended: the intended drive plus the
+            // magnitude of corrective re-tuning for the overshoot.
+            total += targets[i] + (achieved - targets[i]).abs();
+        }
+        Ok(total)
+    }
+
+    /// TED drive: solves `C·p = t` so the exact targets are met. Returns
+    /// the summed |p| (heaters can only add heat; negative solutions are
+    /// clamped by re-biasing — modelled as their absolute contribution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates eigensolver failures as
+    /// [`PhotonicError::NumericalFailure`].
+    pub fn ted_power(&self, targets: &[f64]) -> Result<f64, PhotonicError> {
+        self.check_targets(targets)?;
+        let p = eig::solve_spd(&self.coupling, targets).map_err(|e| {
+            PhotonicError::NumericalFailure {
+                what: "TED eigen-solve failed",
+                detail: e.to_string(),
+            }
+        })?;
+        Ok(p.iter().map(|v| v.abs()).sum())
+    }
+
+    /// Power saving factor of TED over naive drive
+    /// (`naive / ted`, ≥ 1 for physical coupling matrices).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from both power models.
+    pub fn ted_saving(&self, targets: &[f64]) -> Result<f64, PhotonicError> {
+        let naive = self.naive_power(targets)?;
+        let ted = self.ted_power(targets)?;
+        if ted <= 0.0 {
+            return Ok(1.0);
+        }
+        Ok(naive / ted)
+    }
+
+    fn check_targets(&self, targets: &[f64]) -> Result<(), PhotonicError> {
+        if targets.len() != self.len() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "target vector length must equal ring count",
+            });
+        }
+        if targets.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "thermal targets must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_picks_eo_for_small_shifts() {
+        let h = HybridTuning::default();
+        let op = h.tune(0.2).unwrap();
+        assert_eq!(op.mechanism, TuningMechanism::ElectroOptic);
+        assert!(op.power_w < 1e-5);
+        assert!(op.latency_s <= 1e-9);
+    }
+
+    #[test]
+    fn hybrid_picks_to_for_large_shifts() {
+        let h = HybridTuning::default();
+        let op = h.tune(2.0).unwrap();
+        assert_eq!(op.mechanism, TuningMechanism::ThermoOptic);
+        assert!(op.power_w > 1e-3);
+    }
+
+    #[test]
+    fn hybrid_rejects_beyond_to_range() {
+        let h = HybridTuning::default();
+        assert!(matches!(
+            h.tune(10.0),
+            Err(PhotonicError::TuningRangeExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_shift_treated_by_magnitude() {
+        let h = HybridTuning::default();
+        assert_eq!(h.tune(-0.3).unwrap(), h.tune(0.3).unwrap());
+    }
+
+    #[test]
+    fn eo_only_range_enforced() {
+        let h = HybridTuning::default();
+        assert!(h.tune_eo_only(0.4).is_ok());
+        assert!(h.tune_eo_only(0.6).is_err());
+    }
+
+    #[test]
+    fn to_only_always_pays_to_cost() {
+        let h = HybridTuning::default();
+        let op = h.tune_to_only(0.1).unwrap();
+        assert_eq!(op.mechanism, TuningMechanism::ThermoOptic);
+        // TO for a small shift costs far more than EO would.
+        let eo = h.tune(0.1).unwrap();
+        assert!(op.power_w > eo.power_w * 100.0);
+        assert!(op.latency_s > eo.latency_s * 100.0);
+    }
+
+    #[test]
+    fn energy_includes_settling_and_hold() {
+        let op = TuningOp {
+            mechanism: TuningMechanism::ElectroOptic,
+            power_w: 1e-6,
+            latency_s: 1e-9,
+        };
+        let e = op.energy_j(9e-9);
+        assert!((e - 1e-14).abs() < 1e-20);
+    }
+
+    #[test]
+    fn thermal_field_is_symmetric_spd() {
+        let f = ThermalField::new(8, 10.0, 5.0).unwrap();
+        assert!(f.coupling().is_symmetric(1e-12));
+        assert_eq!(f.len(), 8);
+        // Diagonal is 1 (self coupling).
+        for i in 0..8 {
+            assert_eq!(f.coupling().get(i, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn ted_saves_power_over_naive() {
+        let f = ThermalField::new(16, 8.0, 10.0).unwrap();
+        let targets: Vec<f64> = (0..16).map(|i| 0.5 + 0.03 * i as f64).collect();
+        let saving = f.ted_saving(&targets).unwrap();
+        assert!(saving > 1.0, "TED saving {saving} should exceed 1");
+    }
+
+    #[test]
+    fn ted_exact_for_uncoupled_rings() {
+        // Pitch >> decay: coupling ~ identity, TED == naive == sum(targets).
+        let f = ThermalField::new(4, 1000.0, 1.0).unwrap();
+        let targets = [1.0, 2.0, 3.0, 4.0];
+        let ted = f.ted_power(&targets).unwrap();
+        assert!((ted - 10.0).abs() < 1e-6);
+        let naive = f.naive_power(&targets).unwrap();
+        assert!((naive - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thermal_field_validation() {
+        assert!(ThermalField::new(0, 10.0, 5.0).is_err());
+        assert!(ThermalField::new(4, -1.0, 5.0).is_err());
+        let f = ThermalField::new(4, 10.0, 5.0).unwrap();
+        assert!(f.naive_power(&[1.0, 2.0]).is_err());
+        assert!(f.ted_power(&[1.0, -2.0, 0.0, 0.0]).is_err());
+    }
+}

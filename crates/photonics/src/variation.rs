@@ -1,0 +1,270 @@
+//! Fabrication process-variation analysis (§VII future work).
+//!
+//! The paper's conclusion lists *"fabrication-process variations"* among
+//! the open challenges for photonic accelerators. Fabricated microrings
+//! deviate from their nominal resonance (waveguide width/thickness
+//! variation shifts `n_eff`); every deviated ring must burn tuning power
+//! just to return to its design wavelength, and rings whose offset
+//! exceeds the tuning range are dead.
+//!
+//! This module provides a Monte-Carlo analysis of both effects: the
+//! expected static correction power per ring/bank and the bank yield as
+//! a function of the process sigma.
+
+use phox_tensor::Prng;
+
+use crate::tuning::{HybridTuning, TuningMechanism};
+use crate::PhotonicError;
+
+/// A process-variation model: per-ring resonance offsets are drawn from
+/// a zero-mean Gaussian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Standard deviation of the as-fabricated resonance offset, nm.
+    /// Published silicon-photonic lot data spans ~0.2–0.8 nm depending
+    /// on process control.
+    pub sigma_resonance_nm: f64,
+    /// Maximum correctable offset (the tuning range available for
+    /// correction after reserving the modulation range), nm.
+    pub correctable_range_nm: f64,
+}
+
+impl Default for VariationModel {
+    /// σ = 0.4 nm, correctable up to 3 nm (TO range minus the 1 nm
+    /// modulation reserve).
+    fn default() -> Self {
+        VariationModel {
+            sigma_resonance_nm: 0.4,
+            correctable_range_nm: 3.0,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo variation analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationReport {
+    /// Fraction of rings whose offset is correctable.
+    pub ring_yield: f64,
+    /// Fraction of sampled banks in which *every* ring is correctable.
+    pub bank_yield: f64,
+    /// Mean correction power per ring, W (held continuously).
+    pub mean_correction_power_w: f64,
+    /// Mean fraction of corrected rings that needed (power-hungry)
+    /// thermo-optic correction rather than electro-optic.
+    pub to_fraction: f64,
+}
+
+impl VariationModel {
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for negative sigma or a
+    /// non-positive correctable range.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.sigma_resonance_nm < 0.0 || !self.sigma_resonance_nm.is_finite() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "variation sigma must be non-negative",
+            });
+        }
+        if self.correctable_range_nm <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "correctable range must be positive",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Draws one as-fabricated resonance offset, nm.
+    pub fn sample_offset_nm(&self, rng: &mut Prng) -> f64 {
+        rng.normal(0.0, self.sigma_resonance_nm)
+    }
+
+    /// Monte-Carlo analysis over `banks` banks of `rings_per_bank` rings
+    /// each, using the given tuning policy for correction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero-sized inputs.
+    pub fn analyze(
+        &self,
+        tuning: &HybridTuning,
+        rings_per_bank: usize,
+        banks: usize,
+        seed: u64,
+    ) -> Result<VariationReport, PhotonicError> {
+        let model = self.validated()?;
+        if rings_per_bank == 0 || banks == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "variation analysis needs rings and banks",
+            });
+        }
+        let mut rng = Prng::new(seed);
+        let mut good_rings = 0usize;
+        let mut good_banks = 0usize;
+        let mut power_sum = 0.0;
+        let mut to_count = 0usize;
+        let total_rings = rings_per_bank * banks;
+
+        for _ in 0..banks {
+            let mut bank_ok = true;
+            for _ in 0..rings_per_bank {
+                let offset = model.sample_offset_nm(&mut rng).abs();
+                if offset > model.correctable_range_nm {
+                    bank_ok = false;
+                    continue;
+                }
+                good_rings += 1;
+                // Correction is a held shift of |offset|.
+                match tuning.tune(offset) {
+                    Ok(op) => {
+                        power_sum += op.power_w;
+                        if op.mechanism == TuningMechanism::ThermoOptic {
+                            to_count += 1;
+                        }
+                    }
+                    Err(_) => {
+                        // Within the correctable range but beyond the
+                        // policy's range: counts as dead.
+                        good_rings -= 1;
+                        bank_ok = false;
+                    }
+                }
+            }
+            if bank_ok {
+                good_banks += 1;
+            }
+        }
+        Ok(VariationReport {
+            ring_yield: good_rings as f64 / total_rings as f64,
+            bank_yield: good_banks as f64 / banks as f64,
+            mean_correction_power_w: if good_rings > 0 {
+                power_sum / good_rings as f64
+            } else {
+                0.0
+            },
+            to_fraction: if good_rings > 0 {
+                to_count as f64 / good_rings as f64
+            } else {
+                0.0
+            },
+        })
+    }
+
+    /// Expected extra static power for an accelerator with `mr_count`
+    /// rings, W (mean correction power × ring count, yield-weighted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn accelerator_overhead_w(
+        &self,
+        tuning: &HybridTuning,
+        mr_count: usize,
+        seed: u64,
+    ) -> Result<f64, PhotonicError> {
+        let report = self.analyze(tuning, 64, 64, seed)?;
+        Ok(report.mean_correction_power_w * mr_count as f64 * report.ring_yield)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuning() -> HybridTuning {
+        HybridTuning::default()
+    }
+
+    #[test]
+    fn zero_sigma_is_free_and_perfect() {
+        let m = VariationModel {
+            sigma_resonance_nm: 0.0,
+            ..VariationModel::default()
+        };
+        let r = m.analyze(&tuning(), 16, 32, 1).unwrap();
+        assert_eq!(r.ring_yield, 1.0);
+        assert_eq!(r.bank_yield, 1.0);
+        assert!(r.mean_correction_power_w < 1e-12);
+        assert_eq!(r.to_fraction, 0.0);
+    }
+
+    #[test]
+    fn yield_decreases_with_sigma() {
+        let lo = VariationModel {
+            sigma_resonance_nm: 0.2,
+            correctable_range_nm: 1.0,
+        };
+        let hi = VariationModel {
+            sigma_resonance_nm: 0.8,
+            correctable_range_nm: 1.0,
+        };
+        let r_lo = lo.analyze(&tuning(), 16, 128, 2).unwrap();
+        let r_hi = hi.analyze(&tuning(), 16, 128, 2).unwrap();
+        assert!(r_hi.ring_yield < r_lo.ring_yield);
+        assert!(r_hi.bank_yield < r_lo.bank_yield);
+    }
+
+    #[test]
+    fn correction_power_grows_with_sigma() {
+        let lo = VariationModel {
+            sigma_resonance_nm: 0.1,
+            ..VariationModel::default()
+        };
+        let hi = VariationModel {
+            sigma_resonance_nm: 0.6,
+            ..VariationModel::default()
+        };
+        let r_lo = lo.analyze(&tuning(), 16, 128, 3).unwrap();
+        let r_hi = hi.analyze(&tuning(), 16, 128, 3).unwrap();
+        assert!(r_hi.mean_correction_power_w > r_lo.mean_correction_power_w);
+        // Larger offsets push more rings into thermo-optic correction.
+        assert!(r_hi.to_fraction > r_lo.to_fraction);
+    }
+
+    #[test]
+    fn bank_yield_below_ring_yield_for_multi_ring_banks() {
+        let m = VariationModel {
+            sigma_resonance_nm: 1.0,
+            correctable_range_nm: 2.0,
+        };
+        let r = m.analyze(&tuning(), 32, 128, 4).unwrap();
+        // One dead ring kills a bank: bank yield ≤ ring yield.
+        assert!(r.bank_yield <= r.ring_yield);
+        assert!(r.ring_yield < 1.0);
+    }
+
+    #[test]
+    fn analysis_is_deterministic_in_seed() {
+        let m = VariationModel::default();
+        let a = m.analyze(&tuning(), 16, 64, 7).unwrap();
+        let b = m.analyze(&tuning(), 16, 64, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overhead_scales_with_ring_count() {
+        let m = VariationModel::default();
+        let small = m.accelerator_overhead_w(&tuning(), 1_000, 8).unwrap();
+        let large = m.accelerator_overhead_w(&tuning(), 10_000, 8).unwrap();
+        assert!((large / small - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VariationModel {
+            sigma_resonance_nm: -1.0,
+            ..VariationModel::default()
+        }
+        .validated()
+        .is_err());
+        assert!(VariationModel {
+            correctable_range_nm: 0.0,
+            ..VariationModel::default()
+        }
+        .validated()
+        .is_err());
+        let m = VariationModel::default();
+        assert!(m.analyze(&tuning(), 0, 4, 1).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The thermal-eigenmode-decomposition (TED) tuning scheme adopted by both
+//! accelerators (§V.A, following SONIC) requires diagonalising the
+//! symmetric thermal-coupling matrix of a row of micro-heaters. The Jacobi
+//! method is simple, unconditionally stable for symmetric matrices, and
+//! plenty fast at the bank sizes involved (tens of rings).
+
+use crate::{Matrix, TensorError};
+
+/// Result of a symmetric eigendecomposition: `A = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as the *columns* of this matrix, ordered to
+    /// match [`Eigen::values`].
+    pub vectors: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 100;
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// # Errors
+///
+/// * [`TensorError::NotSymmetric`] if `a` is not square-symmetric within
+///   `1e-9` absolute tolerance.
+/// * [`TensorError::NoConvergence`] if the off-diagonal norm fails to fall
+///   below `1e-12` within 100 sweeps (does not occur for well-scaled
+///   physical coupling matrices).
+///
+/// # Example
+///
+/// ```
+/// use phox_tensor::{Matrix, eig};
+///
+/// # fn main() -> Result<(), phox_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let e = eig::eigh(&a)?;
+/// assert!((e.values[0] - 1.0).abs() < 1e-10);
+/// assert!((e.values[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigh(a: &Matrix) -> Result<Eigen, TensorError> {
+    if !a.is_symmetric(1e-9) {
+        return Err(TensorError::NotSymmetric);
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for sweep in 0..MAX_SWEEPS {
+        let off: f64 = off_diagonal_norm(&m);
+        if off < 1e-12 {
+            return Ok(sorted_eigen(m, v));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                // Stable rotation (Numerical Recipes formulation).
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                rotate(&mut m, p, q, c, s);
+                rotate_columns(&mut v, p, q, c, s);
+            }
+        }
+    }
+    Err(TensorError::NoConvergence {
+        what: "jacobi eigendecomposition",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Solves the symmetric positive-definite system `A·x = b` via
+/// eigendecomposition. Used by the TED model to find heater drive powers.
+///
+/// # Errors
+///
+/// Propagates [`eigh`] errors; additionally returns
+/// [`TensorError::InvalidDimension`] if `b` length mismatches or any
+/// eigenvalue is not strictly positive (matrix not SPD).
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, TensorError> {
+    if b.len() != a.rows() {
+        return Err(TensorError::InvalidDimension {
+            what: "rhs length must equal matrix dimension",
+        });
+    }
+    let e = eigh(a)?;
+    if e.values.iter().any(|&l| l <= 0.0) {
+        return Err(TensorError::InvalidDimension {
+            what: "matrix is not positive definite",
+        });
+    }
+    let n = b.len();
+    // x = V diag(1/λ) Vᵀ b
+    let mut y = vec![0.0; n]; // y = Vᵀ b
+    for j in 0..n {
+        let mut s = 0.0;
+        for i in 0..n {
+            s += e.vectors.get(i, j) * b[i];
+        }
+        y[j] = s / e.values[j];
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += e.vectors.get(i, j) * y[j];
+        }
+        x[i] = s;
+    }
+    Ok(x)
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            s += m.get(p, q).powi(2);
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies the Jacobi rotation `J(p,q,θ)ᵀ · M · J(p,q,θ)` in place.
+fn rotate(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    for k in 0..n {
+        let mkp = m.get(k, p);
+        let mkq = m.get(k, q);
+        m.set(k, p, c * mkp - s * mkq);
+        m.set(k, q, s * mkp + c * mkq);
+    }
+    for k in 0..n {
+        let mpk = m.get(p, k);
+        let mqk = m.get(q, k);
+        m.set(p, k, c * mpk - s * mqk);
+        m.set(q, k, s * mpk + c * mqk);
+    }
+}
+
+/// Applies the rotation to the eigenvector accumulator (columns p, q).
+fn rotate_columns(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+fn sorted_eigen(m: Matrix, v: Matrix) -> Eigen {
+    let n = m.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    idx.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).expect("finite eigenvalues"));
+    let values = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    Eigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &Eigen) -> Matrix {
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d.set(i, i, e.values[i]);
+        }
+        e.vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn two_by_two_known_values() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = eigh(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let e = eigh(&a).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.25],
+            &[0.5, 0.25, 2.0],
+        ])
+        .unwrap();
+        let e = eigh(&a).unwrap();
+        assert!(reconstruct(&e).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0],
+            &[2.0, 4.0, 0.5],
+            &[1.0, 0.5, 3.0],
+        ])
+        .unwrap();
+        let e = eigh(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn values_sorted_ascending() {
+        let a = Matrix::from_rows(&[
+            &[10.0, 0.1, 0.0],
+            &[0.1, -3.0, 0.2],
+            &[0.0, 0.2, 1.0],
+        ])
+        .unwrap();
+        let e = eigh(&a).unwrap();
+        assert!(e.values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn rejects_nonsymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(eigh(&a), Err(TensorError::NotSymmetric)));
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x_true = [1.0, 2.0];
+        let b = [4.0 + 2.0, 1.0 + 6.0];
+        let x = solve_spd(&a, &b).unwrap();
+        assert!((x[0] - x_true[0]).abs() < 1e-9);
+        assert!((x[1] - x_true[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_spd_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_spd_rejects_bad_rhs_len() {
+        let a = Matrix::identity(3);
+        assert!(solve_spd(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn large_coupling_matrix_converges() {
+        // Exponential-decay coupling matrix like the TED thermal model.
+        let n = 16;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let d = (i as f64 - j as f64).abs();
+                a.set(i, j, (-d / 2.0).exp());
+            }
+        }
+        let e = eigh(&a).unwrap();
+        assert!(reconstruct(&e).approx_eq(&a, 1e-8));
+    }
+}

@@ -1,0 +1,52 @@
+//! # phox-tensor
+//!
+//! Dense-matrix and numeric substrate for the `phox` silicon-photonic
+//! accelerator simulators.
+//!
+//! The crate provides exactly what the device- and architecture-level
+//! simulators need and nothing more:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the linear-algebra
+//!   operations used by the reference neural-network executors
+//!   (matmul, transpose, element-wise maps).
+//! * [`quant`] — symmetric int8 post-training quantization, used to model
+//!   the 8-bit precision the paper selects for both accelerators.
+//! * [`ops`] — the nonlinear building blocks of Transformers and GNNs
+//!   (softmax, layer normalization, ReLU/GELU/sigmoid/tanh).
+//! * [`eig`] — a Jacobi eigendecomposition for symmetric matrices, used by
+//!   the thermal-eigenmode-decomposition (TED) tuning model in
+//!   `phox-photonics`.
+//! * [`rng`] — a tiny deterministic PRNG (SplitMix64 core) so that every
+//!   simulation in the workspace is seedable and reproducible.
+//! * [`stats`] — summary statistics used by accuracy and error analyses.
+//!
+//! # Example
+//!
+//! ```
+//! use phox_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), phox_tensor::TensorError> {
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.get(1, 0), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+// Index-based loops are the clearest idiom for the dense-matrix and
+// per-ring arithmetic throughout this crate.
+#![allow(clippy::needless_range_loop)]
+
+#![warn(missing_docs)]
+
+pub mod eig;
+pub mod matrix;
+pub mod ops;
+pub mod quant;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::{Matrix, TensorError};
+pub use quant::{QuantMatrix, Quantizer};
+pub use rng::Prng;

@@ -1,0 +1,257 @@
+//! Nonlinear neural-network building blocks.
+//!
+//! These are the reference (digital, fp64) implementations of every
+//! nonlinearity that appears in the paper's two accelerators:
+//!
+//! * softmax — computed digitally via LUTs in both TRON and GHOST;
+//! * layer normalization — implemented optically by a single
+//!   parameter-tuned MR in TRON (§V.C);
+//! * ReLU / sigmoid / tanh — implemented optically by SOAs in GHOST's
+//!   update units (§V.D);
+//! * GELU — used by the feed-forward blocks of modern transformer
+//!   configurations.
+
+use crate::{Matrix, TensorError};
+
+/// Row-wise numerically-stable softmax.
+///
+/// # Example
+///
+/// ```
+/// use phox_tensor::{Matrix, ops};
+///
+/// # fn main() -> Result<(), phox_tensor::TensorError> {
+/// let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0]])?;
+/// let p = ops::softmax_rows(&logits);
+/// assert!((p.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise layer normalization with learnable per-column `gamma`/`beta`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `gamma`/`beta` length does not
+/// equal the column count.
+pub fn layer_norm(x: &Matrix, gamma: &[f64], beta: &[f64], eps: f64) -> Result<Matrix, TensorError> {
+    if gamma.len() != x.cols() || beta.len() != x.cols() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape(),
+            rhs: (gamma.len(), beta.len()),
+        });
+    }
+    let mut out = x.clone();
+    let cols = x.cols();
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let mean = row.iter().sum::<f64>() / cols as f64;
+        let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / cols as f64;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[c] + beta[c];
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Element-wise logistic sigmoid.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(x: &Matrix) -> Matrix {
+    x.map(f64::tanh)
+}
+
+/// Element-wise GELU (tanh approximation, as used by BERT/GPT).
+pub fn gelu(x: &Matrix) -> Matrix {
+    x.map(gelu_scalar)
+}
+
+/// Scalar GELU (tanh approximation).
+pub fn gelu_scalar(v: f64) -> f64 {
+    const C: f64 = 0.797_884_560_802_865_4; // sqrt(2/pi)
+    0.5 * v * (1.0 + (C * (v + 0.044_715 * v.powi(3))).tanh())
+}
+
+/// Scalar LeakyReLU with slope `alpha` for negative inputs (used by GAT).
+pub fn leaky_relu_scalar(v: f64, alpha: f64) -> f64 {
+    if v >= 0.0 {
+        v
+    } else {
+        alpha * v
+    }
+}
+
+/// Reference scaled-dot-product attention, eq. (1) of the paper:
+/// `softmax(Q·Kᵀ/√d_k)·V`.
+///
+/// # Errors
+///
+/// Returns a shape error when `Q`, `K`, `V` dimensions are incompatible.
+pub fn scaled_dot_product_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+) -> Result<Matrix, TensorError> {
+    if k.cols() == 0 {
+        return Err(TensorError::InvalidDimension {
+            what: "attention key dimension must be nonzero",
+        });
+    }
+    let scores = q.matmul(&k.transpose())?.scale(1.0 / (k.cols() as f64).sqrt());
+    softmax_rows(&scores).matmul(v)
+}
+
+/// Row-wise argmax (ties resolved to the lowest index). Used by accuracy
+/// evaluation of classification heads.
+pub fn argmax_rows(x: &Matrix) -> Vec<usize> {
+    (0..x.rows())
+        .map(|r| {
+            let row = x.row(r);
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]).unwrap();
+        let p = softmax_rows(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[101.0, 102.0, 103.0]]).unwrap();
+        assert!(softmax_rows(&a).approx_eq(&softmax_rows(&b), 1e-12));
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let x = Matrix::from_rows(&[&[1e6, 1e6 + 1.0]]).unwrap();
+        let p = softmax_rows(&x);
+        assert!(p.row(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        let g = vec![1.0; 4];
+        let b = vec![0.0; 4];
+        let y = layer_norm(&x, &g, &b, 1e-9).unwrap();
+        let mean: f64 = y.row(0).iter().sum::<f64>() / 4.0;
+        let var: f64 = y.row(0).iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_applies_gamma_beta() {
+        let x = Matrix::from_rows(&[&[1.0, -1.0]]).unwrap();
+        let y = layer_norm(&x, &[2.0, 2.0], &[1.0, 1.0], 1e-12).unwrap();
+        // normalized row is [1, -1]; gamma*v+beta => [3, -1]
+        assert!((y.get(0, 0) - 3.0).abs() < 1e-6);
+        assert!((y.get(0, 1) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layer_norm_shape_mismatch() {
+        let x = Matrix::zeros(1, 4);
+        assert!(layer_norm(&x, &[1.0; 3], &[0.0; 4], 1e-9).is_err());
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]).unwrap();
+        assert_eq!(relu(&x).row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_bounds() {
+        let x = Matrix::from_rows(&[&[-50.0, 0.0, 50.0]]).unwrap();
+        let s = sigmoid(&x);
+        assert!(s.row(0)[0] < 1e-9 && (s.row(0)[1] - 0.5).abs() < 1e-12 && s.row(0)[2] > 1.0 - 1e-9);
+        let t = tanh(&x);
+        assert!(t.min() >= -1.0 && t.max() <= 1.0);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values for the tanh approximation.
+        assert!((gelu_scalar(0.0)).abs() < 1e-12);
+        assert!((gelu_scalar(1.0) - 0.841_192).abs() < 1e-4);
+        assert!((gelu_scalar(-1.0) + 0.158_808).abs() < 1e-4);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        assert_eq!(leaky_relu_scalar(2.0, 0.2), 2.0);
+        assert_eq!(leaky_relu_scalar(-2.0, 0.2), -0.4);
+    }
+
+    #[test]
+    fn attention_output_shape() {
+        let q = Matrix::zeros(4, 8);
+        let k = Matrix::zeros(6, 8);
+        let v = Matrix::zeros(6, 16);
+        let o = scaled_dot_product_attention(&q, &k, &v).unwrap();
+        assert_eq!(o.shape(), (4, 16));
+    }
+
+    #[test]
+    fn attention_uniform_when_scores_equal() {
+        // With Q=0, all scores are equal, so attention averages V rows.
+        let q = Matrix::zeros(1, 4);
+        let k = Matrix::filled(3, 4, 1.0);
+        let v = Matrix::from_rows(&[&[3.0], &[6.0], &[9.0]]).unwrap();
+        let o = scaled_dot_product_attention(&q, &k, &v).unwrap();
+        assert!((o.get(0, 0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_rows_ties_to_lowest() {
+        let x = Matrix::from_rows(&[&[1.0, 3.0, 3.0], &[5.0, 2.0, 1.0]]).unwrap();
+        assert_eq!(argmax_rows(&x), vec![1, 0]);
+    }
+}

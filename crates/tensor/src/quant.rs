@@ -1,0 +1,398 @@
+//! Symmetric int8 post-training quantization.
+//!
+//! §VI of the paper: *"employing 8-bit model quantization yields algorithmic
+//! accuracy comparable to models utilizing full (32-bit) precision.
+//! Consequently, we focused on the acceleration of Transformer and GNN
+//! models with 8-bit precision."*
+//!
+//! Both accelerators therefore operate on 8-bit operands: DACs drive MR
+//! tuning circuits with 8-bit resolution and the photodetector/ADC chain
+//! must sustain ≥ 8 effective bits (see `phox-photonics::noise`). This
+//! module provides the digital reference against which the analog photonic
+//! datapath is validated.
+
+use crate::{Matrix, TensorError};
+
+/// A symmetric linear quantizer mapping `f64` values to `i8`.
+///
+/// `q = clamp(round(x / scale), -127, 127)`, `x̂ = q * scale`.
+/// The symmetric scheme (no zero-point) matches what an amplitude-encoded
+/// photonic datapath can represent: magnitudes on the optical signal with
+/// sign handled by the balanced-photodetector positive/negative arms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    scale: f64,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with an explicit scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `scale` is not a
+    /// positive finite number.
+    pub fn with_scale(scale: f64) -> Result<Self, TensorError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(TensorError::InvalidDimension {
+                what: "quantizer scale must be positive and finite",
+            });
+        }
+        Ok(Quantizer { scale })
+    }
+
+    /// Calibrates a quantizer to cover `[-absmax, absmax]` of the given
+    /// tensor (per-tensor symmetric calibration).
+    ///
+    /// A tensor that is entirely zero gets scale 1.0 so that quantization
+    /// remains the identity on it.
+    pub fn calibrate(m: &Matrix) -> Self {
+        let absmax = m.abs_max();
+        let scale = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+        Quantizer { scale }
+    }
+
+    /// The quantization step size.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Quantizes a single value.
+    pub fn quantize_value(&self, x: f64) -> i8 {
+        let q = (x / self.scale).round();
+        q.clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes a single level.
+    pub fn dequantize_value(&self, q: i8) -> f64 {
+        q as f64 * self.scale
+    }
+
+    /// Quantizes a whole matrix.
+    pub fn quantize(&self, m: &Matrix) -> QuantMatrix {
+        QuantMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            scale: self.scale,
+            data: m.as_slice().iter().map(|&v| self.quantize_value(v)).collect(),
+        }
+    }
+}
+
+/// An int8 matrix with its quantization scale.
+///
+/// # Example
+///
+/// ```
+/// use phox_tensor::{Matrix, Quantizer};
+///
+/// # fn main() -> Result<(), phox_tensor::TensorError> {
+/// let x = Matrix::from_rows(&[&[0.5, -1.0, 0.25]])?;
+/// let q = Quantizer::calibrate(&x).quantize(&x);
+/// let back = q.dequantize();
+/// assert!(back.approx_eq(&x, q.scale()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    scale: f64,
+    data: Vec<i8>,
+}
+
+impl QuantMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Quantization step size.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Raw int8 data (row-major).
+    pub fn as_i8_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Level at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn level(&self, row: usize, col: usize) -> i8 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Reconstructs the floating-point matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let data = self.data.iter().map(|&q| q as f64 * self.scale).collect();
+        Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved")
+    }
+
+    /// Integer matmul with `i32` accumulation, dequantized with the product
+    /// of the two scales — exactly the arithmetic an 8-bit MAC array
+    /// performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &QuantMatrix) -> Result<Matrix, TensorError> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k] as i32;
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let b = rhs.data[k * rhs.cols + j] as i32;
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + (a * b) as f64);
+                }
+            }
+        }
+        let s = self.scale * rhs.scale;
+        Ok(out.scale(s))
+    }
+}
+
+/// Quantizes with per-tensor calibration and immediately dequantizes —
+/// the "fake quantization" used to evaluate 8-bit accuracy in fp64
+/// reference models.
+pub fn fake_quantize(m: &Matrix) -> Matrix {
+    Quantizer::calibrate(m).quantize(m).dequantize()
+}
+
+/// Maximum absolute quantization error for a calibrated quantizer over a
+/// tensor: at most half a step.
+pub fn max_quant_error(m: &Matrix) -> f64 {
+    let fq = fake_quantize(m);
+    m.sub(&fq)
+        .expect("same shape")
+        .abs_max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let m = Matrix::from_rows(&[&[0.3, -0.7, 1.0, -1.0, 0.0]]).unwrap();
+        let q = Quantizer::calibrate(&m);
+        assert!(max_quant_error(&m) <= q.scale() / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn calibrate_covers_absmax_exactly() {
+        let m = Matrix::from_rows(&[&[-2.54, 1.0]]).unwrap();
+        let q = Quantizer::calibrate(&m);
+        assert_eq!(q.quantize_value(-2.54), -127);
+        assert_eq!(q.quantize_value(2.54), 127);
+    }
+
+    #[test]
+    fn zero_tensor_is_identity() {
+        let m = Matrix::zeros(3, 3);
+        assert!(fake_quantize(&m).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn with_scale_rejects_bad_scale() {
+        assert!(Quantizer::with_scale(0.0).is_err());
+        assert!(Quantizer::with_scale(-1.0).is_err());
+        assert!(Quantizer::with_scale(f64::NAN).is_err());
+        assert!(Quantizer::with_scale(1e-3).is_ok());
+    }
+
+    #[test]
+    fn clamping_to_127() {
+        let q = Quantizer::with_scale(0.1).unwrap();
+        assert_eq!(q.quantize_value(1e9), 127);
+        assert_eq!(q.quantize_value(-1e9), -127);
+    }
+
+    #[test]
+    fn int_matmul_matches_float_matmul_within_quant_error() {
+        let a = Matrix::from_rows(&[&[0.5, -0.25], &[1.0, 0.75]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.1, 0.2], &[-0.3, 0.4]]).unwrap();
+        let qa = Quantizer::calibrate(&a).quantize(&a);
+        let qb = Quantizer::calibrate(&b).quantize(&b);
+        let approx = qa.matmul(&qb).unwrap();
+        let exact = a.matmul(&b).unwrap();
+        // Error bound: k * (sa*|b|max + sb*|a|max) / 2-ish; loose check.
+        assert!(approx.approx_eq(&exact, 0.02), "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn int_matmul_shape_mismatch() {
+        let a = Quantizer::with_scale(1.0).unwrap().quantize(&Matrix::zeros(2, 3));
+        let b = Quantizer::with_scale(1.0).unwrap().quantize(&Matrix::zeros(2, 3));
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn dequantize_shape_preserved() {
+        let m = Matrix::zeros(4, 5);
+        let q = Quantizer::calibrate(&m).quantize(&m);
+        assert_eq!(q.dequantize().shape(), (4, 5));
+        assert_eq!(q.shape(), (4, 5));
+    }
+
+    #[test]
+    fn levels_are_symmetric() {
+        let m = Matrix::from_rows(&[&[1.0, -1.0]]).unwrap();
+        let q = Quantizer::calibrate(&m).quantize(&m);
+        assert_eq!(q.level(0, 0), 127);
+        assert_eq!(q.level(0, 1), -127);
+    }
+}
+
+/// A symmetric linear quantizer with configurable bit width, used by the
+/// precision-sensitivity analyses (the heterogeneous-quantization
+/// direction of the CrossLight/SONIC line of work the paper builds on).
+///
+/// `levels = 2^(bits−1) − 1`; `q = clamp(round(x/scale), −levels, levels)`.
+/// [`Quantizer`] is the fixed 8-bit special case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitQuantizer {
+    scale: f64,
+    bits: u32,
+}
+
+impl BitQuantizer {
+    /// Calibrates a `bits`-wide quantizer to cover `[-absmax, absmax]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for `bits` outside
+    /// `2..=16`.
+    pub fn calibrate(m: &Matrix, bits: u32) -> Result<Self, TensorError> {
+        if !(2..=16).contains(&bits) {
+            return Err(TensorError::InvalidDimension {
+                what: "bit width must be in 2..=16",
+            });
+        }
+        let absmax = m.abs_max();
+        let levels = Self::levels_for(bits) as f64;
+        let scale = if absmax > 0.0 { absmax / levels } else { 1.0 };
+        Ok(BitQuantizer { scale, bits })
+    }
+
+    fn levels_for(bits: u32) -> i64 {
+        (1i64 << (bits - 1)) - 1
+    }
+
+    /// The quantization step size.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of positive levels.
+    pub fn levels(&self) -> i64 {
+        Self::levels_for(self.bits)
+    }
+
+    /// Quantizes a single value to its level index.
+    pub fn quantize_value(&self, x: f64) -> i64 {
+        let levels = self.levels() as f64;
+        (x / self.scale).round().clamp(-levels, levels) as i64
+    }
+
+    /// Dequantizes a level index.
+    pub fn dequantize_value(&self, q: i64) -> f64 {
+        q as f64 * self.scale
+    }
+
+    /// Quantize-then-dequantize a whole matrix ("fake quantization").
+    pub fn fake_quantize(&self, m: &Matrix) -> Matrix {
+        m.map(|v| self.dequantize_value(self.quantize_value(v)))
+    }
+}
+
+/// Fake quantization at an arbitrary bit width with per-tensor
+/// calibration.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for `bits` outside `2..=16`.
+pub fn fake_quantize_bits(m: &Matrix, bits: u32) -> Result<Matrix, TensorError> {
+    Ok(BitQuantizer::calibrate(m, bits)?.fake_quantize(m))
+}
+
+#[cfg(test)]
+mod bit_tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_matches_fixed_quantizer() {
+        let m = Matrix::from_rows(&[&[0.3, -0.7, 1.0, -1.0, 0.05]]).unwrap();
+        let generic = fake_quantize_bits(&m, 8).unwrap();
+        let fixed = fake_quantize(&m);
+        assert!(generic.approx_eq(&fixed, 1e-12));
+    }
+
+    #[test]
+    fn error_halves_per_extra_bit() {
+        let mut rng = crate::Prng::new(1);
+        let m = rng.fill_uniform(8, 8, -1.0, 1.0);
+        let mut last = f64::INFINITY;
+        for bits in [2u32, 4, 6, 8, 10] {
+            let fq = fake_quantize_bits(&m, bits).unwrap();
+            let err = m.sub(&fq).unwrap().abs_max();
+            assert!(err < last, "error should shrink with bits");
+            // Bound: half a step.
+            let q = BitQuantizer::calibrate(&m, bits).unwrap();
+            assert!(err <= q.scale() / 2.0 + 1e-12);
+            last = err;
+        }
+    }
+
+    #[test]
+    fn level_bounds_respected() {
+        let m = Matrix::from_rows(&[&[5.0, -5.0]]).unwrap();
+        let q = BitQuantizer::calibrate(&m, 4).unwrap();
+        assert_eq!(q.levels(), 7);
+        assert_eq!(q.quantize_value(5.0), 7);
+        assert_eq!(q.quantize_value(-9.0), -7);
+    }
+
+    #[test]
+    fn invalid_bit_widths_rejected() {
+        let m = Matrix::zeros(2, 2);
+        assert!(fake_quantize_bits(&m, 1).is_err());
+        assert!(fake_quantize_bits(&m, 17).is_err());
+        assert!(fake_quantize_bits(&m, 2).is_ok());
+    }
+
+    #[test]
+    fn zero_matrix_identity() {
+        let m = Matrix::zeros(3, 3);
+        assert!(fake_quantize_bits(&m, 4).unwrap().approx_eq(&m, 0.0));
+    }
+}

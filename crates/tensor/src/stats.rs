@@ -1,0 +1,165 @@
+//! Summary statistics used by accuracy and error analyses.
+
+use crate::Matrix;
+
+/// Arithmetic mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (0 for slices shorter than 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|v| (v - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Root-mean-square error between two equal-shaped matrices.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn rmse(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "rmse requires equal shapes");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let se: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).powi(2))
+        .sum();
+    (se / a.len() as f64).sqrt()
+}
+
+/// Relative Frobenius error `‖a − b‖ / ‖a‖`, with the convention that the
+/// error of two zero matrices is zero.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "relative_error requires equal shapes");
+    let denom = a.frobenius_norm();
+    let num = a.sub(b).expect("same shape").frobenius_norm();
+    if denom == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+/// Fraction of positions where two label vectors agree.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "accuracy requires equal lengths");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains a non-positive value.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geo_mean of empty slice");
+    assert!(xs.iter().all(|&v| v > 0.0), "geo_mean requires positive values");
+    (xs.iter().map(|v| v.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mean_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+    }
+
+    #[test]
+    fn rmse_of_identical_is_zero() {
+        let a = Matrix::filled(3, 3, 2.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert!((rmse(&a, &b) - (12.5_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_conventions() {
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(relative_error(&z, &z), 0.0);
+        let nz = Matrix::filled(2, 2, 1.0);
+        assert!(relative_error(&z, &nz).is_infinite());
+        assert!((relative_error(&nz, &z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn geo_mean_of_powers() {
+        assert!((geo_mean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the numeric substrate.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+
+use phox_tensor::{eig, ops, quant, stats, Matrix, Prng, Quantizer};
+
+/// Strategy: a matrix of the given shape with elements in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("length matches"))
+}
+
+/// Strategy: a random symmetric matrix.
+fn symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(|m| {
+        let mt = m.transpose();
+        m.add(&mt).expect("same shape").scale(0.5)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 5), c in matrix(5, 2)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-6));
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn quantization_error_at_most_half_step(m in matrix(4, 4)) {
+        let q = Quantizer::calibrate(&m);
+        let err = quant::max_quant_error(&m);
+        prop_assert!(err <= q.scale() / 2.0 + 1e-12, "err {} step {}", err, q.scale());
+    }
+
+    #[test]
+    fn quantized_levels_bounded(m in matrix(3, 5)) {
+        let q = Quantizer::calibrate(&m).quantize(&m);
+        prop_assert!(q.as_i8_slice().iter().all(|&l| (-127..=127).contains(&l)));
+    }
+
+    #[test]
+    fn eigh_reconstructs_symmetric_matrices(a in symmetric(4)) {
+        let e = eig::eigh(&a).unwrap();
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d.set(i, i, e.values[i]);
+        }
+        let rebuilt = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        prop_assert!(rebuilt.approx_eq(&a, 1e-7));
+    }
+
+    #[test]
+    fn eigh_trace_equals_eigenvalue_sum(a in symmetric(5)) {
+        let e = eig::eigh(&a).unwrap();
+        let trace: f64 = (0..5).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solve_spd_residual_is_small(b in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        // A fixed well-conditioned SPD matrix.
+        let mut a = Matrix::identity(4).scale(3.0);
+        for i in 0..4usize {
+            for j in 0..4usize {
+                if i != j {
+                    let d = (i as f64 - j as f64).abs();
+                    a.set(i, j, (-d).exp() * 0.5);
+                }
+            }
+        }
+        let x = eig::solve_spd(&a, &b).unwrap();
+        for i in 0..4 {
+            let mut ax = 0.0;
+            for j in 0..4 {
+                ax += a.get(i, j) * x[j];
+            }
+            prop_assert!((ax - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(3, 6)) {
+        let p = ops::softmax_rows(&m);
+        for r in 0..3 {
+            let s: f64 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_is_standardized(m in matrix(2, 8)) {
+        let g = vec![1.0; 8];
+        let b = vec![0.0; 8];
+        let y = ops::layer_norm(&m, &g, &b, 1e-9).unwrap();
+        for r in 0..2 {
+            let row = y.row(r);
+            let mean: f64 = row.iter().sum::<f64>() / 8.0;
+            prop_assert!(mean.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_zero_iff_equal(m in matrix(3, 3)) {
+        prop_assert_eq!(stats::relative_error(&m, &m), 0.0);
+    }
+
+    #[test]
+    fn prng_uniform_stays_in_range(seed in any::<u64>(), lo in -100.0f64..0.0, width in 0.001f64..100.0) {
+        let mut rng = Prng::new(seed);
+        for _ in 0..50 {
+            let v = rng.uniform(lo, lo + width);
+            prop_assert!(v >= lo && v < lo + width);
+        }
+    }
+
+    #[test]
+    fn hconcat_then_slice_roundtrips(a in matrix(3, 2), b in matrix(3, 4)) {
+        let cat = a.hconcat(&b).unwrap();
+        let a2 = cat.col_slice(0, 2).unwrap();
+        let b2 = cat.col_slice(2, 6).unwrap();
+        prop_assert!(a2.approx_eq(&a, 0.0));
+        prop_assert!(b2.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
+        let sum = a.add(&b).unwrap();
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+}

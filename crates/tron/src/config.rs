@@ -1,0 +1,243 @@
+//! TRON hardware configuration.
+//!
+//! The architecture of Fig. 4/5: `H` attention-head units of seven
+//! `K×N` MR bank arrays each, a linear layer of two bank arrays, FF units,
+//! digital softmax LUT blocks, coherent-summation residual adders and
+//! single-MR LayerNorm stages. Array geometry (`K`, `N`) comes from the
+//! design-space analysis of `phox-photonics::design_space` (§VI: "the
+//! specific architectural details ... were determined through detailed
+//! design-space analysis").
+
+use phox_photonics::converter::{Adc, Dac};
+use phox_photonics::design_space::{self, SweepConfig};
+use phox_photonics::link::{Laser, WdmLink};
+use phox_photonics::mr::MrConfig;
+use phox_photonics::noise::NoiseBudget;
+use phox_photonics::tuning::HybridTuning;
+use phox_photonics::PhotonicError;
+
+/// Digital softmax LUT block characteristics (§V.C: softmax is computed
+/// "using lookup tables (LUTs) and simple digital circuits").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxLut {
+    /// Energy per element looked up and normalised, J.
+    pub energy_per_element_j: f64,
+    /// Elements processed per second by one block.
+    pub throughput_elems_per_s: f64,
+}
+
+impl Default for SoftmaxLut {
+    /// 0.5 pJ/element, 64 elements/cycle at 1 GHz.
+    fn default() -> Self {
+        SoftmaxLut {
+            energy_per_element_j: 0.5e-12,
+            throughput_elems_per_s: 64e9,
+        }
+    }
+}
+
+/// Full TRON hardware configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TronConfig {
+    /// Number of attention-head units (`H` in Fig. 5(b)).
+    pub head_units: usize,
+    /// MR bank arrays per attention-head unit (seven in Fig. 5(a)).
+    pub arrays_per_head: usize,
+    /// Bank arrays dedicated to the post-attention linear layer.
+    pub linear_arrays: usize,
+    /// Bank arrays dedicated to the feed-forward unit.
+    pub ff_arrays: usize,
+    /// Rows per bank array (`K`: dot products in parallel).
+    pub array_rows: usize,
+    /// Wavelengths per bank array row (`N`: inner-dimension parallelism).
+    pub array_channels: usize,
+    /// Analog symbol rate, symbols/s (bounded by the ADC).
+    pub symbol_rate_hz: f64,
+    /// Batch size over which streamed weights are amortised.
+    pub batch: usize,
+    /// Ring configuration (from the design-space sweep).
+    pub mr: MrConfig,
+    /// Tuning circuit policy.
+    pub tuning: HybridTuning,
+    /// Output converter.
+    pub adc: Adc,
+    /// Drive converter.
+    pub dac: Dac,
+    /// Receiver noise budget.
+    pub noise: NoiseBudget,
+    /// Laser source.
+    pub laser: Laser,
+    /// Softmax digital block.
+    pub softmax: SoftmaxLut,
+}
+
+impl Default for TronConfig {
+    /// A 12-head-unit TRON with 64-row × 16-wavelength arrays at 10 GHz
+    /// symbols (the ADC rate). Rows are waveguides and are not
+    /// wavelength-limited, so they exceed the per-waveguide channel
+    /// count. Use [`TronConfig::from_design_space`] to widen the channel
+    /// count to the crosstalk-optimal value.
+    fn default() -> Self {
+        TronConfig {
+            head_units: 12,
+            arrays_per_head: 7,
+            linear_arrays: 8,
+            ff_arrays: 32,
+            array_rows: 64,
+            array_channels: 16,
+            symbol_rate_hz: 10e9,
+            batch: 16,
+            mr: MrConfig::default(),
+            tuning: HybridTuning::default(),
+            adc: Adc::default(),
+            dac: Dac::default(),
+            noise: NoiseBudget::default(),
+            laser: Laser::default(),
+            softmax: SoftmaxLut::default(),
+        }
+    }
+}
+
+impl TronConfig {
+    /// Derives the array geometry from the photonic design-space sweep:
+    /// the best feasible point sets the wavelength count (array channels)
+    /// and ring configuration; the waveguide (row) count stays at the
+    /// default since rows are not wavelength-limited.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures ([`PhotonicError::NoFeasibleDesign`]).
+    pub fn from_design_space(sweep: &SweepConfig) -> Result<Self, PhotonicError> {
+        let outcome = design_space::sweep(sweep)?;
+        let best = outcome.best().expect("sweep succeeded, feasible non-empty");
+        Ok(TronConfig {
+            array_channels: best.channels,
+            mr: best.mr,
+            ..TronConfig::default()
+        })
+    }
+
+    /// Validates structural parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for zero counts or a
+    /// non-positive symbol rate.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.head_units == 0
+            || self.arrays_per_head == 0
+            || self.linear_arrays == 0
+            || self.ff_arrays == 0
+            || self.array_rows == 0
+            || self.array_channels == 0
+            || self.batch == 0
+        {
+            return Err(PhotonicError::InvalidConfig {
+                what: "TRON unit counts must be non-zero",
+            });
+        }
+        if !(self.symbol_rate_hz > 0.0 && self.symbol_rate_hz.is_finite()) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "symbol rate must be positive",
+            });
+        }
+        if self.symbol_rate_hz > self.adc.rate_hz {
+            return Err(PhotonicError::InvalidConfig {
+                what: "symbol rate cannot exceed the ADC sampling rate",
+            });
+        }
+        self.mr.validated()?;
+        Ok(self)
+    }
+
+    /// Total MR bank arrays in the accelerator.
+    pub fn total_arrays(&self) -> usize {
+        self.head_units * self.arrays_per_head + self.linear_arrays + self.ff_arrays
+    }
+
+    /// Peak MAC rate, MACs/s (all arrays busy every symbol).
+    pub fn peak_macs_per_s(&self) -> f64 {
+        self.total_arrays() as f64
+            * self.array_rows as f64
+            * self.array_channels as f64
+            * self.symbol_rate_hz
+    }
+
+    /// Total MR device count (two banks per array: weights +
+    /// activations).
+    pub fn mr_count(&self) -> usize {
+        2 * self.total_arrays() * self.array_rows * self.array_channels
+    }
+
+    /// The WDM link template for one array waveguide (losses scale with
+    /// the channel count).
+    pub fn link(&self) -> WdmLink {
+        WdmLink {
+            channels: self.array_channels,
+            through_mrs: 2 * self.array_channels, // activation + weight banks
+            ..WdmLink::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = TronConfig::default().validated().unwrap();
+        assert_eq!(c.total_arrays(), 12 * 7 + 8 + 32);
+        assert_eq!(c.mr_count(), 2 * 124 * 64 * 16);
+    }
+
+    #[test]
+    fn peak_macs_formula() {
+        let c = TronConfig::default();
+        let expected = 124.0 * 64.0 * 16.0 * 10e9;
+        assert!((c.peak_macs_per_s() - expected).abs() < 1e3);
+    }
+
+    #[test]
+    fn design_space_configuration_is_bigger() {
+        let c = TronConfig::from_design_space(&SweepConfig::default()).unwrap();
+        // The optimised point packs more wavelengths than the
+        // conservative default.
+        assert!(c.array_channels >= 16, "channels {}", c.array_channels);
+        assert!(c.validated().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(TronConfig {
+            head_units: 0,
+            ..TronConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(TronConfig {
+            symbol_rate_hz: 0.0,
+            ..TronConfig::default()
+        }
+        .validated()
+        .is_err());
+        // Symbol rate beyond the ADC is not realisable.
+        assert!(TronConfig {
+            symbol_rate_hz: 100e9,
+            ..TronConfig::default()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn link_tracks_channel_count() {
+        let c = TronConfig {
+            array_channels: 24,
+            ..TronConfig::default()
+        };
+        let l = c.link();
+        assert_eq!(l.channels, 24);
+        assert_eq!(l.through_mrs, 48);
+    }
+}

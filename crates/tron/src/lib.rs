@@ -1,0 +1,38 @@
+//! # phox-tron
+//!
+//! **TRON** — the silicon-photonic transformer accelerator of §V.C,
+//! simulated at two levels:
+//!
+//! * [`perf`] — architecture-level performance/energy simulation: maps
+//!   every matmul of a transformer onto the MR bank arrays of Fig. 5,
+//!   producing the EPB and GOPS figures of the paper's Figs. 8 and 9;
+//! * [`functional`] — value-level simulation of the analog datapath
+//!   (int8 DACs, balanced-photodetector signed arithmetic, receiver
+//!   noise, 8-bit auto-ranged ADCs, LUT softmax, optical LayerNorm,
+//!   coherent residual summation) validated against the digital
+//!   reference.
+//!
+//! # Example
+//!
+//! ```
+//! use phox_tron::config::TronConfig;
+//! use phox_tron::perf::TronAccelerator;
+//! use phox_nn::transformer::TransformerConfig;
+//!
+//! # fn main() -> Result<(), phox_photonics::PhotonicError> {
+//! let tron = TronAccelerator::new(TronConfig::default())?;
+//! let report = tron.simulate(&TransformerConfig::bert_base(128))?;
+//! assert!(report.perf.gops() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod functional;
+pub mod perf;
+
+pub use config::TronConfig;
+pub use functional::TronFunctional;
+pub use perf::{TronAccelerator, TronReport};

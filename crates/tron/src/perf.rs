@@ -1,0 +1,736 @@
+//! TRON performance and energy simulation (experiments E1/E2).
+//!
+//! The simulator maps every matrix multiplication of a transformer layer
+//! onto the MR bank arrays of Fig. 5, counts the analog symbols, data
+//! conversions, tuning events and memory traffic, and produces the
+//! energy/latency ledgers from which the paper's EPB (Fig. 8) and GOPS
+//! (Fig. 9) comparisons are regenerated.
+//!
+//! Mapping model: an array holds a `rows × channels` weight tile in its
+//! weight bank and streams activation vectors through its activation bank
+//! at the symbol rate; each symbol completes `rows·channels` MACs. A
+//! `M×K · K×N` matmul therefore needs `⌈K/channels⌉·⌈N/rows⌉` passes of
+//! `M` symbols each. Weight tiles are programmed once per pass
+//! (weight-DAC sharing), activations once per symbol.
+
+use phox_arch::metrics::{EnergyLedger, LatencyLedger, PerfReport};
+use phox_arch::schedule::{overlap_time_s, Tiling};
+use phox_memsim::dram::HbmStack;
+use phox_memsim::sram::{Sram, SramConfig};
+use phox_nn::transformer::{TransformerConfig, TransformerKind};
+use phox_photonics::PhotonicError;
+
+use crate::config::TronConfig;
+
+/// One dense matmul `X(m×k) · W(k×n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulShape {
+    /// Activation rows streamed.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output features (weight columns).
+    pub n: usize,
+}
+
+/// Which unit group executes a matmul.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitClass {
+    /// Attention-head units (Q/K/V projections, score and context
+    /// matmuls — the seven arrays of Fig. 5(a)).
+    Head,
+    /// The post-attention linear layer (two arrays in Fig. 5(b)).
+    Linear,
+    /// The feed-forward unit.
+    FeedForward,
+}
+
+/// Cost of one matmul on one unit group.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MatmulCost {
+    /// Total array-symbols issued.
+    pub symbols: u64,
+    /// Elapsed symbols after spreading over the group's arrays.
+    pub elapsed_symbols: u64,
+    /// Weight DAC conversions (tile programming).
+    pub weight_conversions: u64,
+    /// Activation DAC conversions.
+    pub activation_conversions: u64,
+    /// ADC conversions (row outputs).
+    pub adc_conversions: u64,
+    /// Useful MACs.
+    pub macs: u64,
+}
+
+/// Detailed simulation result for one model inference on TRON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TronReport {
+    /// Figures of merit (per single inference, batch amortised).
+    pub perf: PerfReport,
+    /// Itemised energy per inference, J.
+    pub energy: EnergyLedger,
+    /// Itemised latency per inference, s.
+    pub latency: LatencyLedger,
+    /// Average MAC-array utilization during compute.
+    pub utilization: f64,
+    /// The model name this report describes.
+    pub model: String,
+}
+
+impl std::fmt::Display for TronReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "TRON on {}:", self.model)?;
+        writeln!(f, "  throughput : {:>12.0} GOPS", self.perf.gops())?;
+        writeln!(f, "  energy/bit : {:>12.3} pJ", self.perf.epb_j() * 1e12)?;
+        writeln!(f, "  latency    : {:>12.2} µs", self.perf.latency_s * 1e6)?;
+        writeln!(f, "  power      : {:>12.1} W", self.perf.power_w())?;
+        write!(f, "  utilization: {:>12.1} %", self.utilization * 100.0)
+    }
+}
+
+/// The TRON accelerator simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TronAccelerator {
+    config: TronConfig,
+    /// Electrical laser power per busy array, W (derived once).
+    array_laser_w: f64,
+    /// Weight/activation staging buffer model.
+    weight_buffer: Sram,
+    act_buffer: Sram,
+    hbm: HbmStack,
+}
+
+impl TronAccelerator {
+    /// Builds the simulator, provisioning the optical link for 8-bit
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and link-budget failures —
+    /// e.g. [`PhotonicError::LaserBudgetExceeded`] when the arrays are too
+    /// lossy for the configured laser.
+    pub fn new(config: TronConfig) -> Result<Self, PhotonicError> {
+        let config = config.validated()?;
+        // The BPD integrates all `channels` wavelengths of a waveguide,
+        // so the aggregate received power must reach the 8-bit noise
+        // floor; each channel carries 1/channels of it.
+        let aggregate_rx = config.noise.required_power_w(config.adc.bits)?;
+        let per_channel_rx = aggregate_rx / config.array_channels as f64;
+        let budget = config.laser.provision(&config.link(), per_channel_rx)?;
+        // One waveguide per array row.
+        let array_laser_w = budget.laser_electrical_w * config.array_rows as f64;
+        let weight_buffer = Sram::new(SramConfig {
+            capacity_bytes: 2 * 1024 * 1024,
+            word_bytes: 32,
+            banks: 8,
+        })
+        .map_err(|_| PhotonicError::InvalidConfig {
+            what: "weight buffer configuration",
+        })?;
+        let act_buffer = Sram::new(SramConfig {
+            capacity_bytes: 512 * 1024,
+            word_bytes: 16,
+            banks: 4,
+        })
+        .map_err(|_| PhotonicError::InvalidConfig {
+            what: "activation buffer configuration",
+        })?;
+        Ok(TronAccelerator {
+            config,
+            array_laser_w,
+            weight_buffer,
+            act_buffer,
+            hbm: HbmStack {
+                channels: 16, // 512 GB/s — V100-class memory system
+                ..HbmStack::default()
+            },
+        })
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &TronConfig {
+        &self.config
+    }
+
+    /// Electrical laser power of one busy array, W.
+    pub fn array_laser_w(&self) -> f64 {
+        self.array_laser_w
+    }
+
+    /// Arrays available to a unit class.
+    pub fn arrays_in(&self, unit: UnitClass) -> usize {
+        match unit {
+            UnitClass::Head => self.config.head_units * self.config.arrays_per_head,
+            UnitClass::Linear => self.config.linear_arrays,
+            UnitClass::FeedForward => self.config.ff_arrays,
+        }
+    }
+
+    /// Costs one matmul on a unit group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for degenerate shapes.
+    pub fn matmul_cost(&self, shape: MatmulShape, unit: UnitClass) -> Result<MatmulCost, PhotonicError> {
+        let tiling = Tiling::new(
+            shape.n,
+            shape.k,
+            1,
+            self.config.array_rows,
+            self.config.array_channels,
+        )
+        .map_err(|_| PhotonicError::InvalidConfig {
+            what: "matmul shape must be non-zero",
+        })?;
+        // passes = k_tiles × n_tiles; each pass streams m symbols.
+        let passes = (tiling.k_tiles() * tiling.row_tiles()) as u64;
+        let symbols = passes * shape.m as u64;
+        let arrays = self.arrays_in(unit) as u64;
+        let elapsed_symbols = symbols.div_ceil(arrays);
+        let rows = self.config.array_rows as u64;
+        let channels = self.config.array_channels as u64;
+        Ok(MatmulCost {
+            symbols,
+            elapsed_symbols,
+            weight_conversions: passes * rows * channels,
+            activation_conversions: symbols * channels,
+            adc_conversions: symbols * rows,
+            macs: (shape.m * shape.k * shape.n) as u64,
+        })
+    }
+
+    /// Every matmul of one full inference of `model`, in dataflow order
+    /// (encoder layers, then decoder layers for encoder-decoder models).
+    pub fn model_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass)> {
+        let mut v = Vec::new();
+        for _ in 0..model.layers {
+            v.extend(Self::layer_matmuls(model));
+        }
+        if model.kind == TransformerKind::EncoderDecoder {
+            for _ in 0..model.layers {
+                v.extend(Self::decoder_layer_matmuls(model));
+            }
+        }
+        v
+    }
+
+    /// The matmuls of one decoder layer: a full self-attention layer plus
+    /// the cross-attention block.
+    pub fn decoder_layer_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass)> {
+        let s = model.seq_len;
+        let d = model.d_model;
+        let dh = model.d_head();
+        let h = model.heads;
+        let mut v = Self::layer_matmuls(model);
+        // Cross-attention: Q from the decoder state, K/V from the
+        // encoder memory, output projection; per-head score and context
+        // matmuls.
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // Q_c
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // K_c
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // V_c
+        for _ in 0..h {
+            v.push((MatmulShape { m: s, k: dh, n: s }, UnitClass::Head));
+            v.push((MatmulShape { m: s, k: s, n: dh }, UnitClass::Head));
+        }
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Linear)); // W_co
+        v
+    }
+
+    /// The matmuls of one encoder (or single-stack) transformer layer, in
+    /// dataflow order.
+    pub fn layer_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass)> {
+        let s = model.seq_len;
+        let d = model.d_model;
+        let dh = model.d_head();
+        let h = model.heads;
+        let mut v = Vec::new();
+        // Q, K, V projections (the decomposition of eq. (3) replaces the
+        // K projection with (Q·W_Kᵀ)·Xᵀ — same MAC count, no digital
+        // transpose).
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // Q = X·W_Q
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // Q·W_Kᵀ
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // V = X·W_V
+        for _ in 0..h {
+            // (Q·W_Kᵀ)·Xᵀ per head: s×dh · dh×s.
+            v.push((MatmulShape { m: s, k: dh, n: s }, UnitClass::Head));
+            // softmax(scores)·V per head: s×s · s×dh.
+            v.push((MatmulShape { m: s, k: s, n: dh }, UnitClass::Head));
+        }
+        // Output projection (the "linear layer ... two MR bank arrays").
+        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Linear));
+        // Feed-forward.
+        v.push((
+            MatmulShape {
+                m: s,
+                k: d,
+                n: model.d_ff,
+            },
+            UnitClass::FeedForward,
+        ));
+        v.push((
+            MatmulShape {
+                m: s,
+                k: model.d_ff,
+                n: d,
+            },
+            UnitClass::FeedForward,
+        ));
+        v
+    }
+
+    /// Simulates one inference of `model`, returning per-inference
+    /// figures (batch-amortised weight streaming).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/configuration errors.
+    pub fn simulate(&self, model: &TransformerConfig) -> Result<TronReport, PhotonicError> {
+        let cfg = &self.config;
+        let t_sym = 1.0 / cfg.symbol_rate_hz;
+        let batch = cfg.batch as u64;
+        let census = model.census();
+
+        let mut energy = EnergyLedger::default();
+        let mut latency = LatencyLedger::default();
+        let mut total_macs = 0u64;
+
+        // ----- analog compute: every matmul of the whole model -------
+        let matmuls = Self::model_matmuls(model);
+        let mut model_elapsed_s = 0.0;
+        for &(shape, unit) in &matmuls {
+            let c = self.matmul_cost(shape, unit)?;
+            total_macs += c.macs;
+            model_elapsed_s += c.elapsed_symbols as f64 * t_sym;
+
+            energy.laser_j += c.symbols as f64 * self.array_laser_w * t_sym;
+            energy.dac_j += (c.weight_conversions + c.activation_conversions) as f64
+                * cfg.dac.energy_per_conversion_j();
+            energy.adc_j += c.adc_conversions as f64 * cfg.adc.energy_per_conversion_j();
+            // Tuning: activations are EO-only (clamped range); ~2 % of
+            // weight imprints need a TO event held for the pass.
+            let eo_op = cfg.tuning.tune(0.25).expect("within EO range");
+            energy.tuning_j += (c.activation_conversions + c.weight_conversions) as f64
+                * eo_op.power_w
+                * t_sym;
+            let to_fraction = 0.02;
+            let to_op = cfg.tuning.tune(1.0).expect("within TO range");
+            let pass_hold_s = shape.m as f64 * t_sym;
+            energy.tuning_j +=
+                to_fraction * c.weight_conversions as f64 * to_op.power_w * pass_hold_s;
+            // Receiver: one TIA per row, powered while the array is busy.
+            energy.receiver_j += c.symbols as f64
+                * self.config.array_rows as f64
+                * 3e-3 // TIA power, W
+                * t_sym;
+            // Buffer traffic: weights DAC'd from the weight buffer,
+            // activations from/to the activation buffer (1 byte each at
+            // 8-bit).
+            energy.memory_j += self
+                .weight_buffer
+                .read_bytes_energy_j(c.weight_conversions as usize);
+            energy.memory_j += self
+                .act_buffer
+                .read_bytes_energy_j(c.activation_conversions as usize)
+                + self
+                    .act_buffer
+                    .write_bytes_energy_j(c.adc_conversions as usize);
+        }
+        // Compute for the whole batch (weights stay; activations stream).
+        let compute_batch_s = model_elapsed_s * batch as f64;
+        energy = scale_analog(&energy, batch as f64);
+
+        // ----- digital softmax -------------------------------------
+        let softmax_elems = census.softmax_elements * batch;
+        energy.digital_j += softmax_elems as f64 * cfg.softmax.energy_per_element_j;
+        let softmax_s =
+            softmax_elems as f64 / (cfg.softmax.throughput_elems_per_s * cfg.head_units as f64);
+
+        // ----- optical LayerNorm + coherent residual ----------------
+        // Elementwise optical stages with `channels` parallel lanes.
+        let ln_elems = census.layernorm_elements * batch;
+        let residual_elems = census.adds * batch;
+        // One add-and-normalize block per head unit, `channels` lanes
+        // each (Fig. 5(b)).
+        let elementwise_lanes = (cfg.array_channels * cfg.head_units) as f64;
+        let elementwise_s = (ln_elems + residual_elems) as f64
+            / (elementwise_lanes * cfg.symbol_rate_hz);
+        // VCSEL energy for the coherent residual adders (~4 mW electrical
+        // per lane-symbol) and single-MR LN tuning.
+        energy.receiver_j += residual_elems as f64 * 4e-3 * t_sym;
+        energy.tuning_j += ln_elems as f64 * 1e-6 * t_sym;
+
+        // ----- weight streaming (once per batch) --------------------
+        let weight_bytes = census.weight_bytes as usize;
+        let hbm_s = self.hbm.transfer_time_s(weight_bytes);
+        energy.memory_j += self.hbm.transfer_energy_j(weight_bytes);
+        energy.memory_j += self.weight_buffer.write_bytes_energy_j(weight_bytes);
+
+        // ----- latency roll-up --------------------------------------
+        let compute_total_s = compute_batch_s + elementwise_s;
+        let overlapped = overlap_time_s(compute_total_s, hbm_s);
+        // Softmax partially overlaps (it pipelines with the context
+        // matmul); charge half of it.
+        let batch_latency_s = overlapped + 0.5 * softmax_s;
+        // Elementwise optical stages (LN, residual adders) are compute
+        // time; conversions are hidden inside the symbol rate.
+        latency.compute_s = (compute_batch_s + elementwise_s) / batch as f64;
+        latency.memory_s = (overlapped - compute_total_s).max(0.0) / batch as f64;
+        latency.digital_s = 0.5 * softmax_s / batch as f64;
+
+        // ----- static energy ----------------------------------------
+        let leakage_w = self.weight_buffer.leakage_w() + self.act_buffer.leakage_w();
+        energy.static_j += leakage_w * batch_latency_s;
+
+        // Per-inference figures.
+        let per_inf_energy = energy.scale(1.0 / batch as f64);
+        let per_inf_latency_s = batch_latency_s / batch as f64;
+
+        let ops = census.total_ops();
+        let bits = census.total_bits();
+        let perf = PerfReport::new(ops, bits, per_inf_latency_s, per_inf_energy.total_j())
+            .map_err(|_| PhotonicError::InvalidConfig {
+                what: "degenerate performance figures",
+            })?;
+
+        let peak_macs = cfg.peak_macs_per_s() * compute_batch_s;
+        let utilization = if peak_macs > 0.0 {
+            (total_macs as f64 * batch as f64 / peak_macs).min(1.0)
+        } else {
+            0.0
+        };
+
+        Ok(TronReport {
+            perf,
+            energy: per_inf_energy,
+            latency,
+            utilization,
+            model: model.name.clone(),
+        })
+    }
+}
+
+/// Scales only the per-matmul analog components (laser, converters,
+/// tuning, receiver, memory) by the batch factor; digital/static terms
+/// are accounted at model level.
+fn scale_analog(e: &EnergyLedger, k: f64) -> EnergyLedger {
+    EnergyLedger {
+        laser_j: e.laser_j * k,
+        tuning_j: e.tuning_j * k,
+        dac_j: e.dac_j * k,
+        adc_j: e.adc_j * k,
+        receiver_j: e.receiver_j * k,
+        digital_j: e.digital_j,
+        memory_j: e.memory_j * k,
+        static_j: e.static_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tron() -> TronAccelerator {
+        TronAccelerator::new(TronConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn construction_provisions_laser() {
+        let t = tron();
+        assert!(t.array_laser_w() > 0.0);
+        // Sanity: a 16-row array should draw milliwatts-to-watts of
+        // laser, not kilowatts.
+        assert!(t.array_laser_w() < 10.0, "laser {} W", t.array_laser_w());
+    }
+
+    #[test]
+    fn matmul_cost_counts() {
+        let t = tron();
+        let c = t
+            .matmul_cost(
+                MatmulShape {
+                    m: 8,
+                    k: 32,
+                    n: 32,
+                },
+                UnitClass::Linear,
+            )
+            .unwrap();
+        // Default geometry: 64 rows × 16 channels, 8 linear arrays.
+        // k_tiles = ceil(32/16) = 2, n_tiles = ceil(32/64) = 1
+        // -> 2 passes × 8 symbols.
+        assert_eq!(c.symbols, 16);
+        assert_eq!(c.elapsed_symbols, 2);
+        assert_eq!(c.macs, 8 * 32 * 32);
+        assert_eq!(c.weight_conversions, 2 * 64 * 16);
+        assert_eq!(c.activation_conversions, 16 * 16);
+        assert_eq!(c.adc_conversions, 16 * 64);
+    }
+
+    #[test]
+    fn model_matmuls_cover_all_macs() {
+        for model in [
+            phox_nn::transformer::TransformerConfig::bert_base(128),
+            phox_nn::transformer::TransformerConfig::gpt2(64),
+            phox_nn::transformer::TransformerConfig::transformer_base(64),
+        ] {
+            let matmuls = TronAccelerator::model_matmuls(&model);
+            let macs: u64 = matmuls
+                .iter()
+                .map(|(s, _)| (s.m * s.k * s.n) as u64)
+                .sum();
+            let census = model.census();
+            assert_eq!(macs, census.macs, "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn encoder_decoder_models_simulate() {
+        let t = tron();
+        let r = t
+            .simulate(&phox_nn::transformer::TransformerConfig::transformer_base(64))
+            .unwrap();
+        assert!(r.perf.gops() > 0.0);
+        let enc_only = t
+            .simulate(&phox_nn::transformer::TransformerConfig::tiny(64))
+            .unwrap();
+        let _ = enc_only;
+    }
+
+    #[test]
+    fn simulate_bert_base_produces_sane_figures() {
+        let t = tron();
+        let model = phox_nn::transformer::TransformerConfig::bert_base(128);
+        let r = t.simulate(&model).unwrap();
+        // Throughput within physical peak.
+        let peak_gops = t.config().peak_macs_per_s() * 2.0 / 1e9;
+        assert!(r.perf.gops() > 100.0, "gops {}", r.perf.gops());
+        assert!(r.perf.gops() <= peak_gops * 1.05, "gops {} peak {}", r.perf.gops(), peak_gops);
+        // EPB in the sub-pJ/bit regime the paper reports for photonics.
+        let epb_pj = r.perf.epb_j() * 1e12;
+        assert!(epb_pj > 0.001 && epb_pj < 10.0, "epb {epb_pj} pJ/bit");
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        // Power should be bounded by a plausible chip envelope.
+        assert!(r.perf.power_w() < 500.0, "power {}", r.perf.power_w());
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let t = tron();
+        let small = t
+            .simulate(&phox_nn::transformer::TransformerConfig::bert_base(128))
+            .unwrap();
+        let large = t
+            .simulate(&phox_nn::transformer::TransformerConfig::bert_large(128))
+            .unwrap();
+        assert!(large.perf.latency_s > small.perf.latency_s);
+        assert!(large.perf.energy_j > small.perf.energy_j);
+    }
+
+    #[test]
+    fn more_arrays_reduce_latency() {
+        let small = TronAccelerator::new(TronConfig::default()).unwrap();
+        let big = TronAccelerator::new(TronConfig {
+            head_units: 16,
+            ff_arrays: 32,
+            ..TronConfig::default()
+        })
+        .unwrap();
+        let model = phox_nn::transformer::TransformerConfig::bert_base(128);
+        let rs = small.simulate(&model).unwrap();
+        let rb = big.simulate(&model).unwrap();
+        assert!(rb.perf.latency_s < rs.perf.latency_s);
+    }
+
+    #[test]
+    fn energy_ledger_components_all_populated() {
+        let t = tron();
+        let r = t
+            .simulate(&phox_nn::transformer::TransformerConfig::bert_base(128))
+            .unwrap();
+        assert!(r.energy.laser_j > 0.0);
+        assert!(r.energy.tuning_j > 0.0);
+        assert!(r.energy.dac_j > 0.0);
+        assert!(r.energy.adc_j > 0.0);
+        assert!(r.energy.receiver_j > 0.0);
+        assert!(r.energy.digital_j > 0.0);
+        assert!(r.energy.memory_j > 0.0);
+        assert!(r.energy.static_j > 0.0);
+        let total = r.energy.total_j();
+        assert!((r.perf.energy_j - total).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn decoder_and_vision_models_simulate() {
+        let t = tron();
+        assert!(t
+            .simulate(&phox_nn::transformer::TransformerConfig::gpt2(128))
+            .is_ok());
+        assert!(t
+            .simulate(&phox_nn::transformer::TransformerConfig::vit_b16())
+            .is_ok());
+    }
+}
+
+/// Result of an autoregressive-generation simulation (experiment X7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationReport {
+    /// The prefill pass over the prompt.
+    pub prefill: TronReport,
+    /// Figures for the decode phase alone (per generated batch row).
+    pub decode_perf: PerfReport,
+    /// Sustained generation rate, tokens/s (per sequence; the batch
+    /// generates `batch ×` this in aggregate).
+    pub tokens_per_s: f64,
+    /// Energy per generated token, J.
+    pub energy_per_token_j: f64,
+}
+
+impl TronAccelerator {
+    /// Simulates autoregressive generation: prefill over the model's
+    /// `seq_len`-token prompt, then `gen_tokens` KV-cached decode steps.
+    /// Decode matmuls have `m = 1` (one activation row per step), so the
+    /// analog arrays run far below peak and — exactly as on electronic
+    /// hardware — weight streaming dominates: the decode memory wall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures; rejects `gen_tokens == 0`.
+    pub fn simulate_generation(
+        &self,
+        model: &TransformerConfig,
+        gen_tokens: usize,
+    ) -> Result<GenerationReport, PhotonicError> {
+        if gen_tokens == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "generation needs at least one token",
+            });
+        }
+        let prefill = self.simulate(model)?;
+        let cfg = &self.config;
+        let t_sym = 1.0 / cfg.symbol_rate_hz;
+        let batch = cfg.batch as u64;
+        let g = gen_tokens as u64;
+        let d = model.d_model;
+        let dh = model.d_head();
+        let t_avg = model.seq_len + gen_tokens / 2;
+
+        // One decode step's matmuls (m = 1, KV-cached attention).
+        let mut step: Vec<(MatmulShape, UnitClass)> = Vec::new();
+        for _ in 0..model.layers {
+            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // Q
+            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // K
+            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // V
+            for _ in 0..model.heads {
+                step.push((MatmulShape { m: 1, k: dh, n: t_avg }, UnitClass::Head));
+                step.push((MatmulShape { m: 1, k: t_avg, n: dh }, UnitClass::Head));
+            }
+            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Linear));
+            step.push((
+                MatmulShape { m: 1, k: d, n: model.d_ff },
+                UnitClass::FeedForward,
+            ));
+            step.push((
+                MatmulShape { m: 1, k: model.d_ff, n: d },
+                UnitClass::FeedForward,
+            ));
+        }
+        let mut step_elapsed_s = 0.0;
+        let mut step_energy = EnergyLedger::default();
+        for &(shape, unit) in &step {
+            let c = self.matmul_cost(shape, unit)?;
+            step_elapsed_s += c.elapsed_symbols as f64 * t_sym;
+            step_energy.laser_j += c.symbols as f64 * self.array_laser_w * t_sym;
+            step_energy.dac_j += (c.weight_conversions + c.activation_conversions) as f64
+                * cfg.dac.energy_per_conversion_j();
+            step_energy.adc_j += c.adc_conversions as f64 * cfg.adc.energy_per_conversion_j();
+            step_energy.receiver_j +=
+                c.symbols as f64 * cfg.array_rows as f64 * 3e-3 * t_sym;
+        }
+        // Weight streaming: the whole model re-streams every decode step,
+        // amortised over the concurrent batch rows; compute overlaps it.
+        let census = model.census();
+        let weight_bytes = census.weight_bytes as usize;
+        let step_mem_s = self.hbm.transfer_time_s(weight_bytes);
+        let step_mem_energy = self.hbm.transfer_energy_j(weight_bytes);
+        let step_total_s = phox_arch::schedule::overlap_time_s(
+            step_elapsed_s * batch as f64,
+            step_mem_s,
+        );
+
+        // One decode step advances every batch row by one token: the
+        // per-sequence rate is 1/step regardless of batch; batching
+        // amortises the *energy* (one weight stream serves all rows).
+        let decode_time_s = step_total_s * g as f64;
+        let decode_energy_j =
+            (step_energy.total_j() * batch as f64 + step_mem_energy) * g as f64 / batch as f64;
+
+        let gen_census = model.generation_census(gen_tokens);
+        let decode_ops = gen_census.total_ops() - census.total_ops();
+        let decode_perf = PerfReport::new(
+            decode_ops.max(1),
+            decode_ops.max(1) * 8,
+            decode_time_s,
+            decode_energy_j,
+        )
+        .map_err(|_| PhotonicError::InvalidConfig {
+            what: "degenerate generation figures",
+        })?;
+        Ok(GenerationReport {
+            tokens_per_s: 1.0 / step_total_s,
+            energy_per_token_j: decode_energy_j / g as f64,
+            prefill,
+            decode_perf,
+        })
+    }
+}
+
+#[cfg(test)]
+mod generation_tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_memory_bound_and_slower_than_prefill() {
+        let t = TronAccelerator::new(TronConfig::default()).unwrap();
+        let model = phox_nn::transformer::TransformerConfig::gpt2(128);
+        let r = t.simulate_generation(&model, 64).unwrap();
+        // Decode throughput collapses versus prefill (m = 1 rows +
+        // weight re-streaming): the decode memory wall.
+        assert!(
+            r.decode_perf.gops() < r.prefill.perf.gops() / 4.0,
+            "decode {} vs prefill {}",
+            r.decode_perf.gops(),
+            r.prefill.perf.gops()
+        );
+        assert!(r.tokens_per_s > 100.0, "tokens/s {}", r.tokens_per_s);
+        assert!(r.energy_per_token_j > 0.0);
+    }
+
+    #[test]
+    fn longer_generations_take_proportionally_longer() {
+        let t = TronAccelerator::new(TronConfig::default()).unwrap();
+        let model = phox_nn::transformer::TransformerConfig::gpt2(128);
+        let short = t.simulate_generation(&model, 32).unwrap();
+        let long = t.simulate_generation(&model, 128).unwrap();
+        let ratio = (128.0 / short.tokens_per_s) / (32.0 / short.tokens_per_s);
+        assert!((ratio - 4.0).abs() < 0.01);
+        // Longer contexts slow the per-token rate slightly.
+        assert!(long.tokens_per_s <= short.tokens_per_s * 1.05);
+    }
+
+    #[test]
+    fn generation_census_exceeds_prefill_census() {
+        let model = phox_nn::transformer::TransformerConfig::gpt2(128);
+        let pre = model.census();
+        let gen = model.generation_census(64);
+        assert!(gen.macs > pre.macs);
+        assert!(gen.offchip_bytes > pre.offchip_bytes);
+        assert_eq!(model.generation_census(0), pre);
+    }
+
+    #[test]
+    fn zero_tokens_rejected() {
+        let t = TronAccelerator::new(TronConfig::default()).unwrap();
+        let model = phox_nn::transformer::TransformerConfig::gpt2(128);
+        assert!(t.simulate_generation(&model, 0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Device-level crosstalk analysis (experiment E5 / Fig. 3).
+//!
+//! Reproduces the quantitative content of Fig. 3: the MR through-port
+//! response as a parameter is imprinted (Fig. 3(a)), the heterodyne
+//! crosstalk picture of an MR bank (Fig. 3(d)), and the tuning-circuit
+//! trade-off of §V.A including the TED power saving.
+//!
+//! ```sh
+//! cargo run --example crosstalk_analysis --release
+//! ```
+
+use phox::photonics::crosstalk::HeterodyneAnalysis;
+use phox::photonics::tuning::{HybridTuning, ThermalField};
+use phox::prelude::*;
+
+fn main() -> Result<(), PhotonicError> {
+    let mr = MrConfig::default().validated()?;
+    println!(
+        "microring: R = {} µm, Q = {}, FSR = {:.2} nm, FWHM = {:.4} nm",
+        mr.radius_um,
+        mr.q_factor,
+        mr.fsr_nm(),
+        mr.fwhm_nm()
+    );
+
+    // ---- Fig. 3(a): through-port response around resonance --------
+    println!("\nthrough-port transmission (resonance at 1550 nm):");
+    println!("{:>12} {:>14}", "λ − λr (nm)", "T (through)");
+    let mut d = -0.5;
+    while d <= 0.5001 {
+        println!(
+            "{:>12.2} {:>14.4}",
+            d,
+            mr.through_transmission(1550.0 + d, 1550.0)
+        );
+        d += 0.1;
+    }
+
+    // ---- parameter imprinting: target amplitude → detuning --------
+    println!("\nimprinting (target transmission → resonance shift):");
+    for target in [0.05, 0.25, 0.5, 0.75, 0.95] {
+        let detuning = mr.detuning_for_target(target)?;
+        println!("  T = {target:.2} → Δλ = {detuning:.4} nm");
+    }
+
+    // ---- Fig. 3(d): heterodyne crosstalk vs channel spacing -------
+    println!("\nworst-case heterodyne crosstalk for an 8-ring bank:");
+    println!("{:>12} {:>14} {:>12}", "CS (nm)", "crosstalk", "8-bit clean");
+    for spacing in [0.4, 0.8, 1.2, 1.6, 2.0] {
+        match HeterodyneAnalysis::new(&mr, 8, spacing) {
+            Ok(a) => println!(
+                "{:>12.1} {:>14.3e} {:>12}",
+                spacing,
+                a.worst_case(),
+                if a.supports_bits(8) { "yes" } else { "no" }
+            ),
+            Err(e) => println!("{spacing:>12.1} {e}"),
+        }
+    }
+    println!("\nmax 8-bit-clean channels vs quality factor (CS = 1.2 nm):");
+    for q in [5_000.0, 10_000.0, 15_000.0, 20_000.0, 30_000.0] {
+        let hi_q = MrConfig {
+            q_factor: q,
+            ..mr
+        };
+        let n = HeterodyneAnalysis::max_channels(&hi_q, 1.2, 8);
+        println!("  Q = {q:>7.0} → {n} channels");
+    }
+
+    // ---- §V.A: hybrid tuning and TED ------------------------------
+    let tuning = HybridTuning::default();
+    println!("\ntuning circuit (EO/TO hybrid policy):");
+    println!("{:>10} {:>10} {:>14} {:>12}", "Δλ (nm)", "mech", "power", "latency");
+    for shift in [0.1, 0.3, 0.5, 1.0, 2.0] {
+        let op = tuning.tune(shift)?;
+        println!(
+            "{:>10.1} {:>10} {:>11.2} µW {:>10.0} ns",
+            shift,
+            op.mechanism.to_string(),
+            op.power_w * 1e6,
+            op.latency_s * 1e9
+        );
+    }
+
+    let field = ThermalField::new(16, 8.0, 10.0)?;
+    let targets: Vec<f64> = (0..16).map(|i| 0.4 + 0.02 * i as f64).collect();
+    let naive = field.naive_power(&targets)?;
+    let ted = field.ted_power(&targets)?;
+    println!(
+        "\nTED thermal decorrelation over a 16-ring bank: naive {naive:.2}, TED {ted:.2} → {:.2}× saving",
+        naive / ted
+    );
+    Ok(())
+}

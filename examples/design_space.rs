@@ -1,0 +1,81 @@
+//! Photonic design-space exploration (experiment E7).
+//!
+//! Reruns the §VI design-space analysis: sweeps microring radius,
+//! quality factor, channel spacing and coupling gap under the five
+//! feasibility constraints (FSR fit, heterodyne crosstalk, homodyne
+//! crosstalk, receiver noise, laser budget), prints the diagnostic
+//! rejection counts, the Pareto-interesting points and the selected
+//! configuration.
+//!
+//! ```sh
+//! cargo run --example design_space --release
+//! ```
+
+use phox::photonics::design_space::{sweep, SweepConfig};
+use phox::prelude::*;
+
+fn main() -> Result<(), PhotonicError> {
+    let config = SweepConfig::default();
+    let outcome = sweep(&config)?;
+
+    println!(
+        "examined {} candidate designs, {} feasible",
+        outcome.examined,
+        outcome.feasible.len()
+    );
+    println!(
+        "rejections: FSR {}, heterodyne {}, homodyne {}, noise {}, laser {}",
+        outcome.rejections[0],
+        outcome.rejections[1],
+        outcome.rejections[2],
+        outcome.rejections[3],
+        outcome.rejections[4]
+    );
+
+    // The channel-count frontier: best feasible point per radius/Q.
+    println!("\nfeasible frontier (channels per waveguide):");
+    println!("{:>8} {:>10} {:>9} {:>10} {:>8} {:>12}", "R (µm)", "Q", "CS (nm)", "channels", "ENOB", "laser (dBm)");
+    for &radius in &config.radii_um {
+        for &q in &config.q_factors {
+            let best = outcome
+                .feasible
+                .iter()
+                .filter(|p| p.mr.radius_um == radius && p.mr.q_factor == q)
+                .max_by_key(|p| p.channels);
+            if let Some(p) = best {
+                println!(
+                    "{:>8.1} {:>10.0} {:>9.1} {:>10} {:>8.2} {:>12.2}",
+                    radius, q, p.spacing_nm, p.channels, p.enob, p.laser_power_per_channel_dbm
+                );
+            }
+        }
+    }
+
+    let best = outcome.best().expect("feasible set is non-empty");
+    println!("\nselected design point:");
+    println!("  radius          : {} µm", best.mr.radius_um);
+    println!("  quality factor  : {}", best.mr.q_factor);
+    println!("  coupling gap    : {} nm", best.mr.coupling_gap_nm);
+    println!("  channel spacing : {} nm", best.spacing_nm);
+    println!("  WDM channels    : {}", best.channels);
+    println!("  heterodyne xtalk: {:.2e}", best.heterodyne_crosstalk);
+    println!("  homodyne error  : {:.2e}", best.homodyne_error);
+    println!("  ENOB            : {:.2} bits", best.enob);
+    println!("  laser/channel   : {:.2} dBm", best.laser_power_per_channel_dbm);
+
+    // The accelerators built from this point:
+    let tron = TronConfig::from_design_space(&config)?;
+    println!(
+        "\nTRON from this point: {} arrays of {}×{} MRs, {:.1} peak TMAC/s",
+        tron.total_arrays(),
+        tron.array_rows,
+        tron.array_channels,
+        tron.peak_macs_per_s() / 1e12
+    );
+    let ghost = GhostConfig::from_design_space(&config)?;
+    println!(
+        "GHOST from this point: {} lanes, reduce {}×{}, transform {}×{}",
+        ghost.lanes, ghost.reduce_rows, ghost.reduce_branches, ghost.array_rows, ghost.array_channels
+    );
+    Ok(())
+}

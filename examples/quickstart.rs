@@ -1,0 +1,52 @@
+//! Quickstart: simulate one transformer and one GNN inference on the two
+//! photonic accelerators and print their figures of merit.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use phox::prelude::*;
+
+fn main() -> Result<(), PhotonicError> {
+    // --- TRON: BERT-base inference --------------------------------
+    // The paper derives the array geometry from a photonic design-space
+    // analysis; `from_design_space` reruns that analysis.
+    let tron = TronAccelerator::new(TronConfig::from_design_space(&SweepConfig::default())?)?;
+    let model = TransformerConfig::bert_base(128);
+    let report = tron.simulate(&model)?;
+    println!("TRON on {}:", model.name);
+    println!("  throughput : {:>10.0} GOPS", report.perf.gops());
+    println!("  energy/bit : {:>10.3} pJ", report.perf.epb_j() * 1e12);
+    println!("  latency    : {:>10.1} µs", report.perf.latency_s * 1e6);
+    println!("  power      : {:>10.1} W", report.perf.power_w());
+    println!("  utilization: {:>10.1} %", report.utilization * 100.0);
+
+    // --- GHOST: GCN over a Cora-shaped graph ----------------------
+    let ghost = GhostAccelerator::new(GhostConfig::from_design_space(&SweepConfig::default())?)?;
+    let shape = GraphShape::cora();
+    let workload = GnnWorkload::new(
+        GnnConfig::two_layer(GnnKind::Gcn, shape.features, 16, shape.classes),
+        shape,
+    );
+    let report = ghost.simulate(&workload)?;
+    println!("\nGHOST on {}:", report.workload);
+    println!("  throughput : {:>10.0} GOPS", report.perf.gops());
+    println!("  energy/bit : {:>10.3} pJ", report.perf.epb_j() * 1e12);
+    println!("  latency    : {:>10.1} µs", report.perf.latency_s * 1e6);
+    println!("  balance    : {:>10.2} (1.0 = perfect lane balance)", report.balance_factor);
+
+    // --- Headline claims vs the electronic suites ------------------
+    let rows = tron_comparison(&tron, &model)?;
+    let c = claims(&rows);
+    println!(
+        "\nTRON vs its 7 comparators: ≥{:.1}× throughput, ≥{:.1}× energy efficiency",
+        c.min_speedup, c.min_efficiency
+    );
+    let rows = ghost_comparison(&ghost, &workload)?;
+    let c = claims(&rows);
+    println!(
+        "GHOST vs its 9 comparators: ≥{:.1}× throughput, ≥{:.1}× energy efficiency",
+        c.min_speedup, c.min_efficiency
+    );
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Error types across the workspace must be well-behaved (C-GOOD-ERR):
+//! std::error::Error + Send + Sync, with informative lowercase Display
+//! messages that carry the numbers a user needs to act.
+
+use phox::prelude::*;
+
+fn assert_good_error<E: std::error::Error + Send + Sync + 'static>(_: &E) {}
+
+#[test]
+fn photonic_errors_render_informative_messages() {
+    let e = PhotonicError::TuningRangeExceeded {
+        required_nm: 2.5,
+        available_nm: 1.0,
+    };
+    assert_good_error(&e);
+    let msg = e.to_string();
+    assert!(msg.contains("2.5"));
+    assert!(msg.contains("1.0"));
+
+    let e = PhotonicError::LaserBudgetExceeded {
+        required_dbm: 14.2,
+        available_dbm: 10.0,
+    };
+    assert!(e.to_string().contains("14.2"));
+
+    let e = PhotonicError::PrecisionUnreachable {
+        target_bits: 8,
+        achieved_bits: 6.4,
+    };
+    assert!(e.to_string().contains('8'));
+    assert!(e.to_string().contains("6.4"));
+
+    let e = PhotonicError::NoFeasibleDesign { examined: 480 };
+    assert!(e.to_string().contains("480"));
+
+    let e = PhotonicError::FsrExceeded {
+        required_nm: 40.0,
+        fsr_nm: 18.2,
+    };
+    assert!(e.to_string().contains("18.2"));
+}
+
+#[test]
+fn tensor_errors_render_shapes() {
+    use phox::tensor::TensorError;
+    let e = TensorError::ShapeMismatch {
+        lhs: (3, 4),
+        rhs: (5, 6),
+    };
+    assert_good_error(&e);
+    let msg = e.to_string();
+    assert!(msg.contains("3x4") && msg.contains("5x6"));
+
+    let e = TensorError::LengthMismatch {
+        expected: 12,
+        actual: 11,
+    };
+    assert!(e.to_string().contains("12") && e.to_string().contains("11"));
+}
+
+#[test]
+fn memory_errors_name_the_buffer() {
+    use phox::memsim::MemError;
+    let e = MemError::UnknownBuffer {
+        name: "weights".into(),
+    };
+    assert_good_error(&e);
+    assert!(e.to_string().contains("weights"));
+}
+
+#[test]
+fn errors_start_lowercase_without_trailing_punctuation() {
+    let messages = [
+        PhotonicError::InvalidConfig { what: "x" }.to_string(),
+        PhotonicError::NoFeasibleDesign { examined: 1 }.to_string(),
+        phox::tensor::TensorError::NotSymmetric.to_string(),
+        phox::memsim::MemError::InvalidConfig { what: "x" }.to_string(),
+        phox::arch::ArchError::InvalidMetric { what: "x" }.to_string(),
+        phox::baselines::BaselineError::InvalidWorkload { what: "x" }.to_string(),
+    ];
+    for m in messages {
+        let first = m.chars().next().expect("non-empty message");
+        assert!(first.is_lowercase(), "message should start lowercase: {m}");
+        assert!(!m.ends_with('.'), "no trailing period: {m}");
+    }
+}
+
+#[test]
+fn error_types_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PhotonicError>();
+    assert_send_sync::<phox::tensor::TensorError>();
+    assert_send_sync::<phox::memsim::MemError>();
+    assert_send_sync::<phox::arch::ArchError>();
+    assert_send_sync::<phox::baselines::BaselineError>();
+}

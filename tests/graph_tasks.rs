@@ -1,0 +1,93 @@
+//! The other §III graph tasks — link prediction and graph
+//! classification — run end-to-end through GHOST's *photonic* datapath
+//! and must agree with the digital reference.
+
+use phox::nn::tasks::{
+    edge_score, graph_classification_accuracy, graph_classification_task, link_prediction,
+    mean_pool,
+};
+use phox::prelude::*;
+
+#[test]
+fn photonic_link_prediction_matches_digital() {
+    let task = phox::nn::datasets::sbm(3, 12, 16, 0.5, 0.02, 121).unwrap();
+    let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 16, 32, 8), 122).unwrap();
+
+    // Digital AUC.
+    let digital = link_prediction(&model, &task.graph, &task.features, 300, 123).unwrap();
+    assert!(digital.auc > 0.6, "digital AUC {}", digital.auc);
+
+    // Photonic embeddings, same decoder.
+    let mut sim = GhostFunctional::new(&GhostConfig::default(), 124).unwrap();
+    let photonic_emb = sim.forward(&model, &task.graph, &task.features).unwrap();
+    let digital_emb = model.forward(&task.graph, &task.features).unwrap();
+
+    // Edge scores from the two datapaths must correlate: check that for
+    // a sample of edges, the photonic score is close to the digital one.
+    let mut rng = Prng::new(125);
+    let mut agree = 0;
+    let n = task.graph.num_nodes();
+    let trials = 100;
+    for _ in 0..trials {
+        let u = rng.next_index(n);
+        let v = rng.next_index(n);
+        if u == v {
+            agree += 1; // degenerate pair, scores trivially equal rank
+            continue;
+        }
+        let a = rng.next_index(n);
+        let b = rng.next_index(n);
+        if a == b {
+            agree += 1;
+            continue;
+        }
+        let d_order = edge_score(&digital_emb, u, v) > edge_score(&digital_emb, a, b);
+        let p_order = edge_score(&photonic_emb, u, v) > edge_score(&photonic_emb, a, b);
+        if d_order == p_order {
+            agree += 1;
+        }
+    }
+    assert!(agree >= 85, "ranking agreement {agree}/{trials}");
+}
+
+#[test]
+fn photonic_graph_classification_matches_digital() {
+    let task = graph_classification_task(5, 131).unwrap();
+    let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gin, 8, 16, 4), 132).unwrap();
+
+    let digital_acc = graph_classification_accuracy(&model, &task).unwrap();
+    assert!(digital_acc >= 0.7, "digital accuracy {digital_acc}");
+
+    // Photonic path: embed each graph through GHOST, pool, and check the
+    // pooled read-outs stay close to the digital ones.
+    let mut sim = GhostFunctional::new(&GhostConfig::default(), 133).unwrap();
+    let mut max_rel = 0.0f64;
+    for (graph, features) in &task.graphs {
+        let d = model.forward(graph, features).unwrap();
+        let p = sim.forward(&model, graph, features).unwrap();
+        let dp = mean_pool(&d);
+        let pp = mean_pool(&p);
+        let num: f64 = dp.iter().zip(&pp).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        let den: f64 = dp.iter().map(|a| a * a).sum::<f64>().sqrt().max(1e-9);
+        max_rel = max_rel.max(num / den);
+    }
+    assert!(max_rel < 0.25, "pooled read-out divergence {max_rel}");
+}
+
+#[test]
+fn ghost_perf_covers_task_workloads() {
+    // Link prediction and graph classification reuse the same
+    // aggregate/combine/update pipeline; the performance simulator must
+    // accept their (deeper-embedding) configurations.
+    let ghost = GhostAccelerator::new(GhostConfig::default()).unwrap();
+    let w = GnnWorkload::new(
+        GnnConfig {
+            kind: GnnKind::Gcn,
+            dims: vec![500, 64, 32], // embedding head for link prediction
+            aggregation: Aggregation::Mean,
+        },
+        GraphShape::pubmed(),
+    );
+    let r = ghost.simulate(&w).unwrap();
+    assert!(r.perf.gops() > 0.0);
+}

@@ -1,0 +1,95 @@
+//! Cross-crate photonics integration: the device stack must compose —
+//! design-space points must actually be realisable by the bank/link/noise
+//! models they were validated against.
+
+use phox::photonics::bank::MrBankArray;
+use phox::photonics::converter::{Adc, Dac};
+use phox::photonics::crosstalk::HeterodyneAnalysis;
+use phox::photonics::design_space::{sweep, SweepConfig};
+use phox::photonics::link::{Laser, WdmLink};
+use phox::photonics::noise::NoiseBudget;
+use phox::photonics::tuning::HybridTuning;
+use phox::prelude::*;
+
+#[test]
+fn every_feasible_design_point_is_realisable() {
+    let outcome = sweep(&SweepConfig::default()).unwrap();
+    for p in outcome.feasible.iter().take(20) {
+        // The crosstalk analysis reconstructs.
+        let het = HeterodyneAnalysis::new(&p.mr, p.channels, p.spacing_nm).unwrap();
+        assert!(het.supports_bits(8), "point {p:?}");
+        // The noise budget with that crosstalk reaches 8 bits.
+        let nb = NoiseBudget {
+            crosstalk_ratio: p.heterodyne_crosstalk,
+            ..NoiseBudget::default()
+        };
+        let rx = nb.required_power_w(8).unwrap();
+        assert!(nb.supports_bits(rx * 1.001, 8));
+        // The laser can actually drive a full bank of this geometry.
+        let link = WdmLink {
+            channels: p.channels,
+            through_mrs: p.channels,
+            ..WdmLink::default()
+        };
+        assert!(Laser::default().provision(&link, rx).is_ok());
+    }
+}
+
+#[test]
+fn best_design_point_drives_a_real_bank_array() {
+    let outcome = sweep(&SweepConfig::default()).unwrap();
+    let best = outcome.best().unwrap();
+    let array = MrBankArray::new(best.mr, HybridTuning::default(), 4, best.channels).unwrap();
+    let mut rng = Prng::new(1);
+    let weights = Matrix::filled(4, best.channels, 0.5);
+    let acts = vec![0.5; best.channels];
+    let result = array
+        .evaluate(&weights, &acts, &Dac::default(), &Adc::default(), 1e-3, &mut rng)
+        .unwrap();
+    let expected = best.channels as f64 * 0.25;
+    for v in &result.values {
+        assert!((v - expected).abs() < expected * 0.1, "{v} vs {expected}");
+    }
+}
+
+#[test]
+fn noise_budget_bits_are_monotone_in_power() {
+    let nb = NoiseBudget::default();
+    let mut last_enob = 0.0;
+    for dbm in [-18.0, -12.0, -6.0, 0.0, 6.0] {
+        let w = phox::photonics::constants::dbm_to_watts(dbm);
+        let r = nb.evaluate(w).unwrap();
+        assert!(r.enob >= last_enob, "ENOB must grow with power");
+        last_enob = r.enob;
+    }
+}
+
+#[test]
+fn tron_and_ghost_share_the_same_feasible_physics() {
+    // Both accelerators built from the same design point must provision
+    // lasers successfully and report consistent per-array power.
+    let sweep_cfg = SweepConfig::default();
+    let tron = TronAccelerator::new(TronConfig::from_design_space(&sweep_cfg).unwrap()).unwrap();
+    let ghost = GhostAccelerator::new(GhostConfig::from_design_space(&sweep_cfg).unwrap()).unwrap();
+    assert!(tron.array_laser_w() > 0.0);
+    assert!(ghost.array_laser_w() > 0.0);
+    // Same channels, same rings -> per-waveguide power within 2x
+    // (row counts differ).
+    let tron_per_row = tron.array_laser_w() / tron.config().array_rows as f64;
+    let ghost_per_row = ghost.array_laser_w() / ghost.config().array_rows as f64;
+    let ratio = tron_per_row / ghost_per_row;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn infeasible_designs_fail_with_typed_errors() {
+    // 16-bit precision is beyond these devices.
+    let config = SweepConfig {
+        bits: 16,
+        ..SweepConfig::default()
+    };
+    assert!(matches!(
+        sweep(&config),
+        Err(PhotonicError::NoFeasibleDesign { .. })
+    ));
+}
