@@ -69,10 +69,7 @@ impl Pipeline {
 
     /// Initiation interval: the slowest stage, s.
     pub fn initiation_interval_s(&self) -> f64 {
-        self.stages
-            .iter()
-            .map(|s| s.latency_s)
-            .fold(0.0, f64::max)
+        self.stages.iter().map(|s| s.latency_s).fold(0.0, f64::max)
     }
 
     /// Time for `items` items through the pipelined chain, s.

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 
 use phox_arch::metrics::{EnergyLedger, PerfReport};
 use phox_arch::pipeline::{Pipeline, PipelineStage};
-use phox_arch::schedule::{balance_makespan, overlap_time_s, round_robin_makespan, serial_time_s, Tiling};
+use phox_arch::schedule::{
+    balance_makespan, overlap_time_s, round_robin_makespan, serial_time_s, Tiling,
+};
 
 proptest! {
     #[test]

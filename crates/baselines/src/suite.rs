@@ -108,13 +108,8 @@ mod tests {
 
     #[test]
     fn every_gnn_baseline_evaluates() {
-        let census = phox_nn::gnn::GnnConfig::two_layer(
-            phox_nn::gnn::GnnKind::Gcn,
-            1433,
-            16,
-            7,
-        )
-        .census(2708, 10556);
+        let census = phox_nn::gnn::GnnConfig::two_layer(phox_nn::gnn::GnnKind::Gcn, 1433, 16, 7)
+            .census(2708, 10556);
         for b in gnn_suite() {
             let r = b.evaluate(&census, WorkloadKind::SparseGnn, 2, 1).unwrap();
             assert!(r.gops() > 0.0, "{}", b.name());

@@ -65,7 +65,9 @@ fn ablations(c: &mut Criterion) {
 
     // E7: the design-space sweep itself.
     c.bench_function("e7/design_space_sweep", |b| {
-        b.iter(|| black_box(design_space::sweep(black_box(&SweepConfig::default())).expect("sweep")))
+        b.iter(|| {
+            black_box(design_space::sweep(black_box(&SweepConfig::default())).expect("sweep"))
+        })
     });
 }
 

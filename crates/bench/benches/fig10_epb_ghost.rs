@@ -8,7 +8,10 @@ use phox_bench as bench;
 
 fn fig10(c: &mut Criterion) {
     let ghost = bench::paper_ghost().expect("paper GHOST");
-    println!("{}", bench::fig10_epb_ghost(&ghost).expect("fig10").render());
+    println!(
+        "{}",
+        bench::fig10_epb_ghost(&ghost).expect("fig10").render()
+    );
 
     let mut group = c.benchmark_group("fig10_epb_ghost");
     for workload in bench::ghost_workloads() {

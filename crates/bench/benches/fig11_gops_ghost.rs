@@ -9,15 +9,18 @@ use phox_core::prelude::*;
 
 fn fig11(c: &mut Criterion) {
     let ghost = bench::paper_ghost().expect("paper GHOST");
-    println!("{}", bench::fig11_gops_ghost(&ghost).expect("fig11").render());
+    println!(
+        "{}",
+        bench::fig11_gops_ghost(&ghost).expect("fig11").render()
+    );
 
     let mut group = c.benchmark_group("fig11_gops_ghost");
     for workload in bench::ghost_workloads() {
         let label = format!("{}/{}", workload.model.kind, workload.shape.name);
         group.bench_function(label, |b| {
             b.iter(|| {
-                let rows = ghost_comparison(black_box(&ghost), black_box(&workload))
-                    .expect("comparison");
+                let rows =
+                    ghost_comparison(black_box(&ghost), black_box(&workload)).expect("comparison");
                 black_box(claims(&rows))
             })
         });

@@ -38,8 +38,7 @@ fn fig3(c: &mut Criterion) {
 
     c.bench_function("fig3/heterodyne_worst_case", |b| {
         b.iter(|| {
-            let a = HeterodyneAnalysis::new(&mr, black_box(8), black_box(1.6))
-                .expect("fits FSR");
+            let a = HeterodyneAnalysis::new(&mr, black_box(8), black_box(1.6)).expect("fits FSR");
             black_box(a.worst_case())
         })
     });

@@ -15,8 +15,8 @@ fn fig9(c: &mut Criterion) {
     for model in bench::tron_workloads() {
         group.bench_function(model.name.clone(), |b| {
             b.iter(|| {
-                let rows = tron_comparison(black_box(&tron), black_box(&model))
-                    .expect("comparison");
+                let rows =
+                    tron_comparison(black_box(&tron), black_box(&model)).expect("comparison");
                 black_box(claims(&rows))
             })
         });

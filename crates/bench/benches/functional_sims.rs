@@ -14,7 +14,12 @@ fn functional(c: &mut Criterion) {
     let x = Prng::new(2).fill_normal(16, 32, 0.0, 1.0);
     let mut tsim = TronFunctional::new(&TronConfig::default(), 3).expect("sim");
     c.bench_function("functional/tron_tiny_forward", |b| {
-        b.iter(|| black_box(tsim.forward(black_box(&model), black_box(&x)).expect("forward")))
+        b.iter(|| {
+            black_box(
+                tsim.forward(black_box(&model), black_box(&x))
+                    .expect("forward"),
+            )
+        })
     });
 
     // GHOST functional: GCN over an SBM community graph.

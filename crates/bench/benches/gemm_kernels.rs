@@ -1,0 +1,28 @@
+//! GEMM kernel comparison (satellite of the parallel-backend PR): the
+//! textbook i-j-k loop vs the cache-blocked packed-`Bᵀ` kernel vs the
+//! blocked kernel with row-band parallelism, at 64 / 256 / 1024.
+//!
+//! `scripts/bench_snapshot.sh` runs the same kernels through the
+//! `bench_snapshot` binary and records the speedups in `BENCH_1.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use phox_core::tensor::{gemm, Prng};
+
+fn gemm_kernels(c: &mut Criterion) {
+    for &n in &[64usize, 256, 1024] {
+        let a = Prng::new(1).fill_uniform(n, n, -1.0, 1.0);
+        let b = Prng::new(2).fill_uniform(n, n, -1.0, 1.0);
+        c.bench_function(&format!("gemm_naive_{n}"), |be| {
+            be.iter(|| gemm::matmul_naive(black_box(&a), black_box(&b)).unwrap())
+        });
+        c.bench_function(&format!("gemm_blocked_{n}"), |be| {
+            be.iter(|| gemm::matmul_blocked(black_box(&a), black_box(&b)).unwrap())
+        });
+        c.bench_function(&format!("gemm_blocked_parallel_{n}"), |be| {
+            be.iter(|| gemm::matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, gemm_kernels);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Records a GEMM kernel speedup snapshot as JSON.
+//!
+//! Runs the textbook i-j-k loop, the cache-blocked packed-`Bᵀ` kernel,
+//! and the blocked kernel with row-band parallelism at 64 / 256 / 1024,
+//! and writes per-size timings plus blocked-vs-naive and
+//! parallel-vs-naive speedups. The acceptance gate for the parallel
+//! backend PR is the blocked kernel reaching ≥4× over naive at 1024.
+//!
+//! Usage: `bench_snapshot [OUTPUT.json]` (default `BENCH_1.json`).
+
+use std::time::Instant;
+
+use phox_core::tensor::{gemm, parallel, Matrix, Prng};
+
+/// Median-of-`reps` wall time for one evaluation of `f`, in seconds.
+fn time_median<F: FnMut() -> Matrix>(reps: usize, mut f: F) -> f64 {
+    // One warm-up evaluation so page faults and allocator growth are
+    // excluded from every sample.
+    let sink = f();
+    let mut checksum = sink.get(0, 0);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64();
+            checksum += out.get(0, 0);
+            dt
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    assert!(checksum.is_finite());
+    samples[samples.len() / 2]
+}
+
+fn json_number(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+struct SizeReport {
+    n: usize,
+    naive_s: f64,
+    blocked_s: f64,
+    parallel_s: f64,
+}
+
+impl SizeReport {
+    fn blocked_speedup(&self) -> f64 {
+        self.naive_s / self.blocked_s
+    }
+
+    fn parallel_speedup(&self) -> f64 {
+        self.naive_s / self.parallel_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"naive_s\": {},\n",
+                "      \"blocked_s\": {},\n",
+                "      \"parallel_s\": {},\n",
+                "      \"blocked_speedup\": {},\n",
+                "      \"parallel_speedup\": {}\n",
+                "    }}"
+            ),
+            self.n,
+            json_number(self.naive_s),
+            json_number(self.blocked_s),
+            json_number(self.parallel_s),
+            json_number(self.blocked_speedup()),
+            json_number(self.parallel_speedup()),
+        )
+    }
+}
+
+fn measure(n: usize, reps: usize) -> SizeReport {
+    let a = Prng::new(1).fill_uniform(n, n, -1.0, 1.0);
+    let b = Prng::new(2).fill_uniform(n, n, -1.0, 1.0);
+    let naive_s = time_median(reps, || gemm::matmul_naive(&a, &b).unwrap());
+    let blocked_s = time_median(reps, || gemm::matmul_blocked(&a, &b).unwrap());
+    let parallel_s = time_median(reps, || gemm::matmul(&a, &b).unwrap());
+    SizeReport {
+        n,
+        naive_s,
+        blocked_s,
+        parallel_s,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let sizes_reps = [(64usize, 21usize), (256, 9), (1024, 3)];
+    let mut reports = Vec::new();
+    for &(n, reps) in &sizes_reps {
+        eprintln!("bench_snapshot: measuring n = {n} ({reps} reps)...");
+        let r = measure(n, reps);
+        eprintln!(
+            "bench_snapshot: n = {n}: naive {:.4}s blocked {:.4}s ({:.2}x) parallel {:.4}s ({:.2}x)",
+            r.naive_s,
+            r.blocked_s,
+            r.blocked_speedup(),
+            r.parallel_s,
+            r.parallel_speedup(),
+        );
+        reports.push(r);
+    }
+    let rows: Vec<String> = reports.iter().map(SizeReport::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"gemm_kernels\",\n",
+            "  \"kernels\": [\"naive_ijk\", \"blocked_packed_bt\", \"blocked_parallel\"],\n",
+            "  \"threads\": {},\n",
+            "  \"timing\": \"median wall seconds\",\n",
+            "  \"sizes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        parallel::max_threads(),
+        rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_snapshot: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench_snapshot: wrote {out_path}");
+}

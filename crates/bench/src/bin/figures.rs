@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     args.retain(|a| a != "--json");
     let target = args.first().map(String::as_str).unwrap_or("all");
     let emit = |fig: phox_bench::Figure| -> Result<String, Box<dyn std::error::Error>> {
-        Ok(if json { fig.to_json()? } else { fig.render() })
+        Ok(if json { fig.to_json() } else { fig.render() })
     };
 
     // Built lazily: the device-level targets don't need the simulators.
@@ -47,22 +47,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if all || target == "fig8" {
         matched = true;
         need_tron(&mut tron)?;
-        println!("{}", emit(bench::fig8_epb_tron(tron.as_ref().expect("built"))?)?);
+        println!(
+            "{}",
+            emit(bench::fig8_epb_tron(tron.as_ref().expect("built"))?)?
+        );
     }
     if all || target == "fig9" {
         matched = true;
         need_tron(&mut tron)?;
-        println!("{}", emit(bench::fig9_gops_tron(tron.as_ref().expect("built"))?)?);
+        println!(
+            "{}",
+            emit(bench::fig9_gops_tron(tron.as_ref().expect("built"))?)?
+        );
     }
     if all || target == "fig10" {
         matched = true;
         need_ghost(&mut ghost)?;
-        println!("{}", emit(bench::fig10_epb_ghost(ghost.as_ref().expect("built"))?)?);
+        println!(
+            "{}",
+            emit(bench::fig10_epb_ghost(ghost.as_ref().expect("built"))?)?
+        );
     }
     if all || target == "fig11" {
         matched = true;
         need_ghost(&mut ghost)?;
-        println!("{}", emit(bench::fig11_gops_ghost(ghost.as_ref().expect("built"))?)?);
+        println!(
+            "{}",
+            emit(bench::fig11_gops_ghost(ghost.as_ref().expect("built"))?)?
+        );
     }
     if all || target == "quant" {
         matched = true;
@@ -138,7 +150,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if all || target == "generation" {
         matched = true;
         need_tron(&mut tron)?;
-        println!("{}", bench::generation_table(tron.as_ref().expect("built"))?);
+        println!(
+            "{}",
+            bench::generation_table(tron.as_ref().expect("built"))?
+        );
     }
     if all || target == "sweeps" {
         matched = true;

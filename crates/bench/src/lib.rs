@@ -32,9 +32,10 @@
 use std::fmt::Write as _;
 
 use phox_core::prelude::*;
+use phox_core::tensor::parallel;
 
 /// A rendered figure: a title plus rows of `(label, series values)`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Figure title (e.g. "Fig. 8: EPB comparison across Transformer
     /// accelerators").
@@ -50,13 +51,33 @@ pub struct Figure {
 impl Figure {
     /// Serializes the figure as pretty-printed JSON, the
     /// machine-readable form for external plotting tools.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`serde_json::Error`] if serialization fails (cannot
-    /// occur for well-formed figures).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        out.push_str("  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(c));
+        }
+        out.push_str("],\n  \"rows\": [\n");
+        for (i, (name, values)) in self.rows.iter().enumerate() {
+            let _ = write!(out, "    [{}, [", json_string(name));
+            for (j, v) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_number(*v));
+            }
+            out.push_str("]]");
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let _ = write!(out, "  ],\n  \"unit\": {}\n}}", json_string(self.unit));
+        out
     }
 
     /// Renders the figure as an aligned text table.
@@ -80,6 +101,40 @@ impl Figure {
             let _ = writeln!(out);
         }
         out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf: mapped to null).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
     }
 }
 
@@ -172,10 +227,10 @@ fn comparison_figure(
 /// Propagates simulation failures.
 pub fn fig8_epb_tron(tron: &TronAccelerator) -> Result<Figure, PhotonicError> {
     let workloads = tron_workloads();
-    let tables: Vec<_> = workloads
-        .iter()
-        .map(|m| tron_comparison(tron, m))
-        .collect::<Result<_, _>>()?;
+    let tables: Vec<_> =
+        parallel::par_map_indexed(workloads.len(), |i| tron_comparison(tron, &workloads[i]))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     Ok(comparison_figure(
         "Fig. 8: EPB comparison across Transformer accelerators",
         "pJ/bit",
@@ -192,10 +247,10 @@ pub fn fig8_epb_tron(tron: &TronAccelerator) -> Result<Figure, PhotonicError> {
 /// Propagates simulation failures.
 pub fn fig9_gops_tron(tron: &TronAccelerator) -> Result<Figure, PhotonicError> {
     let workloads = tron_workloads();
-    let tables: Vec<_> = workloads
-        .iter()
-        .map(|m| tron_comparison(tron, m))
-        .collect::<Result<_, _>>()?;
+    let tables: Vec<_> =
+        parallel::par_map_indexed(workloads.len(), |i| tron_comparison(tron, &workloads[i]))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     Ok(comparison_figure(
         "Fig. 9: GOPS comparison across Transformer accelerators",
         "GOPS",
@@ -212,10 +267,10 @@ pub fn fig9_gops_tron(tron: &TronAccelerator) -> Result<Figure, PhotonicError> {
 /// Propagates simulation failures.
 pub fn fig10_epb_ghost(ghost: &GhostAccelerator) -> Result<Figure, PhotonicError> {
     let workloads = ghost_workloads();
-    let tables: Vec<_> = workloads
-        .iter()
-        .map(|w| ghost_comparison(ghost, w))
-        .collect::<Result<_, _>>()?;
+    let tables: Vec<_> =
+        parallel::par_map_indexed(workloads.len(), |i| ghost_comparison(ghost, &workloads[i]))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     Ok(comparison_figure(
         "Fig. 10: EPB comparison across GNN accelerators",
         "pJ/bit",
@@ -235,10 +290,10 @@ pub fn fig10_epb_ghost(ghost: &GhostAccelerator) -> Result<Figure, PhotonicError
 /// Propagates simulation failures.
 pub fn fig11_gops_ghost(ghost: &GhostAccelerator) -> Result<Figure, PhotonicError> {
     let workloads = ghost_workloads();
-    let tables: Vec<_> = workloads
-        .iter()
-        .map(|w| ghost_comparison(ghost, w))
-        .collect::<Result<_, _>>()?;
+    let tables: Vec<_> =
+        parallel::par_map_indexed(workloads.len(), |i| ghost_comparison(ghost, &workloads[i]))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     Ok(comparison_figure(
         "Fig. 11: GOPS comparison across GNN accelerators",
         "GOPS",
@@ -377,10 +432,7 @@ pub fn design_space_table() -> Result<String, PhotonicError> {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn summary(
-    tron: &TronAccelerator,
-    ghost: &GhostAccelerator,
-) -> Result<String, PhotonicError> {
+pub fn summary(tron: &TronAccelerator, ghost: &GhostAccelerator) -> Result<String, PhotonicError> {
     let mut tron_claims_v = Vec::new();
     for m in tron_workloads() {
         tron_claims_v.push(claims(&tron_comparison(tron, &m)?));
@@ -391,8 +443,8 @@ pub fn summary(
         ghost_claims_v.push(claims(&ghost_comparison(ghost, &w)?));
     }
     let ghost_agg = aggregate_claims(&ghost_claims_v);
-    let mean_tron_speedup = tron_claims_v.iter().map(|c| c.min_speedup).sum::<f64>()
-        / tron_claims_v.len() as f64;
+    let mean_tron_speedup =
+        tron_claims_v.iter().map(|c| c.min_speedup).sum::<f64>() / tron_claims_v.len() as f64;
 
     let mut out = String::new();
     let _ = writeln!(out, "Headline claims (paper → measured):");
@@ -569,7 +621,10 @@ pub fn ablate_tron(tron: &TronAccelerator) -> Result<String, PhotonicError> {
     let naive_energy = report.perf.energy_j + extra_energy;
     let naive_latency = report.perf.latency_s + extra_latency;
     let mut out = String::new();
-    let _ = writeln!(out, "A3: eq. (3) MatMul-decomposition ablation (BERT-base/s128)");
+    let _ = writeln!(
+        out,
+        "A3: eq. (3) MatMul-decomposition ablation (BERT-base/s128)"
+    );
     let _ = writeln!(
         out,
         "  optical decomposition : {:>10.2} µs {:>10.4} mJ",
@@ -689,7 +744,11 @@ pub fn sensitivity_sweeps(
 ) -> Result<String, PhotonicError> {
     let mut out = String::new();
     let _ = writeln!(out, "X3a: TRON vs sequence length (BERT-base)");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "seq", "GOPS", "pJ/bit", "µs/inf");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "seq", "GOPS", "pJ/bit", "µs/inf"
+    );
     for seq in [128usize, 256, 384, 512] {
         let r = tron.simulate(&TransformerConfig::bert_base(seq))?;
         let _ = writeln!(
@@ -701,9 +760,16 @@ pub fn sensitivity_sweeps(
             r.perf.latency_s * 1e6
         );
     }
-    let _ = writeln!(out, "
-X3b: TRON vs batch size (BERT-base/s128)");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "batch", "GOPS", "pJ/bit", "µs/inf");
+    let _ = writeln!(
+        out,
+        "
+X3b: TRON vs batch size (BERT-base/s128)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "batch", "GOPS", "pJ/bit", "µs/inf"
+    );
     for batch in [1usize, 4, 16, 64] {
         let acc = TronAccelerator::new(TronConfig {
             batch,
@@ -719,9 +785,16 @@ X3b: TRON vs batch size (BERT-base/s128)");
             r.perf.latency_s * 1e6
         );
     }
-    let _ = writeln!(out, "
-X3c: GHOST vs neighbour fan-out (GraphSAGE/Reddit)");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "fanout", "GOPS", "pJ/bit", "ms/inf");
+    let _ = writeln!(
+        out,
+        "
+X3c: GHOST vs neighbour fan-out (GraphSAGE/Reddit)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>12}",
+        "fanout", "GOPS", "pJ/bit", "ms/inf"
+    );
     for fanout in [5usize, 10, 25, 50, 100] {
         let w = GnnWorkload::sampled(
             GnnConfig::two_layer(GnnKind::GraphSage, 602, 128, 41),
@@ -889,7 +962,10 @@ pub fn energy_breakdown(
     );
     let gr = ghost.simulate(&gw)?;
     let mut out = String::new();
-    let _ = writeln!(out, "X6: per-inference energy breakdown (fractions of total)");
+    let _ = writeln!(
+        out,
+        "X6: per-inference energy breakdown (fractions of total)"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -993,7 +1069,10 @@ pub fn generation_table(tron: &TronAccelerator) -> Result<String, PhotonicError>
 pub fn coherent_table() -> Result<String, PhotonicError> {
     use phox_core::photonics::coherent::{compare, Mzi};
     let mut out = String::new();
-    let _ = writeln!(out, "X8: coherent MZI mesh vs non-coherent MR bank array (per NxN tile)");
+    let _ = writeln!(
+        out,
+        "X8: coherent MZI mesh vs non-coherent MR bank array (per NxN tile)"
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>8} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10}",
@@ -1060,11 +1139,26 @@ mod tests {
     fn figures_serialize_to_json() {
         let tron = TronAccelerator::new(TronConfig::default()).unwrap();
         let fig = fig8_epb_tron(&tron).unwrap();
-        let json = fig.to_json().unwrap();
+        let json = fig.to_json();
         assert!(json.contains("\"title\""));
         assert!(json.contains("TRON"));
-        let back: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(back["rows"].as_array().unwrap().len(), 8);
+        // 8 platform rows, each rendered as one `["name", [...]]` entry.
+        assert_eq!(json.matches("    [\"").count(), 8);
+        // Structural sanity: balanced brackets and no bare NaN/Inf tokens.
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "unbalanced brackets in {json}"
+        );
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_number(1.0), "1.0");
+        assert_eq!(json_number(0.25), "0.25");
+        assert_eq!(json_number(f64::NAN), "null");
     }
 
     #[test]

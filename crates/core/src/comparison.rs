@@ -109,7 +109,10 @@ pub fn ghost_comparison(
 ///
 /// Panics if `rows` has fewer than two entries.
 pub fn claims(rows: &[ComparisonRow]) -> Claims {
-    assert!(rows.len() >= 2, "claims need the accelerator plus baselines");
+    assert!(
+        rows.len() >= 2,
+        "claims need the accelerator plus baselines"
+    );
     let ours = &rows[0];
     let mut min_speedup = f64::INFINITY;
     let mut min_efficiency = f64::INFINITY;
@@ -127,7 +130,10 @@ pub fn claims(rows: &[ComparisonRow]) -> Claims {
 /// minimum (the paper's cross-workload "at least" statement).
 pub fn aggregate_claims(all: &[Claims]) -> Claims {
     Claims {
-        min_speedup: all.iter().map(|c| c.min_speedup).fold(f64::INFINITY, f64::min),
+        min_speedup: all
+            .iter()
+            .map(|c| c.min_speedup)
+            .fold(f64::INFINITY, f64::min),
         min_efficiency: all
             .iter()
             .map(|c| c.min_efficiency)
@@ -157,7 +163,11 @@ mod tests {
         let rows = tron_comparison(&tron, &TransformerConfig::bert_base(128)).unwrap();
         let c = claims(&rows);
         assert!(c.min_speedup > 1.0, "min speedup {}", c.min_speedup);
-        assert!(c.min_efficiency > 1.0, "min efficiency {}", c.min_efficiency);
+        assert!(
+            c.min_efficiency > 1.0,
+            "min efficiency {}",
+            c.min_efficiency
+        );
     }
 
     #[test]
@@ -182,7 +192,11 @@ mod tests {
         let rows = ghost_comparison(&ghost, &w).unwrap();
         let c = claims(&rows);
         assert!(c.min_speedup > 1.0, "min speedup {}", c.min_speedup);
-        assert!(c.min_efficiency > 1.0, "min efficiency {}", c.min_efficiency);
+        assert!(
+            c.min_efficiency > 1.0,
+            "min efficiency {}",
+            c.min_efficiency
+        );
     }
 
     #[test]

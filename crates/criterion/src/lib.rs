@@ -1,0 +1,229 @@
+//! Vendored minimal wall-clock benchmark harness.
+//!
+//! Offline stand-in for the crates.io `criterion` crate, implementing the
+//! subset the `phox-bench` benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark is calibrated to a target measurement time and
+//! reports mean / min wall-clock per iteration on stdout.
+//!
+//! The environment variable `CRITERION_TARGET_MS` overrides the per-bench
+//! measurement budget (default 300 ms), which keeps CI runs short.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One benchmark measurement, exposed so harnesses can collect results.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark identifier.
+    pub name: String,
+    /// Iterations measured.
+    pub iterations: u64,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed iteration batch, nanoseconds per iteration.
+    pub min_ns: f64,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+    /// All measurements recorded so far, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(300);
+        Criterion {
+            target: Duration::from_millis(ms),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, target: Duration) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            target: self.target,
+            result: None,
+        };
+        f(&mut b);
+        if let Some((iterations, total, min_batch_ns)) = b.result {
+            let mean_ns = total.as_nanos() as f64 / iterations.max(1) as f64;
+            let m = Measurement {
+                name: name.to_owned(),
+                iterations,
+                mean_ns,
+                min_ns: min_batch_ns,
+            };
+            println!(
+                "bench {:<40} {:>14} /iter (min {:>14}, {} iters)",
+                m.name,
+                format_ns(m.mean_ns),
+                format_ns(m.min_ns),
+                m.iterations
+            );
+            self.measurements.push(m);
+        }
+        self
+    }
+
+    /// Opens a named group; member benches report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a `group/` report prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<N, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group. Reporting is incremental, so this is a no-op kept
+    /// for API compatibility.
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    target: Duration,
+    result: Option<(u64, Duration, f64)>,
+}
+
+impl Bencher {
+    /// Measures `f`, calibrating the iteration count to the measurement
+    /// budget: one timed warmup iteration sizes the batches, then batches
+    /// run until the budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + calibration probe.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        // Batch size targeting ~1/10 of the budget per batch.
+        let per_batch = (self.target.as_nanos() / 10 / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min_batch_ns = f64::INFINITY;
+        while total < self.target {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let batch = start.elapsed();
+            min_batch_ns = min_batch_ns.min(batch.as_nanos() as f64 / per_batch as f64);
+            total += batch;
+            iterations += per_batch;
+            if iterations >= 100_000_000 {
+                break;
+            }
+        }
+        self.result = Some((iterations, total, min_batch_ns));
+    }
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_measurement() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        assert_eq!(c.measurements.len(), 1);
+        let m = &c.measurements[0];
+        assert_eq!(m.name, "noop_add");
+        assert!(m.iterations > 0);
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns * 1.5);
+    }
+
+    #[test]
+    fn benchmark_group_prefixes_names() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(3u32) * black_box(5)));
+        g.finish();
+        assert_eq!(c.measurements[0].name, "grp/inner");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).contains(" s"));
+    }
+}

@@ -12,7 +12,7 @@ use phox_photonics::analog::AnalogEngine;
 use phox_photonics::devices::OpticalActivation;
 use phox_photonics::summation::OpticalComparator;
 use phox_photonics::PhotonicError;
-use phox_tensor::{ops, Matrix};
+use phox_tensor::{ops, parallel, Matrix};
 
 use crate::config::GhostConfig;
 
@@ -121,6 +121,10 @@ impl GhostFunctional {
 
     /// Optical aggregation through the reduce units: sum/mean use
     /// coherent summation, max uses the optical comparator tournament.
+    ///
+    /// Nodes run in parallel, each drawing receiver noise from a
+    /// deterministic child engine keyed by `(operation key, node index)`,
+    /// so the aggregate is bit-identical for any thread count.
     fn optical_aggregate(
         &mut self,
         graph: &CsrGraph,
@@ -130,42 +134,52 @@ impl GhostFunctional {
     ) -> Result<Matrix, PhotonicError> {
         let f = h.cols();
         let n = graph.num_nodes();
-        let mut out = Matrix::zeros(n, f);
-        for v in 0..n {
-            let mut members: Vec<usize> = Vec::new();
-            if include_self {
-                members.push(v);
-            }
-            members.extend(graph.neighbors(v).iter().map(|&u| u as usize));
-            if members.is_empty() {
-                continue;
-            }
-            match agg {
-                Aggregation::Sum | Aggregation::Mean => {
-                    // Stack member feature rows and coherently sum the
-                    // columns.
-                    let mut stack = Matrix::zeros(members.len(), f);
-                    for (r, &u) in members.iter().enumerate() {
-                        for c in 0..f {
-                            stack.set(r, c, h.get(u, c));
+        let key = self.engine.stream_key();
+        let parent = &self.engine;
+        let comparator = self.comparator;
+        let rows: Vec<Result<Option<Vec<f64>>, PhotonicError>> =
+            parallel::par_map_indexed(n, |v| {
+                let mut members: Vec<usize> = Vec::new();
+                if include_self {
+                    members.push(v);
+                }
+                members.extend(graph.neighbors(v).iter().map(|&u| u as usize));
+                if members.is_empty() {
+                    return Ok(None);
+                }
+                match agg {
+                    Aggregation::Sum | Aggregation::Mean => {
+                        // Stack member feature rows and coherently sum
+                        // the columns.
+                        let mut engine = parent.make_child(key, v as u64);
+                        let mut stack = Matrix::zeros(members.len(), f);
+                        for (r, &u) in members.iter().enumerate() {
+                            for c in 0..f {
+                                stack.set(r, c, h.get(u, c));
+                            }
                         }
+                        let summed = engine.coherent_sum_rows(&stack)?;
+                        let denom = if agg == Aggregation::Mean {
+                            members.len() as f64
+                        } else {
+                            1.0
+                        };
+                        Ok(Some(summed.iter().map(|s| s / denom).collect()))
                     }
-                    let summed = self.engine.coherent_sum_rows(&stack)?;
-                    let denom = if agg == Aggregation::Mean {
-                        members.len() as f64
-                    } else {
-                        1.0
-                    };
-                    for c in 0..f {
-                        out.set(v, c, summed[c] / denom);
+                    Aggregation::Max => {
+                        let mut row = vec![0.0; f];
+                        for (c, slot) in row.iter_mut().enumerate() {
+                            let vals: Vec<f64> = members.iter().map(|&u| h.get(u, c)).collect();
+                            *slot = comparator.max(&vals)?;
+                        }
+                        Ok(Some(row))
                     }
                 }
-                Aggregation::Max => {
-                    for c in 0..f {
-                        let vals: Vec<f64> = members.iter().map(|&u| h.get(u, c)).collect();
-                        out.set(v, c, self.comparator.max(&vals)?);
-                    }
-                }
+            });
+        let mut out = Matrix::zeros(n, f);
+        for (v, row) in rows.into_iter().enumerate() {
+            if let Some(row) = row? {
+                out.row_mut(v).copy_from_slice(&row);
             }
         }
         Ok(out)
@@ -194,20 +208,22 @@ impl GhostFunctional {
             src_logit[v] = s;
             dst_logit[v] = d;
         }
-        let mut out = Matrix::zeros(n, fout);
-        for v in 0..n {
+        // Per-node attention and accumulation run in parallel on
+        // deterministic child engines (same scheme as
+        // [`GhostFunctional::optical_aggregate`]).
+        let key = self.engine.stream_key();
+        let parent = &self.engine;
+        let rows: Vec<Result<Vec<f64>, PhotonicError>> = parallel::par_map_indexed(n, |v| {
             let neigh = graph.neighbors(v);
             if neigh.is_empty() {
-                for c in 0..fout {
-                    out.set(v, c, z.get(v, c));
-                }
-                continue;
+                return Ok(z.row(v).to_vec());
             }
+            let mut engine = parent.make_child(key, v as u64);
             let logits: Vec<f64> = neigh
                 .iter()
                 .map(|&u| ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2))
                 .collect();
-            let alphas = self.engine.lut_softmax_slice(&logits);
+            let alphas = engine.lut_softmax_slice(&logits);
             // Weighted coherent accumulation of neighbour transforms.
             let mut stack = Matrix::zeros(neigh.len(), fout);
             for (r, (&u, &a)) in neigh.iter().zip(alphas.iter()).enumerate() {
@@ -215,10 +231,11 @@ impl GhostFunctional {
                     stack.set(r, c, a * z.get(u as usize, c));
                 }
             }
-            let summed = self.engine.coherent_sum_rows(&stack)?;
-            for c in 0..fout {
-                out.set(v, c, summed[c]);
-            }
+            engine.coherent_sum_rows(&stack)
+        });
+        let mut out = Matrix::zeros(n, fout);
+        for (v, row) in rows.into_iter().enumerate() {
+            out.row_mut(v).copy_from_slice(&row?);
         }
         Ok(out)
     }
@@ -251,15 +268,11 @@ mod tests {
     #[test]
     fn predictions_mostly_agree_with_reference() {
         let task = small_task();
-        let model =
-            GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 74).unwrap();
+        let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 74).unwrap();
         let reference = model.forward(&task.graph, &task.features).unwrap();
         let mut sim = GhostFunctional::new(&GhostConfig::default(), 75).unwrap();
         let photonic = sim.forward(&model, &task.graph, &task.features).unwrap();
-        let agree = stats::accuracy(
-            &ops::argmax_rows(&photonic),
-            &ops::argmax_rows(&reference),
-        );
+        let agree = stats::accuracy(&ops::argmax_rows(&photonic), &ops::argmax_rows(&reference));
         assert!(agree >= 0.8, "agreement {agree}");
     }
 
@@ -286,8 +299,7 @@ mod tests {
     #[test]
     fn shape_validation() {
         let task = small_task();
-        let model =
-            GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 78).unwrap();
+        let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 78).unwrap();
         let mut sim = GhostFunctional::ideal(&GhostConfig::default(), 79);
         let bad = Matrix::zeros(task.graph.num_nodes(), 11);
         assert!(sim.forward(&model, &task.graph, &bad).is_err());
@@ -296,14 +308,32 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let task = small_task();
-        let model =
-            GnnModel::random(GnnConfig::two_layer(GnnKind::Gin, 12, 16, 3), 80).unwrap();
+        let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gin, 12, 16, 3), 80).unwrap();
         let mut a = GhostFunctional::new(&GhostConfig::default(), 81).unwrap();
         let mut b = GhostFunctional::new(&GhostConfig::default(), 81).unwrap();
         assert_eq!(
             a.forward(&model, &task.graph, &task.features).unwrap(),
             b.forward(&model, &task.graph, &task.features).unwrap()
         );
+    }
+
+    #[test]
+    fn forward_is_thread_count_invariant() {
+        let task = small_task();
+        for kind in [GnnKind::Gcn, GnnKind::Gat] {
+            let model = GnnModel::random(GnnConfig::two_layer(kind, 12, 16, 3), 85).unwrap();
+            let reference = parallel::with_threads(1, || {
+                let mut sim = GhostFunctional::new(&GhostConfig::default(), 86).unwrap();
+                sim.forward(&model, &task.graph, &task.features).unwrap()
+            });
+            for threads in [2, 8] {
+                let y = parallel::with_threads(threads, || {
+                    let mut sim = GhostFunctional::new(&GhostConfig::default(), 86).unwrap();
+                    sim.forward(&model, &task.graph, &task.features).unwrap()
+                });
+                assert_eq!(y, reference, "{kind}: threads={threads}");
+            }
+        }
     }
 
     #[test]

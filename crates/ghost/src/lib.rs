@@ -36,7 +36,6 @@
 // Index-based loops are the clearest idiom for the dense-matrix and
 // per-ring arithmetic throughout this crate.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod config;

@@ -179,7 +179,9 @@ impl GhostAccelerator {
         let Ok(g) = mini.instantiate(0xB41A) else {
             return 1.0;
         };
-        let degrees: Vec<f64> = (0..g.num_nodes()).map(|v| 1.0 + g.degree(v) as f64).collect();
+        let degrees: Vec<f64> = (0..g.num_nodes())
+            .map(|v| 1.0 + g.degree(v) as f64)
+            .collect();
         let lanes = self.config.lanes;
         let factor = if self.config.optimizations.balancing {
             balance_makespan(&degrees, lanes)
@@ -256,11 +258,14 @@ impl GhostAccelerator {
         partition: Option<&Partition>,
     ) -> Result<GhostReport, PhotonicError> {
         let cfg = &self.config;
-        let model = workload.model.clone().validated().map_err(|_| {
-            PhotonicError::InvalidConfig {
-                what: "invalid GNN configuration",
-            }
-        })?;
+        let model =
+            workload
+                .model
+                .clone()
+                .validated()
+                .map_err(|_| PhotonicError::InvalidConfig {
+                    what: "invalid GNN configuration",
+                })?;
         let nodes = workload.shape.nodes as u64;
         let edges = workload.effective_edges();
         if nodes == 0 {
@@ -293,14 +298,11 @@ impl GhostAccelerator {
                 .unwrap_or_else(|| edges.div_ceil(cfg.reduce_branches as u64) + nodes / 2);
             let feature_groups = fin.div_ceil(cfg.reduce_rows as u64);
             let agg_symbols = branch_passes * feature_groups;
-            let agg_elapsed =
-                agg_symbols as f64 / cfg.lanes as f64 * balance * t_sym;
+            let agg_elapsed = agg_symbols as f64 / cfg.lanes as f64 * balance * t_sym;
             agg_s += agg_elapsed;
             // VCSEL array: branches × rows emitters at ~4 mW electrical.
-            energy.receiver_j += agg_symbols as f64
-                * (cfg.reduce_branches * cfg.reduce_rows) as f64
-                * 4e-3
-                * t_sym;
+            energy.receiver_j +=
+                agg_symbols as f64 * (cfg.reduce_branches * cfg.reduce_rows) as f64 * 4e-3 * t_sym;
             // Gather DACs: one conversion per edge-feature element.
             let gather_convs = edges * fin;
             energy.dac_j += gather_convs as f64 * cfg.dac.energy_per_conversion_j();
@@ -313,8 +315,8 @@ impl GhostAccelerator {
             energy.tuning_j += gather_convs as f64 * eo.power_w * t_sym;
 
             // ---- combine: transform units ---------------------------
-            let passes = fin_eff.div_ceil(cfg.array_channels as u64)
-                * fout.div_ceil(cfg.array_rows as u64);
+            let passes =
+                fin_eff.div_ceil(cfg.array_channels as u64) * fout.div_ceil(cfg.array_rows as u64);
             let mut combine_symbols = nodes * passes;
             // GAT: per-edge attention score dot products (2·fout each)
             // also run on the transform arrays.
@@ -347,14 +349,12 @@ impl GhostAccelerator {
             energy.dac_j += weight_convs as f64 * cfg.dac.energy_per_conversion_j();
             energy.tuning_j += weight_convs as f64 * eo.power_w * t_sym;
             // TIAs on the transform outputs.
-            energy.receiver_j +=
-                combine_symbols as f64 * cfg.array_rows as f64 * 3e-3 * t_sym;
+            energy.receiver_j += combine_symbols as f64 * cfg.array_rows as f64 * 3e-3 * t_sym;
 
             // ---- update: SOA activations ----------------------------
             let upd_elems = nodes * fout;
-            let upd_elapsed = upd_elems as f64
-                / (cfg.lanes as f64 * cfg.array_channels as f64)
-                * t_sym;
+            let upd_elapsed =
+                upd_elems as f64 / (cfg.lanes as f64 * cfg.array_channels as f64) * t_sym;
             update_s += upd_elapsed;
             // SOA bias power per lane while updating.
             energy.receiver_j += cfg.lanes as f64 * 5e-3 * upd_elapsed;
@@ -385,7 +385,9 @@ impl GhostAccelerator {
             let offchip = (streamed + index_bytes + weight_bytes) as usize;
             memory_s += self.hbm.transfer_time_s(offchip);
             energy.memory_j += self.hbm.transfer_energy_j(offchip);
-            energy.memory_j += self.feature_buffer.read_bytes_energy_j(per_edge_bytes as usize);
+            energy.memory_j += self
+                .feature_buffer
+                .read_bytes_energy_j(per_edge_bytes as usize);
             energy.memory_j += self
                 .accumulator_buffer
                 .write_bytes_energy_j((nodes * fout) as usize);

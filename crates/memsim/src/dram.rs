@@ -37,9 +37,7 @@ impl HbmChannel {
     ///
     /// Returns [`MemError::InvalidConfig`] for non-positive values.
     pub fn validated(self) -> Result<Self, MemError> {
-        if self.bandwidth_bytes_per_s <= 0.0
-            || self.energy_per_bit_j <= 0.0
-            || self.latency_s < 0.0
+        if self.bandwidth_bytes_per_s <= 0.0 || self.energy_per_bit_j <= 0.0 || self.latency_s < 0.0
         {
             return Err(MemError::InvalidConfig {
                 what: "channel parameters must be positive",

@@ -138,8 +138,7 @@ impl MemorySystem {
 
     /// Total dynamic energy across all buffers and the off-chip stack, J.
     pub fn total_dynamic_energy_j(&self) -> f64 {
-        self.buffers.values().map(|(_, l)| l.energy_j).sum::<f64>()
-            + self.offchip_ledger.energy_j
+        self.buffers.values().map(|(_, l)| l.energy_j).sum::<f64>() + self.offchip_ledger.energy_j
     }
 
     /// Total serialized access time, s (upper bound; the architecture

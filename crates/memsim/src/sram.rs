@@ -141,11 +141,23 @@ mod tests {
     #[test]
     fn calibration_points_match_doc_table() {
         let a = sram(8 * 1024, 8, 1);
-        assert!((a.read_energy_j() - 1.66e-12).abs() < 0.05e-12, "{}", a.read_energy_j());
+        assert!(
+            (a.read_energy_j() - 1.66e-12).abs() < 0.05e-12,
+            "{}",
+            a.read_energy_j()
+        );
         let b = sram(64 * 1024, 16, 1);
-        assert!((b.read_energy_j() - 6.75e-12).abs() < 0.3e-12, "{}", b.read_energy_j());
+        assert!(
+            (b.read_energy_j() - 6.75e-12).abs() < 0.3e-12,
+            "{}",
+            b.read_energy_j()
+        );
         let c = sram(1024 * 1024, 32, 1);
-        assert!((c.read_energy_j() - 42e-12).abs() < 3e-12, "{}", c.read_energy_j());
+        assert!(
+            (c.read_energy_j() - 42e-12).abs() < 3e-12,
+            "{}",
+            c.read_energy_j()
+        );
     }
 
     #[test]

@@ -118,9 +118,8 @@ impl GraphShape {
         let side = 1usize << levels;
         let mut edges = Vec::with_capacity(self.edges);
         // Simple id scramble: multiply by an odd constant mod side.
-        let scramble = |v: usize| -> u32 {
-            ((v.wrapping_mul(0x9E37_79B1) >> 7) % self.nodes) as u32
-        };
+        let scramble =
+            |v: usize| -> u32 { ((v.wrapping_mul(0x9E37_79B1) >> 7) % self.nodes) as u32 };
         while edges.len() < self.edges {
             let (mut lo_r, mut hi_r) = (0usize, side);
             let (mut lo_c, mut hi_c) = (0usize, side);
@@ -303,7 +302,10 @@ mod tests {
     #[test]
     fn published_shapes() {
         let cora = GraphShape::cora();
-        assert_eq!((cora.nodes, cora.edges, cora.features, cora.classes), (2708, 10556, 1433, 7));
+        assert_eq!(
+            (cora.nodes, cora.edges, cora.features, cora.classes),
+            (2708, 10556, 1433, 7)
+        );
         assert_eq!(GraphShape::paper_benchmarks().len(), 4);
         assert!(GraphShape::reddit().avg_degree() > 400.0);
     }

@@ -108,7 +108,10 @@ impl CsrGraph {
 
     /// Maximum in-degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -572,11 +575,7 @@ mod tests {
 
     fn triangle() -> CsrGraph {
         // Bidirectional triangle.
-        CsrGraph::from_edges(
-            3,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
-        )
-        .unwrap()
+        CsrGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]).unwrap()
     }
 
     #[test]

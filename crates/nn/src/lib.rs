@@ -24,13 +24,12 @@
 //!
 //! let bert = TransformerConfig::bert_base(128);
 //! let census = bert.census();
-//! 
+//!
 //! ```
 
 // Index-based loops are the clearest idiom for the dense-matrix and
 // per-ring arithmetic throughout this crate.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod census;

@@ -117,8 +117,7 @@ mod tests {
     fn gnn_int8_accuracy_comparable_to_fp() {
         let task = sbm(3, 12, 16, 0.5, 0.05, 21).unwrap();
         for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat] {
-            let model =
-                GnnModel::random(GnnConfig::two_layer(kind, 16, 32, 3), 22).unwrap();
+            let model = GnnModel::random(GnnConfig::two_layer(kind, 16, 32, 3), 22).unwrap();
             let r = evaluate_gnn(&model, &task).unwrap();
             // Random weights: accuracy itself is incidental, but int8
             // must track fp predictions closely.

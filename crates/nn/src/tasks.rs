@@ -187,8 +187,16 @@ pub fn graph_classification_accuracy(
     // Nearest-centroid classification.
     let mut hits = 0;
     for (p, &label) in pooled.iter().zip(&task.labels) {
-        let d0: f64 = p.iter().zip(&centroids[0]).map(|(a, b)| (a - b).powi(2)).sum();
-        let d1: f64 = p.iter().zip(&centroids[1]).map(|(a, b)| (a - b).powi(2)).sum();
+        let d0: f64 = p
+            .iter()
+            .zip(&centroids[0])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        let d1: f64 = p
+            .iter()
+            .zip(&centroids[1])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
         let pred = usize::from(d1 < d0);
         if pred == label {
             hits += 1;

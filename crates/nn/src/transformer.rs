@@ -530,9 +530,7 @@ impl TransformerModel {
             let qh = q.col_slice(lo, hi)?;
             let kh = k.col_slice(lo, hi)?;
             let vh = v.col_slice(lo, hi)?;
-            let mut scores = qh
-                .matmul(&kh.transpose())?
-                .scale(1.0 / (dh as f64).sqrt());
+            let mut scores = qh.matmul(&kh.transpose())?.scale(1.0 / (dh as f64).sqrt());
             if causal {
                 for r in 0..scores.rows() {
                     for c in (r + 1)..scores.cols() {

@@ -7,11 +7,15 @@
 //! balanced-photodetector positive/negative arms, receiver noise
 //! injection, and 8-bit ADC read-back with per-tile auto-ranging.
 
-use phox_tensor::{ops, Matrix, Prng, Quantizer};
+use phox_tensor::{ops, parallel, split_seed, Matrix, Prng, Quantizer};
 
 use crate::devices::{OpticalActivation, Soa};
 use crate::noise::{perturb, NoiseBudget};
 use crate::PhotonicError;
+
+/// Output-tile edge of the analog matmul: each `TILE × TILE` block of the
+/// product is one work item with its own noise stream.
+pub const TILE: usize = 32;
 
 /// A value-level analog compute engine.
 ///
@@ -38,6 +42,13 @@ pub struct AnalogEngine {
     adc_bits: u32,
     dac_bits: u32,
     soa: Soa,
+    /// Root seed of the engine's noise-stream family (see [`split_seed`]).
+    seed: u64,
+    /// Operations issued so far; each matmul takes the next stream key,
+    /// so repeated calls draw fresh (but reproducible) noise.
+    ops: u64,
+    /// Sequential stream for the element-wise perturbation paths
+    /// (layer norm, residual add, SOA, coherent sums).
     rng: Prng,
 }
 
@@ -69,6 +80,8 @@ impl AnalogEngine {
             adc_bits,
             dac_bits,
             soa: Soa::default(),
+            seed,
+            ops: 0,
             rng: Prng::new(seed),
         })
     }
@@ -96,6 +109,8 @@ impl AnalogEngine {
             adc_bits,
             dac_bits,
             soa: Soa::default(),
+            seed,
+            ops: 0,
             rng: Prng::new(seed),
         }
     }
@@ -105,7 +120,48 @@ impl AnalogEngine {
         self.relative_sigma
     }
 
+    /// Takes the next operation stream key.
+    ///
+    /// Each key roots an independent family of noise streams (one per
+    /// output tile / per child unit); advancing a counter rather than
+    /// drawing from `rng` keeps the key sequence independent of how many
+    /// noise values earlier operations consumed.
+    pub fn stream_key(&mut self) -> u64 {
+        let key = split_seed(self.seed, self.ops);
+        self.ops += 1;
+        key
+    }
+
+    /// Builds a deterministic child engine for parallel unit `unit` of
+    /// the operation keyed by `key` (an attention head, a graph node).
+    ///
+    /// The child inherits the parent's physical parameters but owns an
+    /// independent noise-stream family, so sibling units can run
+    /// concurrently while drawing exactly the noise they would draw
+    /// serially.
+    pub fn make_child(&self, key: u64, unit: u64) -> AnalogEngine {
+        let child_seed = split_seed(key, unit);
+        AnalogEngine {
+            relative_sigma: self.relative_sigma,
+            adc_bits: self.adc_bits,
+            dac_bits: self.dac_bits,
+            soa: self.soa,
+            seed: child_seed,
+            ops: 0,
+            rng: Prng::new(child_seed),
+        }
+    }
+
     /// Analog matrix multiplication `a · b`.
+    ///
+    /// The product is computed [`TILE`]`×`[`TILE`] output tile by tile,
+    /// in parallel across tiles. Each tile draws its receiver noise from
+    /// an independent stream keyed on `(engine seed, operation counter,
+    /// tile index)`, so the result is **bit-identical for any thread
+    /// count** — the tile's noise depends only on which tile it is, never
+    /// on which thread computes it or in what order. The cross-tile
+    /// `abs_max` reduction for ADC auto-ranging is a plain `max`, which
+    /// is order-independent.
     ///
     /// # Errors
     ///
@@ -122,29 +178,73 @@ impl AnalogEngine {
         let qb = Quantizer::calibrate(b).quantize(b);
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         let full_scale = 127.0 * 127.0 * k as f64;
+        let op_key = self.stream_key();
+        let sigma = self.relative_sigma;
+
+        // Pack bᵀ so every output element reads both operands
+        // contiguously (blocked copy, same scheme as the digital kernel).
+        let qbs = qb.as_i8_slice();
+        let mut qbt = vec![0i8; k * n];
+        for r0 in (0..k).step_by(TILE) {
+            let r1 = (r0 + TILE).min(k);
+            for c0 in (0..n).step_by(TILE) {
+                let c1 = (c0 + TILE).min(n);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        qbt[c * k + r] = qbs[r * n + c];
+                    }
+                }
+            }
+        }
+
+        let qas = qa.as_i8_slice();
+        let tile_rows = m.div_ceil(TILE);
+        let tile_cols = n.div_ceil(TILE).max(1);
+        let tiles: Vec<(Vec<f64>, f64)> = parallel::par_map_indexed(tile_rows * tile_cols, |t| {
+            let (i0, j0) = ((t / tile_cols) * TILE, (t % tile_cols) * TILE);
+            let (i1, j1) = ((i0 + TILE).min(m), (j0 + TILE).min(n));
+            let mut rng = Prng::stream(op_key, t as u64);
+            let mut vals = Vec::with_capacity((i1 - i0) * (j1 - j0));
+            let mut tile_max = 0.0f64;
+            for i in i0..i1 {
+                let arow = &qas[i * k..(i + 1) * k];
+                for j in j0..j1 {
+                    let brow = &qbt[j * k..(j + 1) * k];
+                    // Positive and negative BPD arms accumulate level
+                    // products by sign (exact in i64).
+                    let mut pos = 0i64;
+                    let mut neg = 0i64;
+                    for kk in 0..k {
+                        let p = i32::from(arow[kk]) * i32::from(brow[kk]);
+                        if p >= 0 {
+                            pos += i64::from(p);
+                        } else {
+                            neg -= i64::from(p);
+                        }
+                    }
+                    let pos_n = perturb(pos as f64, sigma, &mut rng);
+                    let neg_n = perturb(neg as f64, sigma, &mut rng);
+                    let diff = pos_n - neg_n;
+                    tile_max = tile_max.max(diff.abs());
+                    vals.push(diff);
+                }
+            }
+            (vals, tile_max)
+        });
 
         let mut raw = Matrix::zeros(m, n);
         let mut abs_max = 0.0f64;
-        for i in 0..m {
-            for j in 0..n {
-                // Positive and negative BPD arms accumulate level
-                // products by sign.
-                let mut pos = 0.0;
-                let mut neg = 0.0;
-                for kk in 0..k {
-                    let p = qa.level(i, kk) as i32 * qb.level(kk, j) as i32;
-                    if p >= 0 {
-                        pos += p as f64;
-                    } else {
-                        neg -= p as f64;
-                    }
+        for (t, (vals, tile_max)) in tiles.iter().enumerate() {
+            let (i0, j0) = ((t / tile_cols) * TILE, (t % tile_cols) * TILE);
+            let (i1, j1) = ((i0 + TILE).min(m), (j0 + TILE).min(n));
+            let mut it = vals.iter();
+            for i in i0..i1 {
+                let row = raw.row_mut(i);
+                for j in j0..j1 {
+                    row[j] = *it.next().expect("tile holds (i1-i0)*(j1-j0) values");
                 }
-                let pos_n = perturb(pos, self.relative_sigma, &mut self.rng);
-                let neg_n = perturb(neg, self.relative_sigma, &mut self.rng);
-                let diff = pos_n - neg_n;
-                raw.set(i, j, diff);
-                abs_max = abs_max.max(diff.abs());
             }
+            abs_max = abs_max.max(*tile_max);
         }
         // ADC stage: signed quantization with per-tile auto-ranging (the
         // TIA gain is set to the tile's dynamic range).
@@ -214,11 +314,10 @@ impl AnalogEngine {
         gamma: &[f64],
         beta: &[f64],
     ) -> Result<Matrix, PhotonicError> {
-        let ln = ops::layer_norm(x, gamma, beta, 1e-9).map_err(|_| {
-            PhotonicError::InvalidConfig {
+        let ln =
+            ops::layer_norm(x, gamma, beta, 1e-9).map_err(|_| PhotonicError::InvalidConfig {
                 what: "layer norm parameter length mismatch",
-            }
-        })?;
+            })?;
         let sigma = self.relative_sigma;
         let rng = &mut self.rng;
         Ok(ln.map(|v| perturb(v, sigma, rng)))
@@ -270,17 +369,16 @@ mod tests {
         let mut rng = Prng::new(3);
         let a = rng.fill_normal(8, 16, 0.0, 1.0);
         let b = rng.fill_normal(16, 8, 0.0, 1.0);
-        let err = stats::relative_error(
-            &a.matmul(&b).unwrap(),
-            &eng.matmul(&a, &b).unwrap(),
-        );
+        let err = stats::relative_error(&a.matmul(&b).unwrap(), &eng.matmul(&a, &b).unwrap());
         assert!(err < 0.02, "{err}");
     }
 
     #[test]
     fn matmul_validates_shapes() {
         let mut eng = AnalogEngine::ideal(8, 8, 1);
-        assert!(eng.matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
+        assert!(eng
+            .matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2))
+            .is_err());
     }
 
     #[test]
@@ -311,6 +409,51 @@ mod tests {
         assert!(y.get(0, 0).abs() < 0.05);
         assert!((y.get(0, 1) - 0.5).abs() < 0.05);
         assert!((y.get(0, 2) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        let mut rng = Prng::new(11);
+        let a = rng.fill_normal(40, 33, 0.0, 1.0);
+        let b = rng.fill_normal(33, 37, 0.0, 1.0);
+        let reference = {
+            let mut eng = AnalogEngine::new(5e-3, 8, 8, 99).unwrap();
+            parallel::with_threads(1, || eng.matmul(&a, &b).unwrap())
+        };
+        for threads in [2, 8] {
+            let mut eng = AnalogEngine::new(5e-3, 8, 8, 99).unwrap();
+            let y = parallel::with_threads(threads, || eng.matmul(&a, &b).unwrap());
+            assert_eq!(y, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn repeated_matmuls_draw_fresh_noise() {
+        let mut eng = AnalogEngine::new(5e-3, 8, 8, 7).unwrap();
+        let mut rng = Prng::new(8);
+        let a = rng.fill_normal(8, 8, 0.0, 1.0);
+        let b = rng.fill_normal(8, 8, 0.0, 1.0);
+        let first = eng.matmul(&a, &b).unwrap();
+        let second = eng.matmul(&a, &b).unwrap();
+        assert_ne!(first, second, "op counter must advance the noise family");
+        // A fresh engine with the same seed replays the same sequence.
+        let mut replay = AnalogEngine::new(5e-3, 8, 8, 7).unwrap();
+        assert_eq!(replay.matmul(&a, &b).unwrap(), first);
+        assert_eq!(replay.matmul(&a, &b).unwrap(), second);
+    }
+
+    #[test]
+    fn children_are_deterministic_and_distinct() {
+        let mut parent = AnalogEngine::new(5e-3, 8, 8, 21).unwrap();
+        let key = parent.stream_key();
+        let mut rng = Prng::new(22);
+        let a = rng.fill_normal(6, 6, 0.0, 1.0);
+        let b = rng.fill_normal(6, 6, 0.0, 1.0);
+        let y0 = parent.make_child(key, 0).matmul(&a, &b).unwrap();
+        let y0_again = parent.make_child(key, 0).matmul(&a, &b).unwrap();
+        let y1 = parent.make_child(key, 1).matmul(&a, &b).unwrap();
+        assert_eq!(y0, y0_again);
+        assert_ne!(y0, y1, "sibling units draw independent noise");
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl MrBank {
     /// * [`PhotonicError::InvalidConfig`] if `values` length differs from
     ///   the channel count,
     /// * imprint errors from [`MrConfig::detuning_for_target`].
-    pub fn imprint(&self, values: &[f64], dac: &Dac) -> Result<(Vec<f64>, BankOpCost), PhotonicError> {
+    pub fn imprint(
+        &self,
+        values: &[f64],
+        dac: &Dac,
+    ) -> Result<(Vec<f64>, BankOpCost), PhotonicError> {
         if values.len() != self.channels {
             return Err(PhotonicError::InvalidConfig {
                 what: "imprint vector length must equal channel count",
@@ -90,9 +94,9 @@ impl MrBank {
             // The DAC quantizes the drive; map through the ring response.
             let clamped = v.clamp(self.mr.min_transmission, 1.0);
             let driven = self.mr.min_transmission
-                + dac.drive(
-                    (clamped - self.mr.min_transmission) / (1.0 - self.mr.min_transmission),
-                ) * (1.0 - self.mr.min_transmission);
+                + dac
+                    .drive((clamped - self.mr.min_transmission) / (1.0 - self.mr.min_transmission))
+                    * (1.0 - self.mr.min_transmission);
             let detuning = self.mr.detuning_for_target(driven)?;
             let op = self.tuning.tune(detuning)?;
             cost.tuning_power_w += op.power_w;
@@ -288,7 +292,10 @@ mod tests {
             let got = r.values[row];
             // ADC full scale is n=8, so half an LSB is 8/2/255 ≈ 0.016;
             // plus imprint grid error.
-            assert!((got - expected).abs() < 0.1, "row {row}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 0.1,
+                "row {row}: {got} vs {expected}"
+            );
         }
     }
 
@@ -311,11 +318,25 @@ mod tests {
         let mut rng = Prng::new(1);
         let bad_w = Matrix::zeros(3, 4);
         assert!(a
-            .evaluate(&bad_w, &[0.5; 4], &Dac::default(), &Adc::default(), 0.0, &mut rng)
+            .evaluate(
+                &bad_w,
+                &[0.5; 4],
+                &Dac::default(),
+                &Adc::default(),
+                0.0,
+                &mut rng
+            )
             .is_err());
         let w = Matrix::zeros(2, 4);
         assert!(a
-            .evaluate(&w, &[0.5; 3], &Dac::default(), &Adc::default(), 0.0, &mut rng)
+            .evaluate(
+                &w,
+                &[0.5; 3],
+                &Dac::default(),
+                &Adc::default(),
+                0.0,
+                &mut rng
+            )
             .is_err());
     }
 

@@ -154,7 +154,9 @@ mod tests {
         assert!((adc.energy_per_conversion_j() - 30e-15 * 256.0).abs() < 1e-27);
         // Doubling bits doubles energy per extra bit (exponential).
         let adc10 = Adc { bits: 10, ..adc };
-        assert!((adc10.energy_per_conversion_j() / adc.energy_per_conversion_j() - 4.0).abs() < 1e-12);
+        assert!(
+            (adc10.energy_per_conversion_j() / adc.energy_per_conversion_j() - 4.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -189,7 +191,9 @@ mod tests {
 
     #[test]
     fn dac_cheaper_than_adc() {
-        assert!(Dac::default().energy_per_conversion_j() < Adc::default().energy_per_conversion_j());
+        assert!(
+            Dac::default().energy_per_conversion_j() < Adc::default().energy_per_conversion_j()
+        );
     }
 
     #[test]

@@ -39,11 +39,7 @@ impl HeterodyneAnalysis {
     /// Returns [`PhotonicError::InvalidConfig`] if `channels == 0` or the
     /// spacing is non-positive, and [`PhotonicError::FsrExceeded`] if the
     /// channel comb does not fit within one FSR.
-    pub fn new(
-        mr: &MrConfig,
-        channels: usize,
-        spacing_nm: f64,
-    ) -> Result<Self, PhotonicError> {
+    pub fn new(mr: &MrConfig, channels: usize, spacing_nm: f64) -> Result<Self, PhotonicError> {
         if channels == 0 {
             return Err(PhotonicError::InvalidConfig {
                 what: "heterodyne analysis requires at least one channel",
@@ -177,8 +173,7 @@ impl HomodyneAnalysis {
 
     /// Worst-case relative amplitude error of the summed output.
     pub fn worst_case_amplitude_error(&self) -> f64 {
-        2.0 * (self.leakage).sqrt() * self.branches as f64
-            / (self.branches as f64).sqrt()
+        2.0 * (self.leakage).sqrt() * self.branches as f64 / (self.branches as f64).sqrt()
         // = 2·sqrt(leakage·branches): leaked fields add in power across
         // branches (random phases), so the net stray amplitude grows as
         // sqrt(branches).
@@ -284,7 +279,11 @@ mod tests {
             ..MrConfig::default()
         };
         let h = HomodyneAnalysis::new(16, mr.homodyne_leakage()).unwrap();
-        assert!(h.supports_bits(8), "error {}", h.worst_case_amplitude_error());
+        assert!(
+            h.supports_bits(8),
+            "error {}",
+            h.worst_case_amplitude_error()
+        );
     }
 
     #[test]

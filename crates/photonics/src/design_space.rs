@@ -16,6 +16,8 @@
 //! Among feasible points it selects the one maximising wavelength
 //! parallelism, breaking ties with lower laser power.
 
+use phox_tensor::parallel;
+
 use crate::crosstalk::{HeterodyneAnalysis, HomodyneAnalysis};
 use crate::link::{Laser, WdmLink};
 use crate::mr::MrConfig;
@@ -99,13 +101,11 @@ impl SweepOutcome {
     /// The best point: maximum channels, then minimum laser power.
     pub fn best(&self) -> Option<&DesignPoint> {
         self.feasible.iter().max_by(|a, b| {
-            a.channels
-                .cmp(&b.channels)
-                .then(
-                    b.laser_electrical_w
-                        .partial_cmp(&a.laser_electrical_w)
-                        .expect("finite powers"),
-                )
+            a.channels.cmp(&b.channels).then(
+                b.laser_electrical_w
+                    .partial_cmp(&a.laser_electrical_w)
+                    .expect("finite powers"),
+            )
         })
     }
 }
@@ -140,10 +140,11 @@ pub fn sweep(config: &SweepConfig) -> Result<SweepOutcome, PhotonicError> {
             what: "sweep lists must be non-empty",
         });
     }
-    let mut feasible = Vec::new();
-    let mut examined = 0;
-    let mut rejections = [0usize; 5];
-
+    // Enumerate (and validate) the candidate grid serially — it is tiny —
+    // then fan the expensive constraint evaluation out across threads.
+    // `par_map_indexed` returns results in candidate order, so the
+    // feasible list and rejection counts match the serial sweep exactly.
+    let mut candidates = Vec::new();
     for &radius in &config.radii_um {
         for &q in &config.q_factors {
             for &gap in &config.gaps_nm {
@@ -155,13 +156,22 @@ pub fn sweep(config: &SweepConfig) -> Result<SweepOutcome, PhotonicError> {
                 }
                 .validated()?;
                 for &spacing in &config.spacings_nm {
-                    examined += 1;
-                    match evaluate_point(config, &mr, spacing) {
-                        Ok(point) => feasible.push(point),
-                        Err(stage) => rejections[stage] += 1,
-                    }
+                    candidates.push((mr, spacing));
                 }
             }
+        }
+    }
+    let examined = candidates.len();
+    let results = parallel::par_map_indexed(candidates.len(), |i| {
+        let (mr, spacing) = &candidates[i];
+        evaluate_point(config, mr, *spacing)
+    });
+    let mut feasible = Vec::new();
+    let mut rejections = [0usize; 5];
+    for r in results {
+        match r {
+            Ok(point) => feasible.push(point),
+            Err(stage) => rejections[stage] += 1,
         }
     }
 
@@ -177,11 +187,7 @@ pub fn sweep(config: &SweepConfig) -> Result<SweepOutcome, PhotonicError> {
 
 /// Evaluates one candidate; `Err(stage)` identifies the failed constraint
 /// (0 = FSR, 1 = heterodyne, 2 = homodyne, 3 = noise, 4 = laser).
-fn evaluate_point(
-    config: &SweepConfig,
-    mr: &MrConfig,
-    spacing: f64,
-) -> Result<DesignPoint, usize> {
+fn evaluate_point(config: &SweepConfig, mr: &MrConfig, spacing: f64) -> Result<DesignPoint, usize> {
     // Constraint 1+2: largest comb that fits the FSR with acceptable
     // heterodyne crosstalk.
     let channels = HeterodyneAnalysis::max_channels(mr, spacing, config.bits);
@@ -213,7 +219,10 @@ fn evaluate_point(
         through_mrs: channels, // every signal passes the whole bank
         ..WdmLink::default()
     };
-    let budget = config.laser.provision(&link, required_rx_w).map_err(|_| 4usize)?;
+    let budget = config
+        .laser
+        .provision(&link, required_rx_w)
+        .map_err(|_| 4usize)?;
     let enob = noise
         .evaluate(required_rx_w)
         .map(|r| r.enob)
@@ -295,6 +304,15 @@ mod tests {
         let out = sweep(&SweepConfig::default()).unwrap();
         let rejected: usize = out.rejections.iter().sum();
         assert_eq!(rejected + out.feasible.len(), out.examined);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let serial = parallel::with_threads(1, || sweep(&SweepConfig::default()).unwrap());
+        for threads in [2, 8] {
+            let par = parallel::with_threads(threads, || sweep(&SweepConfig::default()).unwrap());
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -158,7 +158,11 @@ impl Laser {
     ///
     /// Returns [`PhotonicError::LaserBudgetExceeded`] when the per-channel
     /// requirement exceeds the laser's maximum.
-    pub fn provision(&self, link: &WdmLink, required_rx_w: f64) -> Result<LinkBudget, PhotonicError> {
+    pub fn provision(
+        &self,
+        link: &WdmLink,
+        required_rx_w: f64,
+    ) -> Result<LinkBudget, PhotonicError> {
         let need_dbm = link.required_laser_power_dbm(required_rx_w)?;
         if need_dbm > self.max_power_per_channel_dbm {
             return Err(PhotonicError::LaserBudgetExceeded {
@@ -186,7 +190,11 @@ mod tests {
     fn default_loss_inventory_adds_up() {
         let l = WdmLink::default().validated().unwrap();
         // 16·0.05 + 2·0.5 + 0.5 + 3.2 + 3.0 + 3.0 = 11.5 dB.
-        assert!((l.total_loss_db() - 11.5).abs() < 1e-9, "{}", l.total_loss_db());
+        assert!(
+            (l.total_loss_db() - 11.5).abs() < 1e-9,
+            "{}",
+            l.total_loss_db()
+        );
     }
 
     #[test]

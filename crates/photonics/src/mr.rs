@@ -302,10 +302,7 @@ mod tests {
         for &target in &[0.02, 0.1, 0.35, 0.6, 0.9, 0.99] {
             let d = m.detuning_for_target(target).unwrap();
             let back = m.transmission_at_detuning(d);
-            assert!(
-                (back - target).abs() < 1e-9,
-                "target {target}, got {back}"
-            );
+            assert!((back - target).abs() < 1e-9, "target {target}, got {back}");
         }
     }
 

@@ -10,7 +10,7 @@ use phox_photonics::crosstalk::{HeterodyneAnalysis, HomodyneAnalysis};
 use phox_photonics::mr::MrConfig;
 use phox_photonics::noise::{enob, NoiseBudget};
 use phox_photonics::tuning::{HybridTuning, ThermalField};
-use phox_tensor::Matrix;
+use phox_tensor::{parallel, Matrix};
 
 fn mr_with_q(q: f64) -> MrConfig {
     MrConfig {
@@ -173,6 +173,30 @@ proptest! {
         for c in 0..3 {
             let exact: f64 = (0..4).map(|r| m.get(r, c)).sum();
             prop_assert!((sums[c] - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analog_matmul_bit_identical_across_thread_counts(
+        seed in any::<u64>(),
+        sigma in 0.0f64..5e-3,
+        (m, k, n) in (1usize..=24, 1usize..=24, 1usize..=24),
+    ) {
+        let mut rng = phox_tensor::Prng::new(seed ^ 0x51C0_11D5);
+        let a = rng.fill_normal(m, k, 0.0, 1.0);
+        let b = rng.fill_normal(k, n, 0.0, 1.0);
+        let serial = parallel::with_threads(1, || {
+            let mut eng = AnalogEngine::new(sigma, 8, 8, seed).unwrap();
+            eng.matmul(&a, &b).unwrap()
+        });
+        for threads in [2usize, 8] {
+            let par = parallel::with_threads(threads, || {
+                let mut eng = AnalogEngine::new(sigma, 8, 8, seed).unwrap();
+                eng.matmul(&a, &b).unwrap()
+            });
+            // Noise streams are keyed on (seed, op, tile), never on thread
+            // identity, so the outputs are bit-identical.
+            prop_assert_eq!(par.as_slice(), serial.as_slice(), "threads = {}", threads);
         }
     }
 

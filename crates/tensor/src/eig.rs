@@ -212,24 +212,15 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_input() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.25],
-            &[0.5, 0.25, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.25], &[0.5, 0.25, 2.0]]).unwrap();
         let e = eigh(&a).unwrap();
         assert!(reconstruct(&e).approx_eq(&a, 1e-9));
     }
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            &[5.0, 2.0, 1.0],
-            &[2.0, 4.0, 0.5],
-            &[1.0, 0.5, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 4.0, 0.5], &[1.0, 0.5, 3.0]]).unwrap();
         let e = eigh(&a).unwrap();
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
         assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
@@ -237,12 +228,8 @@ mod tests {
 
     #[test]
     fn values_sorted_ascending() {
-        let a = Matrix::from_rows(&[
-            &[10.0, 0.1, 0.0],
-            &[0.1, -3.0, 0.2],
-            &[0.0, 0.2, 1.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[10.0, 0.1, 0.0], &[0.1, -3.0, 0.2], &[0.0, 0.2, 1.0]]).unwrap();
         let e = eigh(&a).unwrap();
         assert!(e.values.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -9,6 +9,11 @@
 //! * [`Matrix`] — a row-major dense `f64` matrix with the linear-algebra
 //!   operations used by the reference neural-network executors
 //!   (matmul, transpose, element-wise maps).
+//! * [`gemm`] — the cache-blocked, parallel matrix-product and transpose
+//!   kernels behind [`Matrix::matmul`], plus the naive reference they are
+//!   benchmarked and property-tested against.
+//! * [`parallel`] — scoped-thread helpers (`par_map_indexed`,
+//!   `par_chunks_mut`) with a pinnable thread count for determinism tests.
 //! * [`quant`] — symmetric int8 post-training quantization, used to model
 //!   the 8-bit precision the paper selects for both accelerators.
 //! * [`ops`] — the nonlinear building blocks of Transformers and GNNs
@@ -37,16 +42,17 @@
 // Index-based loops are the clearest idiom for the dense-matrix and
 // per-ring arithmetic throughout this crate.
 #![allow(clippy::needless_range_loop)]
-
 #![warn(missing_docs)]
 
 pub mod eig;
+pub mod gemm;
 pub mod matrix;
 pub mod ops;
+pub mod parallel;
 pub mod quant;
 pub mod rng;
 pub mod stats;
 
 pub use matrix::{Matrix, TensorError};
 pub use quant::{QuantMatrix, Quantizer};
-pub use rng::Prng;
+pub use rng::{split_seed, Prng};

@@ -313,45 +313,21 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses the cache-friendly i-k-j loop order.
+    /// Delegates to the cache-blocked, parallel kernel in [`crate::gemm`];
+    /// the result is deterministic and independent of the thread count.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, TensorError> {
-        if self.cols != rhs.rows {
-            return Err(TensorError::ShapeMismatch {
-                lhs: self.shape(),
-                rhs: rhs.shape(),
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(out)
+        crate::gemm::matmul(self, rhs)
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose (blocked copy, see
+    /// [`crate::gemm::transpose_blocked`]).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
-        out
+        crate::gemm::transpose_blocked(self)
     }
 
     /// Element-wise sum `self + rhs`.

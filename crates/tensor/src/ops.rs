@@ -52,7 +52,12 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `gamma`/`beta` length does not
 /// equal the column count.
-pub fn layer_norm(x: &Matrix, gamma: &[f64], beta: &[f64], eps: f64) -> Result<Matrix, TensorError> {
+pub fn layer_norm(
+    x: &Matrix,
+    gamma: &[f64],
+    beta: &[f64],
+    eps: f64,
+) -> Result<Matrix, TensorError> {
     if gamma.len() != x.cols() || beta.len() != x.cols() {
         return Err(TensorError::ShapeMismatch {
             lhs: x.shape(),
@@ -124,7 +129,9 @@ pub fn scaled_dot_product_attention(
             what: "attention key dimension must be nonzero",
         });
     }
-    let scores = q.matmul(&k.transpose())?.scale(1.0 / (k.cols() as f64).sqrt());
+    let scores = q
+        .matmul(&k.transpose())?
+        .scale(1.0 / (k.cols() as f64).sqrt());
     softmax_rows(&scores).matmul(v)
 }
 
@@ -211,7 +218,9 @@ mod tests {
     fn sigmoid_and_tanh_bounds() {
         let x = Matrix::from_rows(&[&[-50.0, 0.0, 50.0]]).unwrap();
         let s = sigmoid(&x);
-        assert!(s.row(0)[0] < 1e-9 && (s.row(0)[1] - 0.5).abs() < 1e-12 && s.row(0)[2] > 1.0 - 1e-9);
+        assert!(
+            s.row(0)[0] < 1e-9 && (s.row(0)[1] - 0.5).abs() < 1e-12 && s.row(0)[2] > 1.0 - 1e-9
+        );
         let t = tanh(&x);
         assert!(t.min() >= -1.0 && t.max() <= 1.0);
     }

@@ -73,7 +73,11 @@ impl Quantizer {
             rows: m.rows(),
             cols: m.cols(),
             scale: self.scale,
-            data: m.as_slice().iter().map(|&v| self.quantize_value(v)).collect(),
+            data: m
+                .as_slice()
+                .iter()
+                .map(|&v| self.quantize_value(v))
+                .collect(),
         }
     }
 }
@@ -187,9 +191,7 @@ pub fn fake_quantize(m: &Matrix) -> Matrix {
 /// tensor: at most half a step.
 pub fn max_quant_error(m: &Matrix) -> f64 {
     let fq = fake_quantize(m);
-    m.sub(&fq)
-        .expect("same shape")
-        .abs_max()
+    m.sub(&fq).expect("same shape").abs_max()
 }
 
 #[cfg(test)]
@@ -246,8 +248,12 @@ mod tests {
 
     #[test]
     fn int_matmul_shape_mismatch() {
-        let a = Quantizer::with_scale(1.0).unwrap().quantize(&Matrix::zeros(2, 3));
-        let b = Quantizer::with_scale(1.0).unwrap().quantize(&Matrix::zeros(2, 3));
+        let a = Quantizer::with_scale(1.0)
+            .unwrap()
+            .quantize(&Matrix::zeros(2, 3));
+        let b = Quantizer::with_scale(1.0)
+            .unwrap()
+            .quantize(&Matrix::zeros(2, 3));
         assert!(a.matmul(&b).is_err());
     }
 

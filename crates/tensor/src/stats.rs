@@ -101,7 +101,10 @@ pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
 /// Panics if `xs` is empty or contains a non-positive value.
 pub fn geo_mean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "geo_mean of empty slice");
-    assert!(xs.iter().all(|&v| v > 0.0), "geo_mean requires positive values");
+    assert!(
+        xs.iter().all(|&v| v > 0.0),
+        "geo_mean requires positive values"
+    );
     (xs.iter().map(|v| v.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 

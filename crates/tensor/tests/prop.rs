@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use phox_tensor::{eig, ops, quant, stats, Matrix, Prng, Quantizer};
+use phox_tensor::{eig, gemm, ops, parallel, quant, stats, Matrix, Prng, Quantizer};
 
 /// Strategy: a matrix of the given shape with elements in [-10, 10].
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -151,5 +151,60 @@ proptest! {
     fn frobenius_norm_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
         let sum = a.add(&b).unwrap();
         prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+    }
+}
+
+/// Strategy: a matrix with proptest-chosen shape in [1, 40] per side.
+fn sized_matrix(max_side: usize) -> impl Strategy<Value = Matrix> {
+    (1usize..=max_side, 1usize..=max_side).prop_flat_map(|(r, c)| matrix(r, c))
+}
+
+// Equivalence suite for the cache-blocked / parallel GEMM backend: every
+// kernel variant must agree with the textbook loop within 1e-12 per
+// element, and the parallel driver must be exactly the blocked kernel
+// regardless of thread count.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn blocked_matmul_matches_naive(
+        (a, b) in (1usize..=24, 1usize..=24, 1usize..=24)
+            .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n))),
+    ) {
+        let naive = gemm::matmul_naive(&a, &b).unwrap();
+        let blocked = gemm::matmul_blocked(&a, &b).unwrap();
+        prop_assert!(blocked.approx_eq(&naive, 1e-12));
+    }
+
+    #[test]
+    fn parallel_matmul_is_thread_count_invariant(
+        (a, b) in (1usize..=20, 1usize..=20, 1usize..=20)
+            .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n))),
+    ) {
+        let blocked = gemm::matmul_blocked(&a, &b).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par = parallel::with_threads(threads, || gemm::matmul(&a, &b).unwrap());
+            // The parallel driver partitions rows but computes each row
+            // with the identical blocked kernel, so equality is exact.
+            prop_assert_eq!(par.as_slice(), blocked.as_slice(), "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_index_swap(m in sized_matrix(40)) {
+        let t = gemm::transpose_blocked(&m);
+        prop_assert_eq!(t.rows(), m.cols());
+        prop_assert_eq!(t.cols(), m.rows());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                prop_assert_eq!(t.get(c, r), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive_under_blocked_kernel(m in sized_matrix(40)) {
+        let back = gemm::transpose_blocked(&gemm::transpose_blocked(&m));
+        prop_assert!(back.approx_eq(&m, 0.0));
     }
 }

@@ -18,7 +18,7 @@ use phox_nn::transformer::{
 use phox_photonics::analog::AnalogEngine;
 use phox_photonics::devices::OpticalActivation;
 use phox_photonics::PhotonicError;
-use phox_tensor::Matrix;
+use phox_tensor::{parallel, Matrix};
 
 use crate::config::TronConfig;
 
@@ -140,6 +140,11 @@ impl TronFunctional {
     /// Analog multi-head attention: per-head optical Q·Kᵀ (eq. (3) keeps
     /// it fully analog), digital LUT softmax, optical context matmul and
     /// output projection.
+    ///
+    /// Heads run in parallel, each on a deterministic child engine keyed
+    /// by `(operation key, head index)` — see
+    /// [`AnalogEngine::make_child`] — so the result is bit-identical for
+    /// any thread count.
     fn analog_mha(
         &mut self,
         model: &TransformerModel,
@@ -152,26 +157,33 @@ impl TronFunctional {
         let cfg = model.config();
         let d = cfg.d_model;
         let dh = cfg.d_head();
-        let mut concat = Matrix::zeros(q.rows(), d);
-        for head in 0..cfg.heads {
-            let lo = head * dh;
-            let hi = lo + dh;
-            let qh = q.col_slice(lo, hi).expect("head slice in range");
-            let kh = k.col_slice(lo, hi).expect("head slice in range");
-            let vh = v.col_slice(lo, hi).expect("head slice in range");
-            let mut scores = self
-                .engine
-                .matmul(&qh, &kh.transpose())?
-                .scale(1.0 / (dh as f64).sqrt());
-            if causal {
-                for r in 0..scores.rows() {
-                    for c in (r + 1)..scores.cols() {
-                        scores.set(r, c, f64::NEG_INFINITY);
+        let key = self.engine.stream_key();
+        let parent = &self.engine;
+        let contexts: Vec<Result<Matrix, PhotonicError>> =
+            parallel::par_map_indexed(cfg.heads, |head| {
+                let mut engine = parent.make_child(key, head as u64);
+                let lo = head * dh;
+                let hi = lo + dh;
+                let qh = q.col_slice(lo, hi).expect("head slice in range");
+                let kh = k.col_slice(lo, hi).expect("head slice in range");
+                let vh = v.col_slice(lo, hi).expect("head slice in range");
+                let mut scores = engine
+                    .matmul(&qh, &kh.transpose())?
+                    .scale(1.0 / (dh as f64).sqrt());
+                if causal {
+                    for r in 0..scores.rows() {
+                        for c in (r + 1)..scores.cols() {
+                            scores.set(r, c, f64::NEG_INFINITY);
+                        }
                     }
                 }
-            }
-            let attn = self.engine.lut_softmax(&scores);
-            let ctx = self.engine.matmul(&attn, &vh)?;
+                let attn = engine.lut_softmax(&scores);
+                engine.matmul(&attn, &vh)
+            });
+        let mut concat = Matrix::zeros(q.rows(), d);
+        for (head, ctx) in contexts.into_iter().enumerate() {
+            let ctx = ctx?;
+            let lo = head * dh;
             for r in 0..ctx.rows() {
                 for c in 0..dh {
                     concat.set(r, lo + c, ctx.get(r, c));
@@ -300,7 +312,27 @@ mod tests {
         let x = Prng::new(52).fill_normal(8, 32, 0.0, 1.0);
         let mut a = TronFunctional::new(&TronConfig::default(), 53).unwrap();
         let mut b = TronFunctional::new(&TronConfig::default(), 53).unwrap();
-        assert_eq!(a.forward(&model, &x).unwrap(), b.forward(&model, &x).unwrap());
+        assert_eq!(
+            a.forward(&model, &x).unwrap(),
+            b.forward(&model, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn forward_is_thread_count_invariant() {
+        let model = tiny_model(55);
+        let x = Prng::new(56).fill_normal(8, 32, 0.0, 1.0);
+        let reference = parallel::with_threads(1, || {
+            let mut sim = TronFunctional::new(&TronConfig::default(), 57).unwrap();
+            sim.forward(&model, &x).unwrap()
+        });
+        for threads in [2, 8] {
+            let y = parallel::with_threads(threads, || {
+                let mut sim = TronFunctional::new(&TronConfig::default(), 57).unwrap();
+                sim.forward(&model, &x).unwrap()
+            });
+            assert_eq!(y, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -171,7 +171,11 @@ impl TronAccelerator {
     /// # Errors
     ///
     /// Returns [`PhotonicError::InvalidConfig`] for degenerate shapes.
-    pub fn matmul_cost(&self, shape: MatmulShape, unit: UnitClass) -> Result<MatmulCost, PhotonicError> {
+    pub fn matmul_cost(
+        &self,
+        shape: MatmulShape,
+        unit: UnitClass,
+    ) -> Result<MatmulCost, PhotonicError> {
         let tiling = Tiling::new(
             shape.n,
             shape.k,
@@ -309,9 +313,8 @@ impl TronAccelerator {
             // Tuning: activations are EO-only (clamped range); ~2 % of
             // weight imprints need a TO event held for the pass.
             let eo_op = cfg.tuning.tune(0.25).expect("within EO range");
-            energy.tuning_j += (c.activation_conversions + c.weight_conversions) as f64
-                * eo_op.power_w
-                * t_sym;
+            energy.tuning_j +=
+                (c.activation_conversions + c.weight_conversions) as f64 * eo_op.power_w * t_sym;
             let to_fraction = 0.02;
             let to_op = cfg.tuning.tune(1.0).expect("within TO range");
             let pass_hold_s = shape.m as f64 * t_sym;
@@ -352,8 +355,8 @@ impl TronAccelerator {
         // One add-and-normalize block per head unit, `channels` lanes
         // each (Fig. 5(b)).
         let elementwise_lanes = (cfg.array_channels * cfg.head_units) as f64;
-        let elementwise_s = (ln_elems + residual_elems) as f64
-            / (elementwise_lanes * cfg.symbol_rate_hz);
+        let elementwise_s =
+            (ln_elems + residual_elems) as f64 / (elementwise_lanes * cfg.symbol_rate_hz);
         // VCSEL energy for the coherent residual adders (~4 mW electrical
         // per lane-symbol) and single-MR LN tuning.
         energy.receiver_j += residual_elems as f64 * 4e-3 * t_sym;
@@ -446,14 +449,7 @@ mod tests {
     fn matmul_cost_counts() {
         let t = tron();
         let c = t
-            .matmul_cost(
-                MatmulShape {
-                    m: 8,
-                    k: 32,
-                    n: 32,
-                },
-                UnitClass::Linear,
-            )
+            .matmul_cost(MatmulShape { m: 8, k: 32, n: 32 }, UnitClass::Linear)
             .unwrap();
         // Default geometry: 64 rows × 16 channels, 8 linear arrays.
         // k_tiles = ceil(32/16) = 2, n_tiles = ceil(32/64) = 1
@@ -474,10 +470,7 @@ mod tests {
             phox_nn::transformer::TransformerConfig::transformer_base(64),
         ] {
             let matmuls = TronAccelerator::model_matmuls(&model);
-            let macs: u64 = matmuls
-                .iter()
-                .map(|(s, _)| (s.m * s.k * s.n) as u64)
-                .sum();
+            let macs: u64 = matmuls.iter().map(|(s, _)| (s.m * s.k * s.n) as u64).sum();
             let census = model.census();
             assert_eq!(macs, census.macs, "{}", model.name);
         }
@@ -487,7 +480,9 @@ mod tests {
     fn encoder_decoder_models_simulate() {
         let t = tron();
         let r = t
-            .simulate(&phox_nn::transformer::TransformerConfig::transformer_base(64))
+            .simulate(&phox_nn::transformer::TransformerConfig::transformer_base(
+                64,
+            ))
             .unwrap();
         assert!(r.perf.gops() > 0.0);
         let enc_only = t
@@ -504,7 +499,12 @@ mod tests {
         // Throughput within physical peak.
         let peak_gops = t.config().peak_macs_per_s() * 2.0 / 1e9;
         assert!(r.perf.gops() > 100.0, "gops {}", r.perf.gops());
-        assert!(r.perf.gops() <= peak_gops * 1.05, "gops {} peak {}", r.perf.gops(), peak_gops);
+        assert!(
+            r.perf.gops() <= peak_gops * 1.05,
+            "gops {} peak {}",
+            r.perf.gops(),
+            peak_gops
+        );
         // EPB in the sub-pJ/bit regime the paper reports for photonics.
         let epb_pj = r.perf.epb_j() * 1e12;
         assert!(epb_pj > 0.001 && epb_pj < 10.0, "epb {epb_pj} pJ/bit");
@@ -621,16 +621,38 @@ impl TronAccelerator {
             step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // K
             step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // V
             for _ in 0..model.heads {
-                step.push((MatmulShape { m: 1, k: dh, n: t_avg }, UnitClass::Head));
-                step.push((MatmulShape { m: 1, k: t_avg, n: dh }, UnitClass::Head));
+                step.push((
+                    MatmulShape {
+                        m: 1,
+                        k: dh,
+                        n: t_avg,
+                    },
+                    UnitClass::Head,
+                ));
+                step.push((
+                    MatmulShape {
+                        m: 1,
+                        k: t_avg,
+                        n: dh,
+                    },
+                    UnitClass::Head,
+                ));
             }
             step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Linear));
             step.push((
-                MatmulShape { m: 1, k: d, n: model.d_ff },
+                MatmulShape {
+                    m: 1,
+                    k: d,
+                    n: model.d_ff,
+                },
                 UnitClass::FeedForward,
             ));
             step.push((
-                MatmulShape { m: 1, k: model.d_ff, n: d },
+                MatmulShape {
+                    m: 1,
+                    k: model.d_ff,
+                    n: d,
+                },
                 UnitClass::FeedForward,
             ));
         }
@@ -643,8 +665,7 @@ impl TronAccelerator {
             step_energy.dac_j += (c.weight_conversions + c.activation_conversions) as f64
                 * cfg.dac.energy_per_conversion_j();
             step_energy.adc_j += c.adc_conversions as f64 * cfg.adc.energy_per_conversion_j();
-            step_energy.receiver_j +=
-                c.symbols as f64 * cfg.array_rows as f64 * 3e-3 * t_sym;
+            step_energy.receiver_j += c.symbols as f64 * cfg.array_rows as f64 * 3e-3 * t_sym;
         }
         // Weight streaming: the whole model re-streams every decode step,
         // amortised over the concurrent batch rows; compute overlaps it.
@@ -652,10 +673,8 @@ impl TronAccelerator {
         let weight_bytes = census.weight_bytes as usize;
         let step_mem_s = self.hbm.transfer_time_s(weight_bytes);
         let step_mem_energy = self.hbm.transfer_energy_j(weight_bytes);
-        let step_total_s = phox_arch::schedule::overlap_time_s(
-            step_elapsed_s * batch as f64,
-            step_mem_s,
-        );
+        let step_total_s =
+            phox_arch::schedule::overlap_time_s(step_elapsed_s * batch as f64, step_mem_s);
 
         // One decode step advances every batch row by one token: the
         // per-sequence rate is 1/step regardless of batch; batching

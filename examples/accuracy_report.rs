@@ -37,11 +37,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ngraph-task family (§III):");
     let lp_model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 16, 32, 8), 505)?;
     let lp = link_prediction(&lp_model, &graph_task.graph, &graph_task.features, 400, 506)?;
-    println!("  link prediction AUC       : {:.2} ({} pairs)", lp.auc, lp.pairs);
+    println!(
+        "  link prediction AUC       : {:.2} ({} pairs)",
+        lp.auc, lp.pairs
+    );
     let gc_task = graph_classification_task(6, 507)?;
     let gc_model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gin, 8, 16, 4), 508)?;
     let acc = graph_classification_accuracy(&gc_model, &gc_task)?;
-    println!("  graph classification acc  : {acc:.2} ({} graphs)", gc_task.graphs.len());
+    println!(
+        "  graph classification acc  : {acc:.2} ({} graphs)",
+        gc_task.graphs.len()
+    );
 
     // ---- the analog chain: fp64 → int8 → photonic -------------------
     println!("\nerror ladder (tiny transformer, seq 8):");

@@ -45,7 +45,10 @@ fn main() -> Result<(), PhotonicError> {
 
     // ---- Fig. 3(d): heterodyne crosstalk vs channel spacing -------
     println!("\nworst-case heterodyne crosstalk for an 8-ring bank:");
-    println!("{:>12} {:>14} {:>12}", "CS (nm)", "crosstalk", "8-bit clean");
+    println!(
+        "{:>12} {:>14} {:>12}",
+        "CS (nm)", "crosstalk", "8-bit clean"
+    );
     for spacing in [0.4, 0.8, 1.2, 1.6, 2.0] {
         match HeterodyneAnalysis::new(&mr, 8, spacing) {
             Ok(a) => println!(
@@ -59,10 +62,7 @@ fn main() -> Result<(), PhotonicError> {
     }
     println!("\nmax 8-bit-clean channels vs quality factor (CS = 1.2 nm):");
     for q in [5_000.0, 10_000.0, 15_000.0, 20_000.0, 30_000.0] {
-        let hi_q = MrConfig {
-            q_factor: q,
-            ..mr
-        };
+        let hi_q = MrConfig { q_factor: q, ..mr };
         let n = HeterodyneAnalysis::max_channels(&hi_q, 1.2, 8);
         println!("  Q = {q:>7.0} → {n} channels");
     }
@@ -70,7 +70,10 @@ fn main() -> Result<(), PhotonicError> {
     // ---- §V.A: hybrid tuning and TED ------------------------------
     let tuning = HybridTuning::default();
     println!("\ntuning circuit (EO/TO hybrid policy):");
-    println!("{:>10} {:>10} {:>14} {:>12}", "Δλ (nm)", "mech", "power", "latency");
+    println!(
+        "{:>10} {:>10} {:>14} {:>12}",
+        "Δλ (nm)", "mech", "power", "latency"
+    );
     for shift in [0.1, 0.3, 0.5, 1.0, 2.0] {
         let op = tuning.tune(shift)?;
         println!(

@@ -34,7 +34,10 @@ fn main() -> Result<(), PhotonicError> {
 
     // The channel-count frontier: best feasible point per radius/Q.
     println!("\nfeasible frontier (channels per waveguide):");
-    println!("{:>8} {:>10} {:>9} {:>10} {:>8} {:>12}", "R (µm)", "Q", "CS (nm)", "channels", "ENOB", "laser (dBm)");
+    println!(
+        "{:>8} {:>10} {:>9} {:>10} {:>8} {:>12}",
+        "R (µm)", "Q", "CS (nm)", "channels", "ENOB", "laser (dBm)"
+    );
     for &radius in &config.radii_um {
         for &q in &config.q_factors {
             let best = outcome
@@ -61,7 +64,10 @@ fn main() -> Result<(), PhotonicError> {
     println!("  heterodyne xtalk: {:.2e}", best.heterodyne_crosstalk);
     println!("  homodyne error  : {:.2e}", best.homodyne_error);
     println!("  ENOB            : {:.2} bits", best.enob);
-    println!("  laser/channel   : {:.2} dBm", best.laser_power_per_channel_dbm);
+    println!(
+        "  laser/channel   : {:.2} dBm",
+        best.laser_power_per_channel_dbm
+    );
 
     // The accelerators built from this point:
     let tron = TronConfig::from_design_space(&config)?;
@@ -75,7 +81,11 @@ fn main() -> Result<(), PhotonicError> {
     let ghost = GhostConfig::from_design_space(&config)?;
     println!(
         "GHOST from this point: {} lanes, reduce {}×{}, transform {}×{}",
-        ghost.lanes, ghost.reduce_rows, ghost.reduce_branches, ghost.array_rows, ghost.array_channels
+        ghost.lanes,
+        ghost.reduce_rows,
+        ghost.reduce_branches,
+        ghost.array_rows,
+        ghost.array_channels
     );
     Ok(())
 }

@@ -28,10 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = GhostFunctional::new(&GhostConfig::default(), 33)?;
         let photonic = sim.forward(&model, &task.graph, &task.features)?;
         let err = stats::relative_error(&reference, &photonic);
-        let agree = stats::accuracy(
-            &ops::argmax_rows(&photonic),
-            &ops::argmax_rows(&reference),
-        );
+        let agree = stats::accuracy(&ops::argmax_rows(&photonic), &ops::argmax_rows(&reference));
         println!("  {kind:<10} analog err {err:.3}, prediction agreement {agree:.2}");
     }
 

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let photonic = sim.forward(&model, &x)?;
     let err = stats::relative_error(&reference, &photonic);
     println!("functional check (tiny transformer, seq 16):");
-    println!("  receiver noise σ/I : {:.2e}", sim.engine().relative_sigma());
+    println!(
+        "  receiver noise σ/I : {:.2e}",
+        sim.engine().relative_sigma()
+    );
     println!("  analog-vs-fp64 err : {:.3} (relative Frobenius)", err);
 
     // The paper's 8-bit claim (E6): int8 ≈ fp32 accuracy.

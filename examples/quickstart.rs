@@ -33,7 +33,10 @@ fn main() -> Result<(), PhotonicError> {
     println!("  throughput : {:>10.0} GOPS", report.perf.gops());
     println!("  energy/bit : {:>10.3} pJ", report.perf.epb_j() * 1e12);
     println!("  latency    : {:>10.1} µs", report.perf.latency_s * 1e6);
-    println!("  balance    : {:>10.2} (1.0 = perfect lane balance)", report.balance_factor);
+    println!(
+        "  balance    : {:>10.2} (1.0 = perfect lane balance)",
+        report.balance_factor
+    );
 
     // --- Headline claims vs the electronic suites ------------------
     let rows = tron_comparison(&tron, &model)?;

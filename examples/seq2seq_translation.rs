@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nTRON on {} (6 encoder + 6 decoder layers):", base.name);
     println!("  throughput : {:>10.0} GOPS", report.perf.gops());
     println!("  energy/bit : {:>10.3} pJ", report.perf.epb_j() * 1e12);
-    println!("  latency    : {:>10.1} µs/inference", report.perf.latency_s * 1e6);
+    println!(
+        "  latency    : {:>10.1} µs/inference",
+        report.perf.latency_s * 1e6
+    );
 
     // Cross-attention roughly doubles the decoder stack's attention
     // work: compare with an encoder-only model of the same size.

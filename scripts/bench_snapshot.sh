@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Records the GEMM kernel speedup snapshot (naive vs cache-blocked vs
+# blocked+parallel at 64/256/1024) into BENCH_1.json at the repo root.
+#
+# Usage: scripts/bench_snapshot.sh [OUTPUT.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_1.json}"
+cargo build --release -p phox-bench --bin bench_snapshot
+./target/release/bench_snapshot "$out"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-a702a510b8bc21de.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-a702a510b8bc21de: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

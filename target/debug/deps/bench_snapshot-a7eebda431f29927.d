@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_snapshot-a7eebda431f29927.d: crates/bench/src/bin/bench_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_snapshot-a7eebda431f29927.rmeta: crates/bench/src/bin/bench_snapshot.rs Cargo.toml
+
+crates/bench/src/bin/bench_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-525e4d0f79df0853.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-525e4d0f79df0853.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_ghost-5acb2664ea7cb32a.d: tests/end_to_end_ghost.rs
+
+/root/repo/target/debug/deps/end_to_end_ghost-5acb2664ea7cb32a: tests/end_to_end_ghost.rs
+
+tests/end_to_end_ghost.rs:

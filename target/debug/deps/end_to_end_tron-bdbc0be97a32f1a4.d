@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_tron-bdbc0be97a32f1a4.d: tests/end_to_end_tron.rs
+
+/root/repo/target/debug/deps/end_to_end_tron-bdbc0be97a32f1a4: tests/end_to_end_tron.rs
+
+tests/end_to_end_tron.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/error_reporting-2aed80ea2360cf6e.d: tests/error_reporting.rs Cargo.toml
+
+/root/repo/target/debug/deps/liberror_reporting-2aed80ea2360cf6e.rmeta: tests/error_reporting.rs Cargo.toml
+
+tests/error_reporting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

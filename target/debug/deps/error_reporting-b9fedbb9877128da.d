@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_reporting-b9fedbb9877128da.d: tests/error_reporting.rs
+
+/root/repo/target/debug/deps/error_reporting-b9fedbb9877128da: tests/error_reporting.rs
+
+tests/error_reporting.rs:

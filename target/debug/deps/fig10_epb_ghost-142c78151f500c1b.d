@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_epb_ghost-142c78151f500c1b.d: crates/bench/benches/fig10_epb_ghost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_epb_ghost-142c78151f500c1b.rmeta: crates/bench/benches/fig10_epb_ghost.rs Cargo.toml
+
+crates/bench/benches/fig10_epb_ghost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_gops_ghost-d12537301d82e88c.d: crates/bench/benches/fig11_gops_ghost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_gops_ghost-d12537301d82e88c.rmeta: crates/bench/benches/fig11_gops_ghost.rs Cargo.toml
+
+crates/bench/benches/fig11_gops_ghost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

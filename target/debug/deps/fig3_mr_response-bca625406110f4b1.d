@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_mr_response-bca625406110f4b1.d: crates/bench/benches/fig3_mr_response.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_mr_response-bca625406110f4b1.rmeta: crates/bench/benches/fig3_mr_response.rs Cargo.toml
+
+crates/bench/benches/fig3_mr_response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

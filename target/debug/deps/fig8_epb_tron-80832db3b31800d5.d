@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_epb_tron-80832db3b31800d5.d: crates/bench/benches/fig8_epb_tron.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_epb_tron-80832db3b31800d5.rmeta: crates/bench/benches/fig8_epb_tron.rs Cargo.toml
+
+crates/bench/benches/fig8_epb_tron.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_gops_tron-b4bf1ed44476275a.d: crates/bench/benches/fig9_gops_tron.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_gops_tron-b4bf1ed44476275a.rmeta: crates/bench/benches/fig9_gops_tron.rs Cargo.toml
+
+crates/bench/benches/fig9_gops_tron.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9f7e9c01eb6de03f.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9f7e9c01eb6de03f: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_sims-e6a81fe86e3cf203.d: crates/bench/benches/functional_sims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_sims-e6a81fe86e3cf203.rmeta: crates/bench/benches/functional_sims.rs Cargo.toml
+
+crates/bench/benches/functional_sims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gemm_kernels-f49714a08a603e5f.d: crates/bench/benches/gemm_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgemm_kernels-f49714a08a603e5f.rmeta: crates/bench/benches/gemm_kernels.rs Cargo.toml
+
+crates/bench/benches/gemm_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_tasks-4151847348f4bb1a.d: tests/graph_tasks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_tasks-4151847348f4bb1a.rmeta: tests/graph_tasks.rs Cargo.toml
+
+tests/graph_tasks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

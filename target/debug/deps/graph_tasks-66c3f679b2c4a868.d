@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_tasks-66c3f679b2c4a868.d: tests/graph_tasks.rs
+
+/root/repo/target/debug/deps/graph_tasks-66c3f679b2c4a868: tests/graph_tasks.rs
+
+tests/graph_tasks.rs:

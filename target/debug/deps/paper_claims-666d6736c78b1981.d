@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-666d6736c78b1981.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-666d6736c78b1981: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/photonics_stack-7035f66f4b0ba384.d: tests/photonics_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphotonics_stack-7035f66f4b0ba384.rmeta: tests/photonics_stack.rs Cargo.toml
+
+tests/photonics_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

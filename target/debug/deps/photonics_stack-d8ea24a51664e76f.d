@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/photonics_stack-d8ea24a51664e76f.d: tests/photonics_stack.rs
+
+/root/repo/target/debug/deps/photonics_stack-d8ea24a51664e76f: tests/photonics_stack.rs
+
+tests/photonics_stack.rs:

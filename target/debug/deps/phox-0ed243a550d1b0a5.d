@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phox-0ed243a550d1b0a5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox-0ed243a550d1b0a5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phox-497f2b8f27b1d504.d: src/lib.rs
+
+/root/repo/target/debug/deps/phox-497f2b8f27b1d504: src/lib.rs
+
+src/lib.rs:

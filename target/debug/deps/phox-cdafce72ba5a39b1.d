@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/phox-cdafce72ba5a39b1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libphox-cdafce72ba5a39b1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libphox-cdafce72ba5a39b1.rmeta: src/lib.rs
+
+src/lib.rs:

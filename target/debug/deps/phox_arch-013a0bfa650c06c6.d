@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_arch-013a0bfa650c06c6.d: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+/root/repo/target/debug/deps/phox_arch-013a0bfa650c06c6: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/metrics.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/schedule.rs:

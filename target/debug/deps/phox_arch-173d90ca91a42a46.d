@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phox_arch-173d90ca91a42a46.d: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_arch-173d90ca91a42a46.rmeta: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs Cargo.toml
+
+crates/arch/src/lib.rs:
+crates/arch/src/metrics.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

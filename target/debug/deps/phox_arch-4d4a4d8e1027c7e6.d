@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phox_arch-4d4a4d8e1027c7e6.d: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+/root/repo/target/debug/deps/libphox_arch-4d4a4d8e1027c7e6.rlib: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+/root/repo/target/debug/deps/libphox_arch-4d4a4d8e1027c7e6.rmeta: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/metrics.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/schedule.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phox_baselines-160a8b4210cd2dfd.d: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_baselines-160a8b4210cd2dfd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/reported.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

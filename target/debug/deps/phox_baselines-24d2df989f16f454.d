@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_baselines-24d2df989f16f454.d: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+/root/repo/target/debug/deps/phox_baselines-24d2df989f16f454: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/reported.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/suite.rs:

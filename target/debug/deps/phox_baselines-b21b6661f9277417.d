@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phox_baselines-b21b6661f9277417.d: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+/root/repo/target/debug/deps/libphox_baselines-b21b6661f9277417.rlib: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+/root/repo/target/debug/deps/libphox_baselines-b21b6661f9277417.rmeta: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/reported.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/suite.rs:

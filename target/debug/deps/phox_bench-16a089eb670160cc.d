@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phox_bench-16a089eb670160cc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/phox_bench-16a089eb670160cc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

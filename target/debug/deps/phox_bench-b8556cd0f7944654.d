@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/phox_bench-b8556cd0f7944654.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libphox_bench-b8556cd0f7944654.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libphox_bench-b8556cd0f7944654.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

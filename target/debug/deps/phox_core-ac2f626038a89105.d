@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phox_core-ac2f626038a89105.d: crates/core/src/lib.rs crates/core/src/comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_core-ac2f626038a89105.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_core-c83fc95e5b25e8b0.d: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+/root/repo/target/debug/deps/libphox_core-c83fc95e5b25e8b0.rlib: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+/root/repo/target/debug/deps/libphox_core-c83fc95e5b25e8b0.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/phox_core-e6b97b4819dfc197.d: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+/root/repo/target/debug/deps/phox_core-e6b97b4819dfc197: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phox_ghost-4ad6efb0ca59f618.d: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+/root/repo/target/debug/deps/phox_ghost-4ad6efb0ca59f618: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+crates/ghost/src/lib.rs:
+crates/ghost/src/config.rs:
+crates/ghost/src/functional.rs:
+crates/ghost/src/partition.rs:
+crates/ghost/src/perf.rs:

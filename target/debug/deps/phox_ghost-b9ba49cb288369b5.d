@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phox_ghost-b9ba49cb288369b5.d: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+/root/repo/target/debug/deps/libphox_ghost-b9ba49cb288369b5.rlib: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+/root/repo/target/debug/deps/libphox_ghost-b9ba49cb288369b5.rmeta: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+crates/ghost/src/lib.rs:
+crates/ghost/src/config.rs:
+crates/ghost/src/functional.rs:
+crates/ghost/src/partition.rs:
+crates/ghost/src/perf.rs:

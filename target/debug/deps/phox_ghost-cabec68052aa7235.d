@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phox_ghost-cabec68052aa7235.d: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_ghost-cabec68052aa7235.rmeta: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs Cargo.toml
+
+crates/ghost/src/lib.rs:
+crates/ghost/src/config.rs:
+crates/ghost/src/functional.rs:
+crates/ghost/src/partition.rs:
+crates/ghost/src/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phox_memsim-0160c440100ac699.d: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_memsim-0160c440100ac699.rmeta: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/dram.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/sram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_memsim-7c028a832da593f7.d: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+/root/repo/target/debug/deps/phox_memsim-7c028a832da593f7: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/dram.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/sram.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phox_memsim-c15371e63dc53884.d: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+/root/repo/target/debug/deps/libphox_memsim-c15371e63dc53884.rlib: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+/root/repo/target/debug/deps/libphox_memsim-c15371e63dc53884.rmeta: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/dram.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/sram.rs:

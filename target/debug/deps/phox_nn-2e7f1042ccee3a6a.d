@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phox_nn-2e7f1042ccee3a6a.d: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+/root/repo/target/debug/deps/libphox_nn-2e7f1042ccee3a6a.rlib: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+/root/repo/target/debug/deps/libphox_nn-2e7f1042ccee3a6a.rmeta: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/census.rs:
+crates/nn/src/datasets.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/quant_eval.rs:
+crates/nn/src/tasks.rs:
+crates/nn/src/transformer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/phox_nn-3077d2486aa083c7.d: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_nn-3077d2486aa083c7.rmeta: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/census.rs:
+crates/nn/src/datasets.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/quant_eval.rs:
+crates/nn/src/tasks.rs:
+crates/nn/src/transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

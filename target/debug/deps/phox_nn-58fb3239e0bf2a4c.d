@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phox_nn-58fb3239e0bf2a4c.d: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+/root/repo/target/debug/deps/phox_nn-58fb3239e0bf2a4c: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/census.rs:
+crates/nn/src/datasets.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/quant_eval.rs:
+crates/nn/src/tasks.rs:
+crates/nn/src/transformer.rs:

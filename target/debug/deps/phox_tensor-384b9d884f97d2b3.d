@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/phox_tensor-384b9d884f97d2b3.d: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_tensor-384b9d884f97d2b3.rmeta: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/eig.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

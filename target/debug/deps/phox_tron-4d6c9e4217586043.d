@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phox_tron-4d6c9e4217586043.d: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphox_tron-4d6c9e4217586043.rmeta: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs Cargo.toml
+
+crates/tron/src/lib.rs:
+crates/tron/src/config.rs:
+crates/tron/src/functional.rs:
+crates/tron/src/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phox_tron-97775983e3fc4fa4.d: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+/root/repo/target/debug/deps/libphox_tron-97775983e3fc4fa4.rlib: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+/root/repo/target/debug/deps/libphox_tron-97775983e3fc4fa4.rmeta: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+crates/tron/src/lib.rs:
+crates/tron/src/config.rs:
+crates/tron/src/functional.rs:
+crates/tron/src/perf.rs:

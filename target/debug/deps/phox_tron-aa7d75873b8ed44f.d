@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_tron-aa7d75873b8ed44f.d: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+/root/repo/target/debug/deps/phox_tron-aa7d75873b8ed44f: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+crates/tron/src/lib.rs:
+crates/tron/src/config.rs:
+crates/tron/src/functional.rs:
+crates/tron/src/perf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-0537c92a27f37249.d: crates/photonics/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-0537c92a27f37249.rmeta: crates/photonics/tests/prop.rs Cargo.toml
+
+crates/photonics/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-18a3e1fc2417d005.d: crates/arch/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-18a3e1fc2417d005.rmeta: crates/arch/tests/prop.rs Cargo.toml
+
+crates/arch/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

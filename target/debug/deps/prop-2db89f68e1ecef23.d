@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-2db89f68e1ecef23.d: crates/ghost/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-2db89f68e1ecef23.rmeta: crates/ghost/tests/prop.rs Cargo.toml
+
+crates/ghost/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-4a994a13d6f262bf.d: crates/tensor/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-4a994a13d6f262bf: crates/tensor/tests/prop.rs
+
+crates/tensor/tests/prop.rs:

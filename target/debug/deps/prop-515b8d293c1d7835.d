@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-515b8d293c1d7835.d: crates/nn/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-515b8d293c1d7835.rmeta: crates/nn/tests/prop.rs Cargo.toml
+
+crates/nn/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

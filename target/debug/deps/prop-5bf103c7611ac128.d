@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-5bf103c7611ac128.d: crates/arch/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-5bf103c7611ac128: crates/arch/tests/prop.rs
+
+crates/arch/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-a5ab8e577455ccf0.d: crates/photonics/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-a5ab8e577455ccf0: crates/photonics/tests/prop.rs
+
+crates/photonics/tests/prop.rs:

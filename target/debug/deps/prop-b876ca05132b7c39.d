@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b876ca05132b7c39.d: crates/ghost/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-b876ca05132b7c39: crates/ghost/tests/prop.rs
+
+crates/ghost/tests/prop.rs:

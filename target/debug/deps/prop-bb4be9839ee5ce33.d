@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-bb4be9839ee5ce33.d: crates/memsim/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-bb4be9839ee5ce33.rmeta: crates/memsim/tests/prop.rs Cargo.toml
+
+crates/memsim/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

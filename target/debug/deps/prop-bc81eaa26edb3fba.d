@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-bc81eaa26edb3fba.d: crates/nn/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-bc81eaa26edb3fba: crates/nn/tests/prop.rs
+
+crates/nn/tests/prop.rs:

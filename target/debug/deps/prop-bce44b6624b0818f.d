@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-bce44b6624b0818f.d: crates/memsim/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-bce44b6624b0818f: crates/memsim/tests/prop.rs
+
+crates/memsim/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-de793c467dc63d8c.d: crates/tensor/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-de793c467dc63d8c.rmeta: crates/tensor/tests/prop.rs Cargo.toml
+
+crates/tensor/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-23fb2332ecd793b0.d: crates/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-23fb2332ecd793b0.rmeta: crates/proptest/src/lib.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

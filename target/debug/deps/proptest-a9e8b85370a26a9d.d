@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a9e8b85370a26a9d.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-a9e8b85370a26a9d: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantization_accuracy-24abd7b5a17d8d05.d: tests/quantization_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantization_accuracy-24abd7b5a17d8d05.rmeta: tests/quantization_accuracy.rs Cargo.toml
+
+tests/quantization_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization_accuracy-3828655a1607a0b1.d: tests/quantization_accuracy.rs
+
+/root/repo/target/debug/deps/quantization_accuracy-3828655a1607a0b1: tests/quantization_accuracy.rs
+
+tests/quantization_accuracy.rs:

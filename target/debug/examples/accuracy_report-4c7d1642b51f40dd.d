@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accuracy_report-4c7d1642b51f40dd.d: examples/accuracy_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccuracy_report-4c7d1642b51f40dd.rmeta: examples/accuracy_report.rs Cargo.toml
+
+examples/accuracy_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

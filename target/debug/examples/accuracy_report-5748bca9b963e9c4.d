@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy_report-5748bca9b963e9c4.d: examples/accuracy_report.rs
+
+/root/repo/target/debug/examples/accuracy_report-5748bca9b963e9c4: examples/accuracy_report.rs
+
+examples/accuracy_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crosstalk_analysis-4e9bbbf2fb4354d4.d: examples/crosstalk_analysis.rs
+
+/root/repo/target/debug/examples/crosstalk_analysis-4e9bbbf2fb4354d4: examples/crosstalk_analysis.rs
+
+examples/crosstalk_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crosstalk_analysis-88dcbd49749bde68.d: examples/crosstalk_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrosstalk_analysis-88dcbd49749bde68.rmeta: examples/crosstalk_analysis.rs Cargo.toml
+
+examples/crosstalk_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-43c72ddf3558c3ea.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-43c72ddf3558c3ea: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_processing-4671546320ed20a8.d: examples/graph_processing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_processing-4671546320ed20a8.rmeta: examples/graph_processing.rs Cargo.toml
+
+examples/graph_processing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_processing-7783e1b9fb24c34d.d: examples/graph_processing.rs
+
+/root/repo/target/debug/examples/graph_processing-7783e1b9fb24c34d: examples/graph_processing.rs
+
+examples/graph_processing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/llm_inference-e77294098a624bc7.d: examples/llm_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libllm_inference-e77294098a624bc7.rmeta: examples/llm_inference.rs Cargo.toml
+
+examples/llm_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llm_inference-f8300a40ac11754c.d: examples/llm_inference.rs
+
+/root/repo/target/debug/examples/llm_inference-f8300a40ac11754c: examples/llm_inference.rs
+
+examples/llm_inference.rs:

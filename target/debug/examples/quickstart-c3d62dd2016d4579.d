@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c3d62dd2016d4579.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c3d62dd2016d4579: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/seq2seq_translation-921a581cf8065c9d.d: examples/seq2seq_translation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libseq2seq_translation-921a581cf8065c9d.rmeta: examples/seq2seq_translation.rs Cargo.toml
+
+examples/seq2seq_translation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seq2seq_translation-e5db8fb6d17e0156.d: examples/seq2seq_translation.rs
+
+/root/repo/target/debug/examples/seq2seq_translation-e5db8fb6d17e0156: examples/seq2seq_translation.rs
+
+examples/seq2seq_translation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-03bb86a89fda2512.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-03bb86a89fda2512: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

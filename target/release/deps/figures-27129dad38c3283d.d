@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-27129dad38c3283d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-27129dad38c3283d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

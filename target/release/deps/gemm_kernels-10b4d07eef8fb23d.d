@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gemm_kernels-10b4d07eef8fb23d.d: crates/bench/benches/gemm_kernels.rs
+
+/root/repo/target/release/deps/gemm_kernels-10b4d07eef8fb23d: crates/bench/benches/gemm_kernels.rs
+
+crates/bench/benches/gemm_kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/phox-9f50c1cccb419b57.d: src/lib.rs
+
+/root/repo/target/release/deps/libphox-9f50c1cccb419b57.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libphox-9f50c1cccb419b57.rmeta: src/lib.rs
+
+src/lib.rs:

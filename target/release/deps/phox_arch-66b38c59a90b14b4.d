@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/phox_arch-66b38c59a90b14b4.d: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+/root/repo/target/release/deps/libphox_arch-66b38c59a90b14b4.rlib: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+/root/repo/target/release/deps/libphox_arch-66b38c59a90b14b4.rmeta: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/metrics.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/schedule.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/phox_baselines-7047ce4289aa2e36.d: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+/root/repo/target/release/deps/libphox_baselines-7047ce4289aa2e36.rlib: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+/root/repo/target/release/deps/libphox_baselines-7047ce4289aa2e36.rmeta: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/reported.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/suite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/phox_bench-d10576fa211a6f0c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libphox_bench-d10576fa211a6f0c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libphox_bench-d10576fa211a6f0c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

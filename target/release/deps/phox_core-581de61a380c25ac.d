@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/phox_core-581de61a380c25ac.d: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+/root/repo/target/release/deps/libphox_core-581de61a380c25ac.rlib: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+/root/repo/target/release/deps/libphox_core-581de61a380c25ac.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/phox_ghost-30c4e84ce16c3023.d: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+/root/repo/target/release/deps/libphox_ghost-30c4e84ce16c3023.rlib: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+/root/repo/target/release/deps/libphox_ghost-30c4e84ce16c3023.rmeta: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+crates/ghost/src/lib.rs:
+crates/ghost/src/config.rs:
+crates/ghost/src/functional.rs:
+crates/ghost/src/partition.rs:
+crates/ghost/src/perf.rs:

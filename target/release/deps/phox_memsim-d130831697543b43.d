@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/phox_memsim-d130831697543b43.d: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+/root/repo/target/release/deps/libphox_memsim-d130831697543b43.rlib: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+/root/repo/target/release/deps/libphox_memsim-d130831697543b43.rmeta: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/dram.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/sram.rs:

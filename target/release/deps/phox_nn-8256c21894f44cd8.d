@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/phox_nn-8256c21894f44cd8.d: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+/root/repo/target/release/deps/libphox_nn-8256c21894f44cd8.rlib: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+/root/repo/target/release/deps/libphox_nn-8256c21894f44cd8.rmeta: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/census.rs:
+crates/nn/src/datasets.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/quant_eval.rs:
+crates/nn/src/tasks.rs:
+crates/nn/src/transformer.rs:

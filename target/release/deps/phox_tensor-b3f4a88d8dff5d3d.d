@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/phox_tensor-b3f4a88d8dff5d3d.d: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libphox_tensor-b3f4a88d8dff5d3d.rlib: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libphox_tensor-b3f4a88d8dff5d3d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/eig.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

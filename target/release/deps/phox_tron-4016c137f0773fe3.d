@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/phox_tron-4016c137f0773fe3.d: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+/root/repo/target/release/deps/libphox_tron-4016c137f0773fe3.rlib: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+/root/repo/target/release/deps/libphox_tron-4016c137f0773fe3.rmeta: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+crates/tron/src/lib.rs:
+crates/tron/src/config.rs:
+crates/tron/src/functional.rs:
+crates/tron/src/perf.rs:

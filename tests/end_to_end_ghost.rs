@@ -17,10 +17,7 @@ fn functional_matches_reference_for_every_model_family() {
         let photonic = sim.forward(&model, &task.graph, &task.features).unwrap();
         let err = stats::relative_error(&reference, &photonic);
         assert!(err < 0.4, "{kind}: analog error {err}");
-        let agree = stats::accuracy(
-            &ops::argmax_rows(&photonic),
-            &ops::argmax_rows(&reference),
-        );
+        let agree = stats::accuracy(&ops::argmax_rows(&photonic), &ops::argmax_rows(&reference));
         assert!(agree >= 0.75, "{kind}: agreement {agree}");
     }
 }

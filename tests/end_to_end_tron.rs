@@ -116,10 +116,9 @@ fn throughput_bounded_by_peak() {
 #[test]
 fn design_space_config_outperforms_default() {
     let default = TronAccelerator::new(TronConfig::default()).unwrap();
-    let optimised = TronAccelerator::new(
-        TronConfig::from_design_space(&SweepConfig::default()).unwrap(),
-    )
-    .unwrap();
+    let optimised =
+        TronAccelerator::new(TronConfig::from_design_space(&SweepConfig::default()).unwrap())
+            .unwrap();
     let model = TransformerConfig::bert_base(128);
     let rd = default.simulate(&model).unwrap();
     let ro = optimised.simulate(&model).unwrap();

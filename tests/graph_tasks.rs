@@ -67,7 +67,12 @@ fn photonic_graph_classification_matches_digital() {
         let p = sim.forward(&model, graph, features).unwrap();
         let dp = mean_pool(&d);
         let pp = mean_pool(&p);
-        let num: f64 = dp.iter().zip(&pp).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        let num: f64 = dp
+            .iter()
+            .zip(&pp)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = dp.iter().map(|a| a * a).sum::<f64>().sqrt().max(1e-9);
         max_rel = max_rel.max(num / den);
     }

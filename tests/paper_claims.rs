@@ -69,8 +69,7 @@ fn tron_headline_claims_hold() {
     }
     let agg = aggregate_claims(&all);
     // Paper: ≥14× throughput on average, ≥8× energy efficiency.
-    let mean_speedup =
-        all.iter().map(|c| c.min_speedup).sum::<f64>() / all.len() as f64;
+    let mean_speedup = all.iter().map(|c| c.min_speedup).sum::<f64>() / all.len() as f64;
     assert!(
         mean_speedup >= 13.0,
         "mean min-speedup {mean_speedup:.1}× (paper: ≥14×)"

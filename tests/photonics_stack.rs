@@ -44,7 +44,14 @@ fn best_design_point_drives_a_real_bank_array() {
     let weights = Matrix::filled(4, best.channels, 0.5);
     let acts = vec![0.5; best.channels];
     let result = array
-        .evaluate(&weights, &acts, &Dac::default(), &Adc::default(), 1e-3, &mut rng)
+        .evaluate(
+            &weights,
+            &acts,
+            &Dac::default(),
+            &Adc::default(),
+            1e-3,
+            &mut rng,
+        )
         .unwrap();
     let expected = best.channels as f64 * 0.25;
     for v in &result.values {

@@ -60,7 +60,9 @@ fn end_to_end_classification_survives_the_full_photonic_chain() {
     let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 24, 3), 99).unwrap();
 
     let fp = model.forward(&task.graph, &task.features).unwrap();
-    let int8 = model.forward_quantized(&task.graph, &task.features).unwrap();
+    let int8 = model
+        .forward_quantized(&task.graph, &task.features)
+        .unwrap();
     let mut sim = GhostFunctional::new(&GhostConfig::default(), 100).unwrap();
     let analog = sim.forward(&model, &task.graph, &task.features).unwrap();
 
