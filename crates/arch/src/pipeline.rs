@@ -89,8 +89,8 @@ impl Pipeline {
     pub fn bottleneck(&self) -> &PipelineStage {
         self.stages
             .iter()
-            .max_by(|a, b| a.latency_s.partial_cmp(&b.latency_s).expect("finite"))
-            .expect("non-empty by construction")
+            .max_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+            .unwrap_or_else(|| unreachable!("constructor rejects empty pipelines"))
     }
 }
 

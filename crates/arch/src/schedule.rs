@@ -127,15 +127,14 @@ pub fn balance_makespan(weights: &[f64], lanes: usize) -> Result<f64, ArchError>
     let ideal = total / lanes as f64;
     // LPT greedy.
     let mut sorted = weights.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let mut loads = vec![0.0f64; lanes];
     for w in sorted {
         let min_lane = loads
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .expect("non-empty");
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
         loads[min_lane] += w;
     }
     let makespan = loads.iter().copied().fold(0.0, f64::max);

@@ -21,7 +21,7 @@ fn fig11(c: &mut Criterion) {
             b.iter(|| {
                 let rows =
                     ghost_comparison(black_box(&ghost), black_box(&workload)).expect("comparison");
-                black_box(claims(&rows))
+                black_box(claims(&rows).expect("claims"))
             })
         });
     }

@@ -17,7 +17,7 @@ fn fig9(c: &mut Criterion) {
             b.iter(|| {
                 let rows =
                     tron_comparison(black_box(&tron), black_box(&model)).expect("comparison");
-                black_box(claims(&rows))
+                black_box(claims(&rows).expect("claims"))
             })
         });
     }

@@ -199,16 +199,14 @@ fn comparison_figure(
     value: impl Fn(&ComparisonRow) -> f64,
 ) -> Figure {
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    for (w, table) in tables.iter().enumerate() {
+    for table in tables {
         for row in table {
-            if w == 0 {
-                rows.push((row.platform.clone(), vec![value(row)]));
-            } else {
-                let entry = rows
-                    .iter_mut()
-                    .find(|(name, _)| *name == row.platform)
-                    .expect("platform sets are identical across workloads");
-                entry.1.push(value(row));
+            // Platform sets are identical across workloads in practice;
+            // tolerate a divergent row by starting a new series rather
+            // than panicking over a figure.
+            match rows.iter_mut().find(|(name, _)| *name == row.platform) {
+                Some(entry) => entry.1.push(value(row)),
+                None => rows.push((row.platform.clone(), vec![value(row)])),
             }
         }
     }
@@ -407,12 +405,17 @@ pub fn design_space_table() -> Result<String, PhotonicError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "§VI design-space analysis: {} candidates, {} feasible, rejections FSR/het/hom/noise/laser = {:?}",
+        "§VI design-space analysis: {} candidates, {} feasible, rejections: {}",
         outcome.examined,
         outcome.feasible.len(),
         outcome.rejections
     );
-    let best = outcome.best().expect("feasible set non-empty");
+    let best = outcome
+        .best()
+        .ok_or(PhotonicError::NoFeasibleDesign {
+            examined: outcome.examined,
+        })
+        .ctx("selecting the best design point")?;
     let _ = writeln!(
         out,
         "selected: R={} µm, Q={}, gap={} nm, CS={} nm → {} channels, ENOB {:.2}, {:.2} dBm/ch",
@@ -435,12 +438,12 @@ pub fn design_space_table() -> Result<String, PhotonicError> {
 pub fn summary(tron: &TronAccelerator, ghost: &GhostAccelerator) -> Result<String, PhotonicError> {
     let mut tron_claims_v = Vec::new();
     for m in tron_workloads() {
-        tron_claims_v.push(claims(&tron_comparison(tron, &m)?));
+        tron_claims_v.push(claims(&tron_comparison(tron, &m)?)?);
     }
     let tron_agg = aggregate_claims(&tron_claims_v);
     let mut ghost_claims_v = Vec::new();
     for w in ghost_workloads() {
-        ghost_claims_v.push(claims(&ghost_comparison(ghost, &w)?));
+        ghost_claims_v.push(claims(&ghost_comparison(ghost, &w)?)?);
     }
     let ghost_agg = aggregate_claims(&ghost_claims_v);
     let mean_tron_speedup =

@@ -13,6 +13,15 @@ use phox_nn::transformer::TransformerConfig;
 use phox_photonics::PhotonicError;
 use phox_tron::TronAccelerator;
 
+/// Wraps a baseline-evaluation failure so the baseline's name and the
+/// underlying workload error both survive to the top-level report.
+fn baseline_failure(name: &str, e: impl std::fmt::Display) -> PhotonicError {
+    PhotonicError::Upstream {
+        subsystem: "baselines",
+        message: format!("{name}: {e}"),
+    }
+}
+
 /// One row of a comparison figure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonRow {
@@ -70,8 +79,8 @@ pub fn tron_comparison(
                 model.layers,
                 tron.config().batch,
             )
-            .map_err(|_| PhotonicError::InvalidConfig {
-                what: "baseline evaluation failed",
+            .map_err(|e| {
+                baseline_failure(b.name(), e).ctx("evaluating the transformer baseline suite")
             })?;
         rows.push(ComparisonRow::from_perf(b.name(), &perf));
     }
@@ -94,9 +103,7 @@ pub fn ghost_comparison(
     for b in phox_baselines::gnn_suite() {
         let perf = b
             .evaluate(&census, WorkloadKind::SparseGnn, layers, 1)
-            .map_err(|_| PhotonicError::InvalidConfig {
-                what: "baseline evaluation failed",
-            })?;
+            .map_err(|e| baseline_failure(b.name(), e).ctx("evaluating the GNN baseline suite"))?;
         rows.push(ComparisonRow::from_perf(b.name(), &perf));
     }
     Ok(rows)
@@ -105,14 +112,17 @@ pub fn ghost_comparison(
 /// Computes the minimum improvement factors of row 0 (the photonic
 /// accelerator) over every other row.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `rows` has fewer than two entries.
-pub fn claims(rows: &[ComparisonRow]) -> Claims {
-    assert!(
-        rows.len() >= 2,
-        "claims need the accelerator plus baselines"
-    );
+/// Returns [`PhotonicError::InvalidConfig`] if `rows` has fewer than two
+/// entries — there is nothing to compare the accelerator against.
+pub fn claims(rows: &[ComparisonRow]) -> Result<Claims, PhotonicError> {
+    if rows.len() < 2 {
+        return Err(PhotonicError::InvalidConfig {
+            what: "claims need the accelerator row plus at least one baseline row",
+        }
+        .ctx("computing headline claims"));
+    }
     let ours = &rows[0];
     let mut min_speedup = f64::INFINITY;
     let mut min_efficiency = f64::INFINITY;
@@ -120,10 +130,10 @@ pub fn claims(rows: &[ComparisonRow]) -> Claims {
         min_speedup = min_speedup.min(ours.gops / other.gops);
         min_efficiency = min_efficiency.min(other.epb_j / ours.epb_j);
     }
-    Claims {
+    Ok(Claims {
         min_speedup,
         min_efficiency,
-    }
+    })
 }
 
 /// Aggregates claims over several comparisons by taking the global
@@ -161,7 +171,7 @@ mod tests {
     fn tron_beats_every_baseline_on_bert() {
         let tron = TronAccelerator::new(TronConfig::default()).unwrap();
         let rows = tron_comparison(&tron, &TransformerConfig::bert_base(128)).unwrap();
-        let c = claims(&rows);
+        let c = claims(&rows).unwrap();
         assert!(c.min_speedup > 1.0, "min speedup {}", c.min_speedup);
         assert!(
             c.min_efficiency > 1.0,
@@ -190,13 +200,31 @@ mod tests {
             GraphShape::cora(),
         );
         let rows = ghost_comparison(&ghost, &w).unwrap();
-        let c = claims(&rows);
+        let c = claims(&rows).unwrap();
         assert!(c.min_speedup > 1.0, "min speedup {}", c.min_speedup);
         assert!(
             c.min_efficiency > 1.0,
             "min efficiency {}",
             c.min_efficiency
         );
+    }
+
+    #[test]
+    fn claims_on_too_few_rows_is_a_typed_error() {
+        let one = vec![ComparisonRow {
+            platform: "TRON".to_owned(),
+            gops: 1.0,
+            epb_j: 1.0,
+            latency_s: 1.0,
+        }];
+        for rows in [&[] as &[ComparisonRow], &one] {
+            let err = claims(rows).unwrap_err();
+            assert!(matches!(
+                err.root_cause(),
+                PhotonicError::InvalidConfig { .. }
+            ));
+            assert!(std::error::Error::source(&err).is_some());
+        }
     }
 
     #[test]

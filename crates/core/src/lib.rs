@@ -59,9 +59,10 @@ pub mod prelude {
     pub use phox_nn::datasets::GraphShape;
     pub use phox_nn::gnn::{Aggregation, CsrGraph, GnnConfig, GnnKind, GnnModel};
     pub use phox_nn::transformer::{TransformerConfig, TransformerModel};
-    pub use phox_photonics::design_space::SweepConfig;
+    pub use phox_photonics::design_space::{RejectionReason, SweepConfig};
+    pub use phox_photonics::fault::{DeviceFault, FaultImpact, FaultPlan};
     pub use phox_photonics::mr::MrConfig;
-    pub use phox_photonics::PhotonicError;
+    pub use phox_photonics::{Ctx, PhotonicError};
     pub use phox_tensor::{Matrix, Prng};
     pub use phox_tron::{TronAccelerator, TronConfig, TronFunctional};
 }

@@ -127,7 +127,9 @@ impl GhostConfig {
     /// Propagates sweep failures.
     pub fn from_design_space(sweep: &SweepConfig) -> Result<Self, PhotonicError> {
         let outcome = design_space::sweep(sweep)?;
-        let best = outcome.best().expect("sweep succeeded, feasible non-empty");
+        let best = outcome.best().ok_or(PhotonicError::NoFeasibleDesign {
+            examined: outcome.examined,
+        })?;
         Ok(GhostConfig {
             array_channels: best.channels,
             reduce_rows: best.channels,

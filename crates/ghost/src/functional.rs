@@ -10,8 +10,9 @@
 use phox_nn::gnn::{Aggregation, CsrGraph, GnnKind, GnnModel};
 use phox_photonics::analog::AnalogEngine;
 use phox_photonics::devices::OpticalActivation;
+use phox_photonics::fault::FaultPlan;
 use phox_photonics::summation::OpticalComparator;
-use phox_photonics::PhotonicError;
+use phox_photonics::{Ctx, PhotonicError};
 use phox_tensor::{ops, parallel, Matrix};
 
 use crate::config::GhostConfig;
@@ -62,6 +63,43 @@ impl GhostFunctional {
         })
     }
 
+    /// Builds a simulator with injected device faults.
+    ///
+    /// The plan is validated against the configuration's transform-array
+    /// geometry and resolved against its device models; the resulting
+    /// degradation (stuck weights, drift gain error, dead ADC lanes,
+    /// droop-inflated noise) applies to every analog operation, including
+    /// the per-node child engines of the aggregation units.
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained error when the plan is out of geometry
+    /// or the fault is uncompensatable.
+    pub fn with_faults(
+        config: &GhostConfig,
+        plan: FaultPlan,
+        seed: u64,
+    ) -> Result<Self, PhotonicError> {
+        if plan.array_rows != config.array_rows || plan.array_channels != config.array_channels {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault plan geometry must match the accelerator's bank arrays",
+            }
+            .ctx("injecting device faults into GHOST"));
+        }
+        let plan = plan.validated().ctx("injecting device faults into GHOST")?;
+        let impact = plan
+            .impact(&config.mr, &config.tuning, &config.noise, config.adc.bits)
+            .ctx("injecting device faults into GHOST")?;
+        let mut engine = AnalogEngine::from_noise_budget(&config.noise, config.adc.bits, seed)?;
+        engine
+            .inject_faults(&impact, config.array_rows, config.array_channels)
+            .ctx("injecting device faults into GHOST")?;
+        Ok(GhostFunctional {
+            engine,
+            comparator: OpticalComparator::default(),
+        })
+    }
+
     /// The underlying analog engine.
     pub fn engine(&self) -> &AnalogEngine {
         &self.engine
@@ -95,18 +133,15 @@ impl GhostFunctional {
                 }
                 GnnKind::GraphSage => {
                     let agg = self.optical_aggregate(graph, &h, cfg.aggregation, false)?;
-                    let cat = h.hconcat(&agg).map_err(|_| PhotonicError::InvalidConfig {
-                        what: "concat shape mismatch",
-                    })?;
+                    let cat = h.hconcat(&agg).ctx("concatenating GraphSAGE features")?;
                     self.engine.matmul(&cat, &lw.w)?
                 }
                 GnnKind::Gin => {
                     let agg = self.optical_aggregate(graph, &h, Aggregation::Sum, false)?;
-                    let mixed = h.scale(1.0 + model.epsilon()).add(&agg).map_err(|_| {
-                        PhotonicError::InvalidConfig {
-                            what: "GIN mix shape mismatch",
-                        }
-                    })?;
+                    let mixed = h
+                        .scale(1.0 + model.epsilon())
+                        .add(&agg)
+                        .ctx("mixing GIN self and aggregate features")?;
                     self.engine.matmul(&mixed, &lw.w)?
                 }
                 GnnKind::Gat => self.gat_layer(graph, &h, lw)?,

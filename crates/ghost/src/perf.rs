@@ -19,7 +19,7 @@ use phox_memsim::dram::HbmStack;
 use phox_memsim::sram::{Sram, SramConfig};
 use phox_nn::datasets::GraphShape;
 use phox_nn::gnn::{CsrGraph, GnnConfig, GnnKind};
-use phox_photonics::PhotonicError;
+use phox_photonics::{Ctx, PhotonicError};
 
 use crate::config::GhostConfig;
 use crate::partition::Partition;
@@ -130,17 +130,13 @@ impl GhostAccelerator {
             word_bytes: 32,
             banks: 16,
         })
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "feature buffer configuration",
-        })?;
+        .map_err(|e| PhotonicError::upstream("memsim", e).ctx("sizing the feature buffer"))?;
         let accumulator_buffer = Sram::new(SramConfig {
             capacity_bytes: 4 * 1024 * 1024,
             word_bytes: 16,
             banks: 8,
         })
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "accumulator buffer configuration",
-        })?;
+        .map_err(|e| PhotonicError::upstream("memsim", e).ctx("sizing the accumulator buffer"))?;
         Ok(GhostAccelerator {
             config,
             array_laser_w,
@@ -239,9 +235,7 @@ impl GhostAccelerator {
         } else {
             phox_arch::schedule::round_robin_makespan(&weights, cfg.lanes)
         }
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "balance computation failed",
-        })?
+        .map_err(|e| PhotonicError::upstream("arch", e).ctx("balancing edge work across lanes"))?
         .max(1.0);
         let partition = Partition::new(graph, cfg.lanes, self.config.input_block)?;
         self.simulate_core(workload, balance, Some(branch_passes), Some(&partition))
@@ -258,14 +252,11 @@ impl GhostAccelerator {
         partition: Option<&Partition>,
     ) -> Result<GhostReport, PhotonicError> {
         let cfg = &self.config;
-        let model =
-            workload
-                .model
-                .clone()
-                .validated()
-                .map_err(|_| PhotonicError::InvalidConfig {
-                    what: "invalid GNN configuration",
-                })?;
+        let model = workload
+            .model
+            .clone()
+            .validated()
+            .map_err(|e| PhotonicError::upstream("nn", e).ctx("validating the GNN model"))?;
         let nodes = workload.shape.nodes as u64;
         let edges = workload.effective_edges();
         if nodes == 0 {
@@ -311,7 +302,7 @@ impl GhostAccelerator {
             let agg_adc = nodes * fin;
             energy.adc_j += agg_adc as f64 * cfg.adc.energy_per_conversion_j();
             // EO tuning on every gather imprint.
-            let eo = cfg.tuning.tune(0.25).expect("within EO range");
+            let eo = cfg.tuning.tune(0.25).ctx("EO tuning for gather imprints")?;
             energy.tuning_j += gather_convs as f64 * eo.power_w * t_sym;
 
             // ---- combine: transform units ---------------------------
@@ -419,9 +410,7 @@ impl GhostAccelerator {
             total_s,
             energy.total_j(),
         )
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "degenerate performance figures",
-        })?;
+        .map_err(|e| PhotonicError::upstream("arch", e).ctx("assembling the performance report"))?;
 
         Ok(GhostReport {
             perf,

@@ -382,7 +382,8 @@ impl GnnModel {
     ) -> Result<Matrix, TensorError> {
         quant::fake_quantize_bits(&Matrix::zeros(1, 1), bits)?;
         self.forward_with(graph, features, &move |m| {
-            quant::fake_quantize_bits(m, bits).expect("bit width validated above")
+            quant::fake_quantize_bits(m, bits)
+                .unwrap_or_else(|_| unreachable!("bit width validated above"))
         })
     }
 

@@ -163,7 +163,7 @@ pub fn graph_classification_accuracy(
     task: &GraphClassificationTask,
 ) -> Result<f64, TensorError> {
     let dims = model.config().dims.clone();
-    let out_dim = *dims.last().expect("validated config");
+    let out_dim = *dims.last().unwrap_or(&0);
     // Embed every graph.
     let mut pooled = Vec::with_capacity(task.graphs.len());
     for (graph, features) in &task.graphs {

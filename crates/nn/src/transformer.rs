@@ -451,7 +451,8 @@ impl TransformerModel {
         // Validate once up front so the closure cannot fail.
         quant::fake_quantize_bits(&Matrix::zeros(1, 1), bits)?;
         self.forward_with(x, &move |m| {
-            quant::fake_quantize_bits(m, bits).expect("bit width validated above")
+            quant::fake_quantize_bits(m, bits)
+                .unwrap_or_else(|_| unreachable!("bit width validated above"))
         })
     }
 

@@ -10,8 +10,20 @@
 use phox_tensor::{ops, parallel, split_seed, Matrix, Prng, Quantizer};
 
 use crate::devices::{OpticalActivation, Soa};
+use crate::fault::FaultImpact;
 use crate::noise::{perturb, NoiseBudget};
-use crate::PhotonicError;
+use crate::{Ctx, PhotonicError};
+
+/// Resolved device-fault state carried by an engine: the quantified
+/// [`FaultImpact`] plus the bank-array geometry needed to map array
+/// coordinates (rows, wavelength channels, receiver lanes) onto matmul
+/// indices.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultState {
+    impact: FaultImpact,
+    array_rows: usize,
+    array_channels: usize,
+}
 
 /// Output-tile edge of the analog matmul: each `TILE × TILE` block of the
 /// product is one work item with its own noise stream.
@@ -50,6 +62,8 @@ pub struct AnalogEngine {
     /// Sequential stream for the element-wise perturbation paths
     /// (layer norm, residual add, SOA, coherent sums).
     rng: Prng,
+    /// Injected device faults, if any (inherited by child engines).
+    faults: Option<FaultState>,
 }
 
 impl AnalogEngine {
@@ -83,6 +97,7 @@ impl AnalogEngine {
             seed,
             ops: 0,
             rng: Prng::new(seed),
+            faults: None,
         })
     }
 
@@ -112,7 +127,53 @@ impl AnalogEngine {
             seed,
             ops: 0,
             rng: Prng::new(seed),
+            faults: None,
         }
+    }
+
+    /// Injects resolved device faults into the datapath.
+    ///
+    /// The receiver noise is inflated by the impact's `sigma_scale`
+    /// (laser droop), and subsequent [`AnalogEngine::matmul`] calls apply
+    /// the stuck weight cells, the residual drift weight gain, and the
+    /// dead ADC lanes. Child engines created afterwards inherit the
+    /// faults, so a faulted accelerator is faulted in every parallel
+    /// unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained [`PhotonicError::InvalidConfig`] for a
+    /// degenerate geometry or when every receiver lane is dead.
+    pub fn inject_faults(
+        &mut self,
+        impact: &FaultImpact,
+        array_rows: usize,
+        array_channels: usize,
+    ) -> Result<(), PhotonicError> {
+        if array_rows == 0 || array_channels == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault geometry must be non-zero",
+            }
+            .ctx("injecting device faults"));
+        }
+        if impact.dead_lanes.len() >= array_rows {
+            return Err(PhotonicError::InvalidConfig {
+                what: "every receiver lane is dead",
+            }
+            .ctx("injecting device faults"));
+        }
+        self.relative_sigma *= impact.sigma_scale;
+        self.faults = Some(FaultState {
+            impact: impact.clone(),
+            array_rows,
+            array_channels,
+        });
+        Ok(())
+    }
+
+    /// `true` when device faults are injected.
+    pub fn faulted(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Receiver relative noise (σ/signal).
@@ -149,6 +210,7 @@ impl AnalogEngine {
             seed: child_seed,
             ops: 0,
             rng: Prng::new(child_seed),
+            faults: self.faults.clone(),
         }
     }
 
@@ -197,6 +259,30 @@ impl AnalogEngine {
             }
         }
 
+        // Device faults, part 1: a stuck microring forces every weight it
+        // carries to its stuck transmission level. Output column `j` is
+        // produced by array row `j % array_rows`, and reduction index
+        // `kk` rides wavelength channel `kk % array_channels`, so the
+        // stuck cell repeats across the logical matrix with the bank
+        // geometry's period. The programmed sign survives (it lives in
+        // the BPD arm assignment, not the ring bias).
+        let (weight_gain, dead_period, dead_lanes): (f64, usize, &[usize]) = match &self.faults {
+            Some(fs) => {
+                for s in &fs.impact.stuck {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let level = (s.transmission * 127.0).round() as i8;
+                    for j in (s.row..n).step_by(fs.array_rows) {
+                        for kk in (s.channel..k).step_by(fs.array_channels) {
+                            let w = &mut qbt[j * k + kk];
+                            *w = if *w >= 0 { level } else { -level };
+                        }
+                    }
+                }
+                (fs.impact.weight_gain, fs.array_rows, &fs.impact.dead_lanes)
+            }
+            None => (1.0, 1, &[]),
+        };
+
         let qas = qa.as_i8_slice();
         let tile_rows = m.div_ceil(TILE);
         let tile_cols = n.div_ceil(TILE).max(1);
@@ -224,7 +310,18 @@ impl AnalogEngine {
                     }
                     let pos_n = perturb(pos as f64, sigma, &mut rng);
                     let neg_n = perturb(neg as f64, sigma, &mut rng);
-                    let diff = pos_n - neg_n;
+                    // Device faults, part 2: residual thermal-drift
+                    // mis-bias is a uniform gain error on the analog
+                    // difference; a dead ADC lane reads its output
+                    // columns as zero. Both are pure functions of (i, j),
+                    // so the result stays bit-identical across thread
+                    // counts. The noise draws above happen regardless, to
+                    // keep stream alignment with the fault-free engine.
+                    let diff = if dead_lanes.contains(&(j % dead_period)) {
+                        0.0
+                    } else {
+                        (pos_n - neg_n) * weight_gain
+                    };
                     tile_max = tile_max.max(diff.abs());
                     vals.push(diff);
                 }
@@ -237,12 +334,10 @@ impl AnalogEngine {
         for (t, (vals, tile_max)) in tiles.iter().enumerate() {
             let (i0, j0) = ((t / tile_cols) * TILE, (t % tile_cols) * TILE);
             let (i1, j1) = ((i0 + TILE).min(m), (j0 + TILE).min(n));
-            let mut it = vals.iter();
+            let tile_w = j1 - j0;
             for i in i0..i1 {
                 let row = raw.row_mut(i);
-                for j in j0..j1 {
-                    row[j] = *it.next().expect("tile holds (i1-i0)*(j1-j0) values");
-                }
+                row[j0..j1].copy_from_slice(&vals[(i - i0) * tile_w..(i - i0 + 1) * tile_w]);
             }
             abs_max = abs_max.max(*tile_max);
         }
@@ -306,18 +401,15 @@ impl AnalogEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`PhotonicError::InvalidConfig`] on a parameter-length
-    /// mismatch.
+    /// Returns a context-chained [`PhotonicError::Upstream`] preserving
+    /// the tensor-layer shape detail on a parameter-length mismatch.
     pub fn optical_layer_norm(
         &mut self,
         x: &Matrix,
         gamma: &[f64],
         beta: &[f64],
     ) -> Result<Matrix, PhotonicError> {
-        let ln =
-            ops::layer_norm(x, gamma, beta, 1e-9).map_err(|_| PhotonicError::InvalidConfig {
-                what: "layer norm parameter length mismatch",
-            })?;
+        let ln = ops::layer_norm(x, gamma, beta, 1e-9).ctx("optical layer norm")?;
         let sigma = self.relative_sigma;
         let rng = &mut self.rng;
         Ok(ln.map(|v| perturb(v, sigma, rng)))
@@ -327,11 +419,10 @@ impl AnalogEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`PhotonicError::InvalidConfig`] on shape mismatch.
+    /// Returns a context-chained [`PhotonicError::Upstream`] preserving
+    /// the tensor-layer shape detail on an operand shape mismatch.
     pub fn coherent_add(&mut self, a: &Matrix, b: &Matrix) -> Result<Matrix, PhotonicError> {
-        let sum = a.add(b).map_err(|_| PhotonicError::InvalidConfig {
-            what: "residual operands must share a shape",
-        })?;
+        let sum = a.add(b).ctx("coherent residual add")?;
         let sigma = self.relative_sigma;
         let rng = &mut self.rng;
         Ok(sum.map(|v| perturb(v, sigma, rng)))

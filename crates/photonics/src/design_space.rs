@@ -16,13 +16,124 @@
 //! Among feasible points it selects the one maximising wavelength
 //! parallelism, breaking ties with lower laser power.
 
+use std::fmt;
+
 use phox_tensor::parallel;
 
 use crate::crosstalk::{HeterodyneAnalysis, HomodyneAnalysis};
 use crate::link::{Laser, WdmLink};
 use crate::mr::MrConfig;
 use crate::noise::NoiseBudget;
-use crate::PhotonicError;
+use crate::{Ctx, PhotonicError};
+
+/// The named constraint that rejected a candidate design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectionReason {
+    /// The WDM comb does not fit inside one free spectral range.
+    CombExceedsFsr,
+    /// Heterodyne (inter-channel) crosstalk exceeds half an LSB.
+    HeterodyneCrosstalk,
+    /// Homodyne crosstalk in the coherent blocks exceeds the precision
+    /// target.
+    HomodyneCrosstalk,
+    /// The receiver noise budget cannot reach the target effective bits.
+    NoiseFloor,
+    /// The laser cannot supply the required per-channel power.
+    LaserBudget,
+}
+
+impl RejectionReason {
+    /// Every reason, in constraint-check order.
+    pub const ALL: [RejectionReason; 5] = [
+        RejectionReason::CombExceedsFsr,
+        RejectionReason::HeterodyneCrosstalk,
+        RejectionReason::HomodyneCrosstalk,
+        RejectionReason::NoiseFloor,
+        RejectionReason::LaserBudget,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            RejectionReason::CombExceedsFsr => 0,
+            RejectionReason::HeterodyneCrosstalk => 1,
+            RejectionReason::HomodyneCrosstalk => 2,
+            RejectionReason::NoiseFloor => 3,
+            RejectionReason::LaserBudget => 4,
+        }
+    }
+}
+
+impl fmt::Display for RejectionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RejectionReason::CombExceedsFsr => "comb exceeds FSR",
+            RejectionReason::HeterodyneCrosstalk => "heterodyne crosstalk",
+            RejectionReason::HomodyneCrosstalk => "homodyne crosstalk",
+            RejectionReason::NoiseFloor => "noise floor",
+            RejectionReason::LaserBudget => "laser budget",
+        })
+    }
+}
+
+/// Why one candidate design point was rejected: the named constraint plus
+/// the underlying device-physics error, context chain intact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// The constraint that failed.
+    pub reason: RejectionReason,
+    /// The root device-physics failure behind it.
+    pub cause: PhotonicError,
+}
+
+/// Per-reason infeasibility accounting for a sweep, with one exemplar
+/// cause kept per reason (the first rejected candidate in sweep order, so
+/// the exemplar set is deterministic for any thread count).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RejectionHistogram {
+    counts: [usize; 5],
+    exemplars: [Option<PhotonicError>; 5],
+}
+
+impl RejectionHistogram {
+    /// Records one rejection.
+    pub fn record(&mut self, rejection: Rejection) {
+        let i = rejection.reason.index();
+        self.counts[i] += 1;
+        if self.exemplars[i].is_none() {
+            self.exemplars[i] = Some(rejection.cause);
+        }
+    }
+
+    /// How many candidates the given constraint rejected.
+    pub fn count(&self, reason: RejectionReason) -> usize {
+        self.counts[reason.index()]
+    }
+
+    /// Total candidates rejected across all constraints.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The first cause recorded for the given reason, if any candidate
+    /// failed it.
+    pub fn exemplar(&self, reason: RejectionReason) -> Option<&PhotonicError> {
+        self.exemplars[reason.index()].as_ref()
+    }
+}
+
+impl fmt::Display for RejectionHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for reason in RejectionReason::ALL {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{reason}: {}", self.count(reason))?;
+        }
+        Ok(())
+    }
+}
 
 /// Bounds of the design-space sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,20 +203,17 @@ pub struct SweepOutcome {
     pub feasible: Vec<DesignPoint>,
     /// Number of candidate points examined.
     pub examined: usize,
-    /// How many candidates failed each constraint (diagnostics):
-    /// `[fsr, heterodyne, homodyne, noise, laser]`.
-    pub rejections: [usize; 5],
+    /// Per-constraint infeasibility accounting, with exemplar causes.
+    pub rejections: RejectionHistogram,
 }
 
 impl SweepOutcome {
     /// The best point: maximum channels, then minimum laser power.
     pub fn best(&self) -> Option<&DesignPoint> {
         self.feasible.iter().max_by(|a, b| {
-            a.channels.cmp(&b.channels).then(
-                b.laser_electrical_w
-                    .partial_cmp(&a.laser_electrical_w)
-                    .expect("finite powers"),
-            )
+            a.channels
+                .cmp(&b.channels)
+                .then(b.laser_electrical_w.total_cmp(&a.laser_electrical_w))
         })
     }
 }
@@ -167,11 +275,11 @@ pub fn sweep(config: &SweepConfig) -> Result<SweepOutcome, PhotonicError> {
         evaluate_point(config, mr, *spacing)
     });
     let mut feasible = Vec::new();
-    let mut rejections = [0usize; 5];
+    let mut rejections = RejectionHistogram::default();
     for r in results {
         match r {
             Ok(point) => feasible.push(point),
-            Err(stage) => rejections[stage] += 1,
+            Err(rejection) => rejections.record(rejection),
         }
     }
 
@@ -185,25 +293,52 @@ pub fn sweep(config: &SweepConfig) -> Result<SweepOutcome, PhotonicError> {
     })
 }
 
-/// Evaluates one candidate; `Err(stage)` identifies the failed constraint
-/// (0 = FSR, 1 = heterodyne, 2 = homodyne, 3 = noise, 4 = laser).
-fn evaluate_point(config: &SweepConfig, mr: &MrConfig, spacing: f64) -> Result<DesignPoint, usize> {
+/// Evaluates one candidate; an `Err` names the failed constraint and
+/// carries the underlying device-physics error, context chain intact.
+fn evaluate_point(
+    config: &SweepConfig,
+    mr: &MrConfig,
+    spacing: f64,
+) -> Result<DesignPoint, Rejection> {
+    let reject = |reason: RejectionReason| move |cause: PhotonicError| Rejection { reason, cause };
     // Constraint 1+2: largest comb that fits the FSR with acceptable
     // heterodyne crosstalk.
     let channels = HeterodyneAnalysis::max_channels(mr, spacing, config.bits);
     if channels < 2 {
         // Distinguish "does not fit" from "too much crosstalk".
-        let fits = HeterodyneAnalysis::new(mr, 2, spacing).is_ok();
-        return Err(if fits { 1 } else { 0 });
+        return Err(match HeterodyneAnalysis::new(mr, 2, spacing) {
+            Err(cause) => Rejection {
+                reason: RejectionReason::CombExceedsFsr,
+                cause: cause.ctx("fitting a two-channel comb in the FSR"),
+            },
+            Ok(a) => Rejection {
+                reason: RejectionReason::HeterodyneCrosstalk,
+                cause: PhotonicError::PrecisionUnreachable {
+                    target_bits: config.bits,
+                    achieved_bits: -(a.worst_case().log2()) - 1.0,
+                }
+                .ctx("checking heterodyne crosstalk at two channels"),
+            },
+        });
     }
-    let het = HeterodyneAnalysis::new(mr, channels, spacing).expect("validated by max_channels");
+    let het = HeterodyneAnalysis::new(mr, channels, spacing)
+        .ctx("re-validating the comb sized by max_channels")
+        .map_err(reject(RejectionReason::HeterodyneCrosstalk))?;
     let x_het = het.worst_case();
 
     // Constraint 3: homodyne crosstalk in the coherent blocks.
     let hom = HomodyneAnalysis::new(config.coherent_branches, mr.homodyne_leakage())
-        .map_err(|_| 2usize)?;
+        .ctx("analyzing homodyne crosstalk in the coherent blocks")
+        .map_err(reject(RejectionReason::HomodyneCrosstalk))?;
     if !hom.supports_bits(config.bits) {
-        return Err(2);
+        return Err(Rejection {
+            reason: RejectionReason::HomodyneCrosstalk,
+            cause: PhotonicError::PrecisionUnreachable {
+                target_bits: config.bits,
+                achieved_bits: -(hom.worst_case_amplitude_error().log2()) - 1.0,
+            }
+            .ctx("checking homodyne crosstalk in the coherent blocks"),
+        });
     }
 
     // Constraint 4: noise budget including residual heterodyne crosstalk.
@@ -211,7 +346,10 @@ fn evaluate_point(config: &SweepConfig, mr: &MrConfig, spacing: f64) -> Result<D
         crosstalk_ratio: x_het,
         ..config.noise
     };
-    let required_rx_w = noise.required_power_w(config.bits).map_err(|_| 3usize)?;
+    let required_rx_w = noise
+        .required_power_w(config.bits)
+        .ctx("provisioning receive power for the noise budget")
+        .map_err(reject(RejectionReason::NoiseFloor))?;
 
     // Constraint 5: laser can supply it through the bank's losses.
     let link = WdmLink {
@@ -222,11 +360,13 @@ fn evaluate_point(config: &SweepConfig, mr: &MrConfig, spacing: f64) -> Result<D
     let budget = config
         .laser
         .provision(&link, required_rx_w)
-        .map_err(|_| 4usize)?;
+        .ctx("provisioning laser power through the bank's losses")
+        .map_err(reject(RejectionReason::LaserBudget))?;
     let enob = noise
         .evaluate(required_rx_w)
         .map(|r| r.enob)
-        .map_err(|_| 3usize)?;
+        .ctx("evaluating the noise budget at the provisioned power")
+        .map_err(reject(RejectionReason::NoiseFloor))?;
 
     Ok(DesignPoint {
         mr: *mr,
@@ -302,8 +442,31 @@ mod tests {
     #[test]
     fn rejection_diagnostics_cover_examined() {
         let out = sweep(&SweepConfig::default()).unwrap();
-        let rejected: usize = out.rejections.iter().sum();
-        assert_eq!(rejected + out.feasible.len(), out.examined);
+        assert_eq!(out.rejections.total() + out.feasible.len(), out.examined);
+    }
+
+    #[test]
+    fn rejections_carry_named_reasons_and_causes() {
+        let out = sweep(&SweepConfig::default()).unwrap();
+        for reason in RejectionReason::ALL {
+            // Every populated bucket keeps a root cause; every empty
+            // bucket keeps none.
+            assert_eq!(
+                out.rejections.count(reason) > 0,
+                out.rejections.exemplar(reason).is_some(),
+                "{reason}"
+            );
+        }
+        // The default sweep rejects at least one point for crosstalk, and
+        // the exemplar is a chained error bottoming out in device physics.
+        let reason = RejectionReason::ALL
+            .into_iter()
+            .find(|&r| out.rejections.count(r) > 0)
+            .expect("default sweep rejects some candidates");
+        let cause = out.rejections.exemplar(reason).unwrap();
+        assert!(std::error::Error::source(cause).is_some(), "{cause}");
+        let rendered = out.rejections.to_string();
+        assert!(rendered.contains("noise floor"), "{rendered}");
     }
 
     #[test]

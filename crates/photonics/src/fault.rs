@@ -1,0 +1,473 @@
+//! Device fault injection for the analog simulation stack.
+//!
+//! Real photonic accelerators fail in device-specific ways the ideal
+//! models of this crate do not exhibit: a microring stuck at a fixed
+//! transmission (heater open, EO driver shorted), a thermal gradient
+//! dragging a bank's resonances off the WDM comb, a dead ADC lane
+//! (receiver TIA failure), and laser power drooping with age or
+//! temperature. This module describes such faults ([`DeviceFault`]),
+//! collects them into a geometry-aware [`FaultPlan`], and resolves the
+//! plan against the device models into a [`FaultImpact`] — either a
+//! quantified degradation the functional simulators inject into the
+//! [`crate::analog::AnalogEngine`], or a typed, context-chained
+//! [`PhotonicError`] when the fault is uncompensatable (drift beyond the
+//! tuning range, droop below the noise floor).
+//!
+//! The design goal is the tentpole's contract: a faulted simulation
+//! **either degrades gracefully with a measurable accuracy loss or
+//! returns a chained error — it never panics.**
+
+use crate::mr::MrConfig;
+use crate::noise::NoiseBudget;
+use crate::tuning::HybridTuning;
+use crate::{Ctx, PhotonicError};
+
+/// One injected device fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceFault {
+    /// A weight-bank microring stuck at a fixed through-transmission:
+    /// every weight imprinted on `(row, channel)` of each bank array
+    /// reads back at the stuck level regardless of the programmed value.
+    StuckAtMr {
+        /// Array row (waveguide) of the stuck ring.
+        row: usize,
+        /// Wavelength channel of the stuck ring.
+        channel: usize,
+        /// The stuck through-transmission in `[0, 1]` (0 = fully
+        /// dropped, 1 = fully transparent).
+        transmission: f64,
+    },
+    /// A uniform thermal resonance drift of the whole bank, nm. The
+    /// tuning circuits compensate it (burning TO power) when it fits the
+    /// tuning range; the residual Lorentzian mis-bias appears as a
+    /// multiplicative weight-gain error.
+    ThermalDrift {
+        /// Resonance drift, nm (sign irrelevant: the Lorentzian is
+        /// symmetric).
+        drift_nm: f64,
+    },
+    /// A dead ADC lane: every output element digitised by receiver lane
+    /// `lane` (output columns `j` with `j % array_rows == lane`) reads
+    /// zero.
+    DeadAdcLane {
+        /// The dead receiver lane, `< array_rows`.
+        lane: usize,
+    },
+    /// Laser output power droop, dB below the provisioned per-channel
+    /// power. Thermal-noise-limited receivers see the relative noise grow
+    /// by `10^(droop_db/10)`; past the sensitivity floor the signal is
+    /// undetectable.
+    LaserPowerDroop {
+        /// Power droop, dB (positive = less optical power).
+        droop_db: f64,
+    },
+}
+
+/// A set of faults addressed against one bank-array geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Rows (waveguides / receiver lanes) per bank array.
+    pub array_rows: usize,
+    /// Wavelength channels per row.
+    pub array_channels: usize,
+    /// The injected faults.
+    pub faults: Vec<DeviceFault>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan for the given geometry.
+    pub fn new(array_rows: usize, array_channels: usize) -> Self {
+        FaultPlan {
+            array_rows,
+            array_channels,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a stuck microring.
+    #[must_use]
+    pub fn stuck_mr(mut self, row: usize, channel: usize, transmission: f64) -> Self {
+        self.faults.push(DeviceFault::StuckAtMr {
+            row,
+            channel,
+            transmission,
+        });
+        self
+    }
+
+    /// Adds a thermal resonance drift.
+    #[must_use]
+    pub fn thermal_drift(mut self, drift_nm: f64) -> Self {
+        self.faults.push(DeviceFault::ThermalDrift { drift_nm });
+        self
+    }
+
+    /// Adds a dead ADC lane.
+    #[must_use]
+    pub fn dead_adc_lane(mut self, lane: usize) -> Self {
+        self.faults.push(DeviceFault::DeadAdcLane { lane });
+        self
+    }
+
+    /// Adds a laser power droop.
+    #[must_use]
+    pub fn laser_droop(mut self, droop_db: f64) -> Self {
+        self.faults.push(DeviceFault::LaserPowerDroop { droop_db });
+        self
+    }
+
+    /// Total thermal drift in the plan, nm.
+    pub fn total_drift_nm(&self) -> f64 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                DeviceFault::ThermalDrift { drift_nm } => drift_nm.abs(),
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total laser droop in the plan, dB.
+    pub fn total_droop_db(&self) -> f64 {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                DeviceFault::LaserPowerDroop { droop_db } => *droop_db,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Validates every fault against the plan's geometry and physical
+    /// ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained [`PhotonicError::ValueOutOfRange`] /
+    /// [`PhotonicError::InvalidConfig`] naming the offending fault.
+    pub fn validated(self) -> Result<Self, PhotonicError> {
+        if self.array_rows == 0 || self.array_channels == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault plan geometry must be non-zero",
+            }
+            .ctx("validating fault plan"));
+        }
+        for f in &self.faults {
+            match *f {
+                DeviceFault::StuckAtMr {
+                    row,
+                    channel,
+                    transmission,
+                } => {
+                    if row >= self.array_rows {
+                        return Err(PhotonicError::ValueOutOfRange {
+                            value: row as f64,
+                            lo: 0.0,
+                            hi: (self.array_rows - 1) as f64,
+                        }
+                        .ctx("validating stuck-MR row index"));
+                    }
+                    if channel >= self.array_channels {
+                        return Err(PhotonicError::ValueOutOfRange {
+                            value: channel as f64,
+                            lo: 0.0,
+                            hi: (self.array_channels - 1) as f64,
+                        }
+                        .ctx("validating stuck-MR channel index"));
+                    }
+                    if !(0.0..=1.0).contains(&transmission) || !transmission.is_finite() {
+                        return Err(PhotonicError::ValueOutOfRange {
+                            value: transmission,
+                            lo: 0.0,
+                            hi: 1.0,
+                        }
+                        .ctx("validating stuck-MR transmission"));
+                    }
+                }
+                DeviceFault::ThermalDrift { drift_nm } => {
+                    if !drift_nm.is_finite() {
+                        return Err(PhotonicError::InvalidConfig {
+                            what: "thermal drift must be finite",
+                        }
+                        .ctx("validating thermal-drift fault"));
+                    }
+                }
+                DeviceFault::DeadAdcLane { lane } => {
+                    if lane >= self.array_rows {
+                        return Err(PhotonicError::ValueOutOfRange {
+                            value: lane as f64,
+                            lo: 0.0,
+                            hi: (self.array_rows - 1) as f64,
+                        }
+                        .ctx("validating dead-ADC-lane index"));
+                    }
+                }
+                DeviceFault::LaserPowerDroop { droop_db } => {
+                    if !(droop_db.is_finite() && droop_db >= 0.0) {
+                        return Err(PhotonicError::InvalidConfig {
+                            what: "laser droop must be non-negative and finite",
+                        }
+                        .ctx("validating laser-droop fault"));
+                    }
+                }
+            }
+        }
+        Ok(self)
+    }
+
+    /// Resolves the plan against the device models into the quantified
+    /// impact the analog engine injects.
+    ///
+    /// * Thermal drift must fit the hybrid tuning range; the compensation
+    ///   holds TO power, and the residual Lorentzian mis-bias becomes a
+    ///   multiplicative weight gain.
+    /// * Laser droop re-evaluates the receiver noise budget at the
+    ///   drooped power; the relative noise scales accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained error whose root cause is the device
+    /// failure: [`PhotonicError::TuningRangeExceeded`] for
+    /// uncompensatable drift, [`PhotonicError::SignalUndetectable`] /
+    /// [`PhotonicError::PrecisionUnreachable`] for droop below the noise
+    /// floor.
+    pub fn impact(
+        &self,
+        mr: &MrConfig,
+        tuning: &HybridTuning,
+        noise: &NoiseBudget,
+        bits: u32,
+    ) -> Result<FaultImpact, PhotonicError> {
+        let mut impact = FaultImpact {
+            sigma_scale: 1.0,
+            weight_gain: 1.0,
+            compensation_power_w: 0.0,
+            dead_lanes: Vec::new(),
+            stuck: Vec::new(),
+        };
+
+        let drift = self.total_drift_nm();
+        if drift > 0.0 {
+            // The tuning circuits chase the drifted resonance; beyond the
+            // TO range the bank cannot be brought back on comb.
+            let op = tuning
+                .tune(drift)
+                .ctx("compensating thermal resonance drift")?;
+            impact.compensation_power_w +=
+                op.power_w * (self.array_rows * self.array_channels) as f64;
+            // Compensation is imperfect: a residual of ~2 % of the drift
+            // remains, and the Lorentzian converts it into a uniform
+            // transmission (weight-gain) error.
+            let residual_nm = 0.02 * drift;
+            let hw = mr.fwhm_nm() / 2.0;
+            let biased = mr.transmission_at_detuning(hw + residual_nm);
+            let nominal = mr.transmission_at_detuning(hw);
+            impact.weight_gain *= biased / nominal;
+        }
+
+        let droop = self.total_droop_db();
+        if droop > 0.0 {
+            // Re-run the noise budget at the drooped receive power: if
+            // the budget cannot even quote a provisioned power, or the
+            // drooped power falls below sensitivity, the root cause
+            // propagates up the chain.
+            let provisioned_w = noise
+                .required_power_w(bits)
+                .ctx("provisioning receive power under laser droop")?;
+            let drooped_w = provisioned_w * crate::constants::db_to_ratio(-droop);
+            let nominal = noise
+                .evaluate(provisioned_w)
+                .ctx("evaluating nominal noise budget")?;
+            let degraded = noise
+                .evaluate(drooped_w)
+                .ctx("evaluating noise budget at drooped laser power")?;
+            impact.sigma_scale *= degraded.relative_sigma / nominal.relative_sigma;
+        }
+
+        for f in &self.faults {
+            match *f {
+                DeviceFault::StuckAtMr {
+                    row,
+                    channel,
+                    transmission,
+                } => impact.stuck.push(StuckWeight {
+                    row,
+                    channel,
+                    transmission,
+                }),
+                DeviceFault::DeadAdcLane { lane } => {
+                    if !impact.dead_lanes.contains(&lane) {
+                        impact.dead_lanes.push(lane);
+                    }
+                }
+                DeviceFault::ThermalDrift { .. } | DeviceFault::LaserPowerDroop { .. } => {}
+            }
+        }
+        impact.dead_lanes.sort_unstable();
+        Ok(impact)
+    }
+}
+
+/// A stuck weight cell, resolved to its array coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckWeight {
+    /// Array row of the stuck ring.
+    pub row: usize,
+    /// Wavelength channel of the stuck ring.
+    pub channel: usize,
+    /// Stuck through-transmission in `[0, 1]`.
+    pub transmission: f64,
+}
+
+/// The resolved, quantified effect of a [`FaultPlan`] on the analog
+/// datapath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultImpact {
+    /// Multiplier on the receiver's relative noise (laser droop).
+    pub sigma_scale: f64,
+    /// Multiplicative gain error on every analog weight (residual
+    /// thermal-drift mis-bias).
+    pub weight_gain: f64,
+    /// Steady-state tuning power spent compensating drift, W per array.
+    pub compensation_power_w: f64,
+    /// Dead receiver lanes (output columns `j % array_rows` read zero).
+    pub dead_lanes: Vec<usize>,
+    /// Stuck weight cells.
+    pub stuck: Vec<StuckWeight>,
+}
+
+impl FaultImpact {
+    /// `true` when the impact leaves the datapath exactly nominal.
+    pub fn is_nominal(&self) -> bool {
+        self.sigma_scale == 1.0
+            && self.weight_gain == 1.0
+            && self.dead_lanes.is_empty()
+            && self.stuck.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn devices() -> (MrConfig, HybridTuning, NoiseBudget) {
+        (
+            MrConfig::default(),
+            HybridTuning::default(),
+            NoiseBudget::default(),
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_nominal() {
+        let (mr, tuning, noise) = devices();
+        let plan = FaultPlan::new(64, 16).validated().unwrap();
+        let impact = plan.impact(&mr, &tuning, &noise, 8).unwrap();
+        assert!(impact.is_nominal());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_geometry_faults() {
+        assert!(FaultPlan::new(64, 16)
+            .stuck_mr(64, 0, 0.5)
+            .validated()
+            .is_err());
+        assert!(FaultPlan::new(64, 16)
+            .stuck_mr(0, 16, 0.5)
+            .validated()
+            .is_err());
+        assert!(FaultPlan::new(64, 16)
+            .stuck_mr(0, 0, 1.5)
+            .validated()
+            .is_err());
+        assert!(FaultPlan::new(64, 16)
+            .dead_adc_lane(64)
+            .validated()
+            .is_err());
+        assert!(FaultPlan::new(64, 16)
+            .laser_droop(-1.0)
+            .validated()
+            .is_err());
+        assert!(FaultPlan::new(0, 16).validated().is_err());
+    }
+
+    #[test]
+    fn validation_errors_chain_to_a_root_cause() {
+        let err = FaultPlan::new(64, 16)
+            .stuck_mr(99, 0, 0.5)
+            .validated()
+            .unwrap_err();
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(matches!(
+            err.root_cause(),
+            PhotonicError::ValueOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn drift_within_range_costs_power_and_gain() {
+        let (mr, tuning, noise) = devices();
+        let plan = FaultPlan::new(64, 16)
+            .thermal_drift(1.5)
+            .validated()
+            .unwrap();
+        let impact = plan.impact(&mr, &tuning, &noise, 8).unwrap();
+        assert!(impact.compensation_power_w > 0.0);
+        assert!(impact.weight_gain > 0.0 && impact.weight_gain != 1.0);
+    }
+
+    #[test]
+    fn drift_beyond_tuning_range_chains_tuning_error() {
+        let (mr, tuning, noise) = devices();
+        let plan = FaultPlan::new(64, 16)
+            .thermal_drift(10.0)
+            .validated()
+            .unwrap();
+        let err = plan.impact(&mr, &tuning, &noise, 8).unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            PhotonicError::TuningRangeExceeded { .. }
+        ));
+        assert!(err.to_string().contains("thermal resonance drift"));
+    }
+
+    #[test]
+    fn droop_inflates_noise() {
+        let (mr, tuning, noise) = devices();
+        let plan = FaultPlan::new(64, 16).laser_droop(3.0).validated().unwrap();
+        let impact = plan.impact(&mr, &tuning, &noise, 8).unwrap();
+        assert!(
+            impact.sigma_scale > 1.0,
+            "sigma scale {}",
+            impact.sigma_scale
+        );
+    }
+
+    #[test]
+    fn extreme_droop_chains_noise_floor_error() {
+        let (mr, tuning, noise) = devices();
+        let plan = FaultPlan::new(64, 16)
+            .laser_droop(90.0)
+            .validated()
+            .unwrap();
+        let err = plan.impact(&mr, &tuning, &noise, 8).unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            PhotonicError::SignalUndetectable { .. } | PhotonicError::PrecisionUnreachable { .. }
+        ));
+    }
+
+    #[test]
+    fn stuck_and_dead_faults_are_collected() {
+        let (mr, tuning, noise) = devices();
+        let plan = FaultPlan::new(64, 16)
+            .stuck_mr(3, 5, 0.25)
+            .dead_adc_lane(7)
+            .dead_adc_lane(7)
+            .validated()
+            .unwrap();
+        let impact = plan.impact(&mr, &tuning, &noise, 8).unwrap();
+        assert_eq!(impact.stuck.len(), 1);
+        assert_eq!(impact.dead_lanes, vec![7]);
+    }
+}

@@ -41,6 +41,7 @@ pub mod converter;
 pub mod crosstalk;
 pub mod design_space;
 pub mod devices;
+pub mod fault;
 pub mod link;
 pub mod mr;
 pub mod noise;
@@ -116,6 +117,93 @@ pub enum PhotonicError {
         /// Underlying detail.
         detail: String,
     },
+    /// A failure in an upstream subsystem (memory model, architecture
+    /// metrics, baseline evaluation, tensor algebra) whose error type
+    /// this crate cannot depend on. The message preserves the upstream
+    /// Display rendering so the root cause is never erased.
+    Upstream {
+        /// Which subsystem failed (e.g. `"memsim"`, `"arch"`, `"tensor"`).
+        subsystem: &'static str,
+        /// The upstream error, rendered.
+        message: String,
+    },
+    /// A failure wrapped with the pipeline stage it occurred in. The
+    /// chain bottoms out at the root device-physics failure, reachable
+    /// through [`std::error::Error::source`] or
+    /// [`PhotonicError::root_cause`].
+    Context {
+        /// The stage that was executing when the source failure occurred.
+        stage: &'static str,
+        /// The wrapped failure.
+        source: Box<PhotonicError>,
+    },
+}
+
+impl PhotonicError {
+    /// Wraps the error with the pipeline stage it occurred in.
+    #[must_use]
+    pub fn ctx(self, stage: &'static str) -> PhotonicError {
+        PhotonicError::Context {
+            stage,
+            source: Box::new(self),
+        }
+    }
+
+    /// Builds an [`PhotonicError::Upstream`] from a foreign error,
+    /// preserving its Display rendering.
+    pub fn upstream(subsystem: &'static str, err: impl fmt::Display) -> PhotonicError {
+        PhotonicError::Upstream {
+            subsystem,
+            message: err.to_string(),
+        }
+    }
+
+    /// Walks the [`PhotonicError::Context`] chain to the innermost
+    /// (root-cause) error.
+    pub fn root_cause(&self) -> &PhotonicError {
+        let mut cur = self;
+        while let PhotonicError::Context { source, .. } = cur {
+            cur = source;
+        }
+        cur
+    }
+}
+
+/// Extension trait adding [`PhotonicError::ctx`] directly on `Result`,
+/// so call sites can annotate failures with the stage they occurred in
+/// without erasing the cause:
+///
+/// ```
+/// use phox_photonics::{Ctx, PhotonicError};
+///
+/// fn provision() -> Result<(), PhotonicError> {
+///     Err(PhotonicError::LaserBudgetExceeded {
+///         required_dbm: 14.0,
+///         available_dbm: 10.0,
+///     })
+/// }
+/// let err = provision().ctx("provisioning the weight bank").unwrap_err();
+/// assert!(err.to_string().contains("provisioning the weight bank"));
+/// assert!(std::error::Error::source(&err).is_some());
+/// ```
+pub trait Ctx<T> {
+    /// Annotates the error with the stage it occurred in, converting
+    /// foreign error types through their `Into<PhotonicError>` impls.
+    fn ctx(self, stage: &'static str) -> Result<T, PhotonicError>;
+}
+
+impl<T, E: Into<PhotonicError>> Ctx<T> for Result<T, E> {
+    fn ctx(self, stage: &'static str) -> Result<T, PhotonicError> {
+        self.map_err(|e| e.into().ctx(stage))
+    }
+}
+
+impl From<phox_tensor::TensorError> for PhotonicError {
+    /// Tensor-algebra failures surface as [`PhotonicError::Upstream`]
+    /// with the shape details preserved.
+    fn from(e: phox_tensor::TensorError) -> Self {
+        PhotonicError::upstream("tensor", e)
+    }
 }
 
 impl fmt::Display for PhotonicError {
@@ -166,8 +254,21 @@ impl fmt::Display for PhotonicError {
             PhotonicError::NumericalFailure { what, detail } => {
                 write!(f, "numerical failure in {what}: {detail}")
             }
+            PhotonicError::Upstream { subsystem, message } => {
+                write!(f, "{subsystem} failure: {message}")
+            }
+            PhotonicError::Context { stage, source } => {
+                write!(f, "{stage}: {source}")
+            }
         }
     }
 }
 
-impl Error for PhotonicError {}
+impl Error for PhotonicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PhotonicError::Context { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}

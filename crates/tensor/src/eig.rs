@@ -166,7 +166,7 @@ fn sorted_eigen(m: Matrix, v: Matrix) -> Eigen {
     let n = m.rows();
     let mut idx: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
-    idx.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).expect("finite eigenvalues"));
+    idx.sort_by(|&a, &b| diag[a].total_cmp(&diag[b]));
     let values = idx.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_col, &old_col) in idx.iter().enumerate() {

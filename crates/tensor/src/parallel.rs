@@ -102,7 +102,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -113,7 +116,7 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every index produced exactly once"))
+        .map(|s| s.unwrap_or_else(|| unreachable!("every index produced exactly once")))
         .collect()
 }
 
@@ -154,7 +157,9 @@ where
             })
             .collect();
         for h in handles {
-            h.join().expect("parallel worker panicked");
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
 }

@@ -144,7 +144,8 @@ impl QuantMatrix {
     /// Reconstructs the floating-point matrix.
     pub fn dequantize(&self) -> Matrix {
         let data = self.data.iter().map(|&q| q as f64 * self.scale).collect();
-        Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved")
+        Matrix::from_vec(self.rows, self.cols, data)
+            .unwrap_or_else(|_| unreachable!("length is rows*cols by construction"))
     }
 
     /// Integer matmul with `i32` accumulation, dequantized with the product
@@ -191,7 +192,9 @@ pub fn fake_quantize(m: &Matrix) -> Matrix {
 /// tensor: at most half a step.
 pub fn max_quant_error(m: &Matrix) -> f64 {
     let fq = fake_quantize(m);
-    m.sub(&fq).expect("same shape").abs_max()
+    m.sub(&fq)
+        .unwrap_or_else(|_| unreachable!("fake-quantized copy shares the shape"))
+        .abs_max()
 }
 
 #[cfg(test)]

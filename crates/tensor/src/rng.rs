@@ -152,7 +152,8 @@ impl Prng {
     /// Fills a matrix with i.i.d. uniform values in `[lo, hi)`.
     pub fn fill_uniform(&mut self, rows: usize, cols: usize, lo: f64, hi: f64) -> crate::Matrix {
         let data = (0..rows * cols).map(|_| self.uniform(lo, hi)).collect();
-        crate::Matrix::from_vec(rows, cols, data).expect("length is rows*cols by construction")
+        crate::Matrix::from_vec(rows, cols, data)
+            .unwrap_or_else(|_| unreachable!("length is rows*cols by construction"))
     }
 
     /// Fills a matrix with i.i.d. normal values.
@@ -166,7 +167,8 @@ impl Prng {
         let data = (0..rows * cols)
             .map(|_| self.normal(mean, std_dev))
             .collect();
-        crate::Matrix::from_vec(rows, cols, data).expect("length is rows*cols by construction")
+        crate::Matrix::from_vec(rows, cols, data)
+            .unwrap_or_else(|_| unreachable!("length is rows*cols by construction"))
     }
 
     /// Xavier/Glorot-uniform weight initialisation for a `fan_in x fan_out`

@@ -28,7 +28,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -68,7 +68,10 @@ pub fn rmse(a: &Matrix, b: &Matrix) -> f64 {
 pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
     assert_eq!(a.shape(), b.shape(), "relative_error requires equal shapes");
     let denom = a.frobenius_norm();
-    let num = a.sub(b).expect("same shape").frobenius_norm();
+    let num = a
+        .sub(b)
+        .unwrap_or_else(|_| unreachable!("shapes asserted equal above"))
+        .frobenius_norm();
     if denom == 0.0 {
         if num == 0.0 {
             0.0

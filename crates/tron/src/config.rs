@@ -109,7 +109,9 @@ impl TronConfig {
     /// Propagates sweep failures ([`PhotonicError::NoFeasibleDesign`]).
     pub fn from_design_space(sweep: &SweepConfig) -> Result<Self, PhotonicError> {
         let outcome = design_space::sweep(sweep)?;
-        let best = outcome.best().expect("sweep succeeded, feasible non-empty");
+        let best = outcome.best().ok_or(PhotonicError::NoFeasibleDesign {
+            examined: outcome.examined,
+        })?;
         Ok(TronConfig {
             array_channels: best.channels,
             mr: best.mr,

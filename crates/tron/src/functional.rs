@@ -17,7 +17,8 @@ use phox_nn::transformer::{
 };
 use phox_photonics::analog::AnalogEngine;
 use phox_photonics::devices::OpticalActivation;
-use phox_photonics::PhotonicError;
+use phox_photonics::fault::FaultPlan;
+use phox_photonics::{Ctx, PhotonicError};
 use phox_tensor::{parallel, Matrix};
 
 use crate::config::TronConfig;
@@ -65,6 +66,42 @@ impl TronFunctional {
         Ok(TronFunctional {
             engine: AnalogEngine::new(relative_sigma, config.adc.bits, config.dac.bits, seed)?,
         })
+    }
+
+    /// Builds a functional simulator with injected device faults.
+    ///
+    /// The plan is validated against the configuration's bank-array
+    /// geometry and resolved against its device models
+    /// ([`phox_photonics::fault::FaultPlan::impact`]); the resulting
+    /// degradation (stuck weights, drift gain error, dead ADC lanes,
+    /// droop-inflated noise) applies to every analog operation, including
+    /// the per-head child engines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained error when the plan is out of geometry
+    /// or the fault is uncompensatable (drift beyond the tuning range,
+    /// droop below the noise floor).
+    pub fn with_faults(
+        config: &TronConfig,
+        plan: FaultPlan,
+        seed: u64,
+    ) -> Result<Self, PhotonicError> {
+        if plan.array_rows != config.array_rows || plan.array_channels != config.array_channels {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault plan geometry must match the accelerator's bank arrays",
+            }
+            .ctx("injecting device faults into TRON"));
+        }
+        let plan = plan.validated().ctx("injecting device faults into TRON")?;
+        let impact = plan
+            .impact(&config.mr, &config.tuning, &config.noise, config.adc.bits)
+            .ctx("injecting device faults into TRON")?;
+        let mut engine = AnalogEngine::from_noise_budget(&config.noise, config.adc.bits, seed)?;
+        engine
+            .inject_faults(&impact, config.array_rows, config.array_channels)
+            .ctx("injecting device faults into TRON")?;
+        Ok(TronFunctional { engine })
     }
 
     /// The underlying analog engine.
@@ -164,9 +201,9 @@ impl TronFunctional {
                 let mut engine = parent.make_child(key, head as u64);
                 let lo = head * dh;
                 let hi = lo + dh;
-                let qh = q.col_slice(lo, hi).expect("head slice in range");
-                let kh = k.col_slice(lo, hi).expect("head slice in range");
-                let vh = v.col_slice(lo, hi).expect("head slice in range");
+                let qh = q.col_slice(lo, hi).ctx("slicing query head columns")?;
+                let kh = k.col_slice(lo, hi).ctx("slicing key head columns")?;
+                let vh = v.col_slice(lo, hi).ctx("slicing value head columns")?;
                 let mut scores = engine
                     .matmul(&qh, &kh.transpose())?
                     .scale(1.0 / (dh as f64).sqrt());

@@ -18,7 +18,7 @@ use phox_arch::schedule::{overlap_time_s, Tiling};
 use phox_memsim::dram::HbmStack;
 use phox_memsim::sram::{Sram, SramConfig};
 use phox_nn::transformer::{TransformerConfig, TransformerKind};
-use phox_photonics::PhotonicError;
+use phox_photonics::{Ctx, PhotonicError};
 
 use crate::config::TronConfig;
 
@@ -124,17 +124,13 @@ impl TronAccelerator {
             word_bytes: 32,
             banks: 8,
         })
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "weight buffer configuration",
-        })?;
+        .map_err(|e| PhotonicError::upstream("memsim", e).ctx("sizing the weight buffer"))?;
         let act_buffer = Sram::new(SramConfig {
             capacity_bytes: 512 * 1024,
             word_bytes: 16,
             banks: 4,
         })
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "activation buffer configuration",
-        })?;
+        .map_err(|e| PhotonicError::upstream("memsim", e).ctx("sizing the activation buffer"))?;
         Ok(TronAccelerator {
             config,
             array_laser_w,
@@ -183,8 +179,8 @@ impl TronAccelerator {
             self.config.array_rows,
             self.config.array_channels,
         )
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "matmul shape must be non-zero",
+        .map_err(|e| {
+            PhotonicError::upstream("arch", e).ctx("tiling the matmul onto bank arrays")
         })?;
         // passes = k_tiles × n_tiles; each pass streams m symbols.
         let passes = (tiling.k_tiles() * tiling.row_tiles()) as u64;
@@ -312,11 +308,14 @@ impl TronAccelerator {
             energy.adc_j += c.adc_conversions as f64 * cfg.adc.energy_per_conversion_j();
             // Tuning: activations are EO-only (clamped range); ~2 % of
             // weight imprints need a TO event held for the pass.
-            let eo_op = cfg.tuning.tune(0.25).expect("within EO range");
+            let eo_op = cfg
+                .tuning
+                .tune(0.25)
+                .ctx("EO tuning for activation imprints")?;
             energy.tuning_j +=
                 (c.activation_conversions + c.weight_conversions) as f64 * eo_op.power_w * t_sym;
             let to_fraction = 0.02;
-            let to_op = cfg.tuning.tune(1.0).expect("within TO range");
+            let to_op = cfg.tuning.tune(1.0).ctx("TO tuning for weight imprints")?;
             let pass_hold_s = shape.m as f64 * t_sym;
             energy.tuning_j +=
                 to_fraction * c.weight_conversions as f64 * to_op.power_w * pass_hold_s;
@@ -391,8 +390,8 @@ impl TronAccelerator {
         let ops = census.total_ops();
         let bits = census.total_bits();
         let perf = PerfReport::new(ops, bits, per_inf_latency_s, per_inf_energy.total_j())
-            .map_err(|_| PhotonicError::InvalidConfig {
-                what: "degenerate performance figures",
+            .map_err(|e| {
+                PhotonicError::upstream("arch", e).ctx("assembling the performance report")
             })?;
 
         let peak_macs = cfg.peak_macs_per_s() * compute_batch_s;
@@ -691,9 +690,7 @@ impl TronAccelerator {
             decode_time_s,
             decode_energy_j,
         )
-        .map_err(|_| PhotonicError::InvalidConfig {
-            what: "degenerate generation figures",
-        })?;
+        .map_err(|e| PhotonicError::upstream("arch", e).ctx("assembling the generation report"))?;
         Ok(GenerationReport {
             tokens_per_s: 1.0 / step_total_s,
             energy_per_token_j: decode_energy_j / g as f64,

@@ -23,14 +23,12 @@ fn main() -> Result<(), PhotonicError> {
         outcome.examined,
         outcome.feasible.len()
     );
-    println!(
-        "rejections: FSR {}, heterodyne {}, homodyne {}, noise {}, laser {}",
-        outcome.rejections[0],
-        outcome.rejections[1],
-        outcome.rejections[2],
-        outcome.rejections[3],
-        outcome.rejections[4]
-    );
+    println!("rejections: {}", outcome.rejections);
+    for reason in RejectionReason::ALL {
+        if let Some(cause) = outcome.rejections.exemplar(reason) {
+            println!("  e.g. {reason}: {cause}");
+        }
+    }
 
     // The channel-count frontier: best feasible point per radius/Q.
     println!("\nfeasible frontier (channels per waveguide):");

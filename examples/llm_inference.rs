@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.epb_j * 1e12
             );
         }
-        let c = claims(&rows);
+        let c = claims(&rows)?;
         println!(
             "  → TRON wins by ≥{:.1}× throughput, ≥{:.1}× efficiency",
             c.min_speedup, c.min_efficiency

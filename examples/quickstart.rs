@@ -40,13 +40,13 @@ fn main() -> Result<(), PhotonicError> {
 
     // --- Headline claims vs the electronic suites ------------------
     let rows = tron_comparison(&tron, &model)?;
-    let c = claims(&rows);
+    let c = claims(&rows)?;
     println!(
         "\nTRON vs its 7 comparators: ≥{:.1}× throughput, ≥{:.1}× energy efficiency",
         c.min_speedup, c.min_efficiency
     );
     let rows = ghost_comparison(&ghost, &workload)?;
-    let c = claims(&rows);
+    let c = claims(&rows)?;
     println!(
         "GHOST vs its 9 comparators: ≥{:.1}× throughput, ≥{:.1}× energy efficiency",
         c.min_speedup, c.min_efficiency

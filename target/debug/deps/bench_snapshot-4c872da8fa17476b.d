@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-4c872da8fa17476b.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-4c872da8fa17476b: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_injection-00744654f72450e6.d: tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-00744654f72450e6.rmeta: tests/fault_injection.rs Cargo.toml
+
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

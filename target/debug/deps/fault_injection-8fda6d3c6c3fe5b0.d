@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-8fda6d3c6c3fe5b0.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-8fda6d3c6c3fe5b0: tests/fault_injection.rs
+
+tests/fault_injection.rs:

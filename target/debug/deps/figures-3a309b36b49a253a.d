@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3a309b36b49a253a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3a309b36b49a253a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

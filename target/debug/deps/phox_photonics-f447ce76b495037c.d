@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/phox_photonics-f447ce76b495037c.d: crates/photonics/src/lib.rs crates/photonics/src/analog.rs crates/photonics/src/bank.rs crates/photonics/src/coherent.rs crates/photonics/src/constants.rs crates/photonics/src/converter.rs crates/photonics/src/crosstalk.rs crates/photonics/src/design_space.rs crates/photonics/src/devices.rs crates/photonics/src/link.rs crates/photonics/src/mr.rs crates/photonics/src/noise.rs crates/photonics/src/pcm.rs crates/photonics/src/summation.rs crates/photonics/src/tuning.rs crates/photonics/src/variation.rs Cargo.toml
+/root/repo/target/debug/deps/phox_photonics-f447ce76b495037c.d: crates/photonics/src/lib.rs crates/photonics/src/analog.rs crates/photonics/src/bank.rs crates/photonics/src/coherent.rs crates/photonics/src/constants.rs crates/photonics/src/converter.rs crates/photonics/src/crosstalk.rs crates/photonics/src/design_space.rs crates/photonics/src/devices.rs crates/photonics/src/fault.rs crates/photonics/src/link.rs crates/photonics/src/mr.rs crates/photonics/src/noise.rs crates/photonics/src/pcm.rs crates/photonics/src/summation.rs crates/photonics/src/tuning.rs crates/photonics/src/variation.rs Cargo.toml
 
-/root/repo/target/debug/deps/libphox_photonics-f447ce76b495037c.rmeta: crates/photonics/src/lib.rs crates/photonics/src/analog.rs crates/photonics/src/bank.rs crates/photonics/src/coherent.rs crates/photonics/src/constants.rs crates/photonics/src/converter.rs crates/photonics/src/crosstalk.rs crates/photonics/src/design_space.rs crates/photonics/src/devices.rs crates/photonics/src/link.rs crates/photonics/src/mr.rs crates/photonics/src/noise.rs crates/photonics/src/pcm.rs crates/photonics/src/summation.rs crates/photonics/src/tuning.rs crates/photonics/src/variation.rs Cargo.toml
+/root/repo/target/debug/deps/libphox_photonics-f447ce76b495037c.rmeta: crates/photonics/src/lib.rs crates/photonics/src/analog.rs crates/photonics/src/bank.rs crates/photonics/src/coherent.rs crates/photonics/src/constants.rs crates/photonics/src/converter.rs crates/photonics/src/crosstalk.rs crates/photonics/src/design_space.rs crates/photonics/src/devices.rs crates/photonics/src/fault.rs crates/photonics/src/link.rs crates/photonics/src/mr.rs crates/photonics/src/noise.rs crates/photonics/src/pcm.rs crates/photonics/src/summation.rs crates/photonics/src/tuning.rs crates/photonics/src/variation.rs Cargo.toml
 
 crates/photonics/src/lib.rs:
 crates/photonics/src/analog.rs:
@@ -11,6 +11,7 @@ crates/photonics/src/converter.rs:
 crates/photonics/src/crosstalk.rs:
 crates/photonics/src/design_space.rs:
 crates/photonics/src/devices.rs:
+crates/photonics/src/fault.rs:
 crates/photonics/src/link.rs:
 crates/photonics/src/mr.rs:
 crates/photonics/src/noise.rs:
@@ -20,5 +21,5 @@ crates/photonics/src/tuning.rs:
 crates/photonics/src/variation.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

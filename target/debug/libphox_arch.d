@@ -1,0 +1,1 @@
+/root/repo/target/debug/libphox_arch.rlib: /root/repo/crates/arch/src/lib.rs /root/repo/crates/arch/src/metrics.rs /root/repo/crates/arch/src/pipeline.rs /root/repo/crates/arch/src/schedule.rs

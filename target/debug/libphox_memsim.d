@@ -1,0 +1,1 @@
+/root/repo/target/debug/libphox_memsim.rlib: /root/repo/crates/memsim/src/dram.rs /root/repo/crates/memsim/src/hierarchy.rs /root/repo/crates/memsim/src/lib.rs /root/repo/crates/memsim/src/sram.rs

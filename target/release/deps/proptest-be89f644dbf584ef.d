@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-be89f644dbf584ef.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-be89f644dbf584ef.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-be89f644dbf584ef.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

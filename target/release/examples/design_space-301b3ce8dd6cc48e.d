@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-301b3ce8dd6cc48e.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-301b3ce8dd6cc48e: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-afb16e4efe454d5b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-afb16e4efe454d5b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,223 @@
+//! Device fault injection, end to end: every fault type runs through
+//! both TRON and GHOST and either degrades gracefully — a finite output
+//! with a quantified accuracy loss — or returns a typed, context-chained
+//! error. Never a panic.
+
+use phox::nn::datasets::{sbm, LabelledGraph};
+use phox::nn::gnn::GnnModel;
+use phox::nn::transformer::TransformerModel;
+use phox::photonics::PhotonicError;
+use phox::prelude::*;
+use phox::tensor::stats;
+
+fn tron_cfg() -> TronConfig {
+    TronConfig::default()
+}
+
+fn ghost_cfg() -> GhostConfig {
+    GhostConfig::default()
+}
+
+/// One plan per fault type, addressed to the given bank geometry.
+fn single_fault_plans(rows: usize, channels: usize) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "stuck-at MR",
+            FaultPlan::new(rows, channels).stuck_mr(3, 5, 0.25),
+        ),
+        (
+            "thermal drift",
+            FaultPlan::new(rows, channels).thermal_drift(1.5),
+        ),
+        (
+            "dead ADC lane",
+            FaultPlan::new(rows, channels).dead_adc_lane(7),
+        ),
+        (
+            "laser droop",
+            FaultPlan::new(rows, channels).laser_droop(3.0),
+        ),
+    ]
+}
+
+fn tiny_transformer(seed: u64) -> TransformerModel {
+    TransformerModel::random(TransformerConfig::tiny(8), seed).unwrap()
+}
+
+fn small_graph_task() -> LabelledGraph {
+    sbm(3, 8, 12, 0.5, 0.05, 71).unwrap()
+}
+
+#[test]
+fn tron_degrades_gracefully_under_every_fault_type() {
+    let cfg = tron_cfg();
+    let model = tiny_transformer(21);
+    let x = Prng::new(22).fill_normal(8, 32, 0.0, 1.0);
+    let reference = model.forward(&x).unwrap();
+    for (name, plan) in single_fault_plans(cfg.array_rows, cfg.array_channels) {
+        let mut sim = TronFunctional::with_faults(&cfg, plan, 23)
+            .unwrap_or_else(|e| panic!("{name}: construction failed: {e}"));
+        let y = sim
+            .forward(&model, &x)
+            .unwrap_or_else(|e| panic!("{name}: forward failed: {e}"));
+        let mut finite = true;
+        for r in 0..y.rows() {
+            for c in 0..y.cols() {
+                finite &= y.get(r, c).is_finite();
+            }
+        }
+        assert!(finite, "{name}: non-finite output");
+        // Quantified accuracy loss: degraded, not destroyed.
+        let err = stats::relative_error(&reference, &y);
+        assert!(err.is_finite(), "{name}: error not measurable");
+        assert!(err < 2.0, "{name}: fault destroyed the output, error {err}");
+    }
+}
+
+#[test]
+fn ghost_degrades_gracefully_under_every_fault_type() {
+    let cfg = ghost_cfg();
+    let task = small_graph_task();
+    let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 72).unwrap();
+    let reference = model.forward(&task.graph, &task.features).unwrap();
+    for (name, plan) in single_fault_plans(cfg.array_rows, cfg.array_channels) {
+        let mut sim = GhostFunctional::with_faults(&cfg, plan, 73)
+            .unwrap_or_else(|e| panic!("{name}: construction failed: {e}"));
+        let y = sim
+            .forward(&model, &task.graph, &task.features)
+            .unwrap_or_else(|e| panic!("{name}: forward failed: {e}"));
+        let mut finite = true;
+        for r in 0..y.rows() {
+            for c in 0..y.cols() {
+                finite &= y.get(r, c).is_finite();
+            }
+        }
+        assert!(finite, "{name}: non-finite output");
+        let err = stats::relative_error(&reference, &y);
+        assert!(err.is_finite(), "{name}: error not measurable");
+        assert!(err < 2.0, "{name}: fault destroyed the output, error {err}");
+    }
+}
+
+#[test]
+fn empty_fault_plan_matches_the_unfaulted_simulator() {
+    let cfg = tron_cfg();
+    let model = tiny_transformer(31);
+    let x = Prng::new(32).fill_normal(8, 32, 0.0, 1.0);
+    let mut clean = TronFunctional::new(&cfg, 33).unwrap();
+    let mut faulted =
+        TronFunctional::with_faults(&cfg, FaultPlan::new(cfg.array_rows, cfg.array_channels), 33)
+            .unwrap();
+    assert_eq!(
+        clean.forward(&model, &x).unwrap(),
+        faulted.forward(&model, &x).unwrap(),
+        "a nominal fault plan must not change the datapath"
+    );
+}
+
+#[test]
+fn faults_actually_change_the_output() {
+    let cfg = tron_cfg();
+    let model = tiny_transformer(41);
+    let x = Prng::new(42).fill_normal(8, 32, 0.0, 1.0);
+    let mut clean = TronFunctional::new(&cfg, 43).unwrap();
+    let baseline = clean.forward(&model, &x).unwrap();
+    let plan = FaultPlan::new(cfg.array_rows, cfg.array_channels)
+        .stuck_mr(0, 0, 1.0)
+        .dead_adc_lane(1);
+    let mut faulted = TronFunctional::with_faults(&cfg, plan, 43).unwrap();
+    let degraded = faulted.forward(&model, &x).unwrap();
+    assert_ne!(baseline, degraded, "injected faults must be observable");
+}
+
+#[test]
+fn uncompensatable_faults_return_typed_chained_errors() {
+    let tron = tron_cfg();
+    let ghost = ghost_cfg();
+
+    // Thermal drift beyond the TO tuning range.
+    let drift = FaultPlan::new(tron.array_rows, tron.array_channels).thermal_drift(10.0);
+    let err = TronFunctional::with_faults(&tron, drift.clone(), 1).unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        PhotonicError::TuningRangeExceeded { .. }
+    ));
+    assert!(std::error::Error::source(&err).is_some());
+
+    let drift = FaultPlan::new(ghost.array_rows, ghost.array_channels).thermal_drift(10.0);
+    let err = GhostFunctional::with_faults(&ghost, drift, 1).unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        PhotonicError::TuningRangeExceeded { .. }
+    ));
+
+    // Laser droop below the receiver's noise floor.
+    let droop = FaultPlan::new(tron.array_rows, tron.array_channels).laser_droop(90.0);
+    let err = TronFunctional::with_faults(&tron, droop, 1).unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        PhotonicError::SignalUndetectable { .. } | PhotonicError::PrecisionUnreachable { .. }
+    ));
+
+    let droop = FaultPlan::new(ghost.array_rows, ghost.array_channels).laser_droop(90.0);
+    let err = GhostFunctional::with_faults(&ghost, droop, 1).unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        PhotonicError::SignalUndetectable { .. } | PhotonicError::PrecisionUnreachable { .. }
+    ));
+}
+
+#[test]
+fn out_of_geometry_plans_are_rejected_with_context() {
+    let cfg = tron_cfg();
+    // Plan built for a different array geometry.
+    let wrong = FaultPlan::new(cfg.array_rows + 1, cfg.array_channels);
+    let err = TronFunctional::with_faults(&cfg, wrong, 1).unwrap_err();
+    assert!(err.to_string().contains("injecting device faults"), "{err}");
+    assert!(std::error::Error::source(&err).is_some());
+
+    // Plan with a stuck ring outside the arrays.
+    let out = FaultPlan::new(cfg.array_rows, cfg.array_channels).stuck_mr(cfg.array_rows, 0, 0.5);
+    let err = TronFunctional::with_faults(&cfg, out, 1).unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        PhotonicError::ValueOutOfRange { .. }
+    ));
+}
+
+#[test]
+fn drift_compensation_reports_tuning_power() {
+    let cfg = tron_cfg();
+    let plan = FaultPlan::new(cfg.array_rows, cfg.array_channels)
+        .thermal_drift(1.5)
+        .validated()
+        .unwrap();
+    let impact = plan
+        .impact(&cfg.mr, &cfg.tuning, &cfg.noise, cfg.adc.bits)
+        .unwrap();
+    assert!(
+        impact.compensation_power_w > 0.0,
+        "drift compensation must burn tuning power"
+    );
+    assert!(impact.weight_gain.is_finite() && impact.weight_gain > 0.0);
+}
+
+#[test]
+fn droop_widens_the_error_distribution() {
+    // The fault model's noise inflation is visible end to end: a drooped
+    // laser produces a larger deviation from the digital reference than
+    // the healthy datapath, on the same seeds.
+    let cfg = tron_cfg();
+    let model = tiny_transformer(51);
+    let x = Prng::new(52).fill_normal(8, 32, 0.0, 1.0);
+    let reference = model.forward(&x).unwrap();
+    let mut healthy = TronFunctional::new(&cfg, 53).unwrap();
+    let e_healthy = stats::relative_error(&reference, &healthy.forward(&model, &x).unwrap());
+    let plan = FaultPlan::new(cfg.array_rows, cfg.array_channels).laser_droop(6.0);
+    let mut drooped = TronFunctional::with_faults(&cfg, plan, 53).unwrap();
+    let e_drooped = stats::relative_error(&reference, &drooped.forward(&model, &x).unwrap());
+    assert!(
+        e_drooped > e_healthy,
+        "droop must widen the error: healthy {e_healthy}, drooped {e_drooped}"
+    );
+}

@@ -65,7 +65,7 @@ fn tron_headline_claims_hold() {
     let mut all = Vec::new();
     for model in tron_workloads() {
         let rows = tron_comparison(&tron, &model).expect("comparison");
-        all.push(claims(&rows));
+        all.push(claims(&rows).expect("claims"));
     }
     let agg = aggregate_claims(&all);
     // Paper: ≥14× throughput on average, ≥8× energy efficiency.
@@ -89,7 +89,7 @@ fn ghost_headline_claims_hold() {
     let mut all = Vec::new();
     for w in ghost_workloads() {
         let rows = ghost_comparison(&ghost, &w).expect("comparison");
-        all.push(claims(&rows));
+        all.push(claims(&rows).expect("claims"));
     }
     let agg = aggregate_claims(&all);
     // Paper: ≥10.2× throughput, ≥3.8× energy efficiency, as minima.
