@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-28556b433a4ae672.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-28556b433a4ae672.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

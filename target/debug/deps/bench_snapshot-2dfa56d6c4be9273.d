@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-2dfa56d6c4be9273.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/libbench_snapshot-2dfa56d6c4be9273.rmeta: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-5fa71113d687472e.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/libbench_snapshot-5fa71113d687472e.rmeta: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-17a0d09aa1fb777a.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-17a0d09aa1fb777a.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6f8fbf25ce1ddd58.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6f8fbf25ce1ddd58.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_ghost-26767c6d391efe0a.d: tests/end_to_end_ghost.rs
+
+/root/repo/target/debug/deps/libend_to_end_ghost-26767c6d391efe0a.rmeta: tests/end_to_end_ghost.rs
+
+tests/end_to_end_ghost.rs:

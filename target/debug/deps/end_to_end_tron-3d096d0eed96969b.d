@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_tron-3d096d0eed96969b.d: tests/end_to_end_tron.rs
+
+/root/repo/target/debug/deps/libend_to_end_tron-3d096d0eed96969b.rmeta: tests/end_to_end_tron.rs
+
+tests/end_to_end_tron.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/error_reporting-cc1120b8d74bb689.d: tests/error_reporting.rs
+
+/root/repo/target/debug/deps/liberror_reporting-cc1120b8d74bb689.rmeta: tests/error_reporting.rs
+
+tests/error_reporting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-e93d945cc0e460c0.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/libfault_injection-e93d945cc0e460c0.rmeta: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_epb_ghost-b52a8b1522a77735.d: crates/bench/benches/fig10_epb_ghost.rs
+
+/root/repo/target/debug/deps/libfig10_epb_ghost-b52a8b1522a77735.rmeta: crates/bench/benches/fig10_epb_ghost.rs
+
+crates/bench/benches/fig10_epb_ghost.rs:

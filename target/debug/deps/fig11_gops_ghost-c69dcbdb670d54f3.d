@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_gops_ghost-c69dcbdb670d54f3.d: crates/bench/benches/fig11_gops_ghost.rs
+
+/root/repo/target/debug/deps/libfig11_gops_ghost-c69dcbdb670d54f3.rmeta: crates/bench/benches/fig11_gops_ghost.rs
+
+crates/bench/benches/fig11_gops_ghost.rs:

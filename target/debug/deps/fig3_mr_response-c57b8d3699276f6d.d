@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_mr_response-c57b8d3699276f6d.d: crates/bench/benches/fig3_mr_response.rs
+
+/root/repo/target/debug/deps/libfig3_mr_response-c57b8d3699276f6d.rmeta: crates/bench/benches/fig3_mr_response.rs
+
+crates/bench/benches/fig3_mr_response.rs:

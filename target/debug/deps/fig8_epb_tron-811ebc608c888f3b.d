@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_epb_tron-811ebc608c888f3b.d: crates/bench/benches/fig8_epb_tron.rs
+
+/root/repo/target/debug/deps/libfig8_epb_tron-811ebc608c888f3b.rmeta: crates/bench/benches/fig8_epb_tron.rs
+
+crates/bench/benches/fig8_epb_tron.rs:

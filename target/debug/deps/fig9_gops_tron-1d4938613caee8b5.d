@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_gops_tron-1d4938613caee8b5.d: crates/bench/benches/fig9_gops_tron.rs
+
+/root/repo/target/debug/deps/libfig9_gops_tron-1d4938613caee8b5.rmeta: crates/bench/benches/fig9_gops_tron.rs
+
+crates/bench/benches/fig9_gops_tron.rs:

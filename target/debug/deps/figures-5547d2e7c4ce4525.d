@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-5547d2e7c4ce4525.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-5547d2e7c4ce4525.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

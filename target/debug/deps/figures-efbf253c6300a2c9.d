@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-efbf253c6300a2c9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-efbf253c6300a2c9.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

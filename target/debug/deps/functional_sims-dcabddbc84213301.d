@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_sims-dcabddbc84213301.d: crates/bench/benches/functional_sims.rs
+
+/root/repo/target/debug/deps/libfunctional_sims-dcabddbc84213301.rmeta: crates/bench/benches/functional_sims.rs
+
+crates/bench/benches/functional_sims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gemm_kernels-d1717f9d7bd6fba6.d: crates/bench/benches/gemm_kernels.rs
+
+/root/repo/target/debug/deps/libgemm_kernels-d1717f9d7bd6fba6.rmeta: crates/bench/benches/gemm_kernels.rs
+
+crates/bench/benches/gemm_kernels.rs:

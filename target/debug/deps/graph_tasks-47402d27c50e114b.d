@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_tasks-47402d27c50e114b.d: tests/graph_tasks.rs
+
+/root/repo/target/debug/deps/libgraph_tasks-47402d27c50e114b.rmeta: tests/graph_tasks.rs
+
+tests/graph_tasks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-e260d35747875d8e.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-e260d35747875d8e.rmeta: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/photonics_stack-5308e86e7cde4223.d: tests/photonics_stack.rs
+
+/root/repo/target/debug/deps/libphotonics_stack-5308e86e7cde4223.rmeta: tests/photonics_stack.rs
+
+tests/photonics_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phox-ed8ba92b377ea872.d: src/lib.rs
+
+/root/repo/target/debug/deps/libphox-ed8ba92b377ea872.rmeta: src/lib.rs
+
+src/lib.rs:

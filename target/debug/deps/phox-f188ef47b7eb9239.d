@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phox-f188ef47b7eb9239.d: src/lib.rs
+
+/root/repo/target/debug/deps/libphox-f188ef47b7eb9239.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_arch-ac745d52d5c1f565.d: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+/root/repo/target/debug/deps/libphox_arch-ac745d52d5c1f565.rmeta: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/metrics.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/schedule.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_arch-e97d3504e2b83725.d: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+/root/repo/target/debug/deps/libphox_arch-e97d3504e2b83725.rmeta: crates/arch/src/lib.rs crates/arch/src/metrics.rs crates/arch/src/pipeline.rs crates/arch/src/schedule.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/metrics.rs:
+crates/arch/src/pipeline.rs:
+crates/arch/src/schedule.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_baselines-bd16627a26ca11ac.d: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+/root/repo/target/debug/deps/libphox_baselines-bd16627a26ca11ac.rmeta: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/reported.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_baselines-c371f3ea58654238.d: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+/root/repo/target/debug/deps/libphox_baselines-c371f3ea58654238.rmeta: crates/baselines/src/lib.rs crates/baselines/src/reported.rs crates/baselines/src/roofline.rs crates/baselines/src/suite.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/reported.rs:
+crates/baselines/src/roofline.rs:
+crates/baselines/src/suite.rs:

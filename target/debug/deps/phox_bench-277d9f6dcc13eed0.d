@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phox_bench-277d9f6dcc13eed0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libphox_bench-277d9f6dcc13eed0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

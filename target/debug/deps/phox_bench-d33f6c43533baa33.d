@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/phox_bench-d33f6c43533baa33.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libphox_bench-d33f6c43533baa33.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

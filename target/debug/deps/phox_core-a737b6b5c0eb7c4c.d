@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/phox_core-a737b6b5c0eb7c4c.d: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+/root/repo/target/debug/deps/libphox_core-a737b6b5c0eb7c4c.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:

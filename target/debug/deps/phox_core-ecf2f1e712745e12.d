@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/phox_core-ecf2f1e712745e12.d: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+/root/repo/target/debug/deps/libphox_core-ecf2f1e712745e12.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:

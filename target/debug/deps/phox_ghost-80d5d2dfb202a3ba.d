@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phox_ghost-80d5d2dfb202a3ba.d: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+/root/repo/target/debug/deps/libphox_ghost-80d5d2dfb202a3ba.rmeta: crates/ghost/src/lib.rs crates/ghost/src/config.rs crates/ghost/src/functional.rs crates/ghost/src/partition.rs crates/ghost/src/perf.rs
+
+crates/ghost/src/lib.rs:
+crates/ghost/src/config.rs:
+crates/ghost/src/functional.rs:
+crates/ghost/src/partition.rs:
+crates/ghost/src/perf.rs:

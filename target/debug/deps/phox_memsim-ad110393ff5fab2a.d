@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_memsim-ad110393ff5fab2a.d: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+/root/repo/target/debug/deps/libphox_memsim-ad110393ff5fab2a.rmeta: crates/memsim/src/lib.rs crates/memsim/src/dram.rs crates/memsim/src/hierarchy.rs crates/memsim/src/sram.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/dram.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/sram.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phox_nn-10874ddd3c1401be.d: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+/root/repo/target/debug/deps/libphox_nn-10874ddd3c1401be.rmeta: crates/nn/src/lib.rs crates/nn/src/census.rs crates/nn/src/datasets.rs crates/nn/src/gnn.rs crates/nn/src/quant_eval.rs crates/nn/src/tasks.rs crates/nn/src/transformer.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/census.rs:
+crates/nn/src/datasets.rs:
+crates/nn/src/gnn.rs:
+crates/nn/src/quant_eval.rs:
+crates/nn/src/tasks.rs:
+crates/nn/src/transformer.rs:

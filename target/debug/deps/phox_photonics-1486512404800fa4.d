@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/phox_photonics-1486512404800fa4.d: crates/photonics/src/lib.rs crates/photonics/src/analog.rs crates/photonics/src/bank.rs crates/photonics/src/coherent.rs crates/photonics/src/constants.rs crates/photonics/src/converter.rs crates/photonics/src/crosstalk.rs crates/photonics/src/design_space.rs crates/photonics/src/devices.rs crates/photonics/src/fault.rs crates/photonics/src/link.rs crates/photonics/src/mr.rs crates/photonics/src/noise.rs crates/photonics/src/pcm.rs crates/photonics/src/summation.rs crates/photonics/src/tuning.rs crates/photonics/src/variation.rs
+
+/root/repo/target/debug/deps/libphox_photonics-1486512404800fa4.rmeta: crates/photonics/src/lib.rs crates/photonics/src/analog.rs crates/photonics/src/bank.rs crates/photonics/src/coherent.rs crates/photonics/src/constants.rs crates/photonics/src/converter.rs crates/photonics/src/crosstalk.rs crates/photonics/src/design_space.rs crates/photonics/src/devices.rs crates/photonics/src/fault.rs crates/photonics/src/link.rs crates/photonics/src/mr.rs crates/photonics/src/noise.rs crates/photonics/src/pcm.rs crates/photonics/src/summation.rs crates/photonics/src/tuning.rs crates/photonics/src/variation.rs
+
+crates/photonics/src/lib.rs:
+crates/photonics/src/analog.rs:
+crates/photonics/src/bank.rs:
+crates/photonics/src/coherent.rs:
+crates/photonics/src/constants.rs:
+crates/photonics/src/converter.rs:
+crates/photonics/src/crosstalk.rs:
+crates/photonics/src/design_space.rs:
+crates/photonics/src/devices.rs:
+crates/photonics/src/fault.rs:
+crates/photonics/src/link.rs:
+crates/photonics/src/mr.rs:
+crates/photonics/src/noise.rs:
+crates/photonics/src/pcm.rs:
+crates/photonics/src/summation.rs:
+crates/photonics/src/tuning.rs:
+crates/photonics/src/variation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phox_tensor-241dcb00268d48e4.d: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libphox_tensor-241dcb00268d48e4.rmeta: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/eig.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

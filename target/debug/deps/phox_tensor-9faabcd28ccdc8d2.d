@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phox_tensor-9faabcd28ccdc8d2.d: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libphox_tensor-9faabcd28ccdc8d2.rmeta: crates/tensor/src/lib.rs crates/tensor/src/eig.rs crates/tensor/src/gemm.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/parallel.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/eig.rs:
+crates/tensor/src/gemm.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

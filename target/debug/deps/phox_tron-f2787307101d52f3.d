@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/phox_tron-f2787307101d52f3.d: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+/root/repo/target/debug/deps/libphox_tron-f2787307101d52f3.rmeta: crates/tron/src/lib.rs crates/tron/src/config.rs crates/tron/src/functional.rs crates/tron/src/perf.rs
+
+crates/tron/src/lib.rs:
+crates/tron/src/config.rs:
+crates/tron/src/functional.rs:
+crates/tron/src/perf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-27ff54986ca2462e.d: crates/photonics/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-27ff54986ca2462e.rmeta: crates/photonics/tests/prop.rs
+
+crates/photonics/tests/prop.rs:

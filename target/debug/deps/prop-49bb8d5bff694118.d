@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-49bb8d5bff694118.d: crates/memsim/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-49bb8d5bff694118.rmeta: crates/memsim/tests/prop.rs
+
+crates/memsim/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-707057ee31923598.d: crates/tensor/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-707057ee31923598.rmeta: crates/tensor/tests/prop.rs
+
+crates/tensor/tests/prop.rs:

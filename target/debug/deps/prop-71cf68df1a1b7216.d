@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-71cf68df1a1b7216.d: crates/arch/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-71cf68df1a1b7216.rmeta: crates/arch/tests/prop.rs
+
+crates/arch/tests/prop.rs:

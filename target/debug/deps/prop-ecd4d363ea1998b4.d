@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-ecd4d363ea1998b4.d: crates/nn/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-ecd4d363ea1998b4.rmeta: crates/nn/tests/prop.rs
+
+crates/nn/tests/prop.rs:

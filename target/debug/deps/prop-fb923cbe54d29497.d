@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-fb923cbe54d29497.d: crates/ghost/tests/prop.rs
+
+/root/repo/target/debug/deps/libprop-fb923cbe54d29497.rmeta: crates/ghost/tests/prop.rs
+
+crates/ghost/tests/prop.rs:

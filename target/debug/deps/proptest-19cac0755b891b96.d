@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-19cac0755b891b96.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-19cac0755b891b96.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

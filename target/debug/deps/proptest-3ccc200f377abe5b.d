@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-3ccc200f377abe5b.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3ccc200f377abe5b.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

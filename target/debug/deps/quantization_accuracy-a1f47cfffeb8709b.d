@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization_accuracy-a1f47cfffeb8709b.d: tests/quantization_accuracy.rs
+
+/root/repo/target/debug/deps/libquantization_accuracy-a1f47cfffeb8709b.rmeta: tests/quantization_accuracy.rs
+
+tests/quantization_accuracy.rs:

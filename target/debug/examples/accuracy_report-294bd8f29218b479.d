@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy_report-294bd8f29218b479.d: examples/accuracy_report.rs
+
+/root/repo/target/debug/examples/libaccuracy_report-294bd8f29218b479.rmeta: examples/accuracy_report.rs
+
+examples/accuracy_report.rs:

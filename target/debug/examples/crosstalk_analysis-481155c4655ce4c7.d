@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crosstalk_analysis-481155c4655ce4c7.d: examples/crosstalk_analysis.rs
+
+/root/repo/target/debug/examples/libcrosstalk_analysis-481155c4655ce4c7.rmeta: examples/crosstalk_analysis.rs
+
+examples/crosstalk_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-92171ec7982d640d.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/libdesign_space-92171ec7982d640d.rmeta: examples/design_space.rs
+
+examples/design_space.rs:

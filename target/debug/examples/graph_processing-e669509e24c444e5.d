@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_processing-e669509e24c444e5.d: examples/graph_processing.rs
+
+/root/repo/target/debug/examples/libgraph_processing-e669509e24c444e5.rmeta: examples/graph_processing.rs
+
+examples/graph_processing.rs:

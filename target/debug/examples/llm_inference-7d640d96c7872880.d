@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llm_inference-7d640d96c7872880.d: examples/llm_inference.rs
+
+/root/repo/target/debug/examples/libllm_inference-7d640d96c7872880.rmeta: examples/llm_inference.rs
+
+examples/llm_inference.rs:

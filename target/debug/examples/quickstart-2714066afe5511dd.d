@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2714066afe5511dd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-2714066afe5511dd.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/seq2seq_translation-6377bd8f1ebe3f9b.d: examples/seq2seq_translation.rs
+
+/root/repo/target/debug/examples/libseq2seq_translation-6377bd8f1ebe3f9b.rmeta: examples/seq2seq_translation.rs
+
+examples/seq2seq_translation.rs:

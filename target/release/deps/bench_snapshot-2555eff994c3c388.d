@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-2555eff994c3c388.d: crates/bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-2555eff994c3c388: crates/bench/src/bin/bench_snapshot.rs
+
+crates/bench/src/bin/bench_snapshot.rs:

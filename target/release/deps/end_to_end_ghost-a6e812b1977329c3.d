@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_ghost-a6e812b1977329c3.d: tests/end_to_end_ghost.rs
+
+/root/repo/target/release/deps/end_to_end_ghost-a6e812b1977329c3: tests/end_to_end_ghost.rs
+
+tests/end_to_end_ghost.rs:

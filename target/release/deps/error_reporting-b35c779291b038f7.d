@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/error_reporting-b35c779291b038f7.d: tests/error_reporting.rs
+
+/root/repo/target/release/deps/error_reporting-b35c779291b038f7: tests/error_reporting.rs
+
+tests/error_reporting.rs:

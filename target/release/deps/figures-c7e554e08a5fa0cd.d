@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-c7e554e08a5fa0cd.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-c7e554e08a5fa0cd: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/phox_bench-8316643bdf0dfb30.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/phox_bench-8316643bdf0dfb30: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

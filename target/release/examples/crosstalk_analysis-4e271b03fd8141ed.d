@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crosstalk_analysis-4e271b03fd8141ed.d: examples/crosstalk_analysis.rs
+
+/root/repo/target/release/examples/crosstalk_analysis-4e271b03fd8141ed: examples/crosstalk_analysis.rs
+
+examples/crosstalk_analysis.rs:
