@@ -11,6 +11,7 @@
 use std::time::Instant;
 
 use phox_core::tensor::{gemm, parallel, Matrix, Prng};
+use phox_core::trace::json::json_number;
 
 /// Median-of-`reps` wall time for one evaluation of `f`, in seconds.
 fn time_median<F: FnMut() -> Matrix>(reps: usize, mut f: F) -> f64 {
@@ -30,15 +31,6 @@ fn time_median<F: FnMut() -> Matrix>(reps: usize, mut f: F) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     assert!(checksum.is_finite());
     samples[samples.len() / 2]
-}
-
-fn json_number(v: f64) -> String {
-    let s = format!("{v}");
-    if s.contains('.') || s.contains('e') || s.contains('E') {
-        s
-    } else {
-        format!("{s}.0")
-    }
 }
 
 struct SizeReport {

@@ -33,6 +33,7 @@ use std::fmt::Write as _;
 
 use phox_core::prelude::*;
 use phox_core::tensor::parallel;
+use phox_core::trace::json::{json_number, json_string};
 
 /// A rendered figure: a title plus rows of `(label, series values)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,40 +102,6 @@ impl Figure {
             let _ = writeln!(out);
         }
         out
-    }
-}
-
-/// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats an `f64` as a JSON number (JSON has no NaN/Inf: mapped to null).
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        let mut s = format!("{v}");
-        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-            s.push_str(".0");
-        }
-        s
-    } else {
-        "null".to_owned()
     }
 }
 

@@ -46,6 +46,24 @@ impl ComparisonRow {
     }
 }
 
+/// Records one platform of a comparison figure as a model-time span:
+/// duration is the platform's end-to-end latency and the span carries
+/// the full per-inference energy, so a trace of a comparison run is the
+/// figure's raw data.
+fn trace_platform(track: &str, platform: &str, perf: &PerfReport) {
+    if !phox_trace::enabled() {
+        return;
+    }
+    phox_trace::active().model_span(
+        track,
+        format!("platform/{platform}"),
+        0.0,
+        perf.latency_s,
+        Some(perf.energy_j),
+        vec![("gops", perf.gops().into()), ("epb_j", perf.epb_j().into())],
+    );
+}
+
 /// Minimum improvement factors of the photonic accelerator over every
 /// platform in a comparison (the paper's "at least N×" claims).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +88,8 @@ pub fn tron_comparison(
 ) -> Result<Vec<ComparisonRow>, PhotonicError> {
     let report = tron.simulate(model)?;
     let census = model.census();
+    let track = format!("compare/{}", model.name);
+    trace_platform(&track, "TRON", &report.perf);
     let mut rows = vec![ComparisonRow::from_perf("TRON", &report.perf)];
     for b in phox_baselines::transformer_suite() {
         let perf = b
@@ -82,6 +102,7 @@ pub fn tron_comparison(
             .map_err(|e| {
                 baseline_failure(b.name(), e).ctx("evaluating the transformer baseline suite")
             })?;
+        trace_platform(&track, b.name(), &perf);
         rows.push(ComparisonRow::from_perf(b.name(), &perf));
     }
     Ok(rows)
@@ -99,11 +120,14 @@ pub fn ghost_comparison(
     let report = ghost.simulate(workload)?;
     let census = workload.census();
     let layers = workload.model.layers();
+    let track = format!("compare/{}/{}", workload.model.kind, workload.shape.name);
+    trace_platform(&track, "GHOST", &report.perf);
     let mut rows = vec![ComparisonRow::from_perf("GHOST", &report.perf)];
     for b in phox_baselines::gnn_suite() {
         let perf = b
             .evaluate(&census, WorkloadKind::SparseGnn, layers, 1)
             .map_err(|e| baseline_failure(b.name(), e).ctx("evaluating the GNN baseline suite"))?;
+        trace_platform(&track, b.name(), &perf);
         rows.push(ComparisonRow::from_perf(b.name(), &perf));
     }
     Ok(rows)

@@ -43,6 +43,7 @@ pub use phox_memsim as memsim;
 pub use phox_nn as nn;
 pub use phox_photonics as photonics;
 pub use phox_tensor as tensor;
+pub use phox_trace as trace;
 pub use phox_tron as tron;
 
 /// The most commonly used types, importable in one line.
@@ -64,5 +65,6 @@ pub mod prelude {
     pub use phox_photonics::mr::MrConfig;
     pub use phox_photonics::{Ctx, PhotonicError};
     pub use phox_tensor::{Matrix, Prng};
+    pub use phox_trace::{RunManifest, Trace};
     pub use phox_tron::{TronAccelerator, TronConfig, TronFunctional};
 }

@@ -92,6 +92,14 @@ pub struct GhostConfig {
     pub noise: NoiseBudget,
     /// Laser source.
     pub laser: Laser,
+    /// VCSEL electrical power per reduce-unit emitter, W. Each coherent
+    /// reduce pass lights `reduce_branches × reduce_rows` emitters for
+    /// one symbol.
+    pub vcsel_w: f64,
+    /// TIA power per transform-array output row while busy, W.
+    pub tia_w: f64,
+    /// SOA bias power per lane while its update unit is active, W.
+    pub soa_bias_w: f64,
 }
 
 impl Default for GhostConfig {
@@ -114,6 +122,9 @@ impl Default for GhostConfig {
             dac: Dac::default(),
             noise: NoiseBudget::default(),
             laser: Laser::default(),
+            vcsel_w: 4e-3,
+            tia_w: 3e-3,
+            soa_bias_w: 5e-3,
         }
     }
 }
@@ -166,6 +177,13 @@ impl GhostConfig {
             return Err(PhotonicError::InvalidConfig {
                 what: "symbol rate cannot exceed the ADC sampling rate",
             });
+        }
+        for power in [self.vcsel_w, self.tia_w, self.soa_bias_w] {
+            if !(power >= 0.0 && power.is_finite()) {
+                return Err(PhotonicError::InvalidConfig {
+                    what: "device powers (VCSEL, TIA, SOA bias) must be non-negative and finite",
+                });
+            }
         }
         self.mr.validated()?;
         Ok(self)
@@ -234,6 +252,12 @@ mod tests {
         .is_err());
         assert!(GhostConfig {
             symbol_rate_hz: 1e12,
+            ..GhostConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(GhostConfig {
+            soa_bias_w: f64::INFINITY,
             ..GhostConfig::default()
         }
         .validated()

@@ -266,7 +266,14 @@ impl GhostAccelerator {
         }
         let t_sym = 1.0 / cfg.symbol_rate_hz;
 
-        let mut energy = EnergyLedger::default();
+        // Per-stage ledgers (aggregate / combine / update / memory): every
+        // joule is attributed to exactly one stage, and the aggregate
+        // ledger is their component-wise sum — so the per-stage trace
+        // decomposition equals the EnergyLedger totals by construction.
+        let mut agg_energy = EnergyLedger::default();
+        let mut combine_energy = EnergyLedger::default();
+        let mut update_energy = EnergyLedger::default();
+        let mut memory_energy = EnergyLedger::default();
         let mut agg_s = 0.0;
         let mut combine_s = 0.0;
         let mut update_s = 0.0;
@@ -291,19 +298,21 @@ impl GhostAccelerator {
             let agg_symbols = branch_passes * feature_groups;
             let agg_elapsed = agg_symbols as f64 / cfg.lanes as f64 * balance * t_sym;
             agg_s += agg_elapsed;
-            // VCSEL array: branches × rows emitters at ~4 mW electrical.
-            energy.receiver_j +=
-                agg_symbols as f64 * (cfg.reduce_branches * cfg.reduce_rows) as f64 * 4e-3 * t_sym;
+            // VCSEL array: branches × rows emitters per coherent pass.
+            agg_energy.receiver_j += agg_symbols as f64
+                * (cfg.reduce_branches * cfg.reduce_rows) as f64
+                * cfg.vcsel_w
+                * t_sym;
             // Gather DACs: one conversion per edge-feature element.
             let gather_convs = edges * fin;
-            energy.dac_j += gather_convs as f64 * cfg.dac.energy_per_conversion_j();
+            agg_energy.dac_j += gather_convs as f64 * cfg.dac.energy_per_conversion_j();
             // Reduce-output ADCs: one per vertex-feature element per
             // branch pass (partial sums re-digitised between passes).
             let agg_adc = nodes * fin;
-            energy.adc_j += agg_adc as f64 * cfg.adc.energy_per_conversion_j();
+            agg_energy.adc_j += agg_adc as f64 * cfg.adc.energy_per_conversion_j();
             // EO tuning on every gather imprint.
             let eo = cfg.tuning.tune(0.25).ctx("EO tuning for gather imprints")?;
-            energy.tuning_j += gather_convs as f64 * eo.power_w * t_sym;
+            agg_energy.tuning_j += gather_convs as f64 * eo.power_w * t_sym;
 
             // ---- combine: transform units ---------------------------
             let passes =
@@ -316,18 +325,18 @@ impl GhostAccelerator {
                     * fout.div_ceil(cfg.array_channels as u64);
                 combine_symbols += gat_symbols;
                 // Per-edge softmax in the digital domain.
-                energy.digital_j += edges as f64 * 0.5e-12;
+                combine_energy.digital_j += edges as f64 * 0.5e-12;
             }
             let combine_elapsed = combine_symbols as f64 / cfg.lanes as f64 * t_sym;
             combine_s += combine_elapsed;
-            energy.laser_j += combine_symbols as f64 * self.array_laser_w * t_sym;
+            combine_energy.laser_j += combine_symbols as f64 * self.array_laser_w * t_sym;
             // Activation DACs: each vertex's aggregated features drive
             // the transform array once per fout tile.
             let act_convs = nodes * fin_eff * fout.div_ceil(cfg.array_rows as u64);
-            energy.dac_j += act_convs as f64 * cfg.dac.energy_per_conversion_j();
+            combine_energy.dac_j += act_convs as f64 * cfg.dac.energy_per_conversion_j();
             // Transform ADCs: vertex × fout outputs (× fin tiling).
             let tr_adc = nodes * fout * fin_eff.div_ceil(cfg.array_channels as u64);
-            energy.adc_j += tr_adc as f64 * cfg.adc.energy_per_conversion_j();
+            combine_energy.adc_j += tr_adc as f64 * cfg.adc.energy_per_conversion_j();
             // Weight DACs: shared across vertices when the optimization
             // is on — programmed once per lane per pass; otherwise
             // reprogrammed for every vertex.
@@ -337,10 +346,11 @@ impl GhostAccelerator {
             } else {
                 nodes * passes * tile_mrs
             };
-            energy.dac_j += weight_convs as f64 * cfg.dac.energy_per_conversion_j();
-            energy.tuning_j += weight_convs as f64 * eo.power_w * t_sym;
+            combine_energy.dac_j += weight_convs as f64 * cfg.dac.energy_per_conversion_j();
+            combine_energy.tuning_j += weight_convs as f64 * eo.power_w * t_sym;
             // TIAs on the transform outputs.
-            energy.receiver_j += combine_symbols as f64 * cfg.array_rows as f64 * 3e-3 * t_sym;
+            combine_energy.receiver_j +=
+                combine_symbols as f64 * cfg.array_rows as f64 * cfg.tia_w * t_sym;
 
             // ---- update: SOA activations ----------------------------
             let upd_elems = nodes * fout;
@@ -348,7 +358,7 @@ impl GhostAccelerator {
                 upd_elems as f64 / (cfg.lanes as f64 * cfg.array_channels as f64) * t_sym;
             update_s += upd_elapsed;
             // SOA bias power per lane while updating.
-            energy.receiver_j += cfg.lanes as f64 * 5e-3 * upd_elapsed;
+            update_energy.receiver_j += cfg.lanes as f64 * cfg.soa_bias_w * upd_elapsed;
 
             // ---- memory -------------------------------------------
             let feat_bytes = nodes * fin;
@@ -375,11 +385,11 @@ impl GhostAccelerator {
             let weight_bytes = fin_eff * fout;
             let offchip = (streamed + index_bytes + weight_bytes) as usize;
             memory_s += self.hbm.transfer_time_s(offchip);
-            energy.memory_j += self.hbm.transfer_energy_j(offchip);
-            energy.memory_j += self
+            memory_energy.memory_j += self.hbm.transfer_energy_j(offchip);
+            memory_energy.memory_j += self
                 .feature_buffer
                 .read_bytes_energy_j(per_edge_bytes as usize);
-            energy.memory_j += self
+            memory_energy.memory_j += self
                 .accumulator_buffer
                 .write_bytes_energy_j((nodes * fout) as usize);
         }
@@ -401,7 +411,73 @@ impl GhostAccelerator {
 
         // Static leakage over the run.
         let leakage_w = self.feature_buffer.leakage_w() + self.accumulator_buffer.leakage_w();
-        energy.static_j += leakage_w * total_s;
+        let static_j = leakage_w * total_s;
+
+        // The aggregate ledger is assembled *from* the stage ledgers.
+        let mut energy = agg_energy
+            .combine(&combine_energy)
+            .combine(&update_energy)
+            .combine(&memory_energy);
+        energy.static_j += static_j;
+
+        // ---- ledger invariants -------------------------------------
+        let stage_sum_j = agg_energy.total_j()
+            + combine_energy.total_j()
+            + update_energy.total_j()
+            + memory_energy.total_j()
+            + static_j;
+        check_close(
+            "GHOST per-stage energy decomposition vs EnergyLedger total",
+            energy.total_j(),
+            stage_sum_j,
+        )?;
+        check_close(
+            "GHOST LatencyLedger component sum vs reported latency",
+            total_s,
+            latency.total_s(),
+        )?;
+
+        let workload_name = format!("{}/{}", workload.model.kind, workload.shape.name);
+
+        // ---- trace: one span per pipeline stage --------------------
+        if phox_trace::enabled() {
+            let tr = phox_trace::active();
+            let track = format!("ghost/{workload_name}");
+            let stages: [(&str, f64, &EnergyLedger); 3] = [
+                ("aggregate", agg_s, &agg_energy),
+                ("combine", combine_s, &combine_energy),
+                ("update", update_s, &update_energy),
+            ];
+            let mut t0 = 0.0f64;
+            for (name, dur_s, ledger) in stages {
+                tr.model_span(
+                    track.clone(),
+                    format!("stage/{name}"),
+                    t0,
+                    dur_s,
+                    Some(ledger.total_j()),
+                    vec![("balance", phox_trace::Value::Float(balance))],
+                );
+                t0 += dur_s;
+            }
+            tr.model_span(
+                track.clone(),
+                "stage/hbm_stream",
+                t0,
+                latency.memory_s,
+                Some(memory_energy.total_j()),
+                vec![("edges", phox_trace::Value::UInt(edges))],
+            );
+            t0 += latency.memory_s;
+            tr.model_span(
+                track.clone(),
+                "stage/static",
+                t0,
+                0.0,
+                Some(static_j),
+                vec![("leakage_w", phox_trace::Value::Float(leakage_w))],
+            );
+        }
 
         let census = workload.census();
         let perf = PerfReport::new(
@@ -417,9 +493,25 @@ impl GhostAccelerator {
             energy,
             latency,
             balance_factor: balance,
-            workload: format!("{}/{}", workload.model.kind, workload.shape.name),
+            workload: workload_name,
         })
     }
+}
+
+/// Asserts that `actual` matches `expected` to within 1e-9 relative
+/// error — the ledger-invariant guard: a decomposition (per-stage
+/// energies, latency components) must sum back to the total it claims to
+/// decompose, or the roll-up and the itemisation have silently diverged.
+fn check_close(what: &'static str, expected: f64, actual: f64) -> Result<(), PhotonicError> {
+    let scale = expected.abs().max(actual.abs()).max(f64::MIN_POSITIVE);
+    let rel = (expected - actual).abs() / scale;
+    if rel.is_nan() || rel > 1e-9 {
+        return Err(PhotonicError::NumericalFailure {
+            what,
+            detail: format!("expected {expected:e}, decomposition sums to {actual:e}"),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

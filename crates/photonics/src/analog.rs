@@ -331,6 +331,19 @@ impl AnalogEngine {
 
         let mut raw = Matrix::zeros(m, n);
         let mut abs_max = 0.0f64;
+        // Tile spans are recorded here, in the serial assembly loop over
+        // tile indices — never from the worker threads — so the recording
+        // order (and hence the exported trace) is independent of the
+        // thread count. The span axis is the tile sequence number, not
+        // wall or model time: the functional engine has no time model.
+        let tracer = if phox_trace::enabled() {
+            let tr = phox_trace::active();
+            tr.count("analog", "matmuls", 1);
+            tr.count("analog", "tiles", (tile_rows * tile_cols) as i64);
+            Some(tr)
+        } else {
+            None
+        };
         for (t, (vals, tile_max)) in tiles.iter().enumerate() {
             let (i0, j0) = ((t / tile_cols) * TILE, (t % tile_cols) * TILE);
             let (i1, j1) = ((i0 + TILE).min(m), (j0 + TILE).min(n));
@@ -340,6 +353,24 @@ impl AnalogEngine {
                 row[j0..j1].copy_from_slice(&vals[(i - i0) * tile_w..(i - i0 + 1) * tile_w]);
             }
             abs_max = abs_max.max(*tile_max);
+            if let Some(tr) = &tracer {
+                tr.model_span(
+                    "analog",
+                    "tile",
+                    t as f64,
+                    1.0,
+                    None,
+                    vec![
+                        ("op_key", phox_trace::Value::UInt(op_key)),
+                        ("stream", phox_trace::Value::UInt(t as u64)),
+                        ("i0", phox_trace::Value::UInt(i0 as u64)),
+                        ("j0", phox_trace::Value::UInt(j0 as u64)),
+                        ("rows", phox_trace::Value::UInt((i1 - i0) as u64)),
+                        ("cols", phox_trace::Value::UInt((j1 - j0) as u64)),
+                        ("abs_max", phox_trace::Value::Float(*tile_max)),
+                    ],
+                );
+            }
         }
         // ADC stage: signed quantization with per-tile auto-ranging (the
         // TIA gain is set to the tile's dynamic range).

@@ -168,6 +168,28 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
     check_shapes(a, b)?;
     let (m, k) = a.shape();
     let n = b.cols();
+    if phox_trace::enabled() {
+        // Only thread-count-independent quantities are recorded (problem
+        // and block geometry, not the worker split), so a fixed-seed trace
+        // stays byte-identical across `PHOX_NUM_THREADS`.
+        let tr = phox_trace::active();
+        tr.count("gemm", "calls", 1);
+        tr.count("gemm", "macs", (m * k * n) as i64);
+        tr.instant(
+            "gemm",
+            "kernel",
+            vec![
+                ("m", phox_trace::Value::UInt(m as u64)),
+                ("k", phox_trace::Value::UInt(k as u64)),
+                ("n", phox_trace::Value::UInt(n as u64)),
+                ("panel_nc", phox_trace::Value::UInt(NC as u64)),
+                (
+                    "transpose_tile",
+                    phox_trace::Value::UInt(TRANSPOSE_TILE as u64),
+                ),
+            ],
+        );
+    }
     let threads = parallel::max_threads();
     if threads <= 1 || m <= 1 || m * k * n < PAR_ELEMS_MIN {
         return matmul_blocked(a, b);

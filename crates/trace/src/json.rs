@@ -1,0 +1,66 @@
+//! The workspace's hand-rolled JSON writer.
+//!
+//! crates.io is unreachable in the build environment, so instead of
+//! serde the exporters (and the figure/benchmark serializers in
+//! `phox-bench`) emit JSON through these two primitives. They cover the
+//! whole value surface the simulators need: escaped string literals and
+//! finite-checked numbers.
+
+use std::fmt::Write as _;
+
+/// Escapes a string as a JSON string literal (including the quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values map to `null`; integral values keep a `.0` suffix so
+/// the token stays unambiguously a float for downstream readers.
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn numbers_are_finite_floats_or_null() {
+        assert_eq!(json_number(1.0), "1.0");
+        assert_eq!(json_number(0.25), "0.25");
+        assert_eq!(json_number(1e-12), "0.000000000001");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,97 @@
+//! Run manifests: the who/what/how of a recorded trace.
+//!
+//! A trace without its configuration is unreproducible. `RunManifest`
+//! captures the knobs that determine a simulation's output — a digest of
+//! the full config, the RNG seeds in play, the resolved worker-thread
+//! count, and a workload identifier — so a `trace.json` can always be
+//! traced back to the run that produced it.
+
+use crate::json::{json_number, json_string};
+
+/// Identifying metadata for one recorded simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Human-readable workload identifier (e.g. `"tron/bert_base"`).
+    pub workload: String,
+    /// FNV-1a 64-bit hex digest of the platform configuration
+    /// (see [`digest_of`]).
+    pub config_digest: String,
+    /// RNG seeds that parameterize the run, in a stable order.
+    pub seeds: Vec<u64>,
+    /// Worker-thread count the run resolved (`PHOX_NUM_THREADS` or the
+    /// `with_threads` override); `0` means "library default".
+    pub num_threads: usize,
+}
+
+impl RunManifest {
+    /// Serializes the manifest as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let seeds = self
+            .seeds
+            .iter()
+            .map(|s| json_number(*s as f64))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"workload\":{},\"config_digest\":{},\"seeds\":[{}],\"num_threads\":{}}}",
+            json_string(&self.workload),
+            json_string(&self.config_digest),
+            seeds,
+            self.num_threads
+        )
+    }
+}
+
+/// Digests a configuration value into a stable hex string.
+///
+/// Uses FNV-1a 64 over the `Debug` representation: the configs in this
+/// workspace are plain-old-data structs whose `Debug` output lists every
+/// field, so any parameter change perturbs the digest. Not cryptographic —
+/// this is a change detector, not an integrity check.
+pub fn digest_of<T: std::fmt::Debug>(config: &T) -> String {
+    let repr = format!("{config:?}");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in repr.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        // The fields are only ever read through the derived Debug impl
+        // (which dead-code analysis deliberately ignores).
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Cfg {
+            a: u32,
+            b: f64,
+        }
+        let d1 = digest_of(&Cfg { a: 1, b: 2.0 });
+        let d2 = digest_of(&Cfg { a: 1, b: 2.0 });
+        let d3 = digest_of(&Cfg { a: 2, b: 2.0 });
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_eq!(d1.len(), 16);
+    }
+
+    #[test]
+    fn manifest_serializes_to_json() {
+        let m = RunManifest {
+            workload: "tron/bert_base".to_owned(),
+            config_digest: "deadbeefdeadbeef".to_owned(),
+            seeds: vec![7, 11],
+            num_threads: 4,
+        };
+        assert_eq!(
+            m.to_json(),
+            "{\"workload\":\"tron/bert_base\",\"config_digest\":\"deadbeefdeadbeef\",\
+             \"seeds\":[7.0,11.0],\"num_threads\":4}"
+        );
+    }
+}

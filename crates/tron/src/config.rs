@@ -69,6 +69,18 @@ pub struct TronConfig {
     pub laser: Laser,
     /// Softmax digital block.
     pub softmax: SoftmaxLut,
+    /// TIA power per receiver lane while its array is busy, W. One
+    /// transimpedance amplifier serves each array row's balanced
+    /// photodetector pair.
+    pub tia_w: f64,
+    /// VCSEL electrical power per coherent-residual-adder lane, W. The
+    /// residual adders re-modulate activations onto fresh carriers; this
+    /// is the wall-plug draw of one lane for one symbol.
+    pub vcsel_w: f64,
+    /// Bias-tuning power of one single-MR LayerNorm gain stage, W. The LN
+    /// MRs only trim gain, so they hold a tiny EO bias rather than a full
+    /// TO tuning event.
+    pub ln_tuning_w: f64,
 }
 
 impl Default for TronConfig {
@@ -94,6 +106,9 @@ impl Default for TronConfig {
             noise: NoiseBudget::default(),
             laser: Laser::default(),
             softmax: SoftmaxLut::default(),
+            tia_w: 3e-3,
+            vcsel_w: 4e-3,
+            ln_tuning_w: 1e-6,
         }
     }
 }
@@ -147,6 +162,13 @@ impl TronConfig {
             return Err(PhotonicError::InvalidConfig {
                 what: "symbol rate cannot exceed the ADC sampling rate",
             });
+        }
+        for power in [self.tia_w, self.vcsel_w, self.ln_tuning_w] {
+            if !(power >= 0.0 && power.is_finite()) {
+                return Err(PhotonicError::InvalidConfig {
+                    what: "device powers (TIA, VCSEL, LN tuning) must be non-negative and finite",
+                });
+            }
         }
         self.mr.validated()?;
         Ok(self)
@@ -226,6 +248,18 @@ mod tests {
         // Symbol rate beyond the ADC is not realisable.
         assert!(TronConfig {
             symbol_rate_hz: 100e9,
+            ..TronConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(TronConfig {
+            tia_w: -1.0,
+            ..TronConfig::default()
+        }
+        .validated()
+        .is_err());
+        assert!(TronConfig {
+            vcsel_w: f64::NAN,
             ..TronConfig::default()
         }
         .validated()

@@ -45,6 +45,53 @@ pub enum UnitClass {
     FeedForward,
 }
 
+/// Which pipeline stage of the transformer layer a matmul belongs to.
+///
+/// `UnitClass` says *where* a matmul runs; `Stage` says *what* it is in
+/// the dataflow — the Q/K/V projections and the per-head score/context
+/// matmuls both run on head units but are distinct stages of the paper's
+/// energy attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Q/K/V (and cross-attention) input projections.
+    Projection,
+    /// Per-head score and context matmuls.
+    Attention,
+    /// The post-attention output projection.
+    Linear,
+    /// The two feed-forward matmuls.
+    FeedForward,
+}
+
+impl Stage {
+    /// All matmul stages, in dataflow order.
+    pub const ALL: [Stage; 4] = [
+        Stage::Projection,
+        Stage::Attention,
+        Stage::Linear,
+        Stage::FeedForward,
+    ];
+
+    /// Stable span name for trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Projection => "projection",
+            Stage::Attention => "attention",
+            Stage::Linear => "linear",
+            Stage::FeedForward => "feedforward",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Projection => 0,
+            Stage::Attention => 1,
+            Stage::Linear => 2,
+            Stage::FeedForward => 3,
+        }
+    }
+}
+
 /// Cost of one matmul on one unit group.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MatmulCost {
@@ -200,8 +247,10 @@ impl TronAccelerator {
     }
 
     /// Every matmul of one full inference of `model`, in dataflow order
-    /// (encoder layers, then decoder layers for encoder-decoder models).
-    pub fn model_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass)> {
+    /// (encoder layers, then decoder layers for encoder-decoder models),
+    /// tagged with the unit group that runs it and the pipeline stage it
+    /// belongs to.
+    pub fn model_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass, Stage)> {
         let mut v = Vec::new();
         for _ in 0..model.layers {
             v.extend(Self::layer_matmuls(model));
@@ -216,7 +265,9 @@ impl TronAccelerator {
 
     /// The matmuls of one decoder layer: a full self-attention layer plus
     /// the cross-attention block.
-    pub fn decoder_layer_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass)> {
+    pub fn decoder_layer_matmuls(
+        model: &TransformerConfig,
+    ) -> Vec<(MatmulShape, UnitClass, Stage)> {
         let s = model.seq_len;
         let d = model.d_model;
         let dh = model.d_head();
@@ -225,20 +276,44 @@ impl TronAccelerator {
         // Cross-attention: Q from the decoder state, K/V from the
         // encoder memory, output projection; per-head score and context
         // matmuls.
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // Q_c
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // K_c
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // V_c
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Head,
+            Stage::Projection,
+        )); // Q_c
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Head,
+            Stage::Projection,
+        )); // K_c
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Head,
+            Stage::Projection,
+        )); // V_c
         for _ in 0..h {
-            v.push((MatmulShape { m: s, k: dh, n: s }, UnitClass::Head));
-            v.push((MatmulShape { m: s, k: s, n: dh }, UnitClass::Head));
+            v.push((
+                MatmulShape { m: s, k: dh, n: s },
+                UnitClass::Head,
+                Stage::Attention,
+            ));
+            v.push((
+                MatmulShape { m: s, k: s, n: dh },
+                UnitClass::Head,
+                Stage::Attention,
+            ));
         }
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Linear)); // W_co
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Linear,
+            Stage::Linear,
+        )); // W_co
         v
     }
 
     /// The matmuls of one encoder (or single-stack) transformer layer, in
     /// dataflow order.
-    pub fn layer_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass)> {
+    pub fn layer_matmuls(model: &TransformerConfig) -> Vec<(MatmulShape, UnitClass, Stage)> {
         let s = model.seq_len;
         let d = model.d_model;
         let dh = model.d_head();
@@ -247,17 +322,41 @@ impl TronAccelerator {
         // Q, K, V projections (the decomposition of eq. (3) replaces the
         // K projection with (Q·W_Kᵀ)·Xᵀ — same MAC count, no digital
         // transpose).
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // Q = X·W_Q
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // Q·W_Kᵀ
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Head)); // V = X·W_V
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Head,
+            Stage::Projection,
+        )); // Q = X·W_Q
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Head,
+            Stage::Projection,
+        )); // Q·W_Kᵀ
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Head,
+            Stage::Projection,
+        )); // V = X·W_V
         for _ in 0..h {
             // (Q·W_Kᵀ)·Xᵀ per head: s×dh · dh×s.
-            v.push((MatmulShape { m: s, k: dh, n: s }, UnitClass::Head));
+            v.push((
+                MatmulShape { m: s, k: dh, n: s },
+                UnitClass::Head,
+                Stage::Attention,
+            ));
             // softmax(scores)·V per head: s×s · s×dh.
-            v.push((MatmulShape { m: s, k: s, n: dh }, UnitClass::Head));
+            v.push((
+                MatmulShape { m: s, k: s, n: dh },
+                UnitClass::Head,
+                Stage::Attention,
+            ));
         }
         // Output projection (the "linear layer ... two MR bank arrays").
-        v.push((MatmulShape { m: s, k: d, n: d }, UnitClass::Linear));
+        v.push((
+            MatmulShape { m: s, k: d, n: d },
+            UnitClass::Linear,
+            Stage::Linear,
+        ));
         // Feed-forward.
         v.push((
             MatmulShape {
@@ -266,6 +365,7 @@ impl TronAccelerator {
                 n: model.d_ff,
             },
             UnitClass::FeedForward,
+            Stage::FeedForward,
         ));
         v.push((
             MatmulShape {
@@ -274,6 +374,7 @@ impl TronAccelerator {
                 n: d,
             },
             UnitClass::FeedForward,
+            Stage::FeedForward,
         ));
         v
     }
@@ -295,47 +396,58 @@ impl TronAccelerator {
         let mut total_macs = 0u64;
 
         // ----- analog compute: every matmul of the whole model -------
+        // Each matmul's cost is accumulated as a delta ledger that feeds
+        // both the aggregate and its pipeline stage's ledger, so the
+        // per-stage decomposition sums to the totals by construction.
         let matmuls = Self::model_matmuls(model);
         let mut model_elapsed_s = 0.0;
-        for &(shape, unit) in &matmuls {
+        let mut stage_energy = [EnergyLedger::default(); Stage::ALL.len()];
+        let mut stage_elapsed = [0.0f64; Stage::ALL.len()];
+        let mut stage_matmuls = [0u64; Stage::ALL.len()];
+        for &(shape, unit, stage) in &matmuls {
             let c = self.matmul_cost(shape, unit)?;
             total_macs += c.macs;
-            model_elapsed_s += c.elapsed_symbols as f64 * t_sym;
+            let elapsed_s = c.elapsed_symbols as f64 * t_sym;
+            model_elapsed_s += elapsed_s;
 
-            energy.laser_j += c.symbols as f64 * self.array_laser_w * t_sym;
-            energy.dac_j += (c.weight_conversions + c.activation_conversions) as f64
+            let mut delta = EnergyLedger::default();
+            delta.laser_j += c.symbols as f64 * self.array_laser_w * t_sym;
+            delta.dac_j += (c.weight_conversions + c.activation_conversions) as f64
                 * cfg.dac.energy_per_conversion_j();
-            energy.adc_j += c.adc_conversions as f64 * cfg.adc.energy_per_conversion_j();
+            delta.adc_j += c.adc_conversions as f64 * cfg.adc.energy_per_conversion_j();
             // Tuning: activations are EO-only (clamped range); ~2 % of
             // weight imprints need a TO event held for the pass.
             let eo_op = cfg
                 .tuning
                 .tune(0.25)
                 .ctx("EO tuning for activation imprints")?;
-            energy.tuning_j +=
+            delta.tuning_j +=
                 (c.activation_conversions + c.weight_conversions) as f64 * eo_op.power_w * t_sym;
             let to_fraction = 0.02;
             let to_op = cfg.tuning.tune(1.0).ctx("TO tuning for weight imprints")?;
             let pass_hold_s = shape.m as f64 * t_sym;
-            energy.tuning_j +=
+            delta.tuning_j +=
                 to_fraction * c.weight_conversions as f64 * to_op.power_w * pass_hold_s;
             // Receiver: one TIA per row, powered while the array is busy.
-            energy.receiver_j += c.symbols as f64
-                * self.config.array_rows as f64
-                * 3e-3 // TIA power, W
-                * t_sym;
+            delta.receiver_j +=
+                c.symbols as f64 * self.config.array_rows as f64 * cfg.tia_w * t_sym;
             // Buffer traffic: weights DAC'd from the weight buffer,
             // activations from/to the activation buffer (1 byte each at
             // 8-bit).
-            energy.memory_j += self
+            delta.memory_j += self
                 .weight_buffer
                 .read_bytes_energy_j(c.weight_conversions as usize);
-            energy.memory_j += self
+            delta.memory_j += self
                 .act_buffer
                 .read_bytes_energy_j(c.activation_conversions as usize)
                 + self
                     .act_buffer
                     .write_bytes_energy_j(c.adc_conversions as usize);
+
+            energy = energy.combine(&delta);
+            stage_energy[stage.index()] = stage_energy[stage.index()].combine(&delta);
+            stage_elapsed[stage.index()] += elapsed_s;
+            stage_matmuls[stage.index()] += 1;
         }
         // Compute for the whole batch (weights stay; activations stream).
         let compute_batch_s = model_elapsed_s * batch as f64;
@@ -356,16 +468,17 @@ impl TronAccelerator {
         let elementwise_lanes = (cfg.array_channels * cfg.head_units) as f64;
         let elementwise_s =
             (ln_elems + residual_elems) as f64 / (elementwise_lanes * cfg.symbol_rate_hz);
-        // VCSEL energy for the coherent residual adders (~4 mW electrical
-        // per lane-symbol) and single-MR LN tuning.
-        energy.receiver_j += residual_elems as f64 * 4e-3 * t_sym;
-        energy.tuning_j += ln_elems as f64 * 1e-6 * t_sym;
+        // VCSEL energy for the coherent residual adders and single-MR LN
+        // tuning (device powers are config fields; see `TronConfig`).
+        energy.receiver_j += residual_elems as f64 * cfg.vcsel_w * t_sym;
+        energy.tuning_j += ln_elems as f64 * cfg.ln_tuning_w * t_sym;
 
         // ----- weight streaming (once per batch) --------------------
         let weight_bytes = census.weight_bytes as usize;
         let hbm_s = self.hbm.transfer_time_s(weight_bytes);
-        energy.memory_j += self.hbm.transfer_energy_j(weight_bytes);
-        energy.memory_j += self.weight_buffer.write_bytes_energy_j(weight_bytes);
+        let hbm_energy_j = self.hbm.transfer_energy_j(weight_bytes)
+            + self.weight_buffer.write_bytes_energy_j(weight_bytes);
+        energy.memory_j += hbm_energy_j;
 
         // ----- latency roll-up --------------------------------------
         let compute_total_s = compute_batch_s + elementwise_s;
@@ -386,6 +499,98 @@ impl TronAccelerator {
         // Per-inference figures.
         let per_inf_energy = energy.scale(1.0 / batch as f64);
         let per_inf_latency_s = batch_latency_s / batch as f64;
+
+        // ----- per-stage decomposition + ledger invariants ----------
+        // Per-inference stage energies. The analog stages scale ×batch
+        // then ÷batch (cancelling), so the raw accumulation is already
+        // per-inference; the model-level stages divide by batch where the
+        // aggregate path multiplied by it.
+        let batch_f = batch as f64;
+        let softmax_stage_j = census.softmax_elements as f64 * cfg.softmax.energy_per_element_j;
+        let ln_stage_j = (census.adds as f64 * cfg.vcsel_w
+            + census.layernorm_elements as f64 * cfg.ln_tuning_w)
+            * t_sym;
+        let hbm_stage_j = hbm_energy_j / batch_f;
+        let static_stage_j = leakage_w * batch_latency_s / batch_f;
+        let stage_sum_j: f64 = stage_energy.iter().map(EnergyLedger::total_j).sum::<f64>()
+            + softmax_stage_j
+            + ln_stage_j
+            + hbm_stage_j
+            + static_stage_j;
+        check_close(
+            "TRON per-stage energy decomposition vs EnergyLedger total",
+            per_inf_energy.total_j(),
+            stage_sum_j,
+        )?;
+        check_close(
+            "TRON LatencyLedger component sum vs reported latency",
+            per_inf_latency_s,
+            latency.total_s(),
+        )?;
+
+        // ----- trace: one span per pipeline stage -------------------
+        // The spans lay the stages end to end on a model-time axis; each
+        // carries the exact per-inference joules it added to the ledger,
+        // so the trace *is* the ledger decomposition.
+        if phox_trace::enabled() {
+            let tr = phox_trace::active();
+            let track = format!("tron/{}", model.name);
+            let mut t0 = 0.0f64;
+            for stage in Stage::ALL {
+                let i = stage.index();
+                tr.model_span(
+                    track.clone(),
+                    format!("stage/{}", stage.name()),
+                    t0,
+                    stage_elapsed[i],
+                    Some(stage_energy[i].total_j()),
+                    vec![("matmuls", phox_trace::Value::UInt(stage_matmuls[i]))],
+                );
+                t0 += stage_elapsed[i];
+            }
+            let ln_dur_s = elementwise_s / batch_f;
+            tr.model_span(
+                track.clone(),
+                "stage/layernorm_residual",
+                t0,
+                ln_dur_s,
+                Some(ln_stage_j),
+                vec![
+                    (
+                        "ln_elems",
+                        phox_trace::Value::UInt(census.layernorm_elements),
+                    ),
+                    ("residual_elems", phox_trace::Value::UInt(census.adds)),
+                ],
+            );
+            t0 += ln_dur_s;
+            tr.model_span(
+                track.clone(),
+                "stage/softmax",
+                t0,
+                latency.digital_s,
+                Some(softmax_stage_j),
+                vec![("elems", phox_trace::Value::UInt(census.softmax_elements))],
+            );
+            t0 += latency.digital_s;
+            tr.model_span(
+                track.clone(),
+                "stage/hbm_stream",
+                t0,
+                latency.memory_s,
+                Some(hbm_stage_j),
+                vec![("weight_bytes", phox_trace::Value::UInt(weight_bytes as u64))],
+            );
+            t0 += latency.memory_s;
+            tr.model_span(
+                track.clone(),
+                "stage/static",
+                t0,
+                0.0,
+                Some(static_stage_j),
+                vec![("leakage_w", phox_trace::Value::Float(leakage_w))],
+            );
+        }
 
         let ops = census.total_ops();
         let bits = census.total_bits();
@@ -409,6 +614,22 @@ impl TronAccelerator {
             model: model.name.clone(),
         })
     }
+}
+
+/// Asserts that `actual` matches `expected` to within 1e-9 relative
+/// error — the ledger-invariant guard: a decomposition (per-stage
+/// energies, latency components) must sum back to the total it claims to
+/// decompose, or the roll-up and the itemisation have silently diverged.
+fn check_close(what: &'static str, expected: f64, actual: f64) -> Result<(), PhotonicError> {
+    let scale = expected.abs().max(actual.abs()).max(f64::MIN_POSITIVE);
+    let rel = (expected - actual).abs() / scale;
+    if rel.is_nan() || rel > 1e-9 {
+        return Err(PhotonicError::NumericalFailure {
+            what,
+            detail: format!("expected {expected:e}, decomposition sums to {actual:e}"),
+        });
+    }
+    Ok(())
 }
 
 /// Scales only the per-matmul analog components (laser, converters,
@@ -469,7 +690,10 @@ mod tests {
             phox_nn::transformer::TransformerConfig::transformer_base(64),
         ] {
             let matmuls = TronAccelerator::model_matmuls(&model);
-            let macs: u64 = matmuls.iter().map(|(s, _)| (s.m * s.k * s.n) as u64).sum();
+            let macs: u64 = matmuls
+                .iter()
+                .map(|(s, _, _)| (s.m * s.k * s.n) as u64)
+                .sum();
             let census = model.census();
             assert_eq!(macs, census.macs, "{}", model.name);
         }
@@ -614,11 +838,23 @@ impl TronAccelerator {
         let t_avg = model.seq_len + gen_tokens / 2;
 
         // One decode step's matmuls (m = 1, KV-cached attention).
-        let mut step: Vec<(MatmulShape, UnitClass)> = Vec::new();
+        let mut step: Vec<(MatmulShape, UnitClass, Stage)> = Vec::new();
         for _ in 0..model.layers {
-            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // Q
-            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // K
-            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Head)); // V
+            step.push((
+                MatmulShape { m: 1, k: d, n: d },
+                UnitClass::Head,
+                Stage::Projection,
+            )); // Q
+            step.push((
+                MatmulShape { m: 1, k: d, n: d },
+                UnitClass::Head,
+                Stage::Projection,
+            )); // K
+            step.push((
+                MatmulShape { m: 1, k: d, n: d },
+                UnitClass::Head,
+                Stage::Projection,
+            )); // V
             for _ in 0..model.heads {
                 step.push((
                     MatmulShape {
@@ -627,6 +863,7 @@ impl TronAccelerator {
                         n: t_avg,
                     },
                     UnitClass::Head,
+                    Stage::Attention,
                 ));
                 step.push((
                     MatmulShape {
@@ -635,9 +872,14 @@ impl TronAccelerator {
                         n: dh,
                     },
                     UnitClass::Head,
+                    Stage::Attention,
                 ));
             }
-            step.push((MatmulShape { m: 1, k: d, n: d }, UnitClass::Linear));
+            step.push((
+                MatmulShape { m: 1, k: d, n: d },
+                UnitClass::Linear,
+                Stage::Linear,
+            ));
             step.push((
                 MatmulShape {
                     m: 1,
@@ -645,6 +887,7 @@ impl TronAccelerator {
                     n: model.d_ff,
                 },
                 UnitClass::FeedForward,
+                Stage::FeedForward,
             ));
             step.push((
                 MatmulShape {
@@ -653,18 +896,19 @@ impl TronAccelerator {
                     n: d,
                 },
                 UnitClass::FeedForward,
+                Stage::FeedForward,
             ));
         }
         let mut step_elapsed_s = 0.0;
         let mut step_energy = EnergyLedger::default();
-        for &(shape, unit) in &step {
+        for &(shape, unit, _stage) in &step {
             let c = self.matmul_cost(shape, unit)?;
             step_elapsed_s += c.elapsed_symbols as f64 * t_sym;
             step_energy.laser_j += c.symbols as f64 * self.array_laser_w * t_sym;
             step_energy.dac_j += (c.weight_conversions + c.activation_conversions) as f64
                 * cfg.dac.energy_per_conversion_j();
             step_energy.adc_j += c.adc_conversions as f64 * cfg.adc.energy_per_conversion_j();
-            step_energy.receiver_j += c.symbols as f64 * cfg.array_rows as f64 * 3e-3 * t_sym;
+            step_energy.receiver_j += c.symbols as f64 * cfg.array_rows as f64 * cfg.tia_w * t_sym;
         }
         // Weight streaming: the whole model re-streams every decode step,
         // amortised over the concurrent batch rows; compute overlaps it.

@@ -1,0 +1,197 @@
+//! Per-stage profile of the paper's evaluation workloads (Figs. 8–11).
+//!
+//! Runs the four Transformer workloads on TRON and the four GNN
+//! workloads on GHOST with tracing enabled, then:
+//!
+//! 1. writes `target/profile/trace.json` (Chrome `trace_event` format —
+//!    load it in `chrome://tracing` or Perfetto) and
+//!    `target/profile/trace.jsonl` (one record per line);
+//! 2. prints a per-stage latency/energy table per workload (also written
+//!    to `target/profile/profile.txt`);
+//! 3. cross-checks the trace against the simulator: the per-stage span
+//!    energies on each workload's track must sum to that run's
+//!    `EnergyLedger::total_j()` within 1e-9 relative error;
+//! 4. times the whole suite with tracing enabled and disabled, to show
+//!    the disabled-path overhead is negligible.
+//!
+//! ```sh
+//! cargo run --example profile_report --release
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use phox::prelude::*;
+use phox::tensor::parallel;
+use phox::trace::{digest_of, Kind};
+
+/// The Fig. 8/9 Transformer workloads.
+fn tron_workloads() -> Vec<TransformerConfig> {
+    vec![
+        TransformerConfig::bert_base(128),
+        TransformerConfig::bert_large(128),
+        TransformerConfig::gpt2(128),
+        TransformerConfig::vit_b16(),
+    ]
+}
+
+/// The Fig. 10/11 GNN workloads.
+fn ghost_workloads() -> Vec<GnnWorkload> {
+    vec![
+        GnnWorkload::new(
+            GnnConfig::two_layer(GnnKind::Gcn, 1433, 16, 7),
+            GraphShape::cora(),
+        ),
+        GnnWorkload::new(
+            GnnConfig::two_layer(GnnKind::Gin, 3703, 16, 6),
+            GraphShape::citeseer(),
+        ),
+        GnnWorkload::new(
+            GnnConfig::two_layer(GnnKind::Gat, 500, 16, 3),
+            GraphShape::pubmed(),
+        ),
+        GnnWorkload::sampled(
+            GnnConfig::two_layer(GnnKind::GraphSage, 602, 128, 41),
+            GraphShape::reddit(),
+            25,
+        ),
+    ]
+}
+
+/// Runs every workload, pushing one manifest per run when `trace` is
+/// live. Returns `(track, total_energy_j)` pairs for the cross-check.
+fn run_suite(trace: &Trace) -> Result<Vec<(String, f64)>, PhotonicError> {
+    let mut expected = Vec::new();
+
+    let tron_config = TronConfig::default();
+    let tron = TronAccelerator::new(tron_config.clone())?;
+    for model in tron_workloads() {
+        trace.push_manifest(RunManifest {
+            workload: format!("tron/{}", model.name),
+            config_digest: digest_of(&tron_config),
+            // The performance model is analytical: no RNG is consumed.
+            seeds: Vec::new(),
+            num_threads: parallel::max_threads(),
+        });
+        let report = tron.simulate(&model)?;
+        expected.push((format!("tron/{}", model.name), report.perf.energy_j));
+    }
+
+    let ghost_config = GhostConfig::default();
+    let ghost = GhostAccelerator::new(ghost_config.clone())?;
+    for workload in ghost_workloads() {
+        let report = ghost.simulate(&workload)?;
+        trace.push_manifest(RunManifest {
+            workload: format!("ghost/{}", report.workload),
+            config_digest: digest_of(&ghost_config),
+            seeds: Vec::new(),
+            num_threads: parallel::max_threads(),
+        });
+        expected.push((format!("ghost/{}", report.workload), report.perf.energy_j));
+    }
+
+    Ok(expected)
+}
+
+/// Renders the per-stage table for every `stage/*` span in the trace.
+fn stage_table(trace: &Trace) -> String {
+    let mut out = String::new();
+    let mut current_track = String::new();
+    for e in trace.events() {
+        let Kind::Span {
+            dur_s,
+            energy_j: Some(j),
+            ..
+        } = e.kind
+        else {
+            continue;
+        };
+        if !e.name.starts_with("stage/") {
+            continue;
+        }
+        if e.track != current_track {
+            current_track.clone_from(&e.track);
+            let _ = writeln!(out, "\n{current_track}");
+        }
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12.3} µs {:>14.4} µJ",
+            &e.name["stage/".len()..],
+            dur_s * 1e6,
+            j * 1e6
+        );
+    }
+    out
+}
+
+/// Sums `stage/*` span energy per track.
+fn stage_energy_sums(trace: &Trace) -> Vec<(String, f64)> {
+    let mut sums: Vec<(String, f64)> = Vec::new();
+    for e in trace.events() {
+        let Kind::Span {
+            energy_j: Some(j), ..
+        } = e.kind
+        else {
+            continue;
+        };
+        if !e.name.starts_with("stage/") {
+            continue;
+        }
+        match sums.iter_mut().find(|(t, _)| *t == e.track) {
+            Some((_, acc)) => *acc += j,
+            None => sums.push((e.track.clone(), j)),
+        }
+    }
+    sums
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------- traced run over the Fig. 8–11 suite ----------------
+    let trace = Trace::new();
+    let t0 = Instant::now();
+    let expected = phox::trace::with_installed(trace.clone(), || run_suite(&trace))?;
+    let traced_s = t0.elapsed().as_secs_f64();
+
+    // ---------- per-stage table ------------------------------------
+    let table = stage_table(&trace);
+    println!("per-stage profile (model time and ledger energy):{table}");
+
+    // ---------- trace-vs-ledger cross-check ------------------------
+    let sums = stage_energy_sums(&trace);
+    println!("trace-vs-ledger energy cross-check (tolerance 1e-9 relative):");
+    for (track, total_j) in &expected {
+        let sum_j = sums
+            .iter()
+            .find(|(t, _)| t == track)
+            .map(|(_, s)| *s)
+            .ok_or_else(|| format!("no stage spans recorded for track {track}"))?;
+        let rel = (sum_j - total_j).abs() / total_j.abs().max(f64::MIN_POSITIVE);
+        assert!(
+            rel <= 1e-9,
+            "{track}: stage sum {sum_j} J vs ledger {total_j} J (rel {rel:.3e})"
+        );
+        println!("  {track:<24} {sum_j:.6e} J  (rel err {rel:.2e})  ok");
+    }
+
+    // ---------- artifacts ------------------------------------------
+    let dir = std::path::Path::new("target/profile");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("trace.json"), trace.export_chrome())?;
+    std::fs::write(dir.join("trace.jsonl"), trace.export_jsonl())?;
+    std::fs::write(dir.join("profile.txt"), &table)?;
+    println!(
+        "\nwrote {} events to target/profile/{{trace.json,trace.jsonl,profile.txt}}",
+        trace.events().len()
+    );
+
+    // ---------- disabled-path overhead -----------------------------
+    let t0 = Instant::now();
+    let _ = run_suite(&Trace::disabled())?;
+    let disabled_s = t0.elapsed().as_secs_f64();
+    println!(
+        "suite wall time: {:.1} ms traced, {:.1} ms untraced",
+        traced_s * 1e3,
+        disabled_s * 1e3
+    );
+    Ok(())
+}

@@ -136,7 +136,10 @@ fn eq3_decomposition_covers_attention_macs() {
     // census — only remove the digital transpose.
     let model = TransformerConfig::bert_base(128);
     let matmuls = phox::tron::perf::TronAccelerator::layer_matmuls(&model);
-    let macs: u64 = matmuls.iter().map(|(s, _)| (s.m * s.k * s.n) as u64).sum();
+    let macs: u64 = matmuls
+        .iter()
+        .map(|(s, _, _)| (s.m * s.k * s.n) as u64)
+        .sum();
     assert_eq!(macs * model.layers as u64, model.census().macs);
 }
 
