@@ -1,16 +1,28 @@
-//! Records a GEMM kernel speedup snapshot as JSON.
+//! Records kernel speedup snapshots as JSON.
 //!
-//! Runs the textbook i-j-k loop, the cache-blocked packed-`Bᵀ` kernel,
-//! and the blocked kernel with row-band parallelism at 64 / 256 / 1024,
-//! and writes per-size timings plus blocked-vs-naive and
-//! parallel-vs-naive speedups. The acceptance gate for the parallel
-//! backend PR is the blocked kernel reaching ≥4× over naive at 1024.
+//! Two snapshots are produced:
 //!
-//! Usage: `bench_snapshot [OUTPUT.json]` (default `BENCH_1.json`).
+//! * **gemm** (`BENCH_1.json`): the textbook i-j-k loop, the
+//!   cache-blocked packed-`Bᵀ` kernel, and the blocked kernel with
+//!   row-band parallelism at 64 / 256 / 1024. The acceptance gate for the
+//!   parallel backend PR is the blocked kernel reaching ≥4× over naive at
+//!   1024.
+//! * **sparse** (`BENCH_2.json`): CSR aggregation vs the retired per-node
+//!   dense-stack path on a Cora-class R-MAT graph and a 100k-node /
+//!   1M-edge synthetic power-law graph. The acceptance gate for the
+//!   sparse compute-path PR is ≥5× on the Cora-class graph and a
+//!   completed large-graph run.
+//!
+//! Usage: `bench_snapshot [gemm|sparse|all] [OUTPUT.json]` (default
+//! `all`, writing `BENCH_1.json` and `BENCH_2.json`). A bare
+//! `OUTPUT.json` first argument keeps the legacy behaviour of writing the
+//! gemm snapshot there.
 
 use std::time::Instant;
 
-use phox_core::tensor::{gemm, parallel, Matrix, Prng};
+use phox_core::nn::datasets::{power_law, GraphShape};
+use phox_core::nn::gnn::{Aggregation, CsrGraph, GnnConfig, GnnKind, GnnModel};
+use phox_core::tensor::{gemm, parallel, sparse, Matrix, Prng};
 use phox_core::trace::json::json_number;
 
 /// Median-of-`reps` wall time for one evaluation of `f`, in seconds.
@@ -85,10 +97,15 @@ fn measure(n: usize, reps: usize) -> SizeReport {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_1.json".to_string());
+fn write_or_die(out_path: &str, json: &str) {
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("bench_snapshot: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("bench_snapshot: wrote {out_path}");
+}
+
+fn run_gemm(out_path: &str) {
     let sizes_reps = [(64usize, 21usize), (256, 9), (1024, 3)];
     let mut reports = Vec::new();
     for &(n, reps) in &sizes_reps {
@@ -118,9 +135,132 @@ fn main() {
         parallel::max_threads(),
         rows.join(",\n"),
     );
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("bench_snapshot: cannot write {out_path}: {e}");
-        std::process::exit(1);
+    write_or_die(out_path, &json);
+}
+
+struct GraphReport {
+    name: &'static str,
+    nodes: usize,
+    edges: usize,
+    features: usize,
+    dense_stack_s: f64,
+    sparse_s: f64,
+    spmm_s: f64,
+}
+
+impl GraphReport {
+    fn speedup(&self) -> f64 {
+        self.dense_stack_s / self.sparse_s
     }
-    println!("bench_snapshot: wrote {out_path}");
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"nodes\": {},\n",
+                "      \"edges\": {},\n",
+                "      \"features\": {},\n",
+                "      \"dense_stack_s\": {},\n",
+                "      \"sparse_s\": {},\n",
+                "      \"spmm_s\": {},\n",
+                "      \"speedup\": {}\n",
+                "    }}"
+            ),
+            self.name,
+            self.nodes,
+            self.edges,
+            self.features,
+            json_number(self.dense_stack_s),
+            json_number(self.sparse_s),
+            json_number(self.spmm_s),
+            json_number(self.speedup()),
+        )
+    }
+}
+
+fn measure_graph(
+    name: &'static str,
+    graph: &CsrGraph,
+    features: usize,
+    dense_reps: usize,
+    sparse_reps: usize,
+) -> GraphReport {
+    // GCN's aggregation op: mean over neighbours plus the vertex itself.
+    let x = Prng::new(11).fill_normal(graph.num_nodes(), features, 0.0, 1.0);
+    let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, features, 8, 2), 12)
+        .expect("valid benchmark model");
+    let dense_stack_s = time_median(dense_reps, || {
+        model.aggregate_dense_stack(graph, &x, Aggregation::Mean, true)
+    });
+    let sparse_s = time_median(sparse_reps, || {
+        model.aggregate(graph, &x, Aggregation::Mean, true)
+    });
+    let spmm_s = time_median(sparse_reps, || {
+        sparse::spmm(&graph.csr_view(), &x).expect("spmm operands agree")
+    });
+    GraphReport {
+        name,
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        features,
+        dense_stack_s,
+        sparse_s,
+        spmm_s,
+    }
+}
+
+fn run_sparse(out_path: &str) {
+    eprintln!("bench_snapshot: generating Cora-class R-MAT graph...");
+    let cora = GraphShape::cora()
+        .instantiate(21)
+        .expect("Cora-class instantiation");
+    eprintln!("bench_snapshot: generating 100k-node / 1M-edge power-law graph...");
+    let large = power_law(100_000, 1_000_000, 2.2, 22).expect("power-law instantiation");
+    let mut reports = Vec::new();
+    for (name, graph, features, dense_reps, sparse_reps) in [
+        ("cora_class_rmat", &cora, 1_433usize, 5usize, 9usize),
+        ("power_law_100k", &large, 64, 3, 5),
+    ] {
+        eprintln!("bench_snapshot: measuring {name}...");
+        let r = measure_graph(name, graph, features, dense_reps, sparse_reps);
+        eprintln!(
+            "bench_snapshot: {name}: dense_stack {:.4}s sparse {:.4}s ({:.2}x) spmm {:.4}s",
+            r.dense_stack_s,
+            r.sparse_s,
+            r.speedup(),
+            r.spmm_s,
+        );
+        reports.push(r);
+    }
+    let rows: Vec<String> = reports.iter().map(GraphReport::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"sparse_aggregation\",\n",
+            "  \"kernels\": [\"dense_stack\", \"csr_aggregate\", \"csr_spmm\"],\n",
+            "  \"aggregation\": \"mean_include_self\",\n",
+            "  \"threads\": {},\n",
+            "  \"timing\": \"median wall seconds\",\n",
+            "  \"workloads\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        parallel::max_threads(),
+        rows.join(",\n"),
+    );
+    write_or_die(out_path, &json);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("all") => {
+            run_gemm("BENCH_1.json");
+            run_sparse("BENCH_2.json");
+        }
+        Some("gemm") => run_gemm(args.get(1).map_or("BENCH_1.json", String::as_str)),
+        Some("sparse") => run_sparse(args.get(1).map_or("BENCH_2.json", String::as_str)),
+        // Legacy invocation: a bare output path means the gemm snapshot.
+        Some(path) => run_gemm(path),
+    }
 }

@@ -1,0 +1,63 @@
+//! Large-graph GHOST demo: photonic GCN inference over a 100k-node /
+//! 1M-edge synthetic power-law graph, with the sparse-kernel trace
+//! counters printed at the end.
+//!
+//! Run with `cargo run --release -p phox-ghost --example large_graph`.
+//! Override the size with `large_graph <nodes> <edges>`.
+
+use std::time::Instant;
+
+use phox_ghost::{GhostConfig, GhostFunctional};
+use phox_nn::datasets::power_law;
+use phox_nn::gnn::{GnnConfig, GnnKind, GnnModel};
+use phox_tensor::Prng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let edges: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let t0 = Instant::now();
+    let graph = power_law(nodes, edges, 2.2, 41).expect("power-law generation");
+    println!(
+        "generated power-law graph: {} nodes, {} edges, max degree {} (avg {:.1}) in {:.2}s",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.max_degree(),
+        graph.avg_degree(),
+        t0.elapsed().as_secs_f64(),
+    );
+
+    let features = Prng::new(42).fill_normal(nodes, 32, 0.0, 1.0);
+    let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 32, 16, 4), 43).expect("model");
+
+    let trace = phox_trace::Trace::new();
+    let logits = phox_trace::with_installed(trace.clone(), || {
+        let t0 = Instant::now();
+        let digital = model.forward(&graph, &features).expect("digital forward");
+        println!(
+            "digital GCN forward: {:.2}s ({} x {})",
+            t0.elapsed().as_secs_f64(),
+            digital.rows(),
+            digital.cols(),
+        );
+        let t0 = Instant::now();
+        let mut sim = GhostFunctional::new(&GhostConfig::default(), 44).expect("simulator");
+        let out = sim
+            .forward(&model, &graph, &features)
+            .expect("photonic forward");
+        println!("photonic GCN forward: {:.2}s", t0.elapsed().as_secs_f64());
+        out
+    });
+    println!("output logits: {} x {}", logits.rows(), logits.cols());
+
+    println!("sparse kernel counters:");
+    for (track, name, value) in trace.counters() {
+        if track == "sparse" || track == "ghost" {
+            println!("  {track}/{name} = {value:?}");
+        }
+    }
+}

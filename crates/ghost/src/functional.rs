@@ -11,9 +11,11 @@ use phox_nn::gnn::{Aggregation, CsrGraph, GnnKind, GnnModel};
 use phox_photonics::analog::AnalogEngine;
 use phox_photonics::devices::OpticalActivation;
 use phox_photonics::fault::FaultPlan;
+use phox_photonics::noise::perturb;
 use phox_photonics::summation::OpticalComparator;
 use phox_photonics::{Ctx, PhotonicError};
-use phox_tensor::{ops, parallel, Matrix};
+use phox_tensor::sparse::DegreeBuckets;
+use phox_tensor::{ops, parallel, Matrix, Prng};
 
 use crate::config::GhostConfig;
 
@@ -157,67 +159,140 @@ impl GhostFunctional {
     /// Optical aggregation through the reduce units: sum/mean use
     /// coherent summation, max uses the optical comparator tournament.
     ///
-    /// Nodes run in parallel, each drawing receiver noise from a
-    /// deterministic child engine keyed by `(operation key, node index)`,
-    /// so the aggregate is bit-identical for any thread count.
-    fn optical_aggregate(
+    /// Sparse compute path: nodes are scheduled in degree-bucketed
+    /// [`phox_tensor::sparse::ROW_TILE`]-row tiles (hubs first, so the
+    /// work-stealing loop never straggles on a power-law tail), and each
+    /// tile accumulates member rows CSR-order into one reusable scratch
+    /// buffer — no per-node stack matrix is allocated. Each node draws
+    /// its receiver noise from a deterministic stream keyed by
+    /// `(operation key, node index)`, the same scheme as
+    /// [`AnalogEngine::matmul`]'s per-tile streams, so the aggregate is
+    /// bit-identical for any thread count (and to the retired
+    /// dense-stack path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] on operand shape
+    /// mismatch.
+    pub fn optical_aggregate(
         &mut self,
         graph: &CsrGraph,
         h: &Matrix,
         agg: Aggregation,
         include_self: bool,
     ) -> Result<Matrix, PhotonicError> {
+        if h.rows() != graph.num_nodes() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "aggregation features must have one row per graph vertex",
+            });
+        }
         let f = h.cols();
         let n = graph.num_nodes();
         let key = self.engine.stream_key();
-        let parent = &self.engine;
+        let sigma = self.engine.relative_sigma();
         let comparator = self.comparator;
-        let rows: Vec<Result<Option<Vec<f64>>, PhotonicError>> =
-            parallel::par_map_indexed(n, |v| {
-                let mut members: Vec<usize> = Vec::new();
-                if include_self {
-                    members.push(v);
-                }
-                members.extend(graph.neighbors(v).iter().map(|&u| u as usize));
-                if members.is_empty() {
-                    return Ok(None);
+        let sched = DegreeBuckets::new(graph.offsets());
+        let tiles: Vec<Vec<f64>> = parallel::par_map_indexed(sched.num_tiles(), |t| {
+            let rows = sched.tile_rows(t);
+            // One scratch buffer per tile, reused across its rows.
+            let mut buf = vec![0.0; rows.len() * f];
+            for (i, &v) in rows.iter().enumerate() {
+                let v = v as usize;
+                let slot = &mut buf[i * f..(i + 1) * f];
+                let neigh = graph.neighbors(v);
+                if neigh.is_empty() && !include_self {
+                    continue; // isolated node aggregates to zero
                 }
                 match agg {
                     Aggregation::Sum | Aggregation::Mean => {
-                        // Stack member feature rows and coherently sum
-                        // the columns.
-                        let mut engine = parent.make_child(key, v as u64);
-                        let mut stack = Matrix::zeros(members.len(), f);
-                        for (r, &u) in members.iter().enumerate() {
-                            for c in 0..f {
-                                stack.set(r, c, h.get(u, c));
+                        // Coherent summation: member rows accumulate in
+                        // CSR order, then every column's sum picks up
+                        // receiver noise from the node's stream.
+                        if include_self {
+                            slot.copy_from_slice(h.row(v));
+                        }
+                        for &u in neigh {
+                            for (s, &x) in slot.iter_mut().zip(h.row(u as usize)) {
+                                *s += x;
                             }
                         }
-                        let summed = engine.coherent_sum_rows(&stack)?;
                         let denom = if agg == Aggregation::Mean {
-                            members.len() as f64
+                            (neigh.len() + usize::from(include_self)) as f64
                         } else {
                             1.0
                         };
-                        Ok(Some(summed.iter().map(|s| s / denom).collect()))
+                        let mut rng = Prng::stream(key, v as u64);
+                        for s in slot.iter_mut() {
+                            *s = perturb(*s, sigma, &mut rng) / denom;
+                        }
                     }
                     Aggregation::Max => {
-                        let mut row = vec![0.0; f];
-                        for (c, slot) in row.iter_mut().enumerate() {
-                            let vals: Vec<f64> = members.iter().map(|&u| h.get(u, c)).collect();
-                            *slot = comparator.max(&vals)?;
+                        // Comparator tournament, folded member-major with
+                        // the first member seeding every column.
+                        let mut seeded = false;
+                        if include_self {
+                            slot.copy_from_slice(h.row(v));
+                            seeded = true;
                         }
-                        Ok(Some(row))
+                        for &u in neigh {
+                            let row = h.row(u as usize);
+                            if !seeded {
+                                slot.copy_from_slice(row);
+                                seeded = true;
+                            } else {
+                                for (s, &x) in slot.iter_mut().zip(row) {
+                                    *s = comparator.max2(*s, x);
+                                }
+                            }
+                        }
                     }
                 }
-            });
+            }
+            buf
+        });
         let mut out = Matrix::zeros(n, f);
-        for (v, row) in rows.into_iter().enumerate() {
-            if let Some(row) = row? {
-                out.row_mut(v).copy_from_slice(&row);
+        for (t, buf) in tiles.iter().enumerate() {
+            for (i, &v) in sched.tile_rows(t).iter().enumerate() {
+                out.row_mut(v as usize)
+                    .copy_from_slice(&buf[i * f..(i + 1) * f]);
             }
         }
+        self.trace_aggregate("optical_aggregate", &sched, f);
         Ok(out)
+    }
+
+    /// Records sparse-aggregation counters and a summary event. Called
+    /// from the serial assembly path only, so traces stay byte-identical
+    /// across thread counts.
+    fn trace_aggregate(&self, op: &'static str, sched: &DegreeBuckets, f: usize) {
+        if !phox_trace::enabled() {
+            return;
+        }
+        let tr = phox_trace::active();
+        tr.count("ghost", "sparse_agg_calls", 1);
+        tr.count("ghost", "sparse_agg_rows", sched.rows() as i64);
+        tr.count("ghost", "sparse_agg_nnz", sched.nnz() as i64);
+        // Rows beyond the first of each tile reuse the tile's scratch
+        // buffer — the allocations the dense-stack path paid per node.
+        tr.count(
+            "ghost",
+            "sparse_agg_scratch_reuse",
+            (sched.rows() - sched.num_tiles().min(sched.rows())) as i64,
+        );
+        tr.instant(
+            "ghost",
+            op,
+            vec![
+                ("rows", phox_trace::Value::UInt(sched.rows() as u64)),
+                ("nnz", phox_trace::Value::UInt(sched.nnz() as u64)),
+                ("features", phox_trace::Value::UInt(f as u64)),
+                ("tiles", phox_trace::Value::UInt(sched.num_tiles() as u64)),
+                (
+                    "degree_buckets",
+                    phox_trace::Value::UInt(sched.histogram().len() as u64),
+                ),
+            ],
+        );
     }
 
     /// GAT layer: optical transform, digital LUT attention softmax,
@@ -243,35 +318,56 @@ impl GhostFunctional {
             src_logit[v] = s;
             dst_logit[v] = d;
         }
-        // Per-node attention and accumulation run in parallel on
-        // deterministic child engines (same scheme as
-        // [`GhostFunctional::optical_aggregate`]).
+        // Per-node attention and weighted accumulation run on the sparse
+        // tile schedule: attention weights stream straight into the tile's
+        // scratch buffer (no per-node stack matrix), and each node's
+        // receiver noise comes from the `(operation key, node)` stream —
+        // the same determinism scheme as
+        // [`GhostFunctional::optical_aggregate`].
         let key = self.engine.stream_key();
-        let parent = &self.engine;
-        let rows: Vec<Result<Vec<f64>, PhotonicError>> = parallel::par_map_indexed(n, |v| {
-            let neigh = graph.neighbors(v);
-            if neigh.is_empty() {
-                return Ok(z.row(v).to_vec());
-            }
-            let mut engine = parent.make_child(key, v as u64);
-            let logits: Vec<f64> = neigh
-                .iter()
-                .map(|&u| ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2))
-                .collect();
-            let alphas = engine.lut_softmax_slice(&logits);
-            // Weighted coherent accumulation of neighbour transforms.
-            let mut stack = Matrix::zeros(neigh.len(), fout);
-            for (r, (&u, &a)) in neigh.iter().zip(alphas.iter()).enumerate() {
-                for c in 0..fout {
-                    stack.set(r, c, a * z.get(u as usize, c));
+        let sigma = self.engine.relative_sigma();
+        let engine = &self.engine;
+        let sched = DegreeBuckets::new(graph.offsets());
+        let tiles: Vec<Vec<f64>> =
+            parallel::par_map_indexed(sched.num_tiles(), |t| {
+                let rows = sched.tile_rows(t);
+                let mut buf = vec![0.0; rows.len() * fout];
+                let mut alphas: Vec<f64> = Vec::new();
+                for (i, &v) in rows.iter().enumerate() {
+                    let v = v as usize;
+                    let slot = &mut buf[i * fout..(i + 1) * fout];
+                    let neigh = graph.neighbors(v);
+                    if neigh.is_empty() {
+                        // Attention over an empty neighbourhood passes the
+                        // node's own transform through.
+                        slot.copy_from_slice(z.row(v));
+                        continue;
+                    }
+                    alphas.clear();
+                    alphas.extend(neigh.iter().map(|&u| {
+                        ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2)
+                    }));
+                    engine.lut_softmax_in_place(&mut alphas);
+                    for (&u, &a) in neigh.iter().zip(alphas.iter()) {
+                        for (s, &x) in slot.iter_mut().zip(z.row(u as usize)) {
+                            *s += a * x;
+                        }
+                    }
+                    let mut rng = Prng::stream(key, v as u64);
+                    for s in slot.iter_mut() {
+                        *s = perturb(*s, sigma, &mut rng);
+                    }
                 }
-            }
-            engine.coherent_sum_rows(&stack)
-        });
+                buf
+            });
         let mut out = Matrix::zeros(n, fout);
-        for (v, row) in rows.into_iter().enumerate() {
-            out.row_mut(v).copy_from_slice(&row?);
+        for (t, buf) in tiles.iter().enumerate() {
+            for (i, &v) in sched.tile_rows(t).iter().enumerate() {
+                out.row_mut(v as usize)
+                    .copy_from_slice(&buf[i * fout..(i + 1) * fout]);
+            }
         }
+        self.trace_aggregate("gat_attention_aggregate", &sched, fout);
         Ok(out)
     }
 }
@@ -355,13 +451,13 @@ mod tests {
     #[test]
     fn forward_is_thread_count_invariant() {
         let task = small_task();
-        for kind in [GnnKind::Gcn, GnnKind::Gat] {
+        for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat] {
             let model = GnnModel::random(GnnConfig::two_layer(kind, 12, 16, 3), 85).unwrap();
             let reference = parallel::with_threads(1, || {
                 let mut sim = GhostFunctional::new(&GhostConfig::default(), 86).unwrap();
                 sim.forward(&model, &task.graph, &task.features).unwrap()
             });
-            for threads in [2, 8] {
+            for threads in [2, 4, 8] {
                 let y = parallel::with_threads(threads, || {
                     let mut sim = GhostFunctional::new(&GhostConfig::default(), 86).unwrap();
                     sim.forward(&model, &task.graph, &task.features).unwrap()

@@ -1,0 +1,65 @@
+//! Large-graph scaling smoke test for the sparse compute path.
+//!
+//! Runs a 100k-node / 1M-edge synthetic power-law workload through both
+//! the digital reference and the photonic functional simulator — a shape
+//! the retired dense-stack path could not touch in reasonable time. The
+//! wall-clock bounds are deliberately generous: the test exists to catch
+//! order-of-magnitude scaling regressions (an accidental per-node
+//! allocation, a quadratic pass), not to benchmark.
+//!
+//! Ignored by default so plain `cargo test` stays fast; CI runs it in
+//! release with `-- --ignored`.
+
+use std::time::Instant;
+
+use phox_ghost::{GhostConfig, GhostFunctional};
+use phox_nn::datasets::power_law;
+use phox_nn::gnn::{GnnConfig, GnnKind, GnnModel};
+use phox_tensor::Prng;
+
+const NODES: usize = 100_000;
+const EDGES: usize = 1_000_000;
+/// Generous per-forward wall bound (seconds). The release-mode sparse
+/// path completes each forward in well under ten seconds on one core.
+const WALL_BOUND_S: f64 = 300.0;
+
+#[test]
+#[ignore = "release-mode scaling smoke; run with -- --ignored"]
+fn ghost_handles_100k_node_power_law_graph() {
+    let t0 = Instant::now();
+    let graph = power_law(NODES, EDGES, 2.2, 31).expect("power-law generation");
+    assert_eq!(graph.num_nodes(), NODES);
+    assert_eq!(graph.num_edges(), EDGES);
+    eprintln!(
+        "generated {NODES} nodes / {EDGES} edges in {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let features = Prng::new(32).fill_normal(NODES, 32, 0.0, 1.0);
+    let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 32, 16, 4), 33).expect("model");
+
+    let t0 = Instant::now();
+    let digital = model.forward(&graph, &features).expect("digital forward");
+    let digital_s = t0.elapsed().as_secs_f64();
+    eprintln!("digital forward: {digital_s:.2}s");
+    assert!(digital.as_slice().iter().all(|v| v.is_finite()));
+    assert_eq!(digital.shape(), (NODES, 4));
+    assert!(
+        digital_s < WALL_BOUND_S,
+        "digital forward took {digital_s:.1}s"
+    );
+
+    let t0 = Instant::now();
+    let mut sim = GhostFunctional::new(&GhostConfig::default(), 34).expect("simulator");
+    let photonic = sim
+        .forward(&model, &graph, &features)
+        .expect("photonic forward");
+    let photonic_s = t0.elapsed().as_secs_f64();
+    eprintln!("photonic forward: {photonic_s:.2}s");
+    assert!(photonic.as_slice().iter().all(|v| v.is_finite()));
+    assert_eq!(photonic.shape(), (NODES, 4));
+    assert!(
+        photonic_s < WALL_BOUND_S,
+        "photonic forward took {photonic_s:.1}s"
+    );
+}

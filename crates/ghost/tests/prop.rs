@@ -3,9 +3,10 @@
 use proptest::prelude::*;
 
 use phox_ghost::partition::Partition;
-use phox_ghost::{GhostAccelerator, GhostConfig, GnnWorkload, Optimizations};
+use phox_ghost::{GhostAccelerator, GhostConfig, GhostFunctional, GnnWorkload, Optimizations};
 use phox_nn::datasets::GraphShape;
-use phox_nn::gnn::{CsrGraph, GnnConfig, GnnKind};
+use phox_nn::gnn::{Aggregation, CsrGraph, GnnConfig, GnnKind, GnnModel};
+use phox_tensor::{parallel, Prng};
 
 fn arbitrary_graph() -> impl Strategy<Value = CsrGraph> {
     (10usize..60).prop_flat_map(|n| {
@@ -86,6 +87,54 @@ proptest! {
             },
         );
         prop_assert!(ghost.balance_factor(&w) >= 1.0);
+    }
+
+    #[test]
+    fn photonic_forward_is_thread_count_invariant(
+        g in arbitrary_graph(),
+        seed in any::<u64>(),
+        kind_idx in 0usize..4,
+    ) {
+        // The sparse photonic path keys every node's noise stream on
+        // (operation key, node id), so the forward pass must be
+        // byte-identical no matter how the tile schedule lands on threads.
+        let kind = [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Gat][kind_idx];
+        let x = Prng::new(seed).fill_normal(g.num_nodes(), 6, 0.0, 1.0);
+        let model = GnnModel::random(GnnConfig::two_layer(kind, 6, 8, 3), seed).unwrap();
+        let reference = parallel::with_threads(1, || {
+            let mut sim = GhostFunctional::new(&GhostConfig::default(), seed).unwrap();
+            sim.forward(&model, &g, &x).unwrap()
+        });
+        for threads in [2usize, 4] {
+            let y = parallel::with_threads(threads, || {
+                let mut sim = GhostFunctional::new(&GhostConfig::default(), seed).unwrap();
+                sim.forward(&model, &g, &x).unwrap()
+            });
+            prop_assert_eq!(&y, &reference, "kind {:?} threads {}", kind, threads);
+        }
+    }
+
+    #[test]
+    fn ideal_optical_aggregation_matches_digital(
+        g in arbitrary_graph(),
+        seed in any::<u64>(),
+    ) {
+        // With zero receiver noise the coherent sum is exact, so the
+        // photonic sparse kernel must reproduce the digital reference bit
+        // for bit (sum and mean reduce in the same CSR member order). Max
+        // is excluded: the comparator's dead-zone is a physical effect
+        // that differs from ideal max by design.
+        let x = Prng::new(seed).fill_normal(g.num_nodes(), 5, 0.0, 1.0);
+        let model =
+            GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 5, 4, 2), seed).unwrap();
+        for agg in [Aggregation::Sum, Aggregation::Mean] {
+            for include_self in [false, true] {
+                let digital = model.aggregate(&g, &x, agg, include_self);
+                let mut sim = GhostFunctional::ideal(&GhostConfig::default(), seed);
+                let optical = sim.optical_aggregate(&g, &x, agg, include_self).unwrap();
+                prop_assert_eq!(optical, digital, "agg {:?} self {}", agg, include_self);
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   structure, used by the accuracy experiments so that classification is
 //!   learnable-by-construction.
 
+use std::collections::HashSet;
+
 use phox_tensor::{Matrix, Prng, TensorError};
 
 use crate::gnn::CsrGraph;
@@ -99,15 +101,26 @@ impl GraphShape {
 
     /// Instantiates an R-MAT-style graph with this shape (deterministic in
     /// `seed`). Vertex ids are scrambled so the power-law hubs are not
-    /// clustered at low indices.
+    /// clustered at low indices. Exactly `self.edges` *distinct*
+    /// non-self-loop edges are produced: [`CsrGraph::from_edges`] merges
+    /// duplicates, so the generator rejects repeated pairs up front (with
+    /// a uniform-random fill pass for the unlikely case the skewed sampler
+    /// stalls on a dense request).
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidDimension`] for degenerate shapes.
+    /// Returns [`TensorError::InvalidDimension`] for degenerate shapes or
+    /// when more edges are requested than distinct vertex pairs exist.
     pub fn instantiate(&self, seed: u64) -> Result<CsrGraph, TensorError> {
         if self.nodes == 0 {
             return Err(TensorError::InvalidDimension {
                 what: "graph shape has zero nodes",
+            });
+        }
+        let max_pairs = self.nodes.saturating_mul(self.nodes.saturating_sub(1));
+        if self.edges > max_pairs {
+            return Err(TensorError::InvalidDimension {
+                what: "graph shape requests more edges than distinct vertex pairs",
             });
         }
         let mut rng = Prng::new(seed);
@@ -117,10 +130,16 @@ impl GraphShape {
         let levels = (self.nodes as f64).log2().ceil() as u32;
         let side = 1usize << levels;
         let mut edges = Vec::with_capacity(self.edges);
+        // Membership-only dedup: the set is never iterated, so hash order
+        // cannot leak into the output and determinism holds.
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(self.edges);
         // Simple id scramble: multiply by an odd constant mod side.
         let scramble =
             |v: usize| -> u32 { ((v.wrapping_mul(0x9E37_79B1) >> 7) % self.nodes) as u32 };
-        while edges.len() < self.edges {
+        let mut attempts = 0usize;
+        let max_attempts = self.edges.saturating_mul(50).max(10_000);
+        while edges.len() < self.edges && attempts < max_attempts {
+            attempts += 1;
             let (mut lo_r, mut hi_r) = (0usize, side);
             let (mut lo_c, mut hi_c) = (0usize, side);
             for _ in 0..levels {
@@ -151,9 +170,18 @@ impl GraphShape {
                 // Reject self-loops after scrambling: the scramble is not
                 // injective, so distinct cells can collide on a vertex.
                 let (src, dst) = (scramble(lo_r), scramble(lo_c));
-                if src != dst {
+                if src != dst && seen.insert((src, dst)) {
                     edges.push((src, dst));
                 }
+            }
+        }
+        // Fallback: uniform rejection sampling completes the edge budget
+        // when the skewed sampler keeps re-hitting its hot cells.
+        while edges.len() < self.edges {
+            let src = (rng.next_u64() % self.nodes as u64) as u32;
+            let dst = (rng.next_u64() % self.nodes as u64) as u32;
+            if src != dst && seen.insert((src, dst)) {
+                edges.push((src, dst));
             }
         }
         CsrGraph::from_edges(self.nodes, &edges)
@@ -163,6 +191,82 @@ impl GraphShape {
     pub fn random_features(&self, seed: u64) -> Matrix {
         Prng::new(seed).fill_uniform(self.nodes, self.features, 0.0, 1.0)
     }
+}
+
+/// Generates a directed Chung–Lu power-law graph: exactly `edges`
+/// distinct non-self-loop edges over `nodes` vertices, with both
+/// endpoints drawn proportionally to the weight `(i + 1)^(-1/(gamma - 1))`
+/// so that expected degrees follow a power law with exponent `gamma`.
+///
+/// This is the large-graph workload generator behind the GHOST scaling
+/// harness: it reaches 100k-node / 1M-edge shapes in well under a second,
+/// and the resulting hub-dominated degree distribution is exactly the
+/// irregularity the degree-bucketed sparse schedule exists for. The
+/// output is deterministic in `seed` (the dedup set is membership-only,
+/// never iterated).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] for fewer than two nodes,
+/// `gamma <= 1`, or more edges than distinct vertex pairs.
+pub fn power_law(
+    nodes: usize,
+    edges: usize,
+    gamma: f64,
+    seed: u64,
+) -> Result<CsrGraph, TensorError> {
+    if nodes < 2 {
+        return Err(TensorError::InvalidDimension {
+            what: "power-law graph needs at least two nodes",
+        });
+    }
+    if gamma <= 1.0 || !gamma.is_finite() {
+        return Err(TensorError::InvalidDimension {
+            what: "power-law exponent must be finite and > 1",
+        });
+    }
+    if edges > nodes.saturating_mul(nodes - 1) {
+        return Err(TensorError::InvalidDimension {
+            what: "power-law graph requests more edges than distinct vertex pairs",
+        });
+    }
+    let mut rng = Prng::new(seed);
+    // Chung–Lu endpoint weights: w_i = (i + 1)^(-1/(gamma - 1)), sampled
+    // via inverse transform on the cumulative sum.
+    let alpha = -1.0 / (gamma - 1.0);
+    let mut cumulative = Vec::with_capacity(nodes);
+    let mut total = 0.0;
+    for i in 0..nodes {
+        total += ((i + 1) as f64).powf(alpha);
+        cumulative.push(total);
+    }
+    let pick = |rng: &mut Prng| -> u32 {
+        let x = rng.next_f64() * total;
+        // partition_point: first index whose cumulative weight exceeds x.
+        cumulative.partition_point(|&c| c <= x).min(nodes - 1) as u32
+    };
+    let mut list = Vec::with_capacity(edges);
+    let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges);
+    let mut attempts = 0usize;
+    let max_attempts = edges.saturating_mul(50).max(10_000);
+    while list.len() < edges && attempts < max_attempts {
+        attempts += 1;
+        let src = pick(&mut rng);
+        let dst = pick(&mut rng);
+        if src != dst && seen.insert((src, dst)) {
+            list.push((src, dst));
+        }
+    }
+    // Uniform fill for dense requests the skewed sampler cannot complete:
+    // hub-to-hub pairs saturate long before the edge budget does.
+    while list.len() < edges {
+        let src = (rng.next_u64() % nodes as u64) as u32;
+        let dst = (rng.next_u64() % nodes as u64) as u32;
+        if src != dst && seen.insert((src, dst)) {
+            list.push((src, dst));
+        }
+    }
+    CsrGraph::from_edges(nodes, &list)
 }
 
 /// A small labelled graph classification task (graph + features +
@@ -353,6 +457,53 @@ mod tests {
             g.max_degree(),
             g.avg_degree()
         );
+    }
+
+    #[test]
+    fn power_law_matches_requested_shape() {
+        let g = power_law(2_000, 16_000, 2.2, 5).unwrap();
+        assert_eq!(g.num_nodes(), 2_000);
+        assert_eq!(g.num_edges(), 16_000);
+        // No self-loops survive generation.
+        for v in 0..g.num_nodes() {
+            assert!(!g.neighbors(v).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn power_law_is_deterministic_and_skewed() {
+        let a = power_law(3_000, 24_000, 2.2, 9).unwrap();
+        let b = power_law(3_000, 24_000, 2.2, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            a.max_degree() as f64 > 8.0 * a.avg_degree(),
+            "max {} avg {}",
+            a.max_degree(),
+            a.avg_degree()
+        );
+    }
+
+    #[test]
+    fn power_law_validation() {
+        assert!(power_law(1, 0, 2.2, 1).is_err());
+        assert!(power_law(10, 8, 1.0, 1).is_err());
+        assert!(power_law(10, 8, f64::NAN, 1).is_err());
+        assert!(power_law(3, 7, 2.2, 1).is_err());
+        // A complete directed graph is exactly reachable.
+        let g = power_law(4, 12, 2.5, 1).unwrap();
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    #[test]
+    fn rmat_rejects_impossible_edge_counts() {
+        let shape = GraphShape {
+            name: "t".into(),
+            nodes: 3,
+            edges: 7,
+            features: 4,
+            classes: 2,
+        };
+        assert!(shape.instantiate(1).is_err());
     }
 
     #[test]

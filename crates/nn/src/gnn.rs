@@ -6,6 +6,7 @@
 //! **update** (non-linear activation). The model families the paper's
 //! GHOST evaluation covers are GCN, GraphSAGE, GIN and GAT.
 
+use phox_tensor::sparse::{self, CsrView, SparseReduce};
 use phox_tensor::{ops, quant, Matrix, Prng, TensorError};
 
 use crate::census::OpCensus;
@@ -33,8 +34,10 @@ pub struct CsrGraph {
 
 impl CsrGraph {
     /// Builds a CSR graph from `(src, dst)` edge pairs; each edge makes
-    /// `src` an in-neighbour of `dst`. Parallel edges are kept; vertex ids
-    /// must be `< num_nodes`.
+    /// `src` an in-neighbour of `dst`. Parallel (duplicate) edges are
+    /// merged into one — repeated edges used to silently double-count in
+    /// mean/sum aggregation. Self-loops are kept. Vertex ids must be
+    /// `< num_nodes`.
     ///
     /// # Errors
     ///
@@ -66,11 +69,30 @@ impl CsrGraph {
             neighbors[cursor[d as usize]] = s;
             cursor[d as usize] += 1;
         }
-        // Sort each adjacency list for determinism.
+        // Sort each adjacency list for determinism, then drop duplicate
+        // edges in place and re-pack the offsets.
+        let mut write = 0usize;
+        let mut packed = Vec::with_capacity(num_nodes + 1);
+        packed.push(0);
         for n in 0..num_nodes {
-            neighbors[offsets[n]..offsets[n + 1]].sort_unstable();
+            let (start, end) = (offsets[n], offsets[n + 1]);
+            neighbors[start..end].sort_unstable();
+            let mut prev: Option<u32> = None;
+            for i in start..end {
+                let v = neighbors[i];
+                if prev != Some(v) {
+                    neighbors[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            packed.push(write);
         }
-        Ok(CsrGraph { offsets, neighbors })
+        neighbors.truncate(write);
+        Ok(CsrGraph {
+            offsets: packed,
+            neighbors,
+        })
     }
 
     /// Number of vertices.
@@ -78,9 +100,26 @@ impl CsrGraph {
         self.offsets.len() - 1
     }
 
-    /// Number of (directed) edges.
+    /// Number of distinct (directed) edges.
     pub fn num_edges(&self) -> usize {
         self.neighbors.len()
+    }
+
+    /// The CSR row-offset array (`num_nodes + 1` entries).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat in-neighbour array, row-concatenated in offset order.
+    pub fn neighbor_ids(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// A sparse-kernel view of the adjacency pattern (unweighted, square).
+    pub fn csr_view(&self) -> CsrView<'_> {
+        let n = self.num_nodes();
+        CsrView::new(n, n, &self.offsets, &self.neighbors, None)
+            .unwrap_or_else(|_| unreachable!("from_edges establishes the CSR invariants"))
     }
 
     /// In-neighbours of vertex `v`.
@@ -421,7 +460,46 @@ impl GnnModel {
     /// with the given reduction — the reference semantics of GHOST's
     /// reduce units (exposed for validation against the optical
     /// implementation).
+    ///
+    /// Runs on the CSR sparse kernel ([`phox_tensor::sparse`]): rows are
+    /// processed in parallel tiles with member-major accumulation, and
+    /// the result is bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` does not have one row per graph vertex.
     pub fn aggregate(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        agg: Aggregation,
+        include_self: bool,
+    ) -> Matrix {
+        let mut out = Matrix::zeros(h.rows(), h.cols());
+        let reduce = match agg {
+            Aggregation::Sum => SparseReduce::Sum,
+            Aggregation::Mean => SparseReduce::Mean,
+            Aggregation::Max => SparseReduce::Max,
+        };
+        if let Err(e) = sparse::aggregate_into(&graph.csr_view(), h, reduce, include_self, &mut out)
+        {
+            panic!("aggregate operands must match the graph: {e}");
+        }
+        out
+    }
+
+    /// The pre-sparse dense-stack aggregation: per vertex, neighbour rows
+    /// are copied into a freshly allocated stack matrix and reduced
+    /// column-major — one allocation and a stride-`f` walk per vertex.
+    ///
+    /// Retained as the equivalence-test oracle and the `BENCH_2` baseline
+    /// for the sparse kernels; production paths use
+    /// [`GnnModel::aggregate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` does not have one row per graph vertex.
+    pub fn aggregate_dense_stack(
         &self,
         graph: &CsrGraph,
         h: &Matrix,
@@ -432,43 +510,38 @@ impl GnnModel {
         let mut out = Matrix::zeros(h.rows(), f);
         for v in 0..graph.num_nodes() {
             let neigh = graph.neighbors(v);
+            let mut members: Vec<usize> = Vec::new();
+            if include_self {
+                members.push(v);
+            }
+            members.extend(neigh.iter().map(|&u| u as usize));
+            if members.is_empty() {
+                continue;
+            }
+            let mut stack = Matrix::zeros(members.len(), f);
+            for (r, &u) in members.iter().enumerate() {
+                for c in 0..f {
+                    stack.set(r, c, h.get(u, c));
+                }
+            }
             match agg {
                 Aggregation::Sum | Aggregation::Mean => {
-                    let mut acc = vec![0.0; f];
-                    if include_self {
-                        for (c, a) in acc.iter_mut().enumerate() {
-                            *a += h.get(v, c);
-                        }
-                    }
-                    for &u in neigh {
-                        for (c, a) in acc.iter_mut().enumerate() {
-                            *a += h.get(u as usize, c);
-                        }
-                    }
                     let denom = if agg == Aggregation::Mean {
-                        (neigh.len() + usize::from(include_self)).max(1) as f64
+                        members.len() as f64
                     } else {
                         1.0
                     };
                     for c in 0..f {
-                        out.set(v, c, acc[c] / denom);
+                        let s: f64 = (0..stack.rows()).map(|r| stack.get(r, c)).sum();
+                        out.set(v, c, s / denom);
                     }
                 }
                 Aggregation::Max => {
-                    let mut acc = vec![f64::NEG_INFINITY; f];
-                    if include_self {
-                        for (c, a) in acc.iter_mut().enumerate() {
-                            *a = a.max(h.get(v, c));
-                        }
-                    }
-                    for &u in neigh {
-                        for (c, a) in acc.iter_mut().enumerate() {
-                            *a = a.max(h.get(u as usize, c));
-                        }
-                    }
                     for c in 0..f {
-                        let v_out = if acc[c].is_finite() { acc[c] } else { 0.0 };
-                        out.set(v, c, v_out);
+                        let m = (0..stack.rows())
+                            .map(|r| stack.get(r, c))
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        out.set(v, c, if m.is_finite() { m } else { 0.0 });
                     }
                 }
             }
@@ -535,34 +608,37 @@ impl GnnModel {
             src_logit[v] = s;
             dst_logit[v] = d;
         }
-        let mut out = Matrix::zeros(n, fout);
+        // Per-edge attention weights α_u = softmax_u(LeakyReLU(src(u) +
+        // dst(v))), laid out CSR-aligned so the accumulation is one
+        // weighted SpMM through the sparse kernel.
+        let mut alphas = vec![0.0; graph.num_edges()];
+        let offsets = graph.offsets();
         for v in 0..n {
             let neigh = graph.neighbors(v);
             if neigh.is_empty() {
-                // Self-attention fallback: the node keeps its own
-                // transform.
-                for c in 0..fout {
-                    out.set(v, c, z.get(v, c));
-                }
                 continue;
             }
-            // α_u = softmax_u(LeakyReLU(src(u) + dst(v))).
-            let mut logits: Vec<f64> = neigh
-                .iter()
-                .map(|&u| ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2))
-                .collect();
-            let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let slot = &mut alphas[offsets[v]..offsets[v + 1]];
+            for (a, &u) in slot.iter_mut().zip(neigh) {
+                *a = ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2);
+            }
+            let m = slot.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let mut sum = 0.0;
-            for l in logits.iter_mut() {
+            for l in slot.iter_mut() {
                 *l = (*l - m).exp();
                 sum += *l;
             }
-            for (i, &u) in neigh.iter().enumerate() {
-                let alpha = logits[i] / sum;
-                for c in 0..fout {
-                    let cur = out.get(v, c);
-                    out.set(v, c, cur + alpha * z.get(u as usize, c));
-                }
+            for l in slot.iter_mut() {
+                *l /= sum;
+            }
+        }
+        let attention = CsrView::new(n, n, offsets, graph.neighbor_ids(), Some(&alphas))?;
+        let mut out = sparse::spmm(&attention, &z)?;
+        // Self-attention fallback: an isolated node keeps its own
+        // transform.
+        for v in 0..n {
+            if graph.degree(v) == 0 {
+                out.row_mut(v).copy_from_slice(z.row(v));
             }
         }
         Ok(out)
@@ -587,6 +663,40 @@ mod tests {
         assert_eq!(g.degree(1), 0);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_are_merged_once() {
+        // (0, 2) appears three times, (2, 2) is a self-loop.
+        let g = CsrGraph::from_edges(3, &[(0, 2), (0, 2), (1, 2), (2, 2), (0, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(2), &[0, 1, 2]);
+        assert_eq!(g.degree(2), 3);
+        let mut x = Matrix::zeros(3, 1);
+        x.set(0, 0, 6.0);
+        x.set(1, 0, 3.0);
+        x.set(2, 0, 9.0);
+        let m = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 1, 2, 2), 9).unwrap();
+        // The duplicated edge counts once: mean over {6, 3, 9}, not a
+        // double-weighted 6.
+        let mean = m.aggregate(&g, &x, Aggregation::Mean, false);
+        assert_eq!(mean.get(2, 0), 6.0);
+        let sum = m.aggregate(&g, &x, Aggregation::Sum, false);
+        assert_eq!(sum.get(2, 0), 18.0);
+    }
+
+    #[test]
+    fn aggregate_matches_dense_stack_reference() {
+        let g = triangle();
+        let x = Prng::new(21).fill_normal(3, 6, 0.0, 1.0);
+        let m = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 6, 4, 2), 22).unwrap();
+        for agg in [Aggregation::Sum, Aggregation::Mean, Aggregation::Max] {
+            for include_self in [false, true] {
+                let sparse = m.aggregate(&g, &x, agg, include_self);
+                let dense = m.aggregate_dense_stack(&g, &x, agg, include_self);
+                assert_eq!(sparse, dense, "{agg} include_self={include_self}");
+            }
+        }
     }
 
     #[test]

@@ -8,28 +8,34 @@ use phox_nn::transformer::TransformerConfig;
 
 proptest! {
     #[test]
-    fn csr_preserves_every_edge(
+    fn csr_preserves_every_distinct_edge(
         edges in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
     ) {
         let g = CsrGraph::from_edges(20, &edges).unwrap();
-        prop_assert_eq!(g.num_edges(), edges.len());
+        let distinct: std::collections::BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        prop_assert_eq!(g.num_edges(), distinct.len());
         let total_degree: usize = (0..20).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(total_degree, edges.len());
-        // Every adjacency list is sorted.
+        prop_assert_eq!(total_degree, distinct.len());
+        // Every adjacency list is sorted and duplicate-free.
         for v in 0..20 {
             let n = g.neighbors(v);
-            prop_assert!(n.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
         }
     }
 
     #[test]
-    fn csr_neighbor_multiset_matches_input(
+    fn csr_neighbor_set_matches_distinct_input(
         edges in proptest::collection::vec((0u32..8, 0u32..8), 1..30),
     ) {
         let g = CsrGraph::from_edges(8, &edges).unwrap();
         for v in 0..8u32 {
-            let expected: usize = edges.iter().filter(|(_, d)| *d == v).count();
-            prop_assert_eq!(g.degree(v as usize), expected);
+            let expected: std::collections::BTreeSet<u32> = edges
+                .iter()
+                .filter(|(_, d)| *d == v)
+                .map(|&(s, _)| s)
+                .collect();
+            let got: Vec<u32> = g.neighbors(v as usize).to_vec();
+            prop_assert_eq!(got, expected.into_iter().collect::<Vec<u32>>());
         }
     }
 

@@ -405,26 +405,42 @@ impl AnalogEngine {
     }
 
     /// Digital LUT softmax: row-wise softmax with probabilities quantized
-    /// to the LUT's output grid.
-    pub fn lut_softmax(&mut self, logits: &Matrix) -> Matrix {
-        let p = ops::softmax_rows(logits);
-        let levels = (2u64.pow(self.dac_bits) - 1) as f64;
-        p.map(|v| (v * levels).round() / levels)
+    /// to the LUT's output grid. Delegates each row to
+    /// [`AnalogEngine::lut_softmax_in_place`].
+    pub fn lut_softmax(&self, logits: &Matrix) -> Matrix {
+        let mut out = logits.clone();
+        for r in 0..out.rows() {
+            self.lut_softmax_in_place(out.row_mut(r));
+        }
+        out
     }
 
     /// LUT softmax over a plain slice (per-neighbour attention weights in
-    /// GAT).
-    pub fn lut_softmax_slice(&mut self, logits: &[f64]) -> Vec<f64> {
-        if logits.is_empty() {
-            return Vec::new();
+    /// GAT). Delegates to [`AnalogEngine::lut_softmax_in_place`].
+    pub fn lut_softmax_slice(&self, logits: &[f64]) -> Vec<f64> {
+        let mut out = logits.to_vec();
+        self.lut_softmax_in_place(&mut out);
+        out
+    }
+
+    /// The one LUT-softmax implementation: numerically stable softmax over
+    /// `values`, rewritten in place with each probability quantized to the
+    /// LUT's output grid. Consumes no noise stream — the LUT is a digital
+    /// block — so it never perturbs the engine's RNG state.
+    pub fn lut_softmax_in_place(&self, values: &mut [f64]) {
+        if values.is_empty() {
+            return;
         }
-        let m = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = logits.iter().map(|&v| (v - m).exp()).collect();
-        let sum: f64 = exps.iter().sum();
+        let m = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in values.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
         let levels = (2u64.pow(self.dac_bits) - 1) as f64;
-        exps.iter()
-            .map(|&e| ((e / sum) * levels).round() / levels)
-            .collect()
+        for v in values.iter_mut() {
+            *v = (*v / sum * levels).round() / levels;
+        }
     }
 
     /// Optical LayerNorm: exact normalization followed by analog
@@ -515,7 +531,7 @@ mod tests {
 
     #[test]
     fn lut_softmax_slice_sums_near_one() {
-        let mut eng = AnalogEngine::ideal(8, 8, 1);
+        let eng = AnalogEngine::ideal(8, 8, 1);
         let p = eng.lut_softmax_slice(&[1.0, 2.0, 3.0]);
         let sum: f64 = p.iter().sum();
         assert!((sum - 1.0).abs() < 0.02);

@@ -14,6 +14,9 @@
 //!   benchmarked and property-tested against.
 //! * [`parallel`] — scoped-thread helpers (`par_map_indexed`,
 //!   `par_chunks_mut`) with a pinnable thread count for determinism tests.
+//! * [`sparse`] — CSR sparse-matrix kernels (SpMM, neighbourhood
+//!   aggregation, degree-bucketed scheduling) behind the graph compute
+//!   paths of `phox-nn` and `phox-ghost`.
 //! * [`quant`] — symmetric int8 post-training quantization, used to model
 //!   the 8-bit precision the paper selects for both accelerators.
 //! * [`ops`] — the nonlinear building blocks of Transformers and GNNs
@@ -51,6 +54,7 @@ pub mod ops;
 pub mod parallel;
 pub mod quant;
 pub mod rng;
+pub mod sparse;
 pub mod stats;
 
 pub use matrix::{Matrix, TensorError};

@@ -1,11 +1,16 @@
 #!/usr/bin/env sh
-# Records the GEMM kernel speedup snapshot (naive vs cache-blocked vs
-# blocked+parallel at 64/256/1024) into BENCH_1.json at the repo root.
+# Records the kernel speedup snapshots at the repo root:
+#   BENCH_1.json — GEMM: naive vs cache-blocked vs blocked+parallel
+#                  at 64/256/1024.
+#   BENCH_2.json — sparse aggregation: CSR kernels vs the retired
+#                  dense-stack path on a Cora-class graph and a
+#                  100k-node / 1M-edge power-law graph.
 #
-# Usage: scripts/bench_snapshot.sh [OUTPUT.json]
+# Usage: scripts/bench_snapshot.sh [gemm|sparse|all] [OUTPUT.json]
+# Default is "all". A bare OUTPUT.json argument keeps the legacy
+# behaviour of writing the GEMM snapshot there.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_1.json}"
 cargo build --release -p phox-bench --bin bench_snapshot
-./target/release/bench_snapshot "$out"
+./target/release/bench_snapshot "$@"
