@@ -1,6 +1,6 @@
 //! Records kernel speedup snapshots as JSON.
 //!
-//! Two snapshots are produced:
+//! Three snapshots are produced:
 //!
 //! * **gemm** (`BENCH_1.json`): the textbook i-j-k loop, the
 //!   cache-blocked packed-`Bᵀ` kernel, and the blocked kernel with
@@ -12,37 +12,77 @@
 //!   1M-edge synthetic power-law graph. The acceptance gate for the
 //!   sparse compute-path PR is ≥5× on the Cora-class graph and a
 //!   completed large-graph run.
+//! * **int8** (`BENCH_3.json`): the true int8 GEMM and SpMM kernels
+//!   (`i8 x i8 -> i32`) against their f64 counterparts, plus a
+//!   1/2/4/8-thread scaling sweep. Every int8 measurement is checked
+//!   against the naive i32 oracle and for bit-identity across thread
+//!   counts; the verdicts are recorded in the snapshot.
 //!
-//! Usage: `bench_snapshot [gemm|sparse|all] [OUTPUT.json]` (default
-//! `all`, writing `BENCH_1.json` and `BENCH_2.json`). A bare
-//! `OUTPUT.json` first argument keeps the legacy behaviour of writing the
-//! gemm snapshot there.
+//! Usage: `bench_snapshot [gemm|sparse|int8|all] [OUTPUT.json]` (default
+//! `all`, writing `BENCH_1.json`, `BENCH_2.json` and `BENCH_3.json`). A
+//! bare `OUTPUT.json` first argument keeps the legacy behaviour of
+//! writing the gemm snapshot there.
 
 use std::time::Instant;
 
 use phox_core::nn::datasets::{power_law, GraphShape};
 use phox_core::nn::gnn::{Aggregation, CsrGraph, GnnConfig, GnnKind, GnnModel};
-use phox_core::tensor::{gemm, parallel, sparse, Matrix, Prng};
+use phox_core::tensor::{gemm, gemm_i8, parallel, sparse, sparse_i8, Matrix, Prng, Quantizer};
 use phox_core::trace::json::json_number;
 
-/// Median-of-`reps` wall time for one evaluation of `f`, in seconds.
-fn time_median<F: FnMut() -> Matrix>(reps: usize, mut f: F) -> f64 {
+/// Median-of-`reps` wall time for one evaluation of `f`, in seconds;
+/// `checksum` folds each result into a finiteness sink so the optimizer
+/// cannot discard the computation.
+fn time_median_by<R>(reps: usize, mut f: impl FnMut() -> R, checksum: impl Fn(&R) -> f64) -> f64 {
     // One warm-up evaluation so page faults and allocator growth are
     // excluded from every sample.
     let sink = f();
-    let mut checksum = sink.get(0, 0);
+    let mut acc = checksum(&sink);
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
             let out = f();
             let dt = t0.elapsed().as_secs_f64();
-            checksum += out.get(0, 0);
+            acc += checksum(&out);
             dt
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    assert!(checksum.is_finite());
+    assert!(acc.is_finite());
     samples[samples.len() / 2]
+}
+
+/// [`time_median_by`] for the common dense-matrix case.
+fn time_median<F: FnMut() -> Matrix>(reps: usize, f: F) -> f64 {
+    time_median_by(reps, f, |m| m.get(0, 0))
+}
+
+/// Shared snapshot envelope. Every snapshot carries the same
+/// `benchmark` / `kernels` / `threads` / `timing` header (previously
+/// copy-pasted per snapshot); `extras` holds snapshot-specific header
+/// fields (values must already be JSON-encoded) and `key`/`rows` the
+/// payload array.
+fn snapshot_json(
+    benchmark: &str,
+    kernels: &[&str],
+    extras: &[(&str, String)],
+    key: &str,
+    rows: &[String],
+) -> String {
+    let kernel_list: Vec<String> = kernels.iter().map(|k| format!("\"{k}\"")).collect();
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \"kernels\": [{}],\n",
+        kernel_list.join(", "),
+    );
+    for (k, v) in extras {
+        json.push_str(&format!("  \"{k}\": {v},\n"));
+    }
+    json.push_str(&format!(
+        "  \"threads\": {},\n  \"timing\": \"median wall seconds\",\n  \"{key}\": [\n{}\n  ]\n}}\n",
+        parallel::max_threads(),
+        rows.join(",\n"),
+    ));
+    json
 }
 
 struct SizeReport {
@@ -122,18 +162,12 @@ fn run_gemm(out_path: &str) {
         reports.push(r);
     }
     let rows: Vec<String> = reports.iter().map(SizeReport::to_json).collect();
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"gemm_kernels\",\n",
-            "  \"kernels\": [\"naive_ijk\", \"blocked_packed_bt\", \"blocked_parallel\"],\n",
-            "  \"threads\": {},\n",
-            "  \"timing\": \"median wall seconds\",\n",
-            "  \"sizes\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        parallel::max_threads(),
-        rows.join(",\n"),
+    let json = snapshot_json(
+        "gemm_kernels",
+        &["naive_ijk", "blocked_packed_bt", "blocked_parallel"],
+        &[],
+        "sizes",
+        &rows,
     );
     write_or_die(out_path, &json);
 }
@@ -234,19 +268,186 @@ fn run_sparse(out_path: &str) {
         reports.push(r);
     }
     let rows: Vec<String> = reports.iter().map(GraphReport::to_json).collect();
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"benchmark\": \"sparse_aggregation\",\n",
-            "  \"kernels\": [\"dense_stack\", \"csr_aggregate\", \"csr_spmm\"],\n",
-            "  \"aggregation\": \"mean_include_self\",\n",
-            "  \"threads\": {},\n",
-            "  \"timing\": \"median wall seconds\",\n",
-            "  \"workloads\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        parallel::max_threads(),
-        rows.join(",\n"),
+    let json = snapshot_json(
+        "sparse_aggregation",
+        &["dense_stack", "csr_aggregate", "csr_spmm"],
+        &[("aggregation", "\"mean_include_self\"".to_string())],
+        "workloads",
+        &rows,
+    );
+    write_or_die(out_path, &json);
+}
+
+/// Folds an i32 buffer into a checksum for [`time_median_by`].
+fn i32_checksum(v: &[i32]) -> f64 {
+    v.first().copied().unwrap_or(0) as f64
+}
+
+fn run_int8(out_path: &str) {
+    // --- Section 1: dense GEMM, f64 blocked vs int8 blocked, single
+    // thread (the per-core kernel comparison; scaling comes below).
+    let mut gemm_rows = Vec::new();
+    for &(n, reps) in &[(64usize, 21usize), (256, 9), (1024, 3)] {
+        eprintln!("bench_snapshot: int8 gemm n = {n} ({reps} reps)...");
+        let a = Prng::new(1).fill_uniform(n, n, -1.0, 1.0);
+        let b = Prng::new(2).fill_uniform(n, n, -1.0, 1.0);
+        let qa = Quantizer::calibrate(&a).quantize(&a);
+        let qb = Quantizer::calibrate(&b).quantize(&b);
+        let (f64_s, int8_s, int8_out) = parallel::with_threads(1, || {
+            let f64_s = time_median(reps, || gemm::matmul_blocked(&a, &b).unwrap());
+            let int8_s = time_median_by(
+                reps,
+                || qa.matmul_i32(&qb).unwrap(),
+                |m| i32_checksum(m.as_i32_slice()),
+            );
+            (f64_s, int8_s, qa.matmul_i32(&qb).unwrap())
+        });
+        let oracle = gemm_i8::matmul_i32_naive(qa.as_i8_slice(), qb.as_i8_slice(), n, n, n)
+            .expect("oracle operands agree");
+        let matches_oracle = int8_out.as_i32_slice() == oracle.as_slice();
+        let speedup = f64_s / int8_s;
+        eprintln!(
+            "bench_snapshot: n = {n}: f64_blocked {f64_s:.4}s int8 {int8_s:.4}s ({speedup:.2}x) oracle_ok={matches_oracle}"
+        );
+        gemm_rows.push(format!(
+            concat!(
+                "        {{\n",
+                "          \"n\": {},\n",
+                "          \"f64_blocked_s\": {},\n",
+                "          \"int8_s\": {},\n",
+                "          \"int8_speedup\": {},\n",
+                "          \"matches_naive_oracle\": {}\n",
+                "        }}"
+            ),
+            n,
+            json_number(f64_s),
+            json_number(int8_s),
+            json_number(speedup),
+            matches_oracle,
+        ));
+    }
+
+    // --- Section 2: sparse SpMM, f64 vs int8, on the BENCH_2 workloads.
+    eprintln!("bench_snapshot: generating Cora-class R-MAT graph...");
+    let cora = GraphShape::cora()
+        .instantiate(21)
+        .expect("Cora-class instantiation");
+    eprintln!("bench_snapshot: generating 100k-node / 1M-edge power-law graph...");
+    let large = power_law(100_000, 1_000_000, 2.2, 22).expect("power-law instantiation");
+    let mut spmm_rows = Vec::new();
+    for (name, graph, features, reps) in [
+        ("cora_class_rmat", &cora, 256usize, 9usize),
+        ("power_law_100k", &large, 64, 5),
+    ] {
+        eprintln!("bench_snapshot: int8 spmm {name}...");
+        let x = Prng::new(11).fill_normal(graph.num_nodes(), features, 0.0, 1.0);
+        let qx = Quantizer::calibrate(&x).quantize(&x);
+        let view = graph.csr_i8_view();
+        let f64_s = time_median(reps, || {
+            sparse::spmm(&graph.csr_view(), &x).expect("spmm operands agree")
+        });
+        let int8_s = time_median_by(
+            reps,
+            || sparse_i8::spmm_i8(&view, qx.as_i8_slice(), features).expect("spmm operands agree"),
+            |v| i32_checksum(v),
+        );
+        let speedup = f64_s / int8_s;
+        eprintln!(
+            "bench_snapshot: {name}: f64_spmm {f64_s:.4}s int8_spmm {int8_s:.4}s ({speedup:.2}x)"
+        );
+        spmm_rows.push(format!(
+            concat!(
+                "        {{\n",
+                "          \"name\": \"{}\",\n",
+                "          \"nodes\": {},\n",
+                "          \"edges\": {},\n",
+                "          \"features\": {},\n",
+                "          \"f64_spmm_s\": {},\n",
+                "          \"int8_spmm_s\": {},\n",
+                "          \"int8_speedup\": {}\n",
+                "        }}"
+            ),
+            name,
+            graph.num_nodes(),
+            graph.num_edges(),
+            features,
+            json_number(f64_s),
+            json_number(int8_s),
+            json_number(speedup),
+        ));
+    }
+
+    // --- Section 3: thread scaling sweep on the int8 kernels (gemm-1024
+    // and power-law SpMM), with byte-identity checked against the
+    // 1-thread result: i32 sums are exact, so any difference is a bug.
+    let n = 1024usize;
+    let a = Prng::new(1).fill_uniform(n, n, -1.0, 1.0);
+    let b = Prng::new(2).fill_uniform(n, n, -1.0, 1.0);
+    let qa = Quantizer::calibrate(&a).quantize(&a);
+    let qb = Quantizer::calibrate(&b).quantize(&b);
+    let x = Prng::new(11).fill_normal(large.num_nodes(), 64, 0.0, 1.0);
+    let qx = Quantizer::calibrate(&x).quantize(&x);
+    let view = large.csr_i8_view();
+    let baseline = parallel::with_threads(1, || {
+        (
+            qa.matmul_i32(&qb).unwrap(),
+            sparse_i8::spmm_i8(&view, qx.as_i8_slice(), 64).expect("spmm operands agree"),
+        )
+    });
+    let mut sweep_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        eprintln!("bench_snapshot: int8 thread sweep, {threads} thread(s)...");
+        let (gemm_s, spmm_s, identical) = parallel::with_threads(threads, || {
+            let gemm_s = time_median_by(
+                3,
+                || qa.matmul_i32(&qb).unwrap(),
+                |m| i32_checksum(m.as_i32_slice()),
+            );
+            let spmm_s = time_median_by(
+                5,
+                || sparse_i8::spmm_i8(&view, qx.as_i8_slice(), 64).expect("spmm operands agree"),
+                |v| i32_checksum(v),
+            );
+            let g = qa.matmul_i32(&qb).unwrap();
+            let s = sparse_i8::spmm_i8(&view, qx.as_i8_slice(), 64).expect("spmm operands agree");
+            (gemm_s, spmm_s, g == baseline.0 && s == baseline.1)
+        });
+        eprintln!(
+            "bench_snapshot: {threads} thread(s): gemm_1024 {gemm_s:.4}s spmm_power_law {spmm_s:.4}s bit_identical={identical}"
+        );
+        sweep_rows.push(format!(
+            concat!(
+                "        {{\n",
+                "          \"threads\": {},\n",
+                "          \"gemm_1024_s\": {},\n",
+                "          \"spmm_power_law_s\": {},\n",
+                "          \"bit_identical_to_single_thread\": {}\n",
+                "        }}"
+            ),
+            threads,
+            json_number(gemm_s),
+            json_number(spmm_s),
+            identical,
+        ));
+    }
+
+    let sections = [
+        ("gemm_f64_vs_int8", "sizes", gemm_rows),
+        ("spmm_f64_vs_int8", "workloads", spmm_rows),
+        ("int8_thread_scaling", "sweep", sweep_rows),
+    ]
+    .map(|(section, key, rows)| {
+        format!(
+            "    {{\n      \"section\": \"{section}\",\n      \"{key}\": [\n{}\n      ]\n    }}",
+            rows.join(",\n"),
+        )
+    });
+    let json = snapshot_json(
+        "int8_kernels",
+        &["f64_blocked", "int8_blocked", "f64_spmm", "int8_spmm"],
+        &[("accumulation", "\"exact i32\"".to_string())],
+        "sections",
+        &sections,
     );
     write_or_die(out_path, &json);
 }
@@ -257,9 +458,11 @@ fn main() {
         None | Some("all") => {
             run_gemm("BENCH_1.json");
             run_sparse("BENCH_2.json");
+            run_int8("BENCH_3.json");
         }
         Some("gemm") => run_gemm(args.get(1).map_or("BENCH_1.json", String::as_str)),
         Some("sparse") => run_sparse(args.get(1).map_or("BENCH_2.json", String::as_str)),
+        Some("int8") => run_int8(args.get(1).map_or("BENCH_3.json", String::as_str)),
         // Legacy invocation: a bare output path means the gemm snapshot.
         Some(path) => run_gemm(path),
     }

@@ -7,9 +7,11 @@
 //! GHOST evaluation covers are GCN, GraphSAGE, GIN and GAT.
 
 use phox_tensor::sparse::{self, CsrView, SparseReduce};
-use phox_tensor::{ops, quant, Matrix, Prng, TensorError};
+use phox_tensor::sparse_i8::{self, CsrI8View, I8Reduce};
+use phox_tensor::{ops, quant, Matrix, Prng, Quantizer, TensorError};
 
 use crate::census::OpCensus;
+use crate::int8::{Int8Engine, MatmulEngine, PreEngine};
 
 /// A directed graph in compressed sparse row form (in-neighbour lists).
 ///
@@ -119,6 +121,14 @@ impl CsrGraph {
     pub fn csr_view(&self) -> CsrView<'_> {
         let n = self.num_nodes();
         CsrView::new(n, n, &self.offsets, &self.neighbors, None)
+            .unwrap_or_else(|_| unreachable!("from_edges establishes the CSR invariants"))
+    }
+
+    /// The int8-kernel view of the adjacency pattern (unweighted, square),
+    /// for [`phox_tensor::sparse_i8`] SpMM/aggregation.
+    pub fn csr_i8_view(&self) -> CsrI8View<'_> {
+        let n = self.num_nodes();
+        CsrI8View::new(n, n, &self.offsets, &self.neighbors, None)
             .unwrap_or_else(|_| unreachable!("from_edges establishes the CSR invariants"))
     }
 
@@ -390,7 +400,13 @@ impl GnnModel {
     /// Returns a shape error when `features` does not match the graph and
     /// configuration.
     pub fn forward(&self, graph: &CsrGraph, features: &Matrix) -> Result<Matrix, TensorError> {
-        self.forward_with(graph, features, &|m| m.clone())
+        self.forward_with(
+            graph,
+            features,
+            &PreEngine {
+                pre: &|m| m.clone(),
+            },
+        )
     }
 
     /// Inference with fake int8 quantization on all matmul operands.
@@ -403,7 +419,27 @@ impl GnnModel {
         graph: &CsrGraph,
         features: &Matrix,
     ) -> Result<Matrix, TensorError> {
-        self.forward_with(graph, features, &quant::fake_quantize)
+        self.forward_with(
+            graph,
+            features,
+            &PreEngine {
+                pre: &quant::fake_quantize,
+            },
+        )
+    }
+
+    /// Inference on the true int8 datapath: combine matmuls run on the
+    /// `i8 x i8 -> i32` GEMM kernel and aggregation on the int8 sparse
+    /// kernel ([`GnnModel::aggregate_int8`]); GAT attention coefficients
+    /// stay in f64 (the digital/LUT periphery). Contrast with
+    /// [`GnnModel::forward_quantized`], which only *models* 8-bit
+    /// rounding inside an f64 pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `features` does not match.
+    pub fn forward_int8(&self, graph: &CsrGraph, features: &Matrix) -> Result<Matrix, TensorError> {
+        self.forward_with(graph, features, &Int8Engine)
     }
 
     /// Inference with fake quantization at an arbitrary bit width (the
@@ -420,17 +456,18 @@ impl GnnModel {
         bits: u32,
     ) -> Result<Matrix, TensorError> {
         quant::fake_quantize_bits(&Matrix::zeros(1, 1), bits)?;
-        self.forward_with(graph, features, &move |m| {
+        let pre = move |m: &Matrix| {
             quant::fake_quantize_bits(m, bits)
                 .unwrap_or_else(|_| unreachable!("bit width validated above"))
-        })
+        };
+        self.forward_with(graph, features, &PreEngine { pre: &pre })
     }
 
     fn forward_with(
         &self,
         graph: &CsrGraph,
         features: &Matrix,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
         if features.rows() != graph.num_nodes() || features.cols() != self.config.dims[0] {
             return Err(TensorError::ShapeMismatch {
@@ -442,10 +479,10 @@ impl GnnModel {
         let last = self.layers.len() - 1;
         for (l, lw) in self.layers.iter().enumerate() {
             h = match self.config.kind {
-                GnnKind::Gcn => self.gcn_layer(graph, &h, lw, pre)?,
-                GnnKind::GraphSage => self.sage_layer(graph, &h, lw, pre)?,
-                GnnKind::Gin => self.gin_layer(graph, &h, lw, pre)?,
-                GnnKind::Gat => self.gat_layer(graph, &h, lw, pre)?,
+                GnnKind::Gcn => self.gcn_layer(graph, &h, lw, eng)?,
+                GnnKind::GraphSage => self.sage_layer(graph, &h, lw, eng)?,
+                GnnKind::Gin => self.gin_layer(graph, &h, lw, eng)?,
+                GnnKind::Gat => self.gat_layer(graph, &h, lw, eng)?,
             };
             // Hidden layers use ReLU; the output layer stays linear
             // (logits).
@@ -549,15 +586,81 @@ impl GnnModel {
         out
     }
 
+    /// [`GnnModel::aggregate`] on the int8 sparse kernel
+    /// ([`phox_tensor::sparse_i8`]): `h` is quantized once per call,
+    /// sums/maxima reduce exactly in `i32` on the degree-bucketed
+    /// schedule, and the mean divides the exact integer sums in f64 at
+    /// dequantization. Bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` does not have one row per graph vertex.
+    pub fn aggregate_int8(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        agg: Aggregation,
+        include_self: bool,
+    ) -> Matrix {
+        let q = Quantizer::calibrate(h).quantize(h);
+        let f = h.cols();
+        let n = graph.num_nodes();
+        let reduce = match agg {
+            Aggregation::Sum | Aggregation::Mean => I8Reduce::Sum,
+            Aggregation::Max => I8Reduce::Max,
+        };
+        let mut sums = vec![0i32; n * f];
+        if let Err(e) = sparse_i8::aggregate_i8_into(
+            &graph.csr_i8_view(),
+            q.as_i8_slice(),
+            f,
+            reduce,
+            include_self,
+            &mut sums,
+        ) {
+            panic!("aggregate operands must match the graph: {e}");
+        }
+        let scale = q.scale();
+        let mut out = Matrix::zeros(n, f);
+        for v in 0..n {
+            let denom = if agg == Aggregation::Mean {
+                (graph.degree(v) + usize::from(include_self)).max(1) as f64
+            } else {
+                1.0
+            };
+            for c in 0..f {
+                out.set(v, c, sums[v * f + c] as f64 * scale / denom);
+            }
+        }
+        out
+    }
+
+    /// Dispatches aggregation to the f64 or int8 sparse kernel according
+    /// to the engine.
+    fn aggregate_for(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        agg: Aggregation,
+        include_self: bool,
+        eng: &dyn MatmulEngine,
+    ) -> Matrix {
+        if eng.int8_aggregation() {
+            self.aggregate_int8(graph, h, agg, include_self)
+        } else {
+            self.aggregate(graph, h, agg, include_self)
+        }
+    }
+
     fn gcn_layer(
         &self,
         graph: &CsrGraph,
         h: &Matrix,
         lw: &GnnLayerWeights,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
-        let agg = self.aggregate(graph, h, Aggregation::Mean, true);
-        pre(&agg).matmul(&pre(&lw.w))
+        let agg = self.aggregate_for(graph, h, Aggregation::Mean, true, eng);
+        eng.mm(&agg, &lw.w)
     }
 
     fn sage_layer(
@@ -565,11 +668,11 @@ impl GnnModel {
         graph: &CsrGraph,
         h: &Matrix,
         lw: &GnnLayerWeights,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
-        let agg = self.aggregate(graph, h, self.config.aggregation, false);
+        let agg = self.aggregate_for(graph, h, self.config.aggregation, false, eng);
         let cat = h.hconcat(&agg)?;
-        pre(&cat).matmul(&pre(&lw.w))
+        eng.mm(&cat, &lw.w)
     }
 
     fn gin_layer(
@@ -577,11 +680,11 @@ impl GnnModel {
         graph: &CsrGraph,
         h: &Matrix,
         lw: &GnnLayerWeights,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
-        let agg = self.aggregate(graph, h, Aggregation::Sum, false);
+        let agg = self.aggregate_for(graph, h, Aggregation::Sum, false, eng);
         let mixed = h.scale(1.0 + self.epsilon).add(&agg)?;
-        pre(&mixed).matmul(&pre(&lw.w))
+        eng.mm(&mixed, &lw.w)
     }
 
     fn gat_layer(
@@ -589,10 +692,10 @@ impl GnnModel {
         graph: &CsrGraph,
         h: &Matrix,
         lw: &GnnLayerWeights,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
         // Transform first: z = h·W, then attention over edges.
-        let z = pre(h).matmul(&pre(&lw.w))?;
+        let z = eng.mm(h, &lw.w)?;
         let fout = z.cols();
         let n = graph.num_nodes();
         // Per-node source/destination attention logits.

@@ -1,0 +1,188 @@
+//! True int8 execution for the reference models.
+//!
+//! The fake-quantization paths (`forward_quantized`) inject 8-bit
+//! rounding error into an otherwise f64 forward pass — the right tool
+//! for *accuracy* analysis, but every product still runs through the
+//! f64 GEMM. This module executes the matmuls the way the 8-bit
+//! photonic MAC array does: operands quantized to `i8`, products
+//! accumulated exactly in `i32` on the [`phox_tensor::gemm_i8`] kernel,
+//! one dequantization at the output ([`QuantLinear`]).
+//!
+//! Attention softmax, LayerNorm, residual adds and GAT attention
+//! coefficients stay in f64: on the accelerator those live in the
+//! digital/LUT periphery, not on the optical MAC array, so the int8
+//! forward quantizes exactly the operands the photonic datapath sees.
+//!
+//! The [`MatmulEngine`] trait is the seam the model forwards are written
+//! against: the legacy engine reproduces the fp64/fake-quant semantics
+//! bit-for-bit (including which operand sites the fake-quant reference
+//! treats), while [`Int8Engine`] routes every projection through the
+//! integer kernel.
+
+use phox_tensor::{Matrix, QuantMatrix, Quantizer, TensorError};
+
+/// A linear layer with a pre-quantized int8 weight: quantizes the
+/// incoming activation, multiplies on the int8 kernel with `i32`
+/// accumulation, and dequantizes with the product of the two scales.
+///
+/// # Example
+///
+/// ```
+/// use phox_nn::int8::QuantLinear;
+/// use phox_tensor::Prng;
+///
+/// # fn main() -> Result<(), phox_tensor::TensorError> {
+/// let w = Prng::new(1).xavier(16, 8);
+/// let x = Prng::new(2).fill_normal(4, 16, 0.0, 1.0);
+/// let layer = QuantLinear::from_weight(&w);
+/// let y = layer.forward(&x)?;
+/// let exact = x.matmul(&w)?;
+/// assert!(phox_tensor::stats::relative_error(&exact, &y) < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantLinear {
+    qw: QuantMatrix,
+}
+
+impl QuantLinear {
+    /// Quantizes `w` once (per-tensor symmetric calibration); the weight
+    /// stays resident in int8 form, as on the accelerator.
+    pub fn from_weight(w: &Matrix) -> Self {
+        QuantLinear {
+            qw: Quantizer::calibrate(w).quantize(w),
+        }
+    }
+
+    /// The stored int8 weight.
+    pub fn weight(&self) -> &QuantMatrix {
+        &self.qw
+    }
+
+    /// `x · W` on the int8 kernel: `x` is quantized per call (activations
+    /// change every step; weights were quantized once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x.cols()` differs
+    /// from the weight's row count.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix, TensorError> {
+        let qx = Quantizer::calibrate(x).quantize(x);
+        qx.matmul(&self.qw)
+    }
+}
+
+/// How a model forward pass executes its weight products. The two
+/// methods distinguish the operand sites of the legacy fake-quant
+/// reference: `mm` covers projections where *both* operands are treated
+/// (Q/K/V, cross-attention, GNN combine), `mm_weight_only` the sites
+/// where the reference only treats the weight (attention output
+/// projection and the feed-forward block, whose activations come out of
+/// LayerNorm/softmax already conditioned).
+pub(crate) trait MatmulEngine {
+    /// Product with both operands through the engine's precision model.
+    fn mm(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError>;
+
+    /// Product where the legacy reference treats only the weight.
+    fn mm_weight_only(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError>;
+
+    /// Whether GNN aggregation should run on the int8 sparse kernel.
+    fn int8_aggregation(&self) -> bool {
+        false
+    }
+}
+
+/// The legacy engine: applies a `pre` map (identity for fp64,
+/// [`phox_tensor::quant::fake_quantize`] for the 8-bit accuracy
+/// reference) to operands, preserving the historical call-site semantics
+/// exactly.
+pub(crate) struct PreEngine<'a> {
+    pub pre: &'a dyn Fn(&Matrix) -> Matrix,
+}
+
+impl MatmulEngine for PreEngine<'_> {
+    fn mm(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
+        (self.pre)(a).matmul(&(self.pre)(w))
+    }
+
+    fn mm_weight_only(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
+        a.matmul(&(self.pre)(w))
+    }
+}
+
+/// True int8 execution: every weight product runs through
+/// [`QuantLinear`] — both operands quantized, exact `i32` accumulation —
+/// and GNN aggregation uses the int8 sparse kernel. The hardware model
+/// has no "weight-only" sites: everything entering the MAC array is
+/// 8-bit.
+pub(crate) struct Int8Engine;
+
+impl MatmulEngine for Int8Engine {
+    fn mm(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
+        QuantLinear::from_weight(w).forward(a)
+    }
+
+    fn mm_weight_only(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
+        self.mm(a, w)
+    }
+
+    fn int8_aggregation(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_tensor::{gemm_i8, quant, stats, Prng};
+
+    #[test]
+    fn quant_linear_matches_raw_kernel_exactly() {
+        let w = Prng::new(1).xavier(16, 8);
+        let x = Prng::new(2).fill_normal(4, 16, 0.0, 1.0);
+        let layer = QuantLinear::from_weight(&w);
+        let y = layer.forward(&x).unwrap();
+
+        let qx = Quantizer::calibrate(&x).quantize(&x);
+        let sums =
+            gemm_i8::matmul_i32_naive(qx.as_i8_slice(), layer.weight().as_i8_slice(), 4, 16, 8)
+                .unwrap();
+        let scale = qx.scale() * layer.weight().scale();
+        for (i, &s) in sums.iter().enumerate() {
+            assert_eq!(y.get(i / 8, i % 8), s as f64 * scale);
+        }
+    }
+
+    #[test]
+    fn quant_linear_shape_mismatch() {
+        let layer = QuantLinear::from_weight(&Matrix::zeros(3, 2));
+        assert!(layer.forward(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn int8_engine_tracks_f64_product() {
+        let a = Prng::new(3).fill_normal(6, 12, 0.0, 1.0);
+        let w = Prng::new(4).xavier(12, 5);
+        let exact = a.matmul(&w).unwrap();
+        let int8 = Int8Engine.mm(&a, &w).unwrap();
+        assert!(stats::relative_error(&exact, &int8) < 0.1);
+        assert_eq!(int8, Int8Engine.mm_weight_only(&a, &w).unwrap());
+    }
+
+    #[test]
+    fn pre_engine_reproduces_legacy_semantics() {
+        let a = Prng::new(5).fill_normal(4, 8, 0.0, 1.0);
+        let w = Prng::new(6).xavier(8, 3);
+        let eng = PreEngine {
+            pre: &quant::fake_quantize,
+        };
+        let expected_both = quant::fake_quantize(&a)
+            .matmul(&quant::fake_quantize(&w))
+            .unwrap();
+        assert_eq!(eng.mm(&a, &w).unwrap(), expected_both);
+        let expected_weight_only = a.matmul(&quant::fake_quantize(&w)).unwrap();
+        assert_eq!(eng.mm_weight_only(&a, &w).unwrap(), expected_weight_only);
+        assert!(!eng.int8_aggregation());
+    }
+}

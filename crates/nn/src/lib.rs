@@ -13,6 +13,9 @@
 //!   tasks for accuracy experiments;
 //! * [`census`] — the static operation inventory ([`census::OpCensus`])
 //!   both the photonic simulators and the electronic baselines consume;
+//! * [`int8`] — the true int8 execution layer ([`int8::QuantLinear`]):
+//!   weight products on the `i8 x i8 -> i32` kernels behind
+//!   `forward_int8` on both model families;
 //! * [`quant_eval`] — the "8-bit ≈ fp32" analysis of §VI;
 //! * [`tasks`] — the other graph tasks §III motivates (link prediction,
 //!   graph classification).
@@ -35,6 +38,7 @@
 pub mod census;
 pub mod datasets;
 pub mod gnn;
+pub mod int8;
 pub mod quant_eval;
 pub mod tasks;
 pub mod transformer;

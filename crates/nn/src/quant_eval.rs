@@ -36,26 +36,51 @@ impl QuantReport {
 }
 
 /// Evaluates a GNN on a labelled graph: node classification by logits
-/// argmax.
+/// argmax. The quantized leg is the fake-int8 forward (8-bit rounding
+/// modelled inside an f64 pass).
 ///
 /// # Errors
 ///
 /// Propagates forward-pass shape errors.
 pub fn evaluate_gnn(model: &GnnModel, task: &LabelledGraph) -> Result<QuantReport, TensorError> {
-    let fp = model.forward(&task.graph, &task.features)?;
     let q = model.forward_quantized(&task.graph, &task.features)?;
+    gnn_report(model, task, &q)
+}
+
+/// [`evaluate_gnn`] with the quantized leg on the true int8 datapath
+/// ([`GnnModel::forward_int8`]): `i8 x i8 -> i32` kernels end to end,
+/// compared against the same f64 oracle.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn evaluate_gnn_int8(
+    model: &GnnModel,
+    task: &LabelledGraph,
+) -> Result<QuantReport, TensorError> {
+    let q = model.forward_int8(&task.graph, &task.features)?;
+    gnn_report(model, task, &q)
+}
+
+fn gnn_report(
+    model: &GnnModel,
+    task: &LabelledGraph,
+    q: &Matrix,
+) -> Result<QuantReport, TensorError> {
+    let fp = model.forward(&task.graph, &task.features)?;
     let fp_pred = ops::argmax_rows(&fp);
-    let q_pred = ops::argmax_rows(&q);
+    let q_pred = ops::argmax_rows(q);
     Ok(QuantReport {
         fp_accuracy: stats::accuracy(&fp_pred, &task.labels),
         int8_accuracy: stats::accuracy(&q_pred, &task.labels),
         agreement: stats::accuracy(&fp_pred, &q_pred),
-        mean_relative_error: stats::relative_error(&fp, &q),
+        mean_relative_error: stats::relative_error(&fp, q),
     })
 }
 
 /// Evaluates a transformer on labelled sequences: classification via a
-/// fixed nearest-class-mean readout over the mean output embedding.
+/// fixed nearest-class-mean readout over the mean output embedding. The
+/// quantized leg is the fake-int8 forward.
 ///
 /// # Errors
 ///
@@ -64,12 +89,33 @@ pub fn evaluate_transformer(
     model: &TransformerModel,
     task: &LabelledSequences,
 ) -> Result<QuantReport, TensorError> {
+    transformer_report(model, task, &|m, x| m.forward_quantized(x))
+}
+
+/// [`evaluate_transformer`] with the quantized leg on the true int8
+/// datapath ([`TransformerModel::forward_int8`]).
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn evaluate_transformer_int8(
+    model: &TransformerModel,
+    task: &LabelledSequences,
+) -> Result<QuantReport, TensorError> {
+    transformer_report(model, task, &|m, x| m.forward_int8(x))
+}
+
+fn transformer_report(
+    model: &TransformerModel,
+    task: &LabelledSequences,
+    quantized: &dyn Fn(&TransformerModel, &Matrix) -> Result<Matrix, TensorError>,
+) -> Result<QuantReport, TensorError> {
     let mut fp_pred = Vec::with_capacity(task.inputs.len());
     let mut q_pred = Vec::with_capacity(task.inputs.len());
     let mut rel_err_sum = 0.0;
     for x in &task.inputs {
         let fp = model.forward(x)?;
-        let q = model.forward_quantized(x)?;
+        let q = quantized(model, x)?;
         rel_err_sum += stats::relative_error(&fp, &q);
         fp_pred.push(classify(&fp, &task.class_means));
         q_pred.push(classify(&q, &task.class_means));

@@ -9,6 +9,7 @@
 use phox_tensor::{ops, quant, Matrix, Prng, TensorError};
 
 use crate::census::OpCensus;
+use crate::int8::{Int8Engine, MatmulEngine, PreEngine};
 
 /// Which parts of the original transformer a model keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -399,7 +400,12 @@ impl TransformerModel {
     ///
     /// Returns a shape error when `x` does not match the configuration.
     pub fn forward(&self, x: &Matrix) -> Result<Matrix, TensorError> {
-        self.forward_with(x, &|m| m.clone())
+        self.forward_with(
+            x,
+            &PreEngine {
+                pre: &|m| m.clone(),
+            },
+        )
     }
 
     /// Full-precision sequence-to-sequence pass: encodes `src`, then
@@ -411,7 +417,13 @@ impl TransformerModel {
     /// Returns [`TensorError::InvalidDimension`] for non-encoder-decoder
     /// models and shape errors for mismatched inputs.
     pub fn forward_seq2seq(&self, src: &Matrix, tgt: &Matrix) -> Result<Matrix, TensorError> {
-        self.forward_seq2seq_with(src, tgt, &|m| m.clone())
+        self.forward_seq2seq_with(
+            src,
+            tgt,
+            &PreEngine {
+                pre: &|m| m.clone(),
+            },
+        )
     }
 
     /// [`TransformerModel::forward_seq2seq`] with fake int8 quantization
@@ -425,7 +437,24 @@ impl TransformerModel {
         src: &Matrix,
         tgt: &Matrix,
     ) -> Result<Matrix, TensorError> {
-        self.forward_seq2seq_with(src, tgt, &quant::fake_quantize)
+        self.forward_seq2seq_with(
+            src,
+            tgt,
+            &PreEngine {
+                pre: &quant::fake_quantize,
+            },
+        )
+    }
+
+    /// [`TransformerModel::forward_seq2seq`] executed on the true int8
+    /// datapath: every weight product runs on the `i8 x i8 -> i32` kernel
+    /// with one dequantization at the output.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TransformerModel::forward_seq2seq`].
+    pub fn forward_seq2seq_int8(&self, src: &Matrix, tgt: &Matrix) -> Result<Matrix, TensorError> {
+        self.forward_seq2seq_with(src, tgt, &Int8Engine)
     }
 
     /// Forward pass with fake int8 quantization applied to every operand
@@ -436,7 +465,27 @@ impl TransformerModel {
     ///
     /// Returns a shape error when `x` does not match the configuration.
     pub fn forward_quantized(&self, x: &Matrix) -> Result<Matrix, TensorError> {
-        self.forward_with(x, &quant::fake_quantize)
+        self.forward_with(
+            x,
+            &PreEngine {
+                pre: &quant::fake_quantize,
+            },
+        )
+    }
+
+    /// Forward pass on the true int8 datapath: projections execute on the
+    /// `i8 x i8 -> i32` GEMM kernel (operands quantized, exact integer
+    /// accumulation, one dequantization per product), while softmax,
+    /// LayerNorm and residual adds stay in f64 — matching the
+    /// digital/LUT periphery of the accelerator. Contrast with
+    /// [`TransformerModel::forward_quantized`], which only *models* 8-bit
+    /// rounding inside an f64 pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `x` does not match the configuration.
+    pub fn forward_int8(&self, x: &Matrix) -> Result<Matrix, TensorError> {
+        self.forward_with(x, &Int8Engine)
     }
 
     /// Forward pass with fake quantization at an arbitrary bit width —
@@ -450,19 +499,16 @@ impl TransformerModel {
     pub fn forward_quantized_bits(&self, x: &Matrix, bits: u32) -> Result<Matrix, TensorError> {
         // Validate once up front so the closure cannot fail.
         quant::fake_quantize_bits(&Matrix::zeros(1, 1), bits)?;
-        self.forward_with(x, &move |m| {
+        let pre = move |m: &Matrix| {
             quant::fake_quantize_bits(m, bits)
                 .unwrap_or_else(|_| unreachable!("bit width validated above"))
-        })
+        };
+        self.forward_with(x, &PreEngine { pre: &pre })
     }
 
-    /// Shared forward implementation; `pre` is applied to every matmul
-    /// operand (identity for fp64, fake-quant for int8).
-    fn forward_with(
-        &self,
-        x: &Matrix,
-        pre: &dyn Fn(&Matrix) -> Matrix,
-    ) -> Result<Matrix, TensorError> {
+    /// Shared forward implementation; `eng` decides how each weight
+    /// product executes (fp64, fake-quant, or the true int8 kernel).
+    fn forward_with(&self, x: &Matrix, eng: &dyn MatmulEngine) -> Result<Matrix, TensorError> {
         if x.rows() != self.config.seq_len || x.cols() != self.config.d_model {
             return Err(TensorError::ShapeMismatch {
                 lhs: x.shape(),
@@ -470,11 +516,11 @@ impl TransformerModel {
             });
         }
         if self.config.kind == TransformerKind::EncoderDecoder {
-            return self.forward_seq2seq_with(x, x, pre);
+            return self.forward_seq2seq_with(x, x, eng);
         }
         let mut h = x.clone();
         for lw in &self.layers {
-            h = self.layer_forward(&h, lw, pre)?;
+            h = self.layer_forward(&h, lw, eng)?;
         }
         Ok(h)
     }
@@ -483,7 +529,7 @@ impl TransformerModel {
         &self,
         src: &Matrix,
         tgt: &Matrix,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
         if self.config.kind != TransformerKind::EncoderDecoder {
             return Err(TensorError::InvalidDimension {
@@ -501,12 +547,12 @@ impl TransformerModel {
         // Encode (bidirectional self-attention).
         let mut memory = src.clone();
         for lw in &self.layers {
-            memory = self.layer_forward(&memory, lw, pre)?;
+            memory = self.layer_forward(&memory, lw, eng)?;
         }
         // Decode (causal self-attention + cross-attention).
         let mut h = tgt.clone();
         for dw in &self.decoder_layers {
-            h = self.decoder_layer_forward(&h, &memory, dw, pre)?;
+            h = self.decoder_layer_forward(&h, &memory, dw, eng)?;
         }
         Ok(h)
     }
@@ -520,7 +566,7 @@ impl TransformerModel {
         v: &Matrix,
         w_o: &Matrix,
         causal: bool,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
         let d = self.config.d_model;
         let dh = self.config.d_head();
@@ -546,30 +592,30 @@ impl TransformerModel {
                 }
             }
         }
-        concat.matmul(&pre(w_o))
+        eng.mm_weight_only(&concat, w_o)
     }
 
     fn layer_forward(
         &self,
         x: &Matrix,
         lw: &LayerWeights,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
         let causal = self.config.kind == TransformerKind::DecoderOnly;
 
-        let q = pre(x).matmul(&pre(&lw.w_q))?;
-        let k = pre(x).matmul(&pre(&lw.w_k))?;
-        let v = pre(x).matmul(&pre(&lw.w_v))?;
-        let mha = self.multi_head_attention(&q, &k, &v, &lw.w_o, causal, pre)?;
+        let q = eng.mm(x, &lw.w_q)?;
+        let k = eng.mm(x, &lw.w_k)?;
+        let v = eng.mm(x, &lw.w_v)?;
+        let mha = self.multi_head_attention(&q, &k, &v, &lw.w_o, causal, eng)?;
         let res1 = x.add(&mha)?;
         let norm1 = ops::layer_norm(&res1, &lw.ln1_gamma, &lw.ln1_beta, 1e-9)?;
 
-        let inner = norm1.matmul(&pre(&lw.w_ff1))?;
+        let inner = eng.mm_weight_only(&norm1, &lw.w_ff1)?;
         let activated = match self.config.ff_activation {
             FfActivation::Relu => ops::relu(&inner),
             FfActivation::Gelu => ops::gelu(&inner),
         };
-        let ffo = activated.matmul(&pre(&lw.w_ff2))?;
+        let ffo = eng.mm_weight_only(&activated, &lw.w_ff2)?;
         let res2 = norm1.add(&ffo)?;
         ops::layer_norm(&res2, &lw.ln2_gamma, &lw.ln2_beta, 1e-9)
     }
@@ -582,33 +628,33 @@ impl TransformerModel {
         x: &Matrix,
         memory: &Matrix,
         dw: &DecoderLayerWeights,
-        pre: &dyn Fn(&Matrix) -> Matrix,
+        eng: &dyn MatmulEngine,
     ) -> Result<Matrix, TensorError> {
         let lw = &dw.base;
         // Causal self-attention.
-        let q = pre(x).matmul(&pre(&lw.w_q))?;
-        let k = pre(x).matmul(&pre(&lw.w_k))?;
-        let v = pre(x).matmul(&pre(&lw.w_v))?;
-        let self_attn = self.multi_head_attention(&q, &k, &v, &lw.w_o, true, pre)?;
+        let q = eng.mm(x, &lw.w_q)?;
+        let k = eng.mm(x, &lw.w_k)?;
+        let v = eng.mm(x, &lw.w_v)?;
+        let self_attn = self.multi_head_attention(&q, &k, &v, &lw.w_o, true, eng)?;
         let res1 = x.add(&self_attn)?;
         let norm1 = ops::layer_norm(&res1, &lw.ln1_gamma, &lw.ln1_beta, 1e-9)?;
 
         // Cross-attention: queries from the decoder state, keys/values
         // from the encoder memory.
-        let cq = pre(&norm1).matmul(&pre(&dw.w_cq))?;
-        let ck = pre(memory).matmul(&pre(&dw.w_ck))?;
-        let cv = pre(memory).matmul(&pre(&dw.w_cv))?;
-        let cross = self.multi_head_attention(&cq, &ck, &cv, &dw.w_co, false, pre)?;
+        let cq = eng.mm(&norm1, &dw.w_cq)?;
+        let ck = eng.mm(memory, &dw.w_ck)?;
+        let cv = eng.mm(memory, &dw.w_cv)?;
+        let cross = self.multi_head_attention(&cq, &ck, &cv, &dw.w_co, false, eng)?;
         let res2 = norm1.add(&cross)?;
         let norm2 = ops::layer_norm(&res2, &dw.ln_cross_gamma, &dw.ln_cross_beta, 1e-9)?;
 
         // Feed-forward.
-        let inner = norm2.matmul(&pre(&lw.w_ff1))?;
+        let inner = eng.mm_weight_only(&norm2, &lw.w_ff1)?;
         let activated = match self.config.ff_activation {
             FfActivation::Relu => ops::relu(&inner),
             FfActivation::Gelu => ops::gelu(&inner),
         };
-        let ffo = activated.matmul(&pre(&lw.w_ff2))?;
+        let ffo = eng.mm_weight_only(&activated, &lw.w_ff2)?;
         let res3 = norm2.add(&ffo)?;
         ops::layer_norm(&res3, &lw.ln2_gamma, &lw.ln2_beta, 1e-9)
     }

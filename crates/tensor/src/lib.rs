@@ -19,6 +19,10 @@
 //!   paths of `phox-nn` and `phox-ghost`.
 //! * [`quant`] — symmetric int8 post-training quantization, used to model
 //!   the 8-bit precision the paper selects for both accelerators.
+//! * [`gemm_i8`] — the true int8 GEMM microkernel (packed `Bᵀ`, `i32`
+//!   accumulation, SIMD dispatch) behind [`QuantMatrix::matmul`].
+//! * [`sparse_i8`] — int8 CSR SpMM/aggregation with exact `i32` sums on
+//!   the degree-bucketed schedule.
 //! * [`ops`] — the nonlinear building blocks of Transformers and GNNs
 //!   (softmax, layer normalization, ReLU/GELU/sigmoid/tanh).
 //! * [`eig`] — a Jacobi eigendecomposition for symmetric matrices, used by
@@ -49,14 +53,16 @@
 
 pub mod eig;
 pub mod gemm;
+pub mod gemm_i8;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;
 pub mod quant;
 pub mod rng;
 pub mod sparse;
+pub mod sparse_i8;
 pub mod stats;
 
 pub use matrix::{Matrix, TensorError};
-pub use quant::{QuantMatrix, Quantizer};
+pub use quant::{I32Matrix, QuantMatrix, Quantizer};
 pub use rng::{split_seed, Prng};

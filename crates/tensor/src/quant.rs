@@ -11,7 +11,7 @@
 //! module provides the digital reference against which the analog photonic
 //! datapath is validated.
 
-use crate::{Matrix, TensorError};
+use crate::{gemm_i8, Matrix, TensorError};
 
 /// A symmetric linear quantizer mapping `f64` values to `i8`.
 ///
@@ -106,6 +106,34 @@ pub struct QuantMatrix {
 }
 
 impl QuantMatrix {
+    /// Builds a quantized matrix from raw levels and an explicit scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` is not
+    /// `rows * cols` and [`TensorError::InvalidDimension`] when `scale` is
+    /// not a positive finite number.
+    pub fn from_levels(
+        rows: usize,
+        cols: usize,
+        scale: f64,
+        data: Vec<i8>,
+    ) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        let q = Quantizer::with_scale(scale)?;
+        Ok(QuantMatrix {
+            rows,
+            cols,
+            scale: q.scale(),
+            data,
+        })
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -148,37 +176,115 @@ impl QuantMatrix {
             .unwrap_or_else(|_| unreachable!("length is rows*cols by construction"))
     }
 
-    /// Integer matmul with `i32` accumulation, dequantized with the product
-    /// of the two scales — exactly the arithmetic an 8-bit MAC array
-    /// performs.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::ShapeMismatch`] when inner dimensions differ.
-    pub fn matmul(&self, rhs: &QuantMatrix) -> Result<Matrix, TensorError> {
+    fn check_inner(&self, rhs: &QuantMatrix) -> Result<(), TensorError> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 lhs: self.shape(),
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k] as i32;
-                if a == 0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    let b = rhs.data[k * rhs.cols + j] as i32;
-                    let cur = out.get(i, j);
-                    out.set(i, j, cur + (a * b) as f64);
-                }
-            }
-        }
-        let s = self.scale * rhs.scale;
-        Ok(out.scale(s))
+        Ok(())
     }
+
+    /// Integer matmul with `i32` accumulation, dequantized with the
+    /// product of the two scales — exactly the arithmetic an 8-bit MAC
+    /// array performs. Runs on the blocked SIMD kernel of
+    /// [`crate::gemm_i8`]; bit-identical to [`QuantMatrix::matmul_naive`]
+    /// for every thread count because integer sums are exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, rhs: &QuantMatrix) -> Result<Matrix, TensorError> {
+        Ok(self.matmul_i32(rhs)?.dequantize(self.scale * rhs.scale))
+    }
+
+    /// The raw `i32` accumulator matrix of the integer product, before
+    /// dequantization — what the MAC array hands to the ADC/requant stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul_i32(&self, rhs: &QuantMatrix) -> Result<I32Matrix, TensorError> {
+        self.check_inner(rhs)?;
+        let data = gemm_i8::matmul_i32(&self.data, &rhs.data, self.rows, self.cols, rhs.cols)?;
+        Ok(I32Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        })
+    }
+
+    /// Naive integer matmul with a plain `i32` row accumulator — the
+    /// oracle [`QuantMatrix::matmul`] is property-tested against. Exactly
+    /// equal (not approximately) to the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when inner dimensions differ.
+    pub fn matmul_naive(&self, rhs: &QuantMatrix) -> Result<Matrix, TensorError> {
+        self.check_inner(rhs)?;
+        let data =
+            gemm_i8::matmul_i32_naive(&self.data, &rhs.data, self.rows, self.cols, rhs.cols)?;
+        let out = I32Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        };
+        Ok(out.dequantize(self.scale * rhs.scale))
+    }
+}
+
+/// Raw `i32` accumulator sums of an int8 matrix product, with the shape
+/// they describe. Dequantized with the product of the operand scales.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I32Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i32>,
+}
+
+impl I32Matrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Raw accumulator data (row-major).
+    pub fn as_i32_slice(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Converts the integer sums to f64 with the given combined scale.
+    pub fn dequantize(&self, scale: f64) -> Matrix {
+        let data = self.data.iter().map(|&v| v as f64 * scale).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+            .unwrap_or_else(|_| unreachable!("length is rows*cols by construction"))
+    }
+}
+
+/// Quantizes both operands with per-tensor calibration and multiplies
+/// them on the int8 kernel — the "true int8" matmul the 8-bit photonic
+/// datapath performs, as opposed to [`fake_quantize`] which only injects
+/// quantization error into an f64 product.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `a.cols() != b.rows()`.
+pub fn int8_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    let qa = Quantizer::calibrate(a).quantize(a);
+    let qb = Quantizer::calibrate(b).quantize(b);
+    qa.matmul(&qb)
 }
 
 /// Quantizes with per-tensor calibration and immediately dequantizes —
@@ -247,6 +353,51 @@ mod tests {
         let exact = a.matmul(&b).unwrap();
         // Error bound: k * (sa*|b|max + sb*|a|max) / 2-ish; loose check.
         assert!(approx.approx_eq(&exact, 0.02), "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn fast_matmul_equals_naive_oracle_exactly() {
+        let mut rng = crate::Prng::new(42);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 4), (17, 33, 9)] {
+            let a = rng.fill_uniform(m, k, -2.0, 2.0);
+            let b = rng.fill_uniform(k, n, -1.0, 1.0);
+            let qa = Quantizer::calibrate(&a).quantize(&a);
+            let qb = Quantizer::calibrate(&b).quantize(&b);
+            let fast = qa.matmul(&qb).unwrap();
+            let naive = qa.matmul_naive(&qb).unwrap();
+            // Integer sums are exact: bitwise equality, not a tolerance.
+            assert_eq!(fast, naive, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn from_levels_roundtrip_and_validation() {
+        let q = QuantMatrix::from_levels(2, 2, 0.5, vec![1, -2, 3, 127]).unwrap();
+        assert_eq!(q.level(1, 1), 127);
+        assert_eq!(q.dequantize().get(0, 1), -1.0);
+        assert!(QuantMatrix::from_levels(2, 2, 0.5, vec![1]).is_err());
+        assert!(QuantMatrix::from_levels(1, 1, 0.0, vec![1]).is_err());
+        assert!(QuantMatrix::from_levels(1, 1, f64::NAN, vec![1]).is_err());
+    }
+
+    #[test]
+    fn matmul_i32_exposes_raw_sums() {
+        let a = QuantMatrix::from_levels(1, 2, 1.0, vec![3, -4]).unwrap();
+        let b = QuantMatrix::from_levels(2, 1, 1.0, vec![5, 6]).unwrap();
+        let s = a.matmul_i32(&b).unwrap();
+        assert_eq!(s.shape(), (1, 1));
+        assert_eq!(s.as_i32_slice(), &[3 * 5 - 4 * 6]);
+        assert_eq!(s.dequantize(2.0).get(0, 0), -18.0);
+    }
+
+    #[test]
+    fn int8_matmul_tracks_exact_product() {
+        let mut rng = crate::Prng::new(43);
+        let a = rng.fill_uniform(6, 8, -1.0, 1.0);
+        let b = rng.fill_uniform(8, 5, -1.0, 1.0);
+        let int8 = int8_matmul(&a, &b).unwrap();
+        let exact = a.matmul(&b).unwrap();
+        assert!(int8.approx_eq(&exact, 0.1));
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! Int8 CSR kernels: SpMM and neighbourhood aggregation with `i32`
+//! accumulation, on the degree-bucketed schedule of [`crate::sparse`].
+//!
+//! GHOST's datapath is 8-bit end to end (§VI), so the graph kernels get
+//! the same treatment as the dense GEMM in [`crate::gemm_i8`]: `i8`
+//! operands, wrapping `i32` sums, exact arithmetic. Scheduling reuses
+//! [`DegreeBuckets`] from PR 4 — tiles are ordered heaviest degree class
+//! first and pulled by the work-stealing loop in
+//! [`parallel::par_map_indexed`] — and each tile accumulates into one
+//! per-tile `i32` scratch buffer (allocation amortised over
+//! [`ROW_TILE`] rows) before a deterministic scatter keyed by row id.
+//! Because integer sums are exact, the schedule affects wall-time only;
+//! outputs are bit-identical for every thread count, which the test
+//! suites pin.
+
+use crate::sparse::{DegreeBuckets, ROW_TILE};
+use crate::{parallel, TensorError};
+
+/// A borrowed compressed-sparse-row matrix with `i8` values.
+///
+/// Same layout contract as [`crate::sparse::CsrView`]: `offsets` has
+/// `rows + 1` entries spanning each row's slice of `indices` and, when
+/// present, `values`. A `None` values slice means every stored entry is
+/// level `1` (an unweighted adjacency matrix).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsrI8View<'a> {
+    rows: usize,
+    cols: usize,
+    offsets: &'a [usize],
+    indices: &'a [u32],
+    values: Option<&'a [i8]>,
+}
+
+impl<'a> CsrI8View<'a> {
+    /// Builds a validated view over borrowed CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] when the offsets are not
+    /// a monotone `rows + 1` prefix-sum of `indices` or a column id is out
+    /// of range, and [`TensorError::LengthMismatch`] when `values`
+    /// disagrees with `indices` in length.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        offsets: &'a [usize],
+        indices: &'a [u32],
+        values: Option<&'a [i8]>,
+    ) -> Result<Self, TensorError> {
+        if offsets.len() != rows + 1 || offsets.first() != Some(&0) {
+            return Err(TensorError::InvalidDimension {
+                what: "CSR offsets must have rows + 1 entries starting at 0",
+            });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) || offsets[rows] != indices.len() {
+            return Err(TensorError::InvalidDimension {
+                what: "CSR offsets must be a monotone prefix-sum of the index array",
+            });
+        }
+        if indices.iter().any(|&c| c as usize >= cols) {
+            return Err(TensorError::InvalidDimension {
+                what: "CSR column index out of range",
+            });
+        }
+        if let Some(v) = values {
+            if v.len() != indices.len() {
+                return Err(TensorError::LengthMismatch {
+                    expected: indices.len(),
+                    actual: v.len(),
+                });
+            }
+        }
+        Ok(CsrI8View {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The row-offset array (`rows + 1` entries).
+    pub fn offsets(&self) -> &'a [usize] {
+        self.offsets
+    }
+
+    /// Column ids of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_indices(&self, r: usize) -> &'a [u32] {
+        &self.indices[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Values of row `r`, if the matrix is weighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_values(&self, r: usize) -> Option<&'a [i8]> {
+        self.values
+            .map(|v| &v[self.offsets[r]..self.offsets[r + 1]])
+    }
+
+    /// Number of stored entries in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.offsets[r + 1] - self.offsets[r]
+    }
+
+    /// Densifies into a row-major `rows × cols` level matrix. Test and
+    /// oracle helper: the product `densify · x` through
+    /// [`crate::gemm_i8::matmul_i32`] must equal [`spmm_i8`] exactly.
+    pub fn densify(&self) -> Vec<i8> {
+        let mut out = vec![0i8; self.rows * self.cols];
+        for r in 0..self.rows {
+            let idx = self.row_indices(r);
+            match self.row_values(r) {
+                Some(vals) => {
+                    for (&c, &v) in idx.iter().zip(vals) {
+                        out[r * self.cols + c as usize] = v;
+                    }
+                }
+                None => {
+                    for &c in idx {
+                        out[r * self.cols + c as usize] = 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Reduction applied by [`aggregate_i8_into`]. Mean is not offered at the
+/// integer layer: exact `i32` sums divide cleanly in f64 *after* the
+/// kernel, so callers implement mean as `Sum` plus a per-row divide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum I8Reduce {
+    /// Element-wise sum of member levels (wrapping `i32`).
+    Sum,
+    /// Element-wise maximum of member levels; empty rows reduce to 0.
+    Max,
+}
+
+fn check_operands(
+    a: &CsrI8View<'_>,
+    x_len: usize,
+    f: usize,
+    out_len: usize,
+) -> Result<(), TensorError> {
+    if f == 0 {
+        if x_len != 0 || out_len != 0 {
+            return Err(TensorError::LengthMismatch {
+                expected: 0,
+                actual: x_len.max(out_len),
+            });
+        }
+        return Ok(());
+    }
+    if x_len != a.cols() * f {
+        return Err(TensorError::LengthMismatch {
+            expected: a.cols() * f,
+            actual: x_len,
+        });
+    }
+    if out_len != a.rows() * f {
+        return Err(TensorError::LengthMismatch {
+            expected: a.rows() * f,
+            actual: out_len,
+        });
+    }
+    Ok(())
+}
+
+fn trace_kernel(rows: usize, nnz: usize, f: usize) {
+    if phox_trace::enabled() {
+        let tr = phox_trace::active();
+        tr.count("int8", "spmm_calls", 1);
+        tr.count("int8", "macs", (nnz * f) as i64);
+        tr.instant(
+            "int8",
+            "spmm_kernel",
+            vec![
+                ("rows", phox_trace::Value::UInt(rows as u64)),
+                ("nnz", phox_trace::Value::UInt(nnz as u64)),
+                ("features", phox_trace::Value::UInt(f as u64)),
+                ("row_tile", phox_trace::Value::UInt(ROW_TILE as u64)),
+            ],
+        );
+    }
+}
+
+/// The tile body shared by SpMM and aggregation: reduces the given rows
+/// into `scratch` (one `f`-wide slot per row, in tile order).
+fn reduce_tile(
+    a: &CsrI8View<'_>,
+    x: &[i8],
+    f: usize,
+    rows: &[u32],
+    reduce: I8Reduce,
+    include_self: bool,
+    scratch: &mut [i32],
+) {
+    for (local, &r) in rows.iter().enumerate() {
+        let r = r as usize;
+        let slot = &mut scratch[local * f..(local + 1) * f];
+        let idx = a.row_indices(r);
+        match reduce {
+            I8Reduce::Sum => {
+                slot.fill(0);
+                if include_self {
+                    for (s, &v) in slot.iter_mut().zip(&x[r * f..(r + 1) * f]) {
+                        *s = s.wrapping_add(v as i32);
+                    }
+                }
+                match a.row_values(r) {
+                    Some(vals) => {
+                        for (&u, &w) in idx.iter().zip(vals) {
+                            let src = &x[u as usize * f..(u as usize + 1) * f];
+                            for (s, &v) in slot.iter_mut().zip(src) {
+                                *s = s.wrapping_add((w as i32).wrapping_mul(v as i32));
+                            }
+                        }
+                    }
+                    None => {
+                        for &u in idx {
+                            let src = &x[u as usize * f..(u as usize + 1) * f];
+                            for (s, &v) in slot.iter_mut().zip(src) {
+                                *s = s.wrapping_add(v as i32);
+                            }
+                        }
+                    }
+                }
+            }
+            I8Reduce::Max => {
+                slot.fill(i32::MIN);
+                if include_self {
+                    for (s, &v) in slot.iter_mut().zip(&x[r * f..(r + 1) * f]) {
+                        *s = (*s).max(v as i32);
+                    }
+                }
+                for &u in idx {
+                    let src = &x[u as usize * f..(u as usize + 1) * f];
+                    for (s, &v) in slot.iter_mut().zip(src) {
+                        *s = (*s).max(v as i32);
+                    }
+                }
+                for s in slot.iter_mut() {
+                    if *s == i32::MIN {
+                        *s = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the degree-bucketed tile loop and scatters per-tile scratch back
+/// into `out` keyed by row id (deterministic for any thread count).
+fn run_scheduled(
+    a: &CsrI8View<'_>,
+    x: &[i8],
+    f: usize,
+    schedule: &DegreeBuckets,
+    reduce: I8Reduce,
+    include_self: bool,
+    out: &mut [i32],
+) -> Result<(), TensorError> {
+    if schedule.rows() != a.rows() {
+        return Err(TensorError::LengthMismatch {
+            expected: a.rows(),
+            actual: schedule.rows(),
+        });
+    }
+    let tiles = schedule.num_tiles();
+    // Heaviest tiles are scheduled first and pulled by the work-stealing
+    // loop; each tile owns one scratch allocation reused across its rows.
+    let results: Vec<Vec<i32>> = parallel::par_map_indexed(tiles, |t| {
+        let rows = schedule.tile_rows(t);
+        let mut scratch = vec![0i32; rows.len() * f];
+        reduce_tile(a, x, f, rows, reduce, include_self, &mut scratch);
+        scratch
+    });
+    for (t, scratch) in results.iter().enumerate() {
+        for (local, &r) in schedule.tile_rows(t).iter().enumerate() {
+            let r = r as usize;
+            out[r * f..(r + 1) * f].copy_from_slice(&scratch[local * f..(local + 1) * f]);
+        }
+    }
+    Ok(())
+}
+
+/// Int8 sparse-times-dense product `out = a · x` with exact `i32` sums,
+/// using a caller-provided [`DegreeBuckets`] schedule (build it once per
+/// graph and reuse it across layers/epochs).
+///
+/// `x` is row-major `a.cols() × f`; `out` is row-major `a.rows() × f`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when operand lengths disagree
+/// with the view's shape or the schedule covers a different row count.
+pub fn spmm_i8_scheduled(
+    a: &CsrI8View<'_>,
+    x: &[i8],
+    f: usize,
+    schedule: &DegreeBuckets,
+    out: &mut [i32],
+) -> Result<(), TensorError> {
+    check_operands(a, x.len(), f, out.len())?;
+    if f == 0 || a.rows() == 0 {
+        return Ok(());
+    }
+    run_scheduled(a, x, f, schedule, I8Reduce::Sum, false, out)?;
+    trace_kernel(a.rows(), a.nnz(), f);
+    Ok(())
+}
+
+/// Int8 sparse-times-dense product `a · x` into a fresh `i32` buffer,
+/// building the degree-bucketed schedule internally.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when `x.len() != a.cols() * f`.
+pub fn spmm_i8(a: &CsrI8View<'_>, x: &[i8], f: usize) -> Result<Vec<i32>, TensorError> {
+    let mut out = vec![0i32; a.rows() * f];
+    if f == 0 || a.rows() == 0 {
+        check_operands(a, x.len(), f, out.len())?;
+        return Ok(out);
+    }
+    let schedule = DegreeBuckets::new(a.offsets());
+    spmm_i8_scheduled(a, x, f, &schedule, &mut out)?;
+    Ok(out)
+}
+
+/// Int8 neighbourhood aggregation `out[r] = reduce(x[members of r])`,
+/// with the row itself prepended when `include_self` is set. Stored
+/// values are ignored — like [`crate::sparse::aggregate_into`], this is a
+/// structural reduction over the adjacency pattern.
+///
+/// Sum results are exact `i32` level sums (mean = divide in f64 after);
+/// max results are the member level maxima widened to `i32`, with empty
+/// rows reducing to 0.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] on operand length disagreement
+/// and [`TensorError::InvalidDimension`] when `include_self` is requested
+/// for a non-square pattern.
+pub fn aggregate_i8_into(
+    a: &CsrI8View<'_>,
+    x: &[i8],
+    f: usize,
+    reduce: I8Reduce,
+    include_self: bool,
+    out: &mut [i32],
+) -> Result<(), TensorError> {
+    check_operands(a, x.len(), f, out.len())?;
+    if include_self && a.rows() != a.cols() {
+        return Err(TensorError::InvalidDimension {
+            what: "include_self aggregation needs a square adjacency pattern",
+        });
+    }
+    if f == 0 || a.rows() == 0 {
+        return Ok(());
+    }
+    let unweighted = CsrI8View { values: None, ..*a };
+    let schedule = DegreeBuckets::new(a.offsets());
+    run_scheduled(&unweighted, x, f, &schedule, reduce, include_self, out)?;
+    trace_kernel(a.rows(), a.nnz(), f);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_i8;
+    use crate::Prng;
+
+    struct Owned {
+        rows: usize,
+        cols: usize,
+        offsets: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<i8>,
+    }
+
+    impl Owned {
+        fn view(&self, weighted: bool) -> CsrI8View<'_> {
+            CsrI8View::new(
+                self.rows,
+                self.cols,
+                &self.offsets,
+                &self.indices,
+                weighted.then_some(self.values.as_slice()),
+            )
+            .unwrap()
+        }
+    }
+
+    /// 4x4 pattern: row 0 <- {1, 2}, row 2 <- {0}, rows 1/3 empty.
+    fn small() -> Owned {
+        Owned {
+            rows: 4,
+            cols: 4,
+            offsets: vec![0, 2, 2, 3, 3],
+            indices: vec![1, 2, 0],
+            values: vec![2, -1, 3],
+        }
+    }
+
+    fn random_graph(rows: usize, cols: usize, deg: usize, seed: u64) -> Owned {
+        let mut rng = Prng::new(seed);
+        let mut offsets = vec![0usize];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..rows {
+            let d = (rng.next_u64() as usize) % (deg + 1);
+            let mut cols_in_row: Vec<u32> = (0..d)
+                .map(|_| (rng.next_u64() % cols as u64) as u32)
+                .collect();
+            cols_in_row.sort_unstable();
+            cols_in_row.dedup();
+            for &c in &cols_in_row {
+                indices.push(c);
+                values.push(((rng.next_u64() % 255) as i64 - 127) as i8);
+            }
+            offsets.push(indices.len());
+        }
+        Owned {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
+    }
+
+    fn random_x(len: usize, seed: u64) -> Vec<i8> {
+        let mut rng = Prng::new(seed);
+        (0..len)
+            .map(|_| ((rng.next_u64() % 255) as i64 - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn view_validation() {
+        assert!(CsrI8View::new(2, 2, &[0, 1, 1], &[0], None).is_ok());
+        assert!(CsrI8View::new(2, 2, &[0, 1], &[0], None).is_err());
+        assert!(CsrI8View::new(2, 2, &[0, 2, 1], &[0, 1, 0], None).is_err());
+        assert!(CsrI8View::new(2, 2, &[0, 1, 2], &[0, 5], None).is_err());
+        assert!(CsrI8View::new(2, 2, &[0, 1, 2], &[0, 1], Some(&[1])).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_densified_gemm() {
+        for weighted in [false, true] {
+            let g = random_graph(37, 29, 6, 5);
+            let f = 9;
+            let x = random_x(29 * f, 6);
+            let v = g.view(weighted);
+            let sparse = spmm_i8(&v, &x, f).unwrap();
+            let dense = gemm_i8::matmul_i32_naive(&v.densify(), &x, 37, 29, f).unwrap();
+            assert_eq!(sparse, dense, "weighted={weighted}");
+        }
+    }
+
+    #[test]
+    fn spmm_known_values() {
+        let g = small();
+        // f = 1, x = [10, 20, 30, 40]^T.
+        let x = [10i8, 20, 30, 40];
+        let y = spmm_i8(&g.view(true), &x, 1).unwrap();
+        assert_eq!(y, vec![2 * 20 - 30, 0, 3 * 10, 0]);
+        let y = spmm_i8(&g.view(false), &x, 1).unwrap();
+        assert_eq!(y, vec![50, 0, 10, 0]);
+    }
+
+    #[test]
+    fn aggregate_reductions() {
+        let g = small();
+        let x = [10i8, 20, 30, 40];
+        let mut out = vec![0i32; 4];
+        // Values are ignored even on the weighted view.
+        aggregate_i8_into(&g.view(true), &x, 1, I8Reduce::Sum, false, &mut out).unwrap();
+        assert_eq!(out, vec![50, 0, 10, 0]);
+        aggregate_i8_into(&g.view(true), &x, 1, I8Reduce::Sum, true, &mut out).unwrap();
+        assert_eq!(out, vec![60, 20, 40, 40]);
+        aggregate_i8_into(&g.view(true), &x, 1, I8Reduce::Max, false, &mut out).unwrap();
+        assert_eq!(out, vec![30, 0, 10, 0]);
+        aggregate_i8_into(&g.view(true), &x, 1, I8Reduce::Max, true, &mut out).unwrap();
+        assert_eq!(out, vec![30, 20, 30, 40]);
+    }
+
+    #[test]
+    fn max_of_negative_members_stays_negative() {
+        // Row with only negative members must not report 0.
+        let offsets = vec![0usize, 1];
+        let indices = vec![0u32];
+        let v = CsrI8View::new(1, 1, &offsets, &indices, None).unwrap();
+        let mut out = vec![0i32; 1];
+        aggregate_i8_into(&v, &[-5], 1, I8Reduce::Max, false, &mut out).unwrap();
+        assert_eq!(out, vec![-5]);
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        let g = random_graph(700, 700, 12, 7);
+        let f = 13;
+        let x = random_x(700 * f, 8);
+        let v = g.view(true);
+        let reference = parallel::with_threads(1, || spmm_i8(&v, &x, f).unwrap());
+        for threads in [2, 4, 8] {
+            let y = parallel::with_threads(threads, || spmm_i8(&v, &x, f).unwrap());
+            assert_eq!(y, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scheduled_variant_reuses_schedule() {
+        let g = random_graph(200, 200, 5, 9);
+        let f = 4;
+        let x = random_x(200 * f, 10);
+        let v = g.view(true);
+        let schedule = DegreeBuckets::new(v.offsets());
+        let mut out = vec![0i32; 200 * f];
+        spmm_i8_scheduled(&v, &x, f, &schedule, &mut out).unwrap();
+        assert_eq!(out, spmm_i8(&v, &x, f).unwrap());
+        // Schedule for the wrong row count is rejected.
+        let wrong = DegreeBuckets::new(&[0, 0]);
+        assert!(spmm_i8_scheduled(&v, &x, f, &wrong, &mut out).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let g = small();
+        let v = g.view(true);
+        assert!(spmm_i8(&v, &[0; 3], 1).is_err());
+        let mut short = vec![0i32; 3];
+        assert!(
+            spmm_i8_scheduled(&v, &[0; 4], 1, &DegreeBuckets::new(v.offsets()), &mut short)
+                .is_err()
+        );
+        // include_self on a non-square pattern.
+        let rect = CsrI8View::new(2, 3, &[0, 1, 1], &[2], None).unwrap();
+        let mut out = vec![0i32; 2];
+        assert!(aggregate_i8_into(&rect, &[0; 3], 1, I8Reduce::Sum, true, &mut out).is_err());
+    }
+
+    #[test]
+    fn empty_feature_width_is_a_no_op() {
+        let g = small();
+        let mut out = vec![0i32; 0];
+        assert!(spmm_i8(&g.view(false), &[], 0).is_ok());
+        assert!(aggregate_i8_into(&g.view(false), &[], 0, I8Reduce::Sum, true, &mut out).is_ok());
+    }
+}

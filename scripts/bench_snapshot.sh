@@ -5,8 +5,11 @@
 #   BENCH_2.json — sparse aggregation: CSR kernels vs the retired
 #                  dense-stack path on a Cora-class graph and a
 #                  100k-node / 1M-edge power-law graph.
+#   BENCH_3.json — int8 kernels: i8 x i8 -> i32 GEMM and SpMM vs their
+#                  f64 counterparts, plus the 1/2/4/8-thread scaling
+#                  sweep with oracle and bit-identity verdicts.
 #
-# Usage: scripts/bench_snapshot.sh [gemm|sparse|all] [OUTPUT.json]
+# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|all] [OUTPUT.json]
 # Default is "all". A bare OUTPUT.json argument keeps the legacy
 # behaviour of writing the GEMM snapshot there.
 set -eu
