@@ -1,6 +1,6 @@
 //! Records kernel speedup snapshots as JSON.
 //!
-//! Three snapshots are produced:
+//! Four snapshots are produced:
 //!
 //! * **gemm** (`BENCH_1.json`): the textbook i-j-k loop, the
 //!   cache-blocked packed-`Bᵀ` kernel, and the blocked kernel with
@@ -17,16 +17,27 @@
 //!   1/2/4/8-thread scaling sweep. Every int8 measurement is checked
 //!   against the naive i32 oracle and for bit-identity across thread
 //!   counts; the verdicts are recorded in the snapshot.
+//! * **decode** (`BENCH_4.json`): KV-cached autoregressive decode —
+//!   per-token latency of a cached decode step vs a full-sequence
+//!   recompute, f64 and int8, across context lengths and a 1/2/4/8
+//!   thread sweep. Every cached step is checked against the
+//!   full-forward oracle (≤1e-9 relative f64, exact int8) and the
+//!   growth verdicts (cached sub-quadratic, full recompute
+//!   super-linear) are recorded in the snapshot.
 //!
-//! Usage: `bench_snapshot [gemm|sparse|int8|all] [OUTPUT.json]` (default
-//! `all`, writing `BENCH_1.json`, `BENCH_2.json` and `BENCH_3.json`). A
-//! bare `OUTPUT.json` first argument keeps the legacy behaviour of
-//! writing the gemm snapshot there.
+//! Usage: `bench_snapshot [gemm|sparse|int8|decode|all] [OUTPUT.json]`
+//! (default `all`, writing `BENCH_1.json` … `BENCH_4.json`). A bare
+//! `OUTPUT.json` first argument keeps the legacy behaviour of writing
+//! the gemm snapshot there.
 
 use std::time::Instant;
 
 use phox_core::nn::datasets::{power_law, GraphShape};
+use phox_core::nn::decode::KvCache;
 use phox_core::nn::gnn::{Aggregation, CsrGraph, GnnConfig, GnnKind, GnnModel};
+use phox_core::nn::transformer::{
+    FfActivation, TransformerConfig, TransformerKind, TransformerModel,
+};
 use phox_core::tensor::{gemm, gemm_i8, parallel, sparse, sparse_i8, Matrix, Prng, Quantizer};
 use phox_core::trace::json::json_number;
 
@@ -452,6 +463,256 @@ fn run_int8(out_path: &str) {
     write_or_die(out_path, &json);
 }
 
+/// Maximum relative elementwise difference between two equally shaped
+/// row slices (the decode-oracle error metric).
+fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs() / x.abs().max(y.abs()).max(1e-300))
+        .fold(0.0, f64::max)
+}
+
+/// Advances `cache` with decode steps over rows `cache.rows()..rows` of
+/// `x` using `step`, leaving the cache holding exactly `rows` rows.
+fn prime_cache(
+    cache: &mut KvCache,
+    x: &Matrix,
+    rows: usize,
+    mut step: impl FnMut(&mut KvCache, &Matrix) -> Matrix,
+) {
+    for r in cache.rows()..rows {
+        let row = Matrix::row_vector(x.row(r));
+        step(cache, &row);
+    }
+}
+
+fn run_decode(out_path: &str) {
+    // A small decoder-only model: d_model deliberately modest so the
+    // O(t^2 d) attention term overtakes the O(t d^2) projections inside
+    // the measured context range and the quadratic/sub-quadratic growth
+    // split is visible in the numbers.
+    let cfg = TransformerConfig {
+        name: "decode-bench".to_string(),
+        kind: TransformerKind::DecoderOnly,
+        layers: 4,
+        d_model: 64,
+        heads: 4,
+        d_ff: 256,
+        seq_len: 64,
+        ff_activation: FfActivation::Gelu,
+    };
+    let d = cfg.d_model;
+    let model = TransformerModel::random(cfg.clone(), 31).expect("valid benchmark model");
+    let decoder = model.int8_decoder();
+    let contexts = [64usize, 128, 256, 512, 1024];
+    let full_reps = [9usize, 7, 5, 3, 3];
+    let t_max = *contexts.last().unwrap();
+    let x = Prng::new(32).fill_normal(t_max, d, 0.0, 1.0);
+
+    // --- Section 1: per-token latency, cached step vs full-sequence
+    // recompute, both engines, across context lengths. The caches grow
+    // incrementally across the sweep; each timed rep appends one row and
+    // truncates it back off, so the timed context stays fixed.
+    let mut f64_cache = KvCache::new(&cfg, t_max).expect("cache fits the sweep");
+    let mut int8_cache = KvCache::new(&cfg, t_max).expect("cache fits the sweep");
+    let mut latency_rows = Vec::new();
+    let mut cached_f64 = Vec::new();
+    let mut full_f64 = Vec::new();
+    for (&t, &reps) in contexts.iter().zip(&full_reps) {
+        eprintln!("bench_snapshot: decode context {t} ({reps} full reps)...");
+        prime_cache(&mut f64_cache, &x, t - 1, |c, r| {
+            model.decode_step(c, r).expect("decode step")
+        });
+        prime_cache(&mut int8_cache, &x, t - 1, |c, r| {
+            decoder.step(c, r).expect("decode step")
+        });
+        let row = Matrix::row_vector(x.row(t - 1));
+        let prefix = Matrix::from_vec(t, d, x.as_slice()[..t * d].to_vec()).unwrap();
+        let cached_f64_s = time_median(21, || {
+            let y = model
+                .decode_step(&mut f64_cache, &row)
+                .expect("decode step");
+            f64_cache.truncate(t - 1);
+            y
+        });
+        let cached_int8_s = time_median(21, || {
+            let y = decoder.step(&mut int8_cache, &row).expect("decode step");
+            int8_cache.truncate(t - 1);
+            y
+        });
+        let full_f64_s = time_median(reps, || {
+            model.forward_prefix(&prefix).expect("full forward")
+        });
+        let full_int8_s = time_median(reps, || {
+            model.forward_prefix_int8(&prefix).expect("full forward")
+        });
+        // Oracle: the cached step at context t must reproduce the last
+        // row of the full causal forward over the same prefix.
+        let y_f64 = model
+            .decode_step(&mut f64_cache, &row)
+            .expect("decode step");
+        f64_cache.truncate(t - 1);
+        let y_int8 = decoder.step(&mut int8_cache, &row).expect("decode step");
+        int8_cache.truncate(t - 1);
+        let full = model.forward_prefix(&prefix).expect("full forward");
+        let full_i8 = model.forward_prefix_int8(&prefix).expect("full forward");
+        let f64_err = max_rel_err(y_f64.row(0), full.row(t - 1));
+        let f64_ok = f64_err <= 1e-9;
+        let int8_ok = y_int8.row(0) == full_i8.row(t - 1);
+        eprintln!(
+            "bench_snapshot: t = {t}: cached_f64 {cached_f64_s:.6}s full_f64 {full_f64_s:.4}s \
+             cached_int8 {cached_int8_s:.6}s full_int8 {full_int8_s:.4}s \
+             f64_ok={f64_ok} (rel {f64_err:.2e}) int8_ok={int8_ok}"
+        );
+        cached_f64.push(cached_f64_s);
+        full_f64.push(full_f64_s);
+        latency_rows.push(format!(
+            concat!(
+                "        {{\n",
+                "          \"context\": {},\n",
+                "          \"cached_f64_s\": {},\n",
+                "          \"full_f64_s\": {},\n",
+                "          \"cached_int8_s\": {},\n",
+                "          \"full_int8_s\": {},\n",
+                "          \"full_over_cached_f64\": {},\n",
+                "          \"f64_matches_full_forward\": {},\n",
+                "          \"int8_matches_full_forward\": {}\n",
+                "        }}"
+            ),
+            t,
+            json_number(cached_f64_s),
+            json_number(full_f64_s),
+            json_number(cached_int8_s),
+            json_number(full_int8_s),
+            json_number(full_f64_s / cached_f64_s),
+            f64_ok,
+            int8_ok,
+        ));
+    }
+
+    // --- Section 2: growth verdicts. Over the 16x context sweep the
+    // cached per-token cost is O(d^2 + t d) — sub-quadratic (in fact
+    // sub-linear here) — while full recompute is O(t d^2 + t^2 d) and
+    // must grow super-linearly once the attention term dominates.
+    let ctx_growth = *contexts.last().unwrap() as f64 / contexts[0] as f64;
+    let cached_growth = cached_f64.last().unwrap() / cached_f64[0];
+    let full_growth = full_f64.last().unwrap() / full_f64[0];
+    let cached_subquadratic = cached_growth < ctx_growth * ctx_growth;
+    let full_superlinear = full_growth > ctx_growth;
+    eprintln!(
+        "bench_snapshot: growth over {ctx_growth:.0}x context: cached {cached_growth:.2}x \
+         full {full_growth:.2}x cached_subquadratic={cached_subquadratic} \
+         full_superlinear={full_superlinear}"
+    );
+    let growth_rows = vec![format!(
+        concat!(
+            "        {{\n",
+            "          \"context_growth\": {},\n",
+            "          \"cached_f64_growth\": {},\n",
+            "          \"full_f64_growth\": {},\n",
+            "          \"cached_subquadratic\": {},\n",
+            "          \"full_superlinear\": {}\n",
+            "        }}"
+        ),
+        json_number(ctx_growth),
+        json_number(cached_growth),
+        json_number(full_growth),
+        cached_subquadratic,
+        full_superlinear,
+    )];
+
+    // --- Section 3: thread sweep at the largest context, with the
+    // decode outputs checked bit-identical against the 1-thread run.
+    let t = t_max;
+    prime_cache(&mut f64_cache, &x, t - 1, |c, r| {
+        model.decode_step(c, r).expect("decode step")
+    });
+    prime_cache(&mut int8_cache, &x, t - 1, |c, r| {
+        decoder.step(c, r).expect("decode step")
+    });
+    let row = Matrix::row_vector(x.row(t - 1));
+    let prefix = Matrix::from_vec(t, d, x.as_slice()[..t * d].to_vec()).unwrap();
+    let baseline = parallel::with_threads(1, || {
+        let y = model
+            .decode_step(&mut f64_cache, &row)
+            .expect("decode step");
+        f64_cache.truncate(t - 1);
+        let yi = decoder.step(&mut int8_cache, &row).expect("decode step");
+        int8_cache.truncate(t - 1);
+        (y, yi)
+    });
+    let mut sweep_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        eprintln!("bench_snapshot: decode thread sweep, {threads} thread(s)...");
+        let (cached_s, full_s, identical) = parallel::with_threads(threads, || {
+            let cached_s = time_median(21, || {
+                let y = model
+                    .decode_step(&mut f64_cache, &row)
+                    .expect("decode step");
+                f64_cache.truncate(t - 1);
+                y
+            });
+            let full_s = time_median(3, || model.forward_prefix(&prefix).expect("full forward"));
+            let y = model
+                .decode_step(&mut f64_cache, &row)
+                .expect("decode step");
+            f64_cache.truncate(t - 1);
+            let yi = decoder.step(&mut int8_cache, &row).expect("decode step");
+            int8_cache.truncate(t - 1);
+            (cached_s, full_s, y == baseline.0 && yi == baseline.1)
+        });
+        eprintln!(
+            "bench_snapshot: {threads} thread(s): cached_step {cached_s:.6}s \
+             full_forward {full_s:.4}s bit_identical={identical}"
+        );
+        sweep_rows.push(format!(
+            concat!(
+                "        {{\n",
+                "          \"threads\": {},\n",
+                "          \"cached_step_s\": {},\n",
+                "          \"full_forward_s\": {},\n",
+                "          \"bit_identical_to_single_thread\": {}\n",
+                "        }}"
+            ),
+            threads,
+            json_number(cached_s),
+            json_number(full_s),
+            identical,
+        ));
+    }
+
+    let sections = [
+        ("per_token_latency", "contexts", latency_rows),
+        ("growth_verdicts", "verdicts", growth_rows),
+        ("decode_thread_scaling", "sweep", sweep_rows),
+    ]
+    .map(|(section, key, rows)| {
+        format!(
+            "    {{\n      \"section\": \"{section}\",\n      \"{key}\": [\n{}\n      ]\n    }}",
+            rows.join(",\n"),
+        )
+    });
+    let json = snapshot_json(
+        "decode_kernels",
+        &[
+            "kv_cached_step_f64",
+            "kv_cached_step_int8",
+            "full_recompute_f64",
+            "full_recompute_int8",
+        ],
+        &[(
+            "model",
+            format!(
+                "{{\"layers\": {}, \"d_model\": {}, \"heads\": {}, \"d_ff\": {}}}",
+                cfg.layers, cfg.d_model, cfg.heads, cfg.d_ff
+            ),
+        )],
+        "sections",
+        &sections,
+    );
+    write_or_die(out_path, &json);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -459,10 +720,12 @@ fn main() {
             run_gemm("BENCH_1.json");
             run_sparse("BENCH_2.json");
             run_int8("BENCH_3.json");
+            run_decode("BENCH_4.json");
         }
         Some("gemm") => run_gemm(args.get(1).map_or("BENCH_1.json", String::as_str)),
         Some("sparse") => run_sparse(args.get(1).map_or("BENCH_2.json", String::as_str)),
         Some("int8") => run_int8(args.get(1).map_or("BENCH_3.json", String::as_str)),
+        Some("decode") => run_decode(args.get(1).map_or("BENCH_4.json", String::as_str)),
         // Legacy invocation: a bare output path means the gemm snapshot.
         Some(path) => run_gemm(path),
     }

@@ -19,7 +19,10 @@
 //! treats), while [`Int8Engine`] routes every projection through the
 //! integer kernel.
 
-use phox_tensor::{Matrix, QuantMatrix, Quantizer, TensorError};
+use phox_tensor::{Matrix, QuantMatrix, Quantizer, RowQuantMatrix, TensorError};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
 
 /// A linear layer with a pre-quantized int8 weight: quantizes the
 /// incoming activation, multiplies on the int8 kernel with `i32`
@@ -71,6 +74,21 @@ impl QuantLinear {
         let qx = Quantizer::calibrate(x).quantize(x);
         qx.matmul(&self.qw)
     }
+
+    /// `x · W` with *per-row* (per-token, dynamic) activation
+    /// calibration: each row of `x` is quantized against its own absmax,
+    /// so a row's result is independent of which other rows share the
+    /// batch. This is what makes a one-token KV-cached decode step
+    /// reproduce the full-sequence int8 forward bit-for-bit; see
+    /// [`phox_tensor::RowQuantMatrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x.cols()` differs
+    /// from the weight's row count.
+    pub fn forward_rowwise(&self, x: &Matrix) -> Result<Matrix, TensorError> {
+        RowQuantMatrix::quantize_rows(x).matmul(&self.qw)
+    }
 }
 
 /// How a model forward pass executes its weight products. The two
@@ -116,11 +134,65 @@ impl MatmulEngine for PreEngine<'_> {
 /// and GNN aggregation uses the int8 sparse kernel. The hardware model
 /// has no "weight-only" sites: everything entering the MAC array is
 /// 8-bit.
+///
+/// Activations are calibrated *per row* (per-token dynamic
+/// quantization): each token's levels depend only on that token, so a
+/// one-row decode step through this engine is bit-identical to the
+/// corresponding row of a full-sequence forward — the property the
+/// KV-cache equivalence oracle in `phox_nn::decode` pins. Weights stay
+/// per-tensor.
 pub(crate) struct Int8Engine;
 
 impl MatmulEngine for Int8Engine {
     fn mm(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
-        QuantLinear::from_weight(w).forward(a)
+        QuantLinear::from_weight(w).forward_rowwise(a)
+    }
+
+    fn mm_weight_only(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
+        self.mm(a, w)
+    }
+
+    fn int8_aggregation(&self) -> bool {
+        true
+    }
+}
+
+/// [`Int8Engine`] semantics with weights quantized once and kept
+/// resident in int8 form across calls — how the accelerator actually
+/// holds weights during autoregressive decode, where the same layer
+/// weights are hit once per generated token. Weight quantization
+/// ([`QuantLinear::from_weight`]) is deterministic, so memoization is
+/// bitwise-neutral: this engine produces exactly the bytes the stateless
+/// [`Int8Engine`] does, just without re-calibrating `O(layers)` weights
+/// every step.
+///
+/// Weights are keyed by `(data pointer, rows, cols)`; the lifetime
+/// parameter ties the cache to a borrow of the owning model so a key
+/// can never outlive (and thus never alias) the weight it describes.
+pub(crate) struct ResidentInt8Engine<'w> {
+    memo: RefCell<HashMap<(usize, usize, usize), QuantLinear>>,
+    _weights: PhantomData<&'w ()>,
+}
+
+impl<'w> ResidentInt8Engine<'w> {
+    /// A fresh engine whose cache lives as long as the borrow of the
+    /// weight owner (typically the model).
+    pub fn new<T>(_weights: &'w T) -> Self {
+        ResidentInt8Engine {
+            memo: RefCell::new(HashMap::new()),
+            _weights: PhantomData,
+        }
+    }
+}
+
+impl MatmulEngine for ResidentInt8Engine<'_> {
+    fn mm(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
+        let key = (w.as_slice().as_ptr() as usize, w.rows(), w.cols());
+        let mut memo = self.memo.borrow_mut();
+        let layer = memo
+            .entry(key)
+            .or_insert_with(|| QuantLinear::from_weight(w));
+        layer.forward_rowwise(a)
     }
 
     fn mm_weight_only(&self, a: &Matrix, w: &Matrix) -> Result<Matrix, TensorError> {
@@ -168,6 +240,38 @@ mod tests {
         let int8 = Int8Engine.mm(&a, &w).unwrap();
         assert!(stats::relative_error(&exact, &int8) < 0.1);
         assert_eq!(int8, Int8Engine.mm_weight_only(&a, &w).unwrap());
+    }
+
+    #[test]
+    fn forward_rowwise_rows_are_batch_independent() {
+        // The decode-oracle property at the layer level: a row pushed
+        // through alone equals the same row inside a batch, bit for bit.
+        let w = Prng::new(7).xavier(12, 6);
+        let x = Prng::new(8).fill_normal(5, 12, 0.0, 1.0);
+        let layer = QuantLinear::from_weight(&w);
+        let batch = layer.forward_rowwise(&x).unwrap();
+        for r in 0..x.rows() {
+            let alone = Matrix::from_vec(1, 12, x.row(r).to_vec()).unwrap();
+            let solo = layer.forward_rowwise(&alone).unwrap();
+            assert_eq!(solo.row(0), batch.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn resident_engine_matches_stateless_bitwise() {
+        let w1 = Prng::new(9).xavier(10, 4);
+        let w2 = Prng::new(10).xavier(10, 4);
+        let x = Prng::new(11).fill_normal(3, 10, 0.0, 1.0);
+        let weights = (w1, w2);
+        let resident = ResidentInt8Engine::new(&weights);
+        for w in [&weights.0, &weights.1] {
+            // Twice per weight: the second call hits the memo.
+            for _ in 0..2 {
+                assert_eq!(resident.mm(&x, w).unwrap(), Int8Engine.mm(&x, w).unwrap());
+            }
+        }
+        assert_eq!(resident.memo.borrow().len(), 2);
+        assert!(resident.int8_aggregation());
     }
 
     #[test]

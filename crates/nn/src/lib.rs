@@ -37,6 +37,7 @@
 
 pub mod census;
 pub mod datasets;
+pub mod decode;
 pub mod gnn;
 pub mod int8;
 pub mod quant_eval;

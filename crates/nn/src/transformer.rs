@@ -488,6 +488,62 @@ impl TransformerModel {
         self.forward_with(x, &Int8Engine)
     }
 
+    /// Full-precision causal forward over an arbitrary-length prefix of
+    /// a decoder-only model: like [`TransformerModel::forward`] but
+    /// accepting any row count `>= 1` instead of exactly `seq_len` (the
+    /// reference stack has no positional encodings, so nothing pins the
+    /// length). This is the oracle the KV-cached incremental decode in
+    /// [`crate::decode`] is validated against, prefix by prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for models that are not
+    /// decoder-only and shape errors for mismatched inputs.
+    pub fn forward_prefix(&self, x: &Matrix) -> Result<Matrix, TensorError> {
+        self.forward_prefix_with(
+            x,
+            &PreEngine {
+                pre: &|m| m.clone(),
+            },
+        )
+    }
+
+    /// [`TransformerModel::forward_prefix`] on the true int8 datapath
+    /// (per-row activation quantization — see
+    /// [`crate::int8::QuantLinear::forward_rowwise`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TransformerModel::forward_prefix`].
+    pub fn forward_prefix_int8(&self, x: &Matrix) -> Result<Matrix, TensorError> {
+        self.forward_prefix_with(x, &Int8Engine)
+    }
+
+    /// Shared prefix-forward implementation over `x` (`t × d_model`,
+    /// any `t >= 1`), causal by construction (decoder-only).
+    pub(crate) fn forward_prefix_with(
+        &self,
+        x: &Matrix,
+        eng: &dyn MatmulEngine,
+    ) -> Result<Matrix, TensorError> {
+        if self.config.kind != TransformerKind::DecoderOnly {
+            return Err(TensorError::InvalidDimension {
+                what: "prefix forward requires a decoder-only model",
+            });
+        }
+        if x.rows() == 0 || x.cols() != self.config.d_model {
+            return Err(TensorError::ShapeMismatch {
+                lhs: x.shape(),
+                rhs: (1, self.config.d_model),
+            });
+        }
+        let mut h = x.clone();
+        for lw in &self.layers {
+            h = self.layer_forward(&h, lw, eng)?;
+        }
+        Ok(h)
+    }
+
     /// Forward pass with fake quantization at an arbitrary bit width —
     /// the precision-sensitivity analysis (heterogeneous-quantization
     /// direction of the paper's CrossLight/SONIC lineage).
@@ -585,7 +641,11 @@ impl TransformerModel {
                     }
                 }
             }
-            let attn = ops::softmax_rows(&scores).matmul(&vh)?;
+            // Sequential accumulation over the context dimension: the
+            // masked tail beyond row r carries exact-zero weights, so a
+            // KV-cached decode step (context t, no tail) reproduces row
+            // t-1 of this product bit-for-bit. See [`ops::matmul_seq`].
+            let attn = ops::matmul_seq(&ops::softmax_rows(&scores), &vh)?;
             for r in 0..attn.rows() {
                 for c in 0..dh {
                     concat.set(r, lo + c, attn.get(r, c));
@@ -923,6 +983,27 @@ mod encoder_decoder_tests {
     }
 }
 
+/// The context lengths the decode steps of an autoregressive generation
+/// actually see: step `i` (producing generated token `i + 1`) attends
+/// over `prompt + i` rows, so the contexts are exactly
+/// `prompt..prompt + gen_tokens` (mean `prompt + (gen_tokens - 1) / 2`,
+/// *not* `prompt + gen_tokens / 2`). Both the static
+/// [`TransformerConfig::generation_census`] and TRON's
+/// `simulate_generation` iterate this one range so their context
+/// arithmetic cannot drift apart — and both are pinned against the MACs
+/// the functional decode path in [`crate::decode`] executes.
+pub fn decode_context_lengths(prompt: usize, gen_tokens: usize) -> std::ops::Range<usize> {
+    prompt..prompt + gen_tokens
+}
+
+/// Total context rows summed over every decode step:
+/// `Σ_{i=0}^{g-1} (p + i) = g·p + g·(g−1)/2` (exact — `g·(g−1)` is
+/// always even, so no integer truncation). The closed form of summing
+/// [`decode_context_lengths`]; zero when `gen_tokens` is zero.
+pub fn decode_context_rows(prompt: u64, gen_tokens: u64) -> u64 {
+    gen_tokens * prompt + gen_tokens * gen_tokens.saturating_sub(1) / 2
+}
+
 impl TransformerConfig {
     /// Operation census for autoregressive *generation*: a prefill pass
     /// over the `seq_len`-token prompt followed by `gen_tokens`
@@ -930,6 +1011,12 @@ impl TransformerConfig {
     /// only the new token's projections and attends over the grown
     /// context). The LLM-serving workload the paper's motivation points
     /// at, beyond the single forward pass its figures measure.
+    ///
+    /// Context-dependent terms are summed *exactly* over the per-step
+    /// contexts `seq_len..seq_len + gen_tokens`
+    /// ([`decode_context_rows`]); the decode MAC total equals the MAC
+    /// count the functional KV-cache path reports (pinned by the
+    /// `decode_equiv` suite).
     pub fn generation_census(&self, gen_tokens: usize) -> OpCensus {
         let prefill = self.census();
         if gen_tokens == 0 {
@@ -939,26 +1026,29 @@ impl TransformerConfig {
         let g = gen_tokens as u64;
         let d = self.d_model as u64;
         let ff = self.d_ff as u64;
-        // Mean context length over the decode steps.
-        let t_avg = p + g / 2;
+        // Exact total context rows over all decode steps (replaces the
+        // old per-step integer mean `p + g/2`, which was off by one on
+        // average and truncated).
+        let ctx_rows = decode_context_rows(p, g);
 
-        // Per decode step, per layer (m = 1 row):
-        let proj_macs = 4 * d * d; // Q,K,V of the new token + out proj
-        let attn_macs = 2 * d * t_avg; // scores + context over the cache
-        let ff_macs = 2 * d * ff;
+        // Per layer, summed over the g decode steps (m = 1 row each):
+        let proj_macs = g * 4 * d * d; // Q,K,V of the new token + out proj
+        let attn_macs = 2 * d * ctx_rows; // scores + context over the cache
+        let ff_macs = g * 2 * d * ff;
         let per_layer = OpCensus {
             macs: proj_macs + attn_macs + ff_macs,
-            adds: 2 * d,
-            softmax_elements: self.heads as u64 * t_avg,
-            layernorm_elements: 2 * d,
-            activation_elements: ff,
+            adds: g * 2 * d,
+            softmax_elements: self.heads as u64 * ctx_rows,
+            layernorm_elements: g * 2 * d,
+            activation_elements: g * ff,
             // Weights re-streamed every step (the decode memory wall);
             // KV-cache reads grow with the context.
-            weight_bytes: 4 * d * d + 2 * d * ff + 4 * d,
-            activation_bytes: t_avg * d,
-            offchip_bytes: 4 * d * d + 2 * d * ff + 4 * d + 2 * t_avg * d,
+            weight_bytes: g * (4 * d * d + 2 * d * ff + 4 * d),
+            // Peak resident activation: the cache at its final size.
+            activation_bytes: (p + g - 1) * d,
+            offchip_bytes: g * (4 * d * d + 2 * d * ff + 4 * d) + 2 * ctx_rows * d,
         };
-        let decode = per_layer.repeat(self.layers as u64).repeat(g);
+        let decode = per_layer.repeat(self.layers as u64);
         prefill.combine(&decode)
     }
 }

@@ -183,6 +183,50 @@ pub fn transpose_i8(src: &[i8], rows: usize, cols: usize) -> Result<Vec<i8>, Ten
     Ok(out)
 }
 
+/// Int8 GEMV: `1 × k` row vector times row-major `k × n` matrix, raw
+/// wrapping-`i32` sums. This is the decode-step shape (one new token per
+/// step), where packing `Bᵀ` first would cost as much as the product
+/// itself: instead the axpy loop streams each `B` row once, skipping
+/// zero activations like [`matmul_i32_naive`]. Wrapping `i32` addition
+/// is associative, so the result is bit-identical to every GEMM path.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when a slice length disagrees
+/// with its stated shape.
+pub fn gemv_i32(a: &[i8], b: &[i8], k: usize, n: usize) -> Result<Vec<i32>, TensorError> {
+    check_len(a.len(), k)?;
+    check_len(b.len(), k * n)?;
+    let mut out = vec![0i32; n];
+    for (p, &av) in a.iter().enumerate() {
+        if av == 0 {
+            continue;
+        }
+        let av = av as i32;
+        let brow = &b[p * n..(p + 1) * n];
+        for (acc, &bv) in out.iter_mut().zip(brow) {
+            *acc = acc.wrapping_add(av.wrapping_mul(bv as i32));
+        }
+    }
+    Ok(out)
+}
+
+/// Int8 GEMV over a *pre-transposed* `B` (`bt` is row-major `n × k`,
+/// i.e. the packed `Bᵀ` panel layout the GEMM kernels use): one SIMD
+/// [`dot_i8`] per output element. The fast path when the caller keeps
+/// `Bᵀ` resident across decode steps — each dot reads two contiguous
+/// `k`-byte panels. Bit-identical to [`gemv_i32`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when a slice length disagrees
+/// with its stated shape.
+pub fn gemv_i32_bt(a: &[i8], bt: &[i8], k: usize, n: usize) -> Result<Vec<i32>, TensorError> {
+    check_len(a.len(), k)?;
+    check_len(bt.len(), n * k)?;
+    Ok((0..n).map(|j| dot_i8(a, &bt[j * k..(j + 1) * k])).collect())
+}
+
 /// Computes output rows `[row0, row0 + band_rows)` into `band`
 /// (a `band_rows × n` row-major `i32` slice of the output).
 fn gemm_band_i8(band: &mut [i32], row0: usize, av: &[i8], bt: &[i8], k: usize, n: usize) {
@@ -285,6 +329,9 @@ pub fn matmul_i32(
         // quantities, so traces stay byte-identical across thread counts.
         let tr = phox_trace::active();
         tr.count("int8", "gemm_calls", 1);
+        if m == 1 {
+            tr.count("int8", "gemv_calls", 1);
+        }
         tr.count("int8", "macs", (m * k * n) as i64);
         tr.instant(
             "int8",
@@ -301,6 +348,11 @@ pub fn matmul_i32(
     let mut out = vec![0i32; m * n];
     if m == 0 || n == 0 || k == 0 {
         return Ok(out);
+    }
+    if m == 1 {
+        // Decode-step shape: skip the O(k·n) Bᵀ pack entirely. Wrapping
+        // i32 accumulation makes this bit-identical to the GEMM path.
+        return gemv_i32(a, b, k, n);
     }
     let threads = parallel::max_threads();
     if threads <= 1 || m <= 1 || m * k * n < PAR_ELEMS_MIN {
@@ -410,6 +462,52 @@ mod tests {
             let b = random_i8(len, 12);
             assert_eq!(dot_i8(&a, &b), dot_i8_scalar(&a, &b), "len={len}");
         }
+    }
+
+    #[test]
+    fn gemv_matches_naive_gemm_row() {
+        // Exercise tail lengths around the SIMD lane boundaries, as the
+        // dot dispatch test does.
+        for k in (1..40).chain([64, 65, 127, 128, 129, 300]) {
+            let n = 17;
+            let a = random_i8(k, 21);
+            let b = random_i8(k * n, 22);
+            let naive = matmul_i32_naive(&a, &b, 1, k, n).unwrap();
+            let gemv = gemv_i32(&a, &b, k, n).unwrap();
+            assert_eq!(gemv, naive, "k={k}");
+            let bt = transpose_i8(&b, k, n).unwrap();
+            assert_eq!(gemv_i32_bt(&a, &bt, k, n).unwrap(), naive, "bt k={k}");
+        }
+    }
+
+    #[test]
+    fn matmul_routes_single_row_through_gemv() {
+        // m == 1 takes the GEMV path inside matmul_i32; pin bit-identity.
+        let (k, n) = (96, 33);
+        let a = random_i8(k, 23);
+        let b = random_i8(k * n, 24);
+        assert_eq!(
+            matmul_i32(&a, &b, 1, k, n).unwrap(),
+            gemv_i32(&a, &b, k, n).unwrap()
+        );
+    }
+
+    #[test]
+    fn gemv_wrapping_matches_gemm() {
+        let k = 200_000;
+        let a = vec![127i8; k];
+        let b = vec![127i8; k];
+        assert_eq!(
+            gemv_i32(&a, &b, k, 1).unwrap(),
+            matmul_i32_naive(&a, &b, 1, k, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn gemv_length_mismatch_is_reported() {
+        assert!(gemv_i32(&[1, 2], &[1, 2, 3], 2, 2).is_err());
+        assert!(gemv_i32(&[1], &[1, 2], 2, 1).is_err());
+        assert!(gemv_i32_bt(&[1, 2], &[1, 2, 3], 2, 2).is_err());
     }
 
     #[test]

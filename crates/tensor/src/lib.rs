@@ -64,5 +64,5 @@ pub mod sparse_i8;
 pub mod stats;
 
 pub use matrix::{Matrix, TensorError};
-pub use quant::{I32Matrix, QuantMatrix, Quantizer};
+pub use quant::{I32Matrix, QuantMatrix, Quantizer, RowQuantMatrix};
 pub use rng::{split_seed, Prng};

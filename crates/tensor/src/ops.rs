@@ -15,6 +15,12 @@ use crate::{Matrix, TensorError};
 
 /// Row-wise numerically-stable softmax.
 ///
+/// A row whose entries are all `-inf` (a fully-masked attention row —
+/// every position disallowed) produces an all-zero output row rather
+/// than NaN: the naive `exp(v - max)` would compute `-inf - -inf`.
+/// Zero weights mean "attend to nothing", which composes cleanly with
+/// the context product downstream.
+///
 /// # Example
 ///
 /// ```
@@ -32,6 +38,11 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if max == f64::NEG_INFINITY {
+            // Fully-masked (or empty) row: exp(v - max) would be NaN.
+            row.fill(0.0);
+            continue;
+        }
         let mut sum = 0.0;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
@@ -44,6 +55,44 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// Matrix product with a strictly sequential accumulation order over the
+/// inner dimension: `out[i][j] = ((a[i][0]·b[0][j] + a[i][1]·b[1][j]) +
+/// …)`, one accumulator, ascending `k`.
+///
+/// Unlike the blocked/multi-lane [`Matrix::matmul`], this order is
+/// *prefix-invariant*: extending the inner dimension with rows whose
+/// contribution is exactly `±0.0` leaves every output bit unchanged
+/// (adding a zero term to a running f64 sum is an exact no-op). The
+/// attention context product `softmax(scores)·V` uses it so that a
+/// KV-cached decode step over `t` context rows is bit-identical to row
+/// `t-1` of the full causal forward over `L ≥ t` rows, where the masked
+/// tail carries exact-zero weights.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `a.cols() != b.rows()`.
+pub fn matmul_seq(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            let brow = &b.as_slice()[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Row-wise layer normalization with learnable per-column `gamma`/`beta`.
@@ -179,6 +228,52 @@ mod tests {
         let x = Matrix::from_rows(&[&[1e6, 1e6 + 1.0]]).unwrap();
         let p = softmax_rows(&x);
         assert!(p.row(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_all_zero() {
+        // Regression: an all-(-inf) row used to poison itself with NaN
+        // (max = -inf, so v - max = NaN). Defined behavior: all zeros.
+        let x = Matrix::from_rows(&[
+            &[f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY],
+            &[0.0, f64::NEG_INFINITY, f64::NEG_INFINITY],
+        ])
+        .unwrap();
+        let p = softmax_rows(&x);
+        assert_eq!(p.row(0), &[0.0, 0.0, 0.0]);
+        // Partially-masked rows are unaffected by the guard.
+        assert_eq!(p.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn matmul_seq_matches_blocked_matmul() {
+        let a = crate::Prng::new(11).fill_normal(5, 17, 0.0, 1.0);
+        let b = crate::Prng::new(12).fill_normal(17, 7, 0.0, 1.0);
+        let seq = matmul_seq(&a, &b).unwrap();
+        let blocked = a.matmul(&b).unwrap();
+        assert!(seq.approx_eq(&blocked, 1e-12));
+    }
+
+    #[test]
+    fn matmul_seq_is_prefix_invariant_under_zero_weights() {
+        // Appending context rows with exactly-zero weights must leave
+        // every output bit unchanged — the KV-decode oracle property.
+        let t = 6;
+        let full = 10;
+        let w_short = crate::Prng::new(13).fill_normal(1, t, 0.0, 1.0);
+        let v_full = crate::Prng::new(14).fill_normal(full, 4, 0.0, 1.0);
+        let mut padded = vec![0.0; full];
+        padded[..t].copy_from_slice(w_short.row(0));
+        let w_full = Matrix::from_vec(1, full, padded).unwrap();
+        let v_short = Matrix::from_vec(t, 4, v_full.as_slice()[..t * 4].to_vec()).unwrap();
+        let a = matmul_seq(&w_short, &v_short).unwrap();
+        let b = matmul_seq(&w_full, &v_full).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn matmul_seq_shape_mismatch() {
+        assert!(matmul_seq(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
     }
 
     #[test]

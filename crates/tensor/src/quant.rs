@@ -273,6 +273,103 @@ impl I32Matrix {
     }
 }
 
+/// An int8 activation matrix with *per-row* (per-token, dynamic)
+/// quantization scales.
+///
+/// Per-tensor calibration makes every row's scale depend on the absmax
+/// over the whole batch, so the quantized value of one token changes
+/// when other tokens are present — which breaks the KV-decode
+/// equivalence oracle (a one-row decode step could never reproduce the
+/// full forward bit-for-bit). Per-row calibration makes each row
+/// self-contained: its levels and scale are functions of that row
+/// alone, so a row's int8 product is independent of batch composition.
+/// This is the standard per-token dynamic activation scheme; weights
+/// stay per-tensor ([`QuantMatrix`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowQuantMatrix {
+    rows: usize,
+    cols: usize,
+    scales: Vec<f64>,
+    data: Vec<i8>,
+}
+
+impl RowQuantMatrix {
+    /// Calibrates and quantizes each row of `m` independently
+    /// (symmetric; an all-zero row gets scale 1.0, like
+    /// [`Quantizer::calibrate`]).
+    pub fn quantize_rows(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let mut scales = Vec::with_capacity(rows);
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            let row = m.row(r);
+            let absmax = row.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+            let scale = if absmax > 0.0 { absmax / 127.0 } else { 1.0 };
+            let q = Quantizer { scale };
+            data.extend(row.iter().map(|&v| q.quantize_value(v)));
+            scales.push(scale);
+        }
+        RowQuantMatrix {
+            rows,
+            cols,
+            scales,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Per-row quantization step sizes.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Raw int8 data (row-major).
+    pub fn as_i8_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Integer matmul against a per-tensor-quantized weight, each output
+    /// row dequantized with `row_scale × weight_scale`. Runs on the
+    /// [`crate::gemm_i8`] kernel (the m = 1 case takes its GEMV route),
+    /// so integer sums are bit-identical across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when inner dimensions
+    /// differ.
+    pub fn matmul(&self, rhs: &QuantMatrix) -> Result<Matrix, TensorError> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let sums = gemm_i8::matmul_i32(&self.data, &rhs.data, self.rows, self.cols, rhs.cols)?;
+        let n = rhs.cols;
+        let data = sums
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s as f64 * (self.scales[i / n.max(1)] * rhs.scale))
+            .collect();
+        Ok(Matrix::from_vec(self.rows, n, data)
+            .unwrap_or_else(|_| unreachable!("length is rows*cols by construction")))
+    }
+}
+
 /// Quantizes both operands with per-tensor calibration and multiplies
 /// them on the int8 kernel — the "true int8" matmul the 8-bit photonic
 /// datapath performs, as opposed to [`fake_quantize`] which only injects
@@ -417,6 +514,66 @@ mod tests {
         let q = Quantizer::calibrate(&m).quantize(&m);
         assert_eq!(q.dequantize().shape(), (4, 5));
         assert_eq!(q.shape(), (4, 5));
+    }
+
+    #[test]
+    fn row_quant_rows_are_batch_independent() {
+        // The decode-oracle property: quantizing a row alone gives the
+        // same levels and scale as quantizing it inside a larger batch.
+        let mut rng = crate::Prng::new(44);
+        let batch = rng.fill_uniform(5, 8, -3.0, 3.0);
+        let q_batch = RowQuantMatrix::quantize_rows(&batch);
+        for r in 0..5 {
+            let alone = Matrix::from_vec(1, 8, batch.row(r).to_vec()).unwrap();
+            let q_alone = RowQuantMatrix::quantize_rows(&alone);
+            assert_eq!(q_alone.scales()[0], q_batch.scales()[r]);
+            assert_eq!(
+                q_alone.as_i8_slice(),
+                &q_batch.as_i8_slice()[r * 8..(r + 1) * 8]
+            );
+        }
+    }
+
+    #[test]
+    fn row_quant_matmul_rows_match_single_row_products() {
+        let mut rng = crate::Prng::new(45);
+        let x = rng.fill_uniform(4, 6, -2.0, 2.0);
+        let w = rng.fill_uniform(6, 3, -1.0, 1.0);
+        let qw = Quantizer::calibrate(&w).quantize(&w);
+        let full = RowQuantMatrix::quantize_rows(&x).matmul(&qw).unwrap();
+        for r in 0..4 {
+            let alone = Matrix::from_vec(1, 6, x.row(r).to_vec()).unwrap();
+            let solo = RowQuantMatrix::quantize_rows(&alone).matmul(&qw).unwrap();
+            assert_eq!(solo.row(0), full.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn row_quant_tracks_exact_product() {
+        let mut rng = crate::Prng::new(46);
+        let x = rng.fill_uniform(6, 16, -1.0, 1.0);
+        let w = rng.fill_uniform(16, 5, -1.0, 1.0);
+        let qw = Quantizer::calibrate(&w).quantize(&w);
+        let int8 = RowQuantMatrix::quantize_rows(&x).matmul(&qw).unwrap();
+        let exact = x.matmul(&w).unwrap();
+        assert!(int8.approx_eq(&exact, 0.1));
+    }
+
+    #[test]
+    fn row_quant_zero_row_is_identity_scale() {
+        let x = Matrix::zeros(2, 3);
+        let q = RowQuantMatrix::quantize_rows(&x);
+        assert_eq!(q.scales(), &[1.0, 1.0]);
+        assert!(q.as_i8_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn row_quant_shape_mismatch() {
+        let x = RowQuantMatrix::quantize_rows(&Matrix::zeros(2, 3));
+        let w = Quantizer::with_scale(1.0)
+            .unwrap()
+            .quantize(&Matrix::zeros(2, 2));
+        assert!(x.matmul(&w).is_err());
     }
 
     #[test]

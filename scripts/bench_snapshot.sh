@@ -8,8 +8,12 @@
 #   BENCH_3.json — int8 kernels: i8 x i8 -> i32 GEMM and SpMM vs their
 #                  f64 counterparts, plus the 1/2/4/8-thread scaling
 #                  sweep with oracle and bit-identity verdicts.
+#   BENCH_4.json — KV-cached decode: per-token latency of a cached
+#                  decode step vs full-sequence recompute (f64 and
+#                  int8) across context lengths, with full-forward
+#                  oracle, growth and thread bit-identity verdicts.
 #
-# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|all] [OUTPUT.json]
+# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|decode|all] [OUTPUT.json]
 # Default is "all". A bare OUTPUT.json argument keeps the legacy
 # behaviour of writing the GEMM snapshot there.
 set -eu
