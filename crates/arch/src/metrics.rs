@@ -173,6 +173,90 @@ impl PerfReport {
     }
 }
 
+/// Decomposition of one request's accelerator cost into the part that is
+/// **weight-resident** — paid once per dynamic-batch window, no matter how
+/// many requests share it — and the **marginal** part every occupant pays.
+///
+/// On TRON the resident part is HBM weight streaming plus MR-bank
+/// programming/tuning; on GHOST it is the shared weight-DAC programming
+/// plus the (small) weight stream. The serving layer (`phox-serve`)
+/// schedules batch windows against this decomposition: amortizing
+/// `resident_j` over the window's occupancy is what makes joules/request
+/// fall as batches fill. This is the batch amortization already latent in
+/// `TronAccelerator::simulate`'s batch handling, promoted to a
+/// first-class scheduling quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceCost {
+    /// Weight-residency time paid once per batch window, s (HBM weight
+    /// streaming; overlappable with occupant compute).
+    pub resident_s: f64,
+    /// Weight-residency energy paid once per batch window, J (weight
+    /// streaming + MR-bank programming/tuning).
+    pub resident_j: f64,
+    /// Service time per occupant request, s.
+    pub marginal_s: f64,
+    /// Energy per occupant request, J.
+    pub marginal_j: f64,
+    /// Static leakage drawn while the window is open, W.
+    pub leakage_w: f64,
+}
+
+impl ServiceCost {
+    /// Validates that every component is finite and non-negative and that
+    /// a lone request has non-zero service time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidMetric`] on non-finite or negative
+    /// components, or when `marginal_s` and `resident_s` are both zero.
+    pub fn validated(self) -> Result<Self, ArchError> {
+        let fields = [
+            self.resident_s,
+            self.resident_j,
+            self.marginal_s,
+            self.marginal_j,
+            self.leakage_w,
+        ];
+        if fields.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(ArchError::InvalidMetric {
+                what: "service-cost components must be finite and non-negative",
+            });
+        }
+        if self.marginal_s <= 0.0 && self.resident_s <= 0.0 {
+            return Err(ArchError::InvalidMetric {
+                what: "a service cost needs a positive resident or marginal time",
+            });
+        }
+        Ok(self)
+    }
+
+    /// Wall time of one batch window serving `occupancy` requests: the
+    /// occupants' compute streams through the resident weights, so the
+    /// weight stream overlaps compute (double buffering, same
+    /// [`crate::schedule::overlap_time_s`] model the one-shot simulators
+    /// use).
+    pub fn window_latency_s(&self, occupancy: usize) -> f64 {
+        crate::schedule::overlap_time_s(self.marginal_s * occupancy as f64, self.resident_s)
+    }
+
+    /// Energy of one batch window serving `occupancy` requests: residency
+    /// paid once, marginal per occupant, leakage over the window.
+    pub fn window_energy_j(&self, occupancy: usize) -> f64 {
+        self.resident_j
+            + self.marginal_j * occupancy as f64
+            + self.leakage_w * self.window_latency_s(occupancy)
+    }
+
+    /// Energy per request at a given window occupancy — the quantity the
+    /// serving report tracks against batch fill.
+    pub fn joules_per_request(&self, occupancy: usize) -> f64 {
+        if occupancy == 0 {
+            return 0.0;
+        }
+        self.window_energy_j(occupancy) / occupancy as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +314,80 @@ mod tests {
         assert!(PerfReport::new(0, 8, 1.0, 1.0).is_err());
         assert!(PerfReport::new(1, 8, 0.0, 1.0).is_err());
         assert!(PerfReport::new(1, 8, 1.0, -1.0).is_err());
+    }
+
+    fn cost() -> ServiceCost {
+        ServiceCost {
+            resident_s: 1e-5,
+            resident_j: 1e-3,
+            marginal_s: 1e-6,
+            marginal_j: 1e-5,
+            leakage_w: 0.1,
+        }
+        .validated()
+        .unwrap()
+    }
+
+    #[test]
+    fn residency_amortizes_with_occupancy() {
+        let c = cost();
+        // Joules/request must fall monotonically as the window fills: the
+        // resident term is shared by more occupants.
+        let mut prev = f64::INFINITY;
+        for b in [1usize, 2, 4, 8, 16, 64] {
+            let jpr = c.joules_per_request(b);
+            assert!(jpr < prev, "occupancy {b}: {jpr} !< {prev}");
+            prev = jpr;
+        }
+        // In the limit the resident share vanishes: the floor is the
+        // marginal energy plus leakage over the marginal time.
+        let floor = c.marginal_j + c.leakage_w * c.marginal_s;
+        assert!(c.joules_per_request(100_000) < floor * 1.1);
+    }
+
+    #[test]
+    fn window_latency_overlaps_residency() {
+        let c = cost();
+        // One occupant: compute (1 µs) hides inside the weight stream
+        // (10 µs) — the window is residency-bound.
+        assert!(c.window_latency_s(1) >= c.resident_s);
+        assert!(c.window_latency_s(1) < c.resident_s + 2.0 * c.marginal_s);
+        // Many occupants: compute dominates and the stream hides.
+        let b = 100;
+        let compute = c.marginal_s * b as f64;
+        assert!(c.window_latency_s(b) >= compute);
+        assert!(c.window_latency_s(b) < compute * 1.05);
+    }
+
+    #[test]
+    fn window_energy_components() {
+        let c = cost();
+        let e1 = c.window_energy_j(1);
+        let expected = c.resident_j + c.marginal_j + c.leakage_w * c.window_latency_s(1);
+        assert!((e1 - expected).abs() / expected < 1e-12);
+        assert_eq!(c.joules_per_request(0), 0.0);
+    }
+
+    #[test]
+    fn service_cost_validation() {
+        assert!(ServiceCost {
+            resident_s: -1.0,
+            ..cost()
+        }
+        .validated()
+        .is_err());
+        assert!(ServiceCost {
+            marginal_j: f64::NAN,
+            ..cost()
+        }
+        .validated()
+        .is_err());
+        assert!(ServiceCost {
+            resident_s: 0.0,
+            marginal_s: 0.0,
+            ..cost()
+        }
+        .validated()
+        .is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! Records kernel speedup snapshots as JSON.
 //!
-//! Four snapshots are produced:
+//! Five snapshots are produced:
 //!
 //! * **gemm** (`BENCH_1.json`): the textbook i-j-k loop, the
 //!   cache-blocked packed-`Bᵀ` kernel, and the blocked kernel with
@@ -24,9 +24,17 @@
 //!   full-forward oracle (≤1e-9 relative f64, exact int8) and the
 //!   growth verdicts (cached sub-quadratic, full recompute
 //!   super-linear) are recorded in the snapshot.
+//! * **serve** (`BENCH_5.json`): the batched-inference serving
+//!   simulator under a sweep of offered arrival rates — p50/p99
+//!   latency, sustained QPS, mean batch occupancy and joules/request
+//!   for the standard prefill + decode + GNN mix, with every report
+//!   checked byte-identical across 1/2/4/8-thread pools. The verdicts
+//!   section records that joules/request falls as batch occupancy
+//!   rises (weight residency amortised) and that every rate was
+//!   thread-invariant.
 //!
-//! Usage: `bench_snapshot [gemm|sparse|int8|decode|all] [OUTPUT.json]`
-//! (default `all`, writing `BENCH_1.json` … `BENCH_4.json`). A bare
+//! Usage: `bench_snapshot [gemm|sparse|int8|decode|serve|all] [OUTPUT.json]`
+//! (default `all`, writing `BENCH_1.json` … `BENCH_5.json`). A bare
 //! `OUTPUT.json` first argument keeps the legacy behaviour of writing
 //! the gemm snapshot there.
 
@@ -713,6 +721,134 @@ fn run_decode(out_path: &str) {
     write_or_die(out_path, &json);
 }
 
+fn run_serve(out_path: &str) {
+    use phox_core::ghost::{GhostAccelerator, GhostConfig};
+    use phox_core::serve::{standard_mix, ServeConfig, ServeEngine};
+    use phox_core::tron::{TronAccelerator, TronConfig};
+
+    let build_classes = || {
+        let tron = TronAccelerator::new(TronConfig::default()).expect("TRON config");
+        let ghost = GhostAccelerator::new(GhostConfig::default()).expect("GHOST config");
+        standard_mix(&tron, &ghost).expect("standard serving mix")
+    };
+    // Offered load sweep: from near-idle (windows mostly solo) to
+    // saturation (windows full), so the occupancy axis actually moves.
+    let rates_hz = [500.0f64, 2_000.0, 8_000.0, 32_000.0];
+    let mut rate_rows = Vec::new();
+    let mut occupancies = Vec::new();
+    let mut jprs = Vec::new();
+    let mut all_thread_identical = true;
+    for &rate in &rates_hz {
+        eprintln!("bench_snapshot: serve sweep at {rate:.0} req/s...");
+        let config = ServeConfig {
+            arrival_rate_hz: rate,
+            duration_s: 0.05,
+            ..ServeConfig::default()
+        };
+        let run_once = || {
+            ServeEngine::new(config, build_classes())
+                .expect("serve engine")
+                .run()
+                .expect("serve run")
+        };
+        let report = parallel::with_threads(1, run_once);
+        let baseline_json = report.to_json();
+        let thread_identical = [2usize, 4, 8]
+            .iter()
+            .all(|&threads| parallel::with_threads(threads, run_once).to_json() == baseline_json);
+        all_thread_identical &= thread_identical;
+        eprintln!(
+            "bench_snapshot: {rate:.0} req/s: occupancy {:.2} qps {:.0} p99 {:.2}ms \
+             J/req {:.4} rejected {} thread_identical={thread_identical}",
+            report.mean_occupancy,
+            report.sustained_qps,
+            report.p99_latency_s * 1e3,
+            report.joules_per_request,
+            report.rejected,
+        );
+        occupancies.push(report.mean_occupancy);
+        jprs.push(report.joules_per_request);
+        rate_rows.push(format!(
+            concat!(
+                "        {{\n",
+                "          \"offered_rate_hz\": {},\n",
+                "          \"arrivals\": {},\n",
+                "          \"admitted\": {},\n",
+                "          \"rejected\": {},\n",
+                "          \"completed\": {},\n",
+                "          \"windows\": {},\n",
+                "          \"mean_occupancy\": {},\n",
+                "          \"sustained_qps\": {},\n",
+                "          \"p50_latency_s\": {},\n",
+                "          \"p99_latency_s\": {},\n",
+                "          \"joules_per_request\": {},\n",
+                "          \"thread_identical\": {}\n",
+                "        }}"
+            ),
+            json_number(rate),
+            report.arrivals,
+            report.admitted,
+            report.rejected,
+            report.completed,
+            report.windows,
+            json_number(report.mean_occupancy),
+            json_number(report.sustained_qps),
+            json_number(report.p50_latency_s),
+            json_number(report.p99_latency_s),
+            json_number(report.joules_per_request),
+            thread_identical,
+        ));
+    }
+
+    // Verdicts: occupancy must rise with offered load, and amortised
+    // residency must pull joules/request down as the windows fill.
+    let occupancy_rises = occupancies.windows(2).all(|w| w[1] >= w[0]);
+    let jpr_decreases = jprs.windows(2).all(|w| w[1] <= w[0]);
+    eprintln!(
+        "bench_snapshot: serve verdicts: occupancy_rises={occupancy_rises} \
+         jpr_decreases_with_occupancy={jpr_decreases} \
+         all_thread_identical={all_thread_identical}"
+    );
+    let verdict_rows = vec![format!(
+        concat!(
+            "        {{\n",
+            "          \"occupancy_rises_with_load\": {},\n",
+            "          \"joules_per_request_decreases_with_occupancy\": {},\n",
+            "          \"reports_bit_identical_across_threads\": {}\n",
+            "        }}"
+        ),
+        occupancy_rises, jpr_decreases, all_thread_identical,
+    )];
+
+    let sections = [
+        ("rate_sweep", "rates", rate_rows),
+        ("serve_verdicts", "verdicts", verdict_rows),
+    ]
+    .map(|(section, key, rows)| {
+        format!(
+            "    {{\n      \"section\": \"{section}\",\n      \"{key}\": [\n{}\n      ]\n    }}",
+            rows.join(",\n"),
+        )
+    });
+    let json = snapshot_json(
+        "serving_under_load",
+        &["prefill/BERT-base", "decode/GPT-2", "gnn/gcn/cora"],
+        &[
+            (
+                "engine",
+                "{\"max_batch\": 16, \"duration_s\": 0.05, \"thread_sweep\": [1, 2, 4, 8]}"
+                    .to_string(),
+            ),
+            // Unlike the kernel snapshots, every latency here is
+            // deterministic simulated time, not a wall-clock measurement.
+            ("time_base", "\"deterministic model seconds\"".to_string()),
+        ],
+        "sections",
+        &sections,
+    );
+    write_or_die(out_path, &json);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -721,11 +857,13 @@ fn main() {
             run_sparse("BENCH_2.json");
             run_int8("BENCH_3.json");
             run_decode("BENCH_4.json");
+            run_serve("BENCH_5.json");
         }
         Some("gemm") => run_gemm(args.get(1).map_or("BENCH_1.json", String::as_str)),
         Some("sparse") => run_sparse(args.get(1).map_or("BENCH_2.json", String::as_str)),
         Some("int8") => run_int8(args.get(1).map_or("BENCH_3.json", String::as_str)),
         Some("decode") => run_decode(args.get(1).map_or("BENCH_4.json", String::as_str)),
+        Some("serve") => run_serve(args.get(1).map_or("BENCH_5.json", String::as_str)),
         // Legacy invocation: a bare output path means the gemm snapshot.
         Some(path) => run_gemm(path),
     }

@@ -42,6 +42,7 @@ pub use phox_ghost as ghost;
 pub use phox_memsim as memsim;
 pub use phox_nn as nn;
 pub use phox_photonics as photonics;
+pub use phox_serve as serve;
 pub use phox_tensor as tensor;
 pub use phox_trace as trace;
 pub use phox_tron as tron;
@@ -51,7 +52,7 @@ pub mod prelude {
     pub use crate::comparison::{
         aggregate_claims, claims, ghost_comparison, tron_comparison, Claims, ComparisonRow,
     };
-    pub use phox_arch::metrics::{EnergyLedger, LatencyLedger, PerfReport};
+    pub use phox_arch::metrics::{EnergyLedger, LatencyLedger, PerfReport, ServiceCost};
     pub use phox_baselines::roofline::{RooflinePlatform, WorkloadKind};
     pub use phox_baselines::{gnn_suite, transformer_suite, Baseline};
     pub use phox_ghost::{
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use phox_photonics::fault::{DeviceFault, FaultImpact, FaultPlan};
     pub use phox_photonics::mr::MrConfig;
     pub use phox_photonics::{Ctx, PhotonicError};
+    pub use phox_serve::{standard_mix, ServeConfig, ServeEngine, ServeReport, ServiceClass};
     pub use phox_tensor::{Matrix, Prng};
     pub use phox_trace::{RunManifest, Trace};
     pub use phox_tron::{TronAccelerator, TronConfig, TronFunctional};

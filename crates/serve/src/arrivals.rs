@@ -1,0 +1,185 @@
+//! Seeded open-loop arrival generation.
+//!
+//! Requests arrive on a Poisson process: exponential inter-arrival times
+//! at the offered rate, with each request's class drawn from the
+//! weighted mix. Everything is derived from one [`Prng`] stream, so a
+//! (seed, rate, duration, mix) tuple always produces the same trace —
+//! the foundation of the engine's bit-identical reports.
+
+use phox_photonics::PhotonicError;
+use phox_tensor::Prng;
+
+use crate::workload::ServiceClass;
+
+/// One request arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Request id: position in the trace (0-based, arrival order).
+    pub id: u64,
+    /// Index into the engine's class list.
+    pub class: usize,
+    /// Arrival time, model seconds from the start of the run.
+    pub arrive_s: f64,
+}
+
+/// A pre-generated arrival trace, sorted by arrival time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    arrivals: Vec<Arrival>,
+    duration_s: f64,
+}
+
+impl ArrivalTrace {
+    /// Generates the Poisson trace: exponential gaps at `rate_hz` until
+    /// `duration_s`, class sampled per arrival from the normalised
+    /// `classes` weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for a non-positive rate
+    /// or duration, or an empty class list.
+    pub fn generate(
+        seed: u64,
+        rate_hz: f64,
+        duration_s: f64,
+        classes: &[ServiceClass],
+    ) -> Result<Self, PhotonicError> {
+        if !rate_hz.is_finite() || rate_hz <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "arrival rate must be finite and positive",
+            });
+        }
+        if !duration_s.is_finite() || duration_s <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "arrival duration must be finite and positive",
+            });
+        }
+        if classes.is_empty() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "arrival mix needs at least one service class",
+            });
+        }
+        let total_weight: f64 = classes.iter().map(|c| c.weight).sum();
+        let mut rng = Prng::stream(seed, 0x5EBE);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Exponential inter-arrival: -ln(1-u)/λ, u ∈ [0,1).
+            let u = rng.next_f64();
+            t += -(1.0 - u).ln() / rate_hz;
+            if t >= duration_s {
+                break;
+            }
+            // Weighted class draw on the same stream.
+            let mut pick = rng.next_f64() * total_weight;
+            let mut class = classes.len() - 1;
+            for (i, c) in classes.iter().enumerate() {
+                if pick < c.weight {
+                    class = i;
+                    break;
+                }
+                pick -= c.weight;
+            }
+            arrivals.push(Arrival {
+                id: arrivals.len() as u64,
+                class,
+                arrive_s: t,
+            });
+        }
+        Ok(ArrivalTrace {
+            arrivals,
+            duration_s,
+        })
+    }
+
+    /// The arrivals, sorted by time (generation order).
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty (possible at very low rate × duration).
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The configured trace horizon, s.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_arch::metrics::ServiceCost;
+
+    fn class(weight: f64) -> ServiceClass {
+        ServiceClass::new(
+            format!("c{weight}"),
+            ServiceCost {
+                resident_s: 1e-6,
+                resident_j: 1e-6,
+                marginal_s: 1e-6,
+                marginal_j: 1e-6,
+                leakage_w: 0.0,
+            },
+            weight,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_sorted() {
+        let classes = [class(0.5), class(0.5)];
+        let a = ArrivalTrace::generate(7, 10_000.0, 0.01, &classes).unwrap();
+        let b = ArrivalTrace::generate(7, 10_000.0, 0.01, &classes).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for w in a.arrivals().windows(2) {
+            assert!(w[0].arrive_s <= w[1].arrive_s);
+        }
+        for (i, arr) in a.arrivals().iter().enumerate() {
+            assert_eq!(arr.id, i as u64);
+            assert!(arr.arrive_s < a.duration_s());
+        }
+    }
+
+    #[test]
+    fn rate_controls_volume() {
+        let classes = [class(1.0)];
+        let slow = ArrivalTrace::generate(1, 1_000.0, 0.1, &classes).unwrap();
+        let fast = ArrivalTrace::generate(1, 10_000.0, 0.1, &classes).unwrap();
+        assert!(
+            fast.len() > 5 * slow.len(),
+            "{} vs {}",
+            fast.len(),
+            slow.len()
+        );
+        // Poisson mean: within a loose factor of rate × duration.
+        let expect = 1_000.0 * 0.1;
+        assert!((slow.len() as f64) > expect * 0.5 && (slow.len() as f64) < expect * 2.0);
+    }
+
+    #[test]
+    fn mix_weights_are_respected() {
+        let classes = [class(0.9), class(0.1)];
+        let tr = ArrivalTrace::generate(3, 50_000.0, 0.1, &classes).unwrap();
+        let heavy = tr.arrivals().iter().filter(|a| a.class == 0).count();
+        let share = heavy as f64 / tr.len() as f64;
+        assert!((0.85..0.95).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let classes = [class(1.0)];
+        assert!(ArrivalTrace::generate(0, 0.0, 1.0, &classes).is_err());
+        assert!(ArrivalTrace::generate(0, 1.0, 0.0, &classes).is_err());
+        assert!(ArrivalTrace::generate(0, 1.0, 1.0, &[]).is_err());
+        assert!(ArrivalTrace::generate(0, f64::NAN, 1.0, &classes).is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! The serving engine: a serial, deterministic discrete-event loop that
+//! batches queued requests into weight-resident windows on the shared
+//! accelerator.
+//!
+//! The scheduling model is intentionally simple and fully reproducible:
+//!
+//! * Arrivals are pre-generated ([`crate::arrivals::ArrivalTrace`]) and
+//!   admitted in time order; a class whose queue is at capacity rejects
+//!   the arrival (admission control).
+//! * The accelerator serves one batch window at a time. Each window
+//!   holds requests of a *single* class, because a window shares weight
+//!   residency — the MR-bank programming and HBM weight stream of that
+//!   class's model are paid once per window.
+//! * The scheduler always opens the next window for the class whose
+//!   head-of-line request has waited longest (FIFO across classes,
+//!   lowest class index breaking exact ties). It then fills the window
+//!   with up to [`ServeConfig::max_batch`] queued requests of that
+//!   class; if the queue cannot fill the window, it waits up to
+//!   [`ServeConfig::batch_timeout_s`] past the head arrival for more.
+//! * Window latency and energy come from the class's
+//!   [`phox_arch::metrics::ServiceCost`]:
+//!   `window_latency_s(occupancy)` overlaps the occupants' marginal
+//!   time with the residency programming, and `window_energy_j`
+//!   amortises the resident joules across the occupants.
+
+use std::collections::VecDeque;
+
+use phox_photonics::PhotonicError;
+use phox_trace as trace;
+
+use crate::arrivals::ArrivalTrace;
+use crate::report::{percentile_s, ClassReport, ServeReport};
+use crate::workload::ServiceClass;
+
+/// Serving-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for the arrival process.
+    pub seed: u64,
+    /// Offered load: mean arrival rate of the Poisson process, req/s.
+    pub arrival_rate_hz: f64,
+    /// Arrival horizon, s. The engine drains all admitted requests after
+    /// the last arrival, so the run can finish later than this.
+    pub duration_s: f64,
+    /// Maximum requests per batch window.
+    pub max_batch: usize,
+    /// Per-class queue capacity; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// How long past the head-of-line arrival a under-filled window may
+    /// wait for more same-class requests, s.
+    pub batch_timeout_s: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 0xF0CA,
+            arrival_rate_hz: 1_000.0,
+            duration_s: 0.1,
+            max_batch: 16,
+            queue_capacity: 256,
+            batch_timeout_s: 200e-6,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), PhotonicError> {
+        if self.max_batch == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "serve max_batch must be at least 1",
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "serve queue_capacity must be at least 1",
+            });
+        }
+        if !self.batch_timeout_s.is_finite() || self.batch_timeout_s < 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "serve batch_timeout_s must be finite and non-negative",
+            });
+        }
+        if !self.arrival_rate_hz.is_finite() || self.arrival_rate_hz <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "serve arrival_rate_hz must be finite and positive",
+            });
+        }
+        if !self.duration_s.is_finite() || self.duration_s <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "serve duration_s must be finite and positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-class accumulators the event loop maintains.
+struct ClassState {
+    queue: VecDeque<QueuedRequest>,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    latencies_s: Vec<f64>,
+    energy_j: f64,
+    occupancy_sum: u64,
+    windows: u64,
+}
+
+struct QueuedRequest {
+    arrive_s: f64,
+}
+
+/// The deterministic batched-inference engine.
+pub struct ServeEngine {
+    config: ServeConfig,
+    classes: Vec<ServiceClass>,
+}
+
+impl ServeEngine {
+    /// Builds an engine after validating the config and class mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for degenerate configs
+    /// or an empty class list.
+    pub fn new(config: ServeConfig, classes: Vec<ServiceClass>) -> Result<Self, PhotonicError> {
+        config.validate()?;
+        if classes.is_empty() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "serve engine needs at least one service class",
+            });
+        }
+        Ok(ServeEngine { config, classes })
+    }
+
+    /// The configured service classes, in scheduling-priority order.
+    pub fn classes(&self) -> &[ServiceClass] {
+        &self.classes
+    }
+
+    /// Runs the full horizon — generate arrivals, admit, batch, serve,
+    /// drain — and returns the steady-state report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arrival-generation failures and reports a
+    /// [`PhotonicError::NumericalFailure`] if the queue-conservation
+    /// invariant (arrivals = admitted + rejected = completed + rejected
+    /// after drain) breaks — that would be an engine bug, never a
+    /// workload property.
+    pub fn run(&self) -> Result<ServeReport, PhotonicError> {
+        let cfg = &self.config;
+        let trace_handle = trace::active();
+        let arrivals =
+            ArrivalTrace::generate(cfg.seed, cfg.arrival_rate_hz, cfg.duration_s, &self.classes)?;
+        let events = arrivals.arrivals();
+        let mut states: Vec<ClassState> = self
+            .classes
+            .iter()
+            .map(|_| ClassState {
+                queue: VecDeque::new(),
+                admitted: 0,
+                rejected: 0,
+                completed: 0,
+                latencies_s: Vec::new(),
+                energy_j: 0.0,
+                occupancy_sum: 0,
+                windows: 0,
+            })
+            .collect();
+
+        let mut next = 0usize; // next un-admitted arrival
+        let mut server_free_s = 0.0f64;
+        let mut makespan_s = 0.0f64;
+
+        // Admits every arrival at or before `t`, applying per-class
+        // admission control, and samples the aggregate queue depth.
+        let admit_until = |t: f64, next: &mut usize, states: &mut Vec<ClassState>| {
+            let mut changed = false;
+            while *next < events.len() && events[*next].arrive_s <= t {
+                let ev = &events[*next];
+                let state = &mut states[ev.class];
+                if state.queue.len() >= cfg.queue_capacity {
+                    state.rejected += 1;
+                    trace_handle.count("serve", "rejected", 1);
+                } else {
+                    state.queue.push_back(QueuedRequest {
+                        arrive_s: ev.arrive_s,
+                    });
+                    state.admitted += 1;
+                    trace_handle.count("serve", "admitted", 1);
+                }
+                *next += 1;
+                changed = true;
+            }
+            if changed && trace_handle.is_enabled() {
+                let depth: usize = states.iter().map(|s| s.queue.len()).sum();
+                trace_handle.sample("serve", "queue_depth", t, depth as f64, Vec::new());
+            }
+        };
+
+        loop {
+            if states.iter().all(|s| s.queue.is_empty()) {
+                if next >= events.len() {
+                    break; // drained
+                }
+                // Idle: jump to the next arrival.
+                admit_until(events[next].arrive_s, &mut next, &mut states);
+                continue;
+            }
+
+            // Oldest head-of-line request picks the window's class.
+            let mut class = usize::MAX;
+            let mut head_s = f64::INFINITY;
+            for (i, s) in states.iter().enumerate() {
+                if let Some(front) = s.queue.front() {
+                    if front.arrive_s < head_s {
+                        head_s = front.arrive_s;
+                        class = i;
+                    }
+                }
+            }
+
+            // The window opens when the server is free; if it would be
+            // under-filled, hold it open up to the batch timeout so more
+            // same-class arrivals can join.
+            let mut dispatch_s = server_free_s.max(head_s);
+            admit_until(dispatch_s, &mut next, &mut states);
+            if states[class].queue.len() < cfg.max_batch && next < events.len() {
+                dispatch_s = dispatch_s.max(head_s + cfg.batch_timeout_s);
+                admit_until(dispatch_s, &mut next, &mut states);
+            }
+
+            let state = &mut states[class];
+            let occupancy = state.queue.len().min(cfg.max_batch);
+            let cost = &self.classes[class].cost;
+            let window_latency_s = cost.window_latency_s(occupancy);
+            let window_energy_j = cost.window_energy_j(occupancy);
+            let done_s = dispatch_s + window_latency_s;
+            for _ in 0..occupancy {
+                // Occupancy never exceeds the queue length, so the pop
+                // cannot fail; an empty queue here is an engine bug.
+                let Some(req) = state.queue.pop_front() else {
+                    return Err(PhotonicError::NumericalFailure {
+                        what: "serve window occupancy",
+                        detail: format!(
+                            "window for class {} claimed {occupancy} occupants \
+                             but the queue ran dry",
+                            self.classes[class].name
+                        ),
+                    });
+                };
+                state.latencies_s.push(done_s - req.arrive_s);
+                state.completed += 1;
+            }
+            state.energy_j += window_energy_j;
+            state.occupancy_sum += occupancy as u64;
+            state.windows += 1;
+            server_free_s = done_s;
+            makespan_s = makespan_s.max(done_s);
+            trace_handle.count("serve", "completed", occupancy as i64);
+            trace_handle.count("serve", "windows", 1);
+            if trace_handle.is_enabled() {
+                trace_handle.sample(
+                    "serve",
+                    "batch_occupancy",
+                    dispatch_s,
+                    occupancy as f64,
+                    vec![(
+                        "class",
+                        trace::Value::from(self.classes[class].name.as_str()),
+                    )],
+                );
+                trace_handle.model_span(
+                    format!("serve/{}", self.classes[class].name),
+                    "window",
+                    dispatch_s,
+                    window_latency_s,
+                    Some(window_energy_j),
+                    Vec::new(),
+                );
+            }
+        }
+
+        self.finish(&arrivals, states, makespan_s)
+    }
+
+    /// Folds the drained per-class accumulators into the report and
+    /// checks the conservation invariants.
+    fn finish(
+        &self,
+        arrivals: &ArrivalTrace,
+        states: Vec<ClassState>,
+        makespan_s: f64,
+    ) -> Result<ServeReport, PhotonicError> {
+        let admitted: u64 = states.iter().map(|s| s.admitted).sum();
+        let rejected: u64 = states.iter().map(|s| s.rejected).sum();
+        let completed: u64 = states.iter().map(|s| s.completed).sum();
+        let windows: u64 = states.iter().map(|s| s.windows).sum();
+        let occupancy_sum: u64 = states.iter().map(|s| s.occupancy_sum).sum();
+        if admitted + rejected != arrivals.len() as u64 {
+            return Err(PhotonicError::NumericalFailure {
+                what: "serve admission conservation",
+                detail: format!(
+                    "{} arrivals but {admitted} admitted + {rejected} rejected",
+                    arrivals.len()
+                ),
+            });
+        }
+        if completed != admitted {
+            return Err(PhotonicError::NumericalFailure {
+                what: "serve queue conservation",
+                detail: format!(
+                    "{admitted} admitted requests but {completed} completed after drain"
+                ),
+            });
+        }
+
+        let total_energy_j: f64 = states.iter().map(|s| s.energy_j).sum();
+        let mut all_latencies: Vec<f64> = Vec::with_capacity(completed as usize);
+        for s in &states {
+            all_latencies.extend_from_slice(&s.latencies_s);
+        }
+        let classes = self
+            .classes
+            .iter()
+            .zip(&states)
+            .map(|(class, s)| {
+                let mean = if s.latencies_s.is_empty() {
+                    0.0
+                } else {
+                    s.latencies_s.iter().sum::<f64>() / s.latencies_s.len() as f64
+                };
+                ClassReport {
+                    name: class.name.clone(),
+                    admitted: s.admitted,
+                    rejected: s.rejected,
+                    completed: s.completed,
+                    p50_latency_s: percentile_s(&s.latencies_s, 50.0),
+                    p99_latency_s: percentile_s(&s.latencies_s, 99.0),
+                    mean_latency_s: mean,
+                    mean_occupancy: if s.windows == 0 {
+                        0.0
+                    } else {
+                        s.occupancy_sum as f64 / s.windows as f64
+                    },
+                    joules_per_request: if s.completed == 0 {
+                        0.0
+                    } else {
+                        s.energy_j / s.completed as f64
+                    },
+                }
+            })
+            .collect();
+
+        Ok(ServeReport {
+            seed: self.config.seed,
+            offered_rate_hz: self.config.arrival_rate_hz,
+            arrivals: arrivals.len() as u64,
+            admitted,
+            rejected,
+            completed,
+            windows,
+            mean_occupancy: if windows == 0 {
+                0.0
+            } else {
+                occupancy_sum as f64 / windows as f64
+            },
+            sustained_qps: if makespan_s > 0.0 {
+                completed as f64 / makespan_s
+            } else {
+                0.0
+            },
+            p50_latency_s: percentile_s(&all_latencies, 50.0),
+            p99_latency_s: percentile_s(&all_latencies, 99.0),
+            total_energy_j,
+            joules_per_request: if completed == 0 {
+                0.0
+            } else {
+                total_energy_j / completed as f64
+            },
+            makespan_s,
+            classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_arch::metrics::ServiceCost;
+    use phox_ghost::config::GhostConfig;
+    use phox_ghost::perf::GhostAccelerator;
+    use phox_tron::config::TronConfig;
+    use phox_tron::perf::TronAccelerator;
+
+    fn synthetic_class(weight: f64) -> ServiceClass {
+        ServiceClass::new(
+            "synthetic",
+            ServiceCost {
+                resident_s: 100e-6,
+                resident_j: 1e-3,
+                marginal_s: 10e-6,
+                marginal_j: 10e-6,
+                leakage_w: 0.1,
+            },
+            weight,
+        )
+        .unwrap()
+    }
+
+    fn run_mix(config: ServeConfig) -> ServeReport {
+        let tron = TronAccelerator::new(TronConfig::default()).unwrap();
+        let ghost = GhostAccelerator::new(GhostConfig::default()).unwrap();
+        let classes = crate::workload::standard_mix(&tron, &ghost).unwrap();
+        ServeEngine::new(config, classes).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn conservation_holds_and_everything_completes() {
+        let report = run_mix(ServeConfig {
+            arrival_rate_hz: 2_000.0,
+            duration_s: 0.02,
+            ..ServeConfig::default()
+        });
+        assert_eq!(report.admitted + report.rejected, report.arrivals);
+        assert_eq!(report.completed, report.admitted);
+        assert!(report.arrivals > 0);
+        assert!(report.windows > 0);
+        assert!(report.p50_latency_s > 0.0);
+        assert!(report.p99_latency_s >= report.p50_latency_s);
+        assert!(report.joules_per_request > 0.0);
+        let class_completed: u64 = report.classes.iter().map(|c| c.completed).sum();
+        assert_eq!(class_completed, report.completed);
+    }
+
+    #[test]
+    fn identical_runs_are_byte_identical() {
+        let config = ServeConfig {
+            arrival_rate_hz: 3_000.0,
+            duration_s: 0.02,
+            ..ServeConfig::default()
+        };
+        let a = run_mix(config).to_json();
+        let b = run_mix(config).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_rises_with_offered_load() {
+        let classes = vec![synthetic_class(1.0)];
+        let base = ServeConfig {
+            duration_s: 0.05,
+            batch_timeout_s: 0.0,
+            ..ServeConfig::default()
+        };
+        let slow = ServeEngine::new(
+            ServeConfig {
+                arrival_rate_hz: 500.0,
+                ..base
+            },
+            classes.clone(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let fast = ServeEngine::new(
+            ServeConfig {
+                arrival_rate_hz: 20_000.0,
+                ..base
+            },
+            classes,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(
+            fast.mean_occupancy > slow.mean_occupancy + 1.0,
+            "fast {} vs slow {}",
+            fast.mean_occupancy,
+            slow.mean_occupancy
+        );
+        // Amortised residency: energy per request falls as batches fill.
+        assert!(
+            fast.joules_per_request < slow.joules_per_request,
+            "fast {} vs slow {}",
+            fast.joules_per_request,
+            slow.joules_per_request
+        );
+    }
+
+    #[test]
+    fn saturation_rejects_but_conserves() {
+        // A slow class at a huge offered rate must overflow the queue.
+        let classes = vec![ServiceClass::new(
+            "slow",
+            ServiceCost {
+                resident_s: 10e-3,
+                resident_j: 1.0,
+                marginal_s: 1e-3,
+                marginal_j: 0.1,
+                leakage_w: 1.0,
+            },
+            1.0,
+        )
+        .unwrap()];
+        let report = ServeEngine::new(
+            ServeConfig {
+                arrival_rate_hz: 50_000.0,
+                duration_s: 0.02,
+                max_batch: 4,
+                queue_capacity: 8,
+                batch_timeout_s: 0.0,
+                ..ServeConfig::default()
+            },
+            classes,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(report.rejected > 0, "expected overload rejections");
+        assert_eq!(report.admitted + report.rejected, report.arrivals);
+        assert_eq!(report.completed, report.admitted);
+        // Full windows at saturation.
+        assert!(report.mean_occupancy > 3.0, "{}", report.mean_occupancy);
+    }
+
+    #[test]
+    fn trace_counters_and_samples_are_emitted() {
+        use phox_trace::CounterValue;
+        let trace = phox_trace::Trace::new();
+        let report = phox_trace::with_installed(trace.clone(), || {
+            run_mix(ServeConfig {
+                arrival_rate_hz: 2_000.0,
+                duration_s: 0.01,
+                ..ServeConfig::default()
+            })
+        });
+        let counters = trace.counters();
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|(t, n, _)| t == "serve" && n == name)
+                .map(|(_, _, v)| *v)
+                .unwrap_or_else(|| panic!("missing serve/{name} counter"))
+        };
+        assert_eq!(
+            counter("admitted"),
+            CounterValue::Int(report.admitted as i64)
+        );
+        assert_eq!(
+            counter("completed"),
+            CounterValue::Int(report.completed as i64)
+        );
+        let events = trace.events();
+        assert!(events
+            .iter()
+            .any(|e| e.track == "serve" && e.name == "queue_depth"));
+        assert!(events
+            .iter()
+            .any(|e| e.track == "serve" && e.name == "batch_occupancy"));
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let classes = vec![synthetic_class(1.0)];
+        let bad = |f: fn(&mut ServeConfig)| {
+            let mut c = ServeConfig::default();
+            f(&mut c);
+            ServeEngine::new(c, classes.clone()).is_err()
+        };
+        assert!(bad(|c| c.max_batch = 0));
+        assert!(bad(|c| c.queue_capacity = 0));
+        assert!(bad(|c| c.batch_timeout_s = -1.0));
+        assert!(bad(|c| c.arrival_rate_hz = 0.0));
+        assert!(bad(|c| c.duration_s = 0.0));
+        assert!(ServeEngine::new(ServeConfig::default(), Vec::new()).is_err());
+    }
+}

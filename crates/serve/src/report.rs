@@ -1,0 +1,179 @@
+//! Steady-state serving reports: per-class and aggregate latency,
+//! throughput, energy and batching statistics.
+
+use phox_trace::json::{json_number, json_string};
+
+/// Nearest-rank percentile of a latency population. Sorts a copy with
+/// `total_cmp`, so the result is deterministic for any input order.
+/// Returns 0.0 for an empty population.
+pub(crate) fn percentile_s(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Per-class steady-state statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Class name (matches [`crate::workload::ServiceClass::name`]).
+    pub name: String,
+    /// Requests of this class that entered a queue.
+    pub admitted: u64,
+    /// Requests turned away by admission control (queue full).
+    pub rejected: u64,
+    /// Requests that finished service.
+    pub completed: u64,
+    /// Median request latency (arrival to completion), s.
+    pub p50_latency_s: f64,
+    /// 99th-percentile request latency, s.
+    pub p99_latency_s: f64,
+    /// Mean request latency, s.
+    pub mean_latency_s: f64,
+    /// Mean batch-window occupancy for this class's windows.
+    pub mean_occupancy: f64,
+    /// Energy per completed request, J — residency amortised across
+    /// each window's occupants.
+    pub joules_per_request: f64,
+}
+
+impl ClassReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"admitted\":{},\"rejected\":{},\"completed\":{},\
+             \"p50_latency_s\":{},\"p99_latency_s\":{},\"mean_latency_s\":{},\
+             \"mean_occupancy\":{},\"joules_per_request\":{}}}",
+            json_string(&self.name),
+            self.admitted,
+            self.rejected,
+            self.completed,
+            json_number(self.p50_latency_s),
+            json_number(self.p99_latency_s),
+            json_number(self.mean_latency_s),
+            json_number(self.mean_occupancy),
+            json_number(self.joules_per_request),
+        )
+    }
+}
+
+/// Aggregate steady-state report for one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Seed the arrival trace and engine ran under.
+    pub seed: u64,
+    /// Offered arrival rate, requests/s.
+    pub offered_rate_hz: f64,
+    /// Total arrivals generated over the horizon.
+    pub arrivals: u64,
+    /// Arrivals admitted into a queue.
+    pub admitted: u64,
+    /// Arrivals rejected by admission control.
+    pub rejected: u64,
+    /// Requests that completed service.
+    pub completed: u64,
+    /// Batch windows dispatched.
+    pub windows: u64,
+    /// Mean occupancy across all windows.
+    pub mean_occupancy: f64,
+    /// Completed requests divided by the busy horizon (last completion
+    /// time), requests/s.
+    pub sustained_qps: f64,
+    /// Median latency across all completed requests, s.
+    pub p50_latency_s: f64,
+    /// 99th-percentile latency across all completed requests, s.
+    pub p99_latency_s: f64,
+    /// Total energy across all windows, J.
+    pub total_energy_j: f64,
+    /// Energy per completed request, J.
+    pub joules_per_request: f64,
+    /// Time of the last completion, s (the busy horizon).
+    pub makespan_s: f64,
+    /// Per-class breakdowns, in class-declaration order.
+    pub classes: Vec<ClassReport>,
+}
+
+impl ServeReport {
+    /// Serialises the report as one deterministic JSON object. Equal
+    /// reports produce byte-identical strings, which is what the
+    /// cross-thread determinism tests compare.
+    pub fn to_json(&self) -> String {
+        let classes: Vec<String> = self.classes.iter().map(|c| c.to_json()).collect();
+        format!(
+            "{{\"seed\":{},\"offered_rate_hz\":{},\"arrivals\":{},\"admitted\":{},\
+             \"rejected\":{},\"completed\":{},\"windows\":{},\"mean_occupancy\":{},\
+             \"sustained_qps\":{},\"p50_latency_s\":{},\"p99_latency_s\":{},\
+             \"total_energy_j\":{},\"joules_per_request\":{},\"makespan_s\":{},\
+             \"classes\":[{}]}}",
+            self.seed,
+            json_number(self.offered_rate_hz),
+            self.arrivals,
+            self.admitted,
+            self.rejected,
+            self.completed,
+            self.windows,
+            json_number(self.mean_occupancy),
+            json_number(self.sustained_qps),
+            json_number(self.p50_latency_s),
+            json_number(self.p99_latency_s),
+            json_number(self.total_energy_j),
+            json_number(self.joules_per_request),
+            json_number(self.makespan_s),
+            classes.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile_s(&v, 50.0), 3.0);
+        assert_eq!(percentile_s(&v, 99.0), 5.0);
+        assert_eq!(percentile_s(&v, 100.0), 5.0);
+        assert_eq!(percentile_s(&[], 50.0), 0.0);
+        assert_eq!(percentile_s(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let report = ServeReport {
+            seed: 3,
+            offered_rate_hz: 1000.0,
+            arrivals: 10,
+            admitted: 9,
+            rejected: 1,
+            completed: 9,
+            windows: 4,
+            mean_occupancy: 2.25,
+            sustained_qps: 900.0,
+            p50_latency_s: 1e-3,
+            p99_latency_s: 2e-3,
+            total_energy_j: 0.5,
+            joules_per_request: 0.5 / 9.0,
+            makespan_s: 0.01,
+            classes: vec![ClassReport {
+                name: "prefill/bert-base".into(),
+                admitted: 9,
+                rejected: 1,
+                completed: 9,
+                p50_latency_s: 1e-3,
+                p99_latency_s: 2e-3,
+                mean_latency_s: 1.1e-3,
+                mean_occupancy: 2.25,
+                joules_per_request: 0.5 / 9.0,
+            }],
+        };
+        let a = report.to_json();
+        let b = report.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"completed\":9"));
+        assert!(a.contains("prefill/bert-base"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Workload classes: named request types with a resident/marginal cost
+//! split and a share of the arrival mix.
+
+use phox_arch::metrics::ServiceCost;
+use phox_ghost::perf::{GhostAccelerator, GnnWorkload};
+use phox_nn::datasets::GraphShape;
+use phox_nn::gnn::{GnnConfig, GnnKind};
+use phox_nn::transformer::TransformerConfig;
+use phox_photonics::PhotonicError;
+use phox_tron::perf::TronAccelerator;
+
+/// One class of requests the serving layer batches together: requests of
+/// the same class share weight residency (same model, same MR-bank
+/// programming), so a batch window pays `cost.resident_*` once and
+/// `cost.marginal_*` per occupant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceClass {
+    /// Stable class name, used in reports and trace tracks.
+    pub name: String,
+    /// Resident/marginal cost split of one request of this class.
+    pub cost: ServiceCost,
+    /// Relative share of the arrival mix (normalised over all classes).
+    pub weight: f64,
+}
+
+impl ServiceClass {
+    /// Builds a class after validating the weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for non-finite or
+    /// non-positive weights.
+    pub fn new(
+        name: impl Into<String>,
+        cost: ServiceCost,
+        weight: f64,
+    ) -> Result<Self, PhotonicError> {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "service class weight must be finite and positive",
+            });
+        }
+        Ok(ServiceClass {
+            name: name.into(),
+            cost,
+            weight,
+        })
+    }
+
+    /// A transformer prefill class: one full forward pass of `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model failures.
+    pub fn transformer_prefill(
+        tron: &TronAccelerator,
+        model: &TransformerConfig,
+        weight: f64,
+    ) -> Result<Self, PhotonicError> {
+        Self::new(
+            format!("prefill/{}", model.name),
+            tron.service_cost(model)?,
+            weight,
+        )
+    }
+
+    /// A transformer decode class: a `gen_tokens`-token KV-cached
+    /// generation following a `model.seq_len`-token prompt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model failures; rejects `gen_tokens == 0`.
+    pub fn transformer_decode(
+        tron: &TronAccelerator,
+        model: &TransformerConfig,
+        gen_tokens: usize,
+        weight: f64,
+    ) -> Result<Self, PhotonicError> {
+        Self::new(
+            format!("decode/{}x{}", model.name, gen_tokens),
+            tron.decode_service_cost(model, gen_tokens)?,
+            weight,
+        )
+    }
+
+    /// A GNN query class: one full-graph inference of `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model failures.
+    pub fn gnn_query(
+        ghost: &GhostAccelerator,
+        workload: &GnnWorkload,
+        weight: f64,
+    ) -> Result<Self, PhotonicError> {
+        Self::new(
+            format!("gnn/{}/{}", workload.model.kind, workload.shape.name),
+            ghost.service_cost(workload)?,
+            weight,
+        )
+    }
+}
+
+/// The default three-class mix the benches and examples serve: BERT-base
+/// prefill (50 %), GPT-2 64-token decode (30 %) and a Cora GCN query
+/// (20 %) — transformer traffic and graph queries arriving concurrently,
+/// as the ROADMAP's serving scenario describes.
+///
+/// # Errors
+///
+/// Propagates cost-model failures.
+pub fn standard_mix(
+    tron: &TronAccelerator,
+    ghost: &GhostAccelerator,
+) -> Result<Vec<ServiceClass>, PhotonicError> {
+    let prefill_model = TransformerConfig::bert_base(128);
+    let decode_model = TransformerConfig::gpt2(128);
+    let gnn = GnnWorkload::new(
+        GnnConfig::two_layer(GnnKind::Gcn, 1433, 16, 7),
+        GraphShape::cora(),
+    );
+    Ok(vec![
+        ServiceClass::transformer_prefill(tron, &prefill_model, 0.5)?,
+        ServiceClass::transformer_decode(tron, &decode_model, 64, 0.3)?,
+        ServiceClass::gnn_query(ghost, &gnn, 0.2)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phox_ghost::config::GhostConfig;
+    use phox_tron::config::TronConfig;
+
+    #[test]
+    fn standard_mix_builds_three_classes() {
+        let tron = TronAccelerator::new(TronConfig::default()).unwrap();
+        let ghost = GhostAccelerator::new(GhostConfig::default()).unwrap();
+        let classes = standard_mix(&tron, &ghost).unwrap();
+        assert_eq!(classes.len(), 3);
+        for c in &classes {
+            assert!(c.cost.marginal_s > 0.0, "{}", c.name);
+            assert!(c.cost.resident_j > 0.0, "{}", c.name);
+        }
+        let total: f64 = classes.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weight_rejected() {
+        let tron = TronAccelerator::new(TronConfig::default()).unwrap();
+        let model = TransformerConfig::tiny(16);
+        let cost = tron.service_cost(&model).unwrap();
+        assert!(ServiceClass::new("x", cost, 0.0).is_err());
+        assert!(ServiceClass::new("x", cost, f64::NAN).is_err());
+        assert!(ServiceClass::new("x", cost, -1.0).is_err());
+    }
+}

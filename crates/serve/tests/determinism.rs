@@ -1,0 +1,150 @@
+//! Determinism and conservation properties of the serving engine.
+//!
+//! The engine's report must be a pure function of (seed, config,
+//! classes): byte-identical JSON at any thread-pool width, with the
+//! queue-conservation invariant holding on every admissible config.
+
+use proptest::prelude::*;
+
+use phox_arch::metrics::ServiceCost;
+use phox_ghost::config::GhostConfig;
+use phox_ghost::perf::GhostAccelerator;
+use phox_serve::{standard_mix, ServeConfig, ServeEngine, ServeReport, ServiceClass};
+use phox_tensor::parallel::with_threads;
+use phox_tron::config::TronConfig;
+use phox_tron::perf::TronAccelerator;
+
+fn synthetic_classes(costs: &[(f64, f64, f64, f64)]) -> Vec<ServiceClass> {
+    costs
+        .iter()
+        .enumerate()
+        .map(|(i, &(resident_s, resident_j, marginal_s, marginal_j))| {
+            ServiceClass::new(
+                format!("class{i}"),
+                ServiceCost {
+                    resident_s,
+                    resident_j,
+                    marginal_s,
+                    marginal_j,
+                    leakage_w: 0.05,
+                },
+                1.0 + i as f64,
+            )
+            .expect("synthetic class")
+        })
+        .collect()
+}
+
+fn run(config: ServeConfig, classes: Vec<ServiceClass>) -> ServeReport {
+    ServeEngine::new(config, classes)
+        .expect("engine")
+        .run()
+        .expect("run")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same (seed, config, arrival trace) → byte-identical report JSON
+    /// across 1/2/4/8-thread pools. The engine is serial by design, so
+    /// any divergence means hidden nondeterminism leaked in.
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts(
+        seed in any::<u64>(),
+        rate in 500.0f64..20_000.0,
+        duration in 0.002f64..0.02,
+        max_batch in 1usize..32,
+        queue_capacity in 1usize..128,
+        timeout_us in 0.0f64..500.0,
+    ) {
+        let config = ServeConfig {
+            seed,
+            arrival_rate_hz: rate,
+            duration_s: duration,
+            max_batch,
+            queue_capacity,
+            batch_timeout_s: timeout_us * 1e-6,
+        };
+        let costs = [
+            (100e-6, 1e-3, 10e-6, 20e-6),
+            (30e-6, 4e-4, 25e-6, 5e-6),
+        ];
+        let baseline = with_threads(1, || {
+            run(config, synthetic_classes(&costs)).to_json()
+        });
+        for threads in [2usize, 4, 8] {
+            let report = with_threads(threads, || {
+                run(config, synthetic_classes(&costs)).to_json()
+            });
+            prop_assert_eq!(&baseline, &report, "diverged at {} threads", threads);
+        }
+    }
+
+    /// Queue conservation at drain: every arrival is admitted or
+    /// rejected, every admitted request completes, per-class stats sum
+    /// to the totals, and windows never overfill.
+    #[test]
+    fn queue_conservation_holds(
+        seed in any::<u64>(),
+        rate in 200.0f64..50_000.0,
+        duration in 0.002f64..0.02,
+        max_batch in 1usize..32,
+        queue_capacity in 1usize..64,
+        timeout_us in 0.0f64..500.0,
+        resident_s in 1e-6f64..1e-3,
+        marginal_s in 1e-7f64..1e-4,
+    ) {
+        let config = ServeConfig {
+            seed,
+            arrival_rate_hz: rate,
+            duration_s: duration,
+            max_batch,
+            queue_capacity,
+            batch_timeout_s: timeout_us * 1e-6,
+        };
+        let costs = [
+            (resident_s, 1e-3, marginal_s, 20e-6),
+            (resident_s * 0.5, 5e-4, marginal_s * 2.0, 10e-6),
+            (resident_s * 2.0, 2e-3, marginal_s * 0.5, 40e-6),
+        ];
+        let report = run(config, synthetic_classes(&costs));
+        prop_assert_eq!(report.admitted + report.rejected, report.arrivals);
+        prop_assert_eq!(report.completed, report.admitted);
+        let class_admitted: u64 = report.classes.iter().map(|c| c.admitted).sum();
+        let class_rejected: u64 = report.classes.iter().map(|c| c.rejected).sum();
+        let class_completed: u64 = report.classes.iter().map(|c| c.completed).sum();
+        prop_assert_eq!(class_admitted, report.admitted);
+        prop_assert_eq!(class_rejected, report.rejected);
+        prop_assert_eq!(class_completed, report.completed);
+        prop_assert!(report.mean_occupancy <= max_batch as f64 + 1e-12);
+        if report.completed > 0 {
+            prop_assert!(report.windows > 0);
+            prop_assert!(report.p99_latency_s >= report.p50_latency_s);
+            prop_assert!(report.total_energy_j > 0.0);
+            prop_assert!(report.makespan_s > 0.0);
+        }
+    }
+}
+
+/// The full accelerator-backed mix (TRON prefill + decode, GHOST GNN)
+/// is as reproducible as the synthetic one: the device cost models feed
+/// the engine deterministic service costs.
+#[test]
+fn standard_mix_is_thread_invariant() {
+    let config = ServeConfig {
+        arrival_rate_hz: 3_000.0,
+        duration_s: 0.02,
+        ..ServeConfig::default()
+    };
+    let build = || {
+        let tron = TronAccelerator::new(TronConfig::default()).expect("tron");
+        let ghost = GhostAccelerator::new(GhostConfig::default()).expect("ghost");
+        standard_mix(&tron, &ghost).expect("mix")
+    };
+    let baseline = with_threads(1, || run(config, build()).to_json());
+    for threads in [2usize, 4, 8] {
+        let report = with_threads(threads, || run(config, build()).to_json());
+        assert_eq!(baseline, report, "diverged at {threads} threads");
+    }
+    assert!(baseline.contains("prefill/BERT-base"));
+}

@@ -135,6 +135,16 @@ pub enum Kind {
     },
     /// A point event with no duration.
     Instant,
+    /// One point of a time series sampled in *model* time — queue depth,
+    /// batch occupancy, in-flight requests. Unlike a counter (one
+    /// aggregated value per track/name), samples keep every observation
+    /// so the series' shape over time survives into the export.
+    Sample {
+        /// Model-time instant of the observation, seconds.
+        t_s: f64,
+        /// Observed value.
+        value: f64,
+    },
 }
 
 impl Kind {
@@ -142,6 +152,7 @@ impl Kind {
         match self {
             Kind::Span { .. } => 0,
             Kind::Instant => 1,
+            Kind::Sample { .. } => 2,
         }
     }
 }
@@ -185,6 +196,9 @@ fn event_cmp(a: &Event, b: &Event) -> Ordering {
                     (None, Some(_)) => Ordering::Less,
                     (Some(_), None) => Ordering::Greater,
                 }),
+            (Kind::Sample { t_s: t1, value: v1 }, Kind::Sample { t_s: t2, value: v2 }) => {
+                t1.total_cmp(t2).then_with(|| v1.total_cmp(v2))
+            }
             _ => Ordering::Equal,
         })
         .then_with(|| {
@@ -317,6 +331,30 @@ impl Trace {
             track: track.into(),
             name: name.into(),
             kind: Kind::Instant,
+            args,
+        };
+        self.with_state(|s| s.events.push(event));
+    }
+
+    /// Records one point of a model-time series — e.g. the queue depth
+    /// or batch occupancy the serving simulator observes at simulated
+    /// time `t_s`. Deterministic like [`Trace::model_span`]: only model
+    /// time is recorded, and exports sort samples by `(t_s, value)`.
+    pub fn sample(
+        &self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        t_s: f64,
+        value: f64,
+        args: Vec<(&'static str, Value)>,
+    ) {
+        if self.0.is_none() {
+            return;
+        }
+        let event = Event {
+            track: track.into(),
+            name: name.into(),
+            kind: Kind::Sample { t_s, value },
             args,
         };
         self.with_state(|s| s.events.push(event));
@@ -531,6 +569,15 @@ fn event_jsonl(e: &Event) -> String {
             json_string(&e.name),
             args_json(&e.args)
         ),
+        Kind::Sample { t_s, value } => format!(
+            "{{\"type\":\"sample\",\"track\":{},\"name\":{},\"t_s\":{},\
+             \"value\":{},\"args\":{}}}",
+            json_string(&e.track),
+            json_string(&e.name),
+            json_number(*t_s),
+            json_number(*value),
+            args_json(&e.args)
+        ),
     }
 }
 
@@ -561,6 +608,16 @@ fn event_chrome(e: &Event, tid: usize) -> String {
             json_string(&e.name),
             tid,
             args_json(&e.args)
+        ),
+        // Chrome counter events ("C") with a timestamp render time series
+        // as stacked area charts in chrome://tracing / Perfetto.
+        Kind::Sample { t_s, value } => format!(
+            "{{\"ph\":\"C\",\"name\":{},\"pid\":0,\"tid\":{},\"ts\":{},\
+             \"args\":{{\"value\":{}}}}}",
+            json_string(&e.name),
+            tid,
+            json_number(t_s * 1e6),
+            json_number(*value)
         ),
     }
 }
@@ -790,6 +847,49 @@ mod tests {
         // total_cmp puts positive NaN after all finite values.
         assert!(matches!(events[0].kind, Kind::Span { start_s, .. } if start_s == 0.0));
         assert!(matches!(events[1].kind, Kind::Span { start_s, .. } if start_s == 1.0));
+    }
+
+    #[test]
+    fn samples_sort_by_time_and_export_in_both_formats() {
+        let t1 = Trace::new();
+        t1.sample("serve", "queue_depth", 2.0e-3, 5.0, vec![]);
+        t1.sample("serve", "queue_depth", 1.0e-3, 3.0, vec![]);
+        let t2 = Trace::new();
+        t2.sample("serve", "queue_depth", 1.0e-3, 3.0, vec![]);
+        t2.sample("serve", "queue_depth", 2.0e-3, 5.0, vec![]);
+        // Content sorting: insertion order does not matter.
+        assert_eq!(t1.events(), t2.events());
+        assert_eq!(t1.export_jsonl(), t2.export_jsonl());
+        let jsonl = t1.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"sample\""));
+        assert!(lines[0].contains("\"value\":3"));
+        assert!(lines[1].contains("\"value\":5"));
+        // Chrome export renders samples as timestamped counter events.
+        let chrome = t1.export_chrome();
+        assert!(chrome.contains("\"ph\":\"C\""));
+        assert!(chrome.contains("\"ts\":1000"));
+        assert!(chrome.contains("\"ts\":2000"));
+    }
+
+    #[test]
+    fn samples_rank_after_spans_and_instants() {
+        let t = Trace::new();
+        t.sample("x", "n", 0.0, 1.0, vec![]);
+        t.instant("x", "n", vec![]);
+        t.model_span("x", "n", 0.0, 1.0, None, vec![]);
+        let events = t.events();
+        assert!(matches!(events[0].kind, Kind::Span { .. }));
+        assert!(matches!(events[1].kind, Kind::Instant));
+        assert!(matches!(events[2].kind, Kind::Sample { .. }));
+    }
+
+    #[test]
+    fn disabled_trace_drops_samples() {
+        let t = Trace::disabled();
+        t.sample("a", "b", 0.0, 1.0, vec![]);
+        assert!(t.events().is_empty());
     }
 
     #[test]

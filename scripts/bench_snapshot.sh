@@ -12,8 +12,13 @@
 #                  decode step vs full-sequence recompute (f64 and
 #                  int8) across context lengths, with full-forward
 #                  oracle, growth and thread bit-identity verdicts.
+#   BENCH_5.json — serving under load: the phox-serve batched-inference
+#                  engine over an offered-rate sweep — p50/p99 latency,
+#                  sustained QPS, batch occupancy and joules/request
+#                  for the prefill + decode + GNN mix, with
+#                  occupancy/energy and thread bit-identity verdicts.
 #
-# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|decode|all] [OUTPUT.json]
+# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|decode|serve|all] [OUTPUT.json]
 # Default is "all". A bare OUTPUT.json argument keeps the legacy
 # behaviour of writing the GEMM snapshot there.
 set -eu
