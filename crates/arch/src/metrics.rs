@@ -230,6 +230,43 @@ impl ServiceCost {
         Ok(self)
     }
 
+    /// The cost of running this service on a degraded accelerator:
+    /// per-request compute is stretched by `marginal_slowdown` (dead-lane
+    /// remapping re-runs the lost columns on the surviving lanes) and the
+    /// machine draws `extra_leakage_w` of standing power (TO drift
+    /// compensation). Both time *and* energy of the marginal component
+    /// scale — the same work runs longer on the same hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidMetric`] for a slowdown below 1, a
+    /// negative or non-finite extra leakage, or when the scaled cost
+    /// fails [`ServiceCost::validated`].
+    pub fn degraded(
+        &self,
+        marginal_slowdown: f64,
+        extra_leakage_w: f64,
+    ) -> Result<ServiceCost, ArchError> {
+        if !(marginal_slowdown.is_finite() && marginal_slowdown >= 1.0) {
+            return Err(ArchError::InvalidMetric {
+                what: "degradation slowdown must be finite and at least 1",
+            });
+        }
+        if !(extra_leakage_w.is_finite() && extra_leakage_w >= 0.0) {
+            return Err(ArchError::InvalidMetric {
+                what: "degradation extra leakage must be finite and non-negative",
+            });
+        }
+        ServiceCost {
+            resident_s: self.resident_s,
+            resident_j: self.resident_j,
+            marginal_s: self.marginal_s * marginal_slowdown,
+            marginal_j: self.marginal_j * marginal_slowdown,
+            leakage_w: self.leakage_w + extra_leakage_w,
+        }
+        .validated()
+    }
+
     /// Wall time of one batch window serving `occupancy` requests: the
     /// occupants' compute streams through the resident weights, so the
     /// weight stream overlaps compute (double buffering, same
@@ -389,5 +426,21 @@ mod tests {
         }
         .validated()
         .is_err());
+    }
+
+    #[test]
+    fn degraded_cost_scales_marginal_and_leakage() {
+        let c = cost();
+        let d = c.degraded(2.0, 0.5).unwrap();
+        assert_eq!(d.marginal_s, 2.0 * c.marginal_s);
+        assert_eq!(d.marginal_j, 2.0 * c.marginal_j);
+        assert_eq!(d.leakage_w, c.leakage_w + 0.5);
+        assert_eq!(d.resident_s, c.resident_s);
+        assert_eq!(d.resident_j, c.resident_j);
+        // Identity degradation is the identity.
+        assert_eq!(c.degraded(1.0, 0.0).unwrap(), c);
+        assert!(c.degraded(0.5, 0.0).is_err());
+        assert!(c.degraded(1.0, -1.0).is_err());
+        assert!(c.degraded(f64::NAN, 0.0).is_err());
     }
 }

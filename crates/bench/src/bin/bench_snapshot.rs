@@ -1,6 +1,6 @@
 //! Records kernel speedup snapshots as JSON.
 //!
-//! Five snapshots are produced:
+//! Six snapshots are produced:
 //!
 //! * **gemm** (`BENCH_1.json`): the textbook i-j-k loop, the
 //!   cache-blocked packed-`Bᵀ` kernel, and the blocked kernel with
@@ -32,9 +32,20 @@
 //!   section records that joules/request falls as batch occupancy
 //!   rises (weight residency amortised) and that every rate was
 //!   thread-invariant.
+//! * **faults** (`BENCH_6.json`): the accuracy-under-physics study.
+//!   Section one sweeps a ladder of device-fault budgets (stuck MRs,
+//!   dead ADC lanes, thermal drift) through the TRON and GHOST
+//!   functional simulators and scores each faulted output against the
+//!   f64 oracle — the accuracy cliff — with uncompensatable budgets
+//!   recorded as typed error strings. Section two runs the serving
+//!   engine under seeded random fault timelines at increasing fault
+//!   arrival rates, once per recovery policy (none / retry+backoff /
+//!   degrade), reporting availability, p99 latency and joules/request,
+//!   plus the empty-schedule no-op and thread-identity verdicts.
 //!
-//! Usage: `bench_snapshot [gemm|sparse|int8|decode|serve|all] [OUTPUT.json]`
-//! (default `all`, writing `BENCH_1.json` … `BENCH_5.json`). A bare
+//! Usage: `bench_snapshot [gemm|sparse|int8|decode|serve|faults|all]
+//! [OUTPUT.json]`
+//! (default `all`, writing `BENCH_1.json` … `BENCH_6.json`). A bare
 //! `OUTPUT.json` first argument keeps the legacy behaviour of writing
 //! the gemm snapshot there.
 
@@ -849,6 +860,404 @@ fn run_serve(out_path: &str) {
     write_or_die(out_path, &json);
 }
 
+/// One rung of the accuracy-cliff ladder: a fault budget expressed as
+/// stuck rings + dead ADC lanes + a drift magnitude.
+struct FaultBudget {
+    label: &'static str,
+    stuck: usize,
+    dead_lanes: &'static [usize],
+    drift_nm: f64,
+}
+
+impl FaultBudget {
+    fn fault_count(&self) -> usize {
+        self.stuck + self.dead_lanes.len() + usize::from(self.drift_nm > 0.0)
+    }
+
+    /// Builds the plan against a given bank geometry. Stuck cells walk a
+    /// stride-7 row pattern (coprime with both array heights) so the
+    /// ladder never double-faults a cell.
+    fn plan(
+        &self,
+        rows: usize,
+        channels: usize,
+    ) -> Result<phox_core::photonics::fault::FaultPlan, String> {
+        use phox_core::photonics::fault::FaultPlan;
+        let mut plan = FaultPlan::new(rows, channels);
+        for i in 0..self.stuck {
+            plan = plan
+                .stuck_mr((i * 7) % rows, (i * 3) % channels, 0.7)
+                .map_err(|e| e.to_string())?;
+        }
+        for &lane in self.dead_lanes {
+            plan = plan.dead_adc_lane(lane).map_err(|e| e.to_string())?;
+        }
+        if self.drift_nm > 0.0 {
+            plan = plan
+                .thermal_drift(self.drift_nm)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(plan)
+    }
+}
+
+const FAULT_BUDGETS: &[FaultBudget] = &[
+    FaultBudget {
+        label: "fault-free",
+        stuck: 0,
+        dead_lanes: &[],
+        drift_nm: 0.0,
+    },
+    FaultBudget {
+        label: "2 stuck rings",
+        stuck: 2,
+        dead_lanes: &[],
+        drift_nm: 0.0,
+    },
+    FaultBudget {
+        label: "4 stuck rings",
+        stuck: 4,
+        dead_lanes: &[],
+        drift_nm: 0.0,
+    },
+    FaultBudget {
+        label: "8 stuck rings",
+        stuck: 8,
+        dead_lanes: &[],
+        drift_nm: 0.0,
+    },
+    FaultBudget {
+        label: "16 stuck rings",
+        stuck: 16,
+        dead_lanes: &[],
+        drift_nm: 0.0,
+    },
+    FaultBudget {
+        label: "16 stuck + 2 dead lanes",
+        stuck: 16,
+        dead_lanes: &[3, 9],
+        drift_nm: 0.0,
+    },
+    FaultBudget {
+        label: "16 stuck + 2 dead + 1.5nm drift",
+        stuck: 16,
+        dead_lanes: &[3, 9],
+        drift_nm: 1.5,
+    },
+    FaultBudget {
+        label: "10nm drift (uncompensatable)",
+        stuck: 0,
+        dead_lanes: &[],
+        drift_nm: 10.0,
+    },
+];
+
+/// JSON for one accuracy leg: the scored report, or the typed error
+/// string when the budget is uncompensatable.
+fn leg_json(result: &Result<phox_core::nn::quant_eval::QuantReport, String>) -> String {
+    use phox_core::trace::json::json_string;
+    match result {
+        Ok(r) => format!(
+            concat!(
+                "{{\"fp_accuracy\": {}, \"hw_accuracy\": {}, ",
+                "\"agreement\": {}, \"mean_relative_error\": {}}}"
+            ),
+            json_number(r.fp_accuracy),
+            json_number(r.int8_accuracy),
+            json_number(r.agreement),
+            json_number(r.mean_relative_error),
+        ),
+        Err(e) => format!("{{\"error\": {}}}", json_string(e)),
+    }
+}
+
+fn run_faults(out_path: &str) {
+    use phox_core::ghost::{GhostConfig, GhostFunctional};
+    use phox_core::nn::datasets::{labelled_sequences, sbm};
+    use phox_core::nn::quant_eval::{
+        evaluate_gnn_int8, evaluate_gnn_outputs, evaluate_transformer_int8,
+        evaluate_transformer_outputs, QuantReport,
+    };
+    use phox_core::photonics::fault::FaultSchedule;
+    use phox_core::serve::{
+        standard_mix, FaultContext, HazardTimeline, ProbeConfig, RecoveryPolicy, ServeConfig,
+        ServeEngine,
+    };
+    use phox_core::trace::json::json_string;
+    use phox_core::tron::{TronAccelerator, TronConfig, TronFunctional};
+
+    // --- Section 1: the accuracy cliff. Faulted photonic outputs scored
+    // against the f64 oracle, across a ladder of fault budgets.
+    let tron_cfg = TronConfig::default();
+    let ghost_cfg = GhostConfig::default();
+    let seq_task = labelled_sequences(8, 3, 8, 32, 0xACC1).expect("sequence task");
+    let tf_model = TransformerModel::random(TransformerConfig::tiny(8), 0xACC2).expect("model");
+    let graph_task = sbm(3, 12, 16, 0.5, 0.05, 0xACC3).expect("graph task");
+    let gnn_model =
+        GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 16, 32, 3), 0xACC4).expect("gnn model");
+
+    // Fault-free int8 reference: the paper's §VI "int8 is comparable"
+    // claim, restated here so the cliff has a quantization baseline.
+    let int8_tf = evaluate_transformer_int8(&tf_model, &seq_task).expect("int8 transformer");
+    let int8_gnn = evaluate_gnn_int8(&gnn_model, &graph_task).expect("int8 gnn");
+
+    let mut cliff_rows = Vec::new();
+    let mut tron_errors = Vec::new();
+    let mut ghost_errors = Vec::new();
+    let mut last_uncompensatable = (false, false);
+    for budget in FAULT_BUDGETS {
+        eprintln!("bench_snapshot: fault budget '{}'...", budget.label);
+        let tron_leg: Result<QuantReport, String> = budget
+            .plan(tron_cfg.array_rows, tron_cfg.array_channels)
+            .and_then(|plan| {
+                let mut sim = TronFunctional::with_faults(&tron_cfg, plan, 0xACC5)
+                    .map_err(|e| e.to_string())?;
+                let mut outs = Vec::with_capacity(seq_task.inputs.len());
+                for x in &seq_task.inputs {
+                    outs.push(sim.forward(&tf_model, x).map_err(|e| e.to_string())?);
+                }
+                evaluate_transformer_outputs(&tf_model, &seq_task, &outs).map_err(|e| e.to_string())
+            });
+        let ghost_leg: Result<QuantReport, String> = budget
+            .plan(ghost_cfg.array_rows, ghost_cfg.array_channels)
+            .and_then(|plan| {
+                let mut sim = GhostFunctional::with_faults(&ghost_cfg, plan, 0xACC6)
+                    .map_err(|e| e.to_string())?;
+                let out = sim
+                    .forward(&gnn_model, &graph_task.graph, &graph_task.features)
+                    .map_err(|e| e.to_string())?;
+                evaluate_gnn_outputs(&gnn_model, &graph_task, &out).map_err(|e| e.to_string())
+            });
+        if let Ok(r) = &tron_leg {
+            tron_errors.push(r.mean_relative_error);
+        }
+        if let Ok(r) = &ghost_leg {
+            ghost_errors.push(r.mean_relative_error);
+        }
+        last_uncompensatable = (tron_leg.is_err(), ghost_leg.is_err());
+        cliff_rows.push(format!(
+            concat!(
+                "        {{\n",
+                "          \"budget\": {},\n",
+                "          \"fault_count\": {},\n",
+                "          \"tron\": {},\n",
+                "          \"ghost\": {}\n",
+                "        }}"
+            ),
+            json_string(budget.label),
+            budget.fault_count(),
+            leg_json(&tron_leg),
+            leg_json(&ghost_leg),
+        ));
+    }
+
+    // --- Section 2: availability under runtime faults, per recovery
+    // policy. Seeded random fault timelines at rising arrival rates.
+    let tron_accel = TronAccelerator::new(tron_cfg).expect("TRON accelerator");
+    let ghost_accel =
+        phox_core::ghost::GhostAccelerator::new(ghost_cfg).expect("GHOST accelerator");
+    let build_classes = || {
+        standard_mix(&tron_accel, &ghost_accel)
+            .expect("standard serving mix")
+            .into_iter()
+            .map(|c| c.with_deadline(25e-3).expect("deadline"))
+            .collect::<Vec<_>>()
+    };
+    // Operating point: mild load, so the fault-free baseline is healthy
+    // (availability near 1) and any cliff in the sweep is the faults'.
+    let serve_config = ServeConfig {
+        arrival_rate_hz: 3_000.0,
+        duration_s: 0.1,
+        ..ServeConfig::default()
+    };
+    let policies = [
+        RecoveryPolicy::None,
+        RecoveryPolicy::RetryBackoff {
+            max_retries: 3,
+            base_backoff_s: 200e-6,
+        },
+        RecoveryPolicy::Degrade {
+            max_retries: 3,
+            base_backoff_s: 200e-6,
+            recalibration_s: 1e-3,
+            fallback_slowdown: 1.5,
+        },
+    ];
+    let fault_rates_hz = [0.0f64, 50.0, 200.0, 800.0];
+    let mut policy_rows = Vec::new();
+    let mut all_thread_identical = true;
+    let mut empty_schedule_noop = true;
+    let mut availability = vec![Vec::new(); policies.len()];
+    for &fault_rate in &fault_rates_hz {
+        let schedule = FaultSchedule::random(
+            0x5EED,
+            tron_accel.config().array_rows,
+            tron_accel.config().array_channels,
+            fault_rate,
+            serve_config.duration_s,
+            4e-3,
+            0.7,
+        )
+        .expect("fault schedule");
+        let timeline =
+            HazardTimeline::resolve_tron(&schedule, tron_accel.config()).expect("hazard timeline");
+        for (p_idx, policy) in policies.iter().enumerate() {
+            eprintln!(
+                "bench_snapshot: fault sweep at {fault_rate:.0}/s, policy {}...",
+                policy.name()
+            );
+            let ctx = FaultContext::new(timeline.clone(), *policy, ProbeConfig::default())
+                .expect("fault context");
+            let run_once = || {
+                ServeEngine::with_faults(serve_config, build_classes(), ctx.clone())
+                    .expect("serve engine")
+                    .run()
+                    .expect("serve run")
+            };
+            let report = parallel::with_threads(1, run_once);
+            let baseline_json = report.to_json();
+            let thread_identical = [2usize, 4, 8].iter().all(|&threads| {
+                parallel::with_threads(threads, run_once).to_json() == baseline_json
+            });
+            all_thread_identical &= thread_identical;
+            if fault_rate == 0.0 {
+                // Rate zero ⇒ empty schedule ⇒ the fault machinery must
+                // be a strict no-op against the plain engine.
+                let plain = ServeEngine::new(serve_config, build_classes())
+                    .expect("serve engine")
+                    .run()
+                    .expect("serve run");
+                empty_schedule_noop &= plain.to_json() == baseline_json;
+            }
+            let avail = report.completed as f64 / report.admitted as f64;
+            availability[p_idx].push(avail);
+            eprintln!(
+                "bench_snapshot: {fault_rate:.0}/s {}: availability {:.4} p99 {:.2}ms \
+                 J/req {:.4} dropped {} timed_out {} failed_windows {}",
+                policy.name(),
+                avail,
+                report.p99_latency_s * 1e3,
+                report.joules_per_request,
+                report.dropped,
+                report.timed_out,
+                report.failed_windows,
+            );
+            policy_rows.push(format!(
+                concat!(
+                    "        {{\n",
+                    "          \"fault_rate_hz\": {},\n",
+                    "          \"policy\": {},\n",
+                    "          \"arrivals\": {},\n",
+                    "          \"admitted\": {},\n",
+                    "          \"completed\": {},\n",
+                    "          \"dropped\": {},\n",
+                    "          \"timed_out\": {},\n",
+                    "          \"retried\": {},\n",
+                    "          \"degraded\": {},\n",
+                    "          \"failed_windows\": {},\n",
+                    "          \"probes\": {},\n",
+                    "          \"availability\": {},\n",
+                    "          \"p99_latency_s\": {},\n",
+                    "          \"joules_per_request\": {},\n",
+                    "          \"thread_identical\": {}\n",
+                    "        }}"
+                ),
+                json_number(fault_rate),
+                json_string(policy.name()),
+                report.arrivals,
+                report.admitted,
+                report.completed,
+                report.dropped,
+                report.timed_out,
+                report.retried,
+                report.degraded,
+                report.failed_windows,
+                report.probes,
+                json_number(avail),
+                json_number(report.p99_latency_s),
+                json_number(report.joules_per_request),
+                thread_identical,
+            ));
+        }
+    }
+
+    // --- Verdicts.
+    let int8_comparable = int8_tf.is_comparable(0.25) && int8_gnn.is_comparable(0.1);
+    let cliff_widens = tron_errors.len() >= 2
+        && ghost_errors.len() >= 2
+        && tron_errors.last() > tron_errors.first()
+        && ghost_errors.last() > ghost_errors.first();
+    let uncompensatable_typed = last_uncompensatable.0 && last_uncompensatable.1;
+    let peak = fault_rates_hz.len() - 1;
+    let recovery_beats_none =
+        availability[1][peak].max(availability[2][peak]) >= availability[0][peak];
+    let faults_cost_availability = availability[0][peak] < availability[0][0];
+    eprintln!(
+        "bench_snapshot: fault verdicts: int8_comparable={int8_comparable} \
+         cliff_widens={cliff_widens} uncompensatable_typed={uncompensatable_typed} \
+         recovery_beats_none={recovery_beats_none} \
+         faults_cost_availability={faults_cost_availability} \
+         empty_schedule_noop={empty_schedule_noop} \
+         all_thread_identical={all_thread_identical}"
+    );
+    let verdict_rows = vec![format!(
+        concat!(
+            "        {{\n",
+            "          \"int8_reference_comparable\": {},\n",
+            "          \"accuracy_cliff_widens_with_budget\": {},\n",
+            "          \"uncompensatable_budget_is_typed_error\": {},\n",
+            "          \"faults_cost_availability\": {},\n",
+            "          \"recovery_beats_none_at_peak_rate\": {},\n",
+            "          \"empty_schedule_is_noop\": {},\n",
+            "          \"reports_bit_identical_across_threads\": {}\n",
+            "        }}"
+        ),
+        int8_comparable,
+        cliff_widens,
+        uncompensatable_typed,
+        faults_cost_availability,
+        recovery_beats_none,
+        empty_schedule_noop,
+        all_thread_identical,
+    )];
+
+    let sections = [
+        ("accuracy_cliff", "budgets", cliff_rows),
+        ("availability_sweep", "runs", policy_rows),
+        ("fault_verdicts", "verdicts", verdict_rows),
+    ]
+    .map(|(section, key, rows)| {
+        format!(
+            "    {{\n      \"section\": \"{section}\",\n      \"{key}\": [\n{}\n      ]\n    }}",
+            rows.join(",\n"),
+        )
+    });
+    let json = snapshot_json(
+        "accuracy_under_physics",
+        &["tron/functional", "ghost/functional", "serve/fault-aware"],
+        &[
+            (
+                "int8_reference",
+                format!(
+                    "{{\"transformer\": {}, \"gnn\": {}}}",
+                    leg_json(&Ok(int8_tf)),
+                    leg_json(&Ok(int8_gnn)),
+                ),
+            ),
+            (
+                "fault_model",
+                "{\"probe_interval_s\": 5e-4, \"mean_active_s\": 4e-3, \
+                 \"severe_share\": 0.7, \"deadline_s\": 0.025}"
+                    .to_string(),
+            ),
+            ("time_base", "\"deterministic model seconds\"".to_string()),
+        ],
+        "sections",
+        &sections,
+    );
+    write_or_die(out_path, &json);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -858,12 +1267,14 @@ fn main() {
             run_int8("BENCH_3.json");
             run_decode("BENCH_4.json");
             run_serve("BENCH_5.json");
+            run_faults("BENCH_6.json");
         }
         Some("gemm") => run_gemm(args.get(1).map_or("BENCH_1.json", String::as_str)),
         Some("sparse") => run_sparse(args.get(1).map_or("BENCH_2.json", String::as_str)),
         Some("int8") => run_int8(args.get(1).map_or("BENCH_3.json", String::as_str)),
         Some("decode") => run_decode(args.get(1).map_or("BENCH_4.json", String::as_str)),
         Some("serve") => run_serve(args.get(1).map_or("BENCH_5.json", String::as_str)),
+        Some("faults") => run_faults(args.get(1).map_or("BENCH_6.json", String::as_str)),
         // Legacy invocation: a bare output path means the gemm snapshot.
         Some(path) => run_gemm(path),
     }

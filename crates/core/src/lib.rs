@@ -62,10 +62,15 @@ pub mod prelude {
     pub use phox_nn::gnn::{Aggregation, CsrGraph, GnnConfig, GnnKind, GnnModel};
     pub use phox_nn::transformer::{TransformerConfig, TransformerModel};
     pub use phox_photonics::design_space::{RejectionReason, SweepConfig};
-    pub use phox_photonics::fault::{DeviceFault, FaultImpact, FaultPlan};
+    pub use phox_photonics::fault::{
+        DeviceFault, FaultImpact, FaultPlan, FaultSchedule, ScheduledFault,
+    };
     pub use phox_photonics::mr::MrConfig;
     pub use phox_photonics::{Ctx, PhotonicError};
-    pub use phox_serve::{standard_mix, ServeConfig, ServeEngine, ServeReport, ServiceClass};
+    pub use phox_serve::{
+        standard_mix, FaultContext, HazardTimeline, ProbeConfig, RecoveryPolicy, ServeConfig,
+        ServeEngine, ServeReport, ServiceClass,
+    };
     pub use phox_tensor::{Matrix, Prng};
     pub use phox_trace::{RunManifest, Trace};
     pub use phox_tron::{TronAccelerator, TronConfig, TronFunctional};

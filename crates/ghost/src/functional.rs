@@ -10,20 +10,35 @@
 use phox_nn::gnn::{Aggregation, CsrGraph, GnnKind, GnnModel};
 use phox_photonics::analog::AnalogEngine;
 use phox_photonics::devices::OpticalActivation;
-use phox_photonics::fault::FaultPlan;
-use phox_photonics::noise::perturb;
+use phox_photonics::fault::{FaultPlan, FaultSchedule};
+use phox_photonics::mr::MrConfig;
+use phox_photonics::noise::{perturb, NoiseBudget};
 use phox_photonics::summation::OpticalComparator;
+use phox_photonics::tuning::HybridTuning;
 use phox_photonics::{Ctx, PhotonicError};
 use phox_tensor::sparse::DegreeBuckets;
 use phox_tensor::{ops, parallel, Matrix, Prng};
 
 use crate::config::GhostConfig;
 
+/// Mid-run fault-schedule state: the model-time fault timeline plus the
+/// device models needed to re-resolve the active plan as time advances.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultRuntime {
+    schedule: FaultSchedule,
+    mr: MrConfig,
+    tuning: HybridTuning,
+    noise: NoiseBudget,
+    bits: u32,
+    current: FaultPlan,
+}
+
 /// Functional GHOST simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GhostFunctional {
     engine: AnalogEngine,
     comparator: OpticalComparator,
+    fault_runtime: Option<FaultRuntime>,
 }
 
 impl GhostFunctional {
@@ -37,6 +52,7 @@ impl GhostFunctional {
         Ok(GhostFunctional {
             engine: AnalogEngine::from_noise_budget(&config.noise, config.adc.bits, seed)?,
             comparator: OpticalComparator::default(),
+            fault_runtime: None,
         })
     }
 
@@ -45,6 +61,7 @@ impl GhostFunctional {
         GhostFunctional {
             engine: AnalogEngine::ideal(config.adc.bits, config.dac.bits, seed),
             comparator: OpticalComparator::default(),
+            fault_runtime: None,
         }
     }
 
@@ -62,6 +79,7 @@ impl GhostFunctional {
         Ok(GhostFunctional {
             engine: AnalogEngine::new(relative_sigma, config.adc.bits, config.dac.bits, seed)?,
             comparator: OpticalComparator::default(),
+            fault_runtime: None,
         })
     }
 
@@ -99,7 +117,85 @@ impl GhostFunctional {
         Ok(GhostFunctional {
             engine,
             comparator: OpticalComparator::default(),
+            fault_runtime: None,
         })
+    }
+
+    /// Builds a simulator driven by a model-time [`FaultSchedule`]: call
+    /// [`GhostFunctional::advance_to`] before each forward pass and the
+    /// simulator re-resolves the faults active at that instant. An empty
+    /// schedule is a strict no-op — the simulator behaves byte-identically
+    /// to [`GhostFunctional::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained error when the schedule geometry does
+    /// not match the accelerator, or a fault active at `t = 0` is
+    /// uncompensatable.
+    pub fn with_fault_schedule(
+        config: &GhostConfig,
+        schedule: FaultSchedule,
+        seed: u64,
+    ) -> Result<Self, PhotonicError> {
+        if schedule.array_rows != config.array_rows
+            || schedule.array_channels != config.array_channels
+        {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault schedule geometry must match the accelerator's bank arrays",
+            }
+            .ctx("attaching fault schedule to GHOST"));
+        }
+        let mut sim = GhostFunctional::new(config, seed)?;
+        sim.fault_runtime = Some(FaultRuntime {
+            schedule,
+            mr: config.mr,
+            tuning: config.tuning,
+            noise: config.noise,
+            bits: config.adc.bits,
+            current: FaultPlan::new(config.array_rows, config.array_channels),
+        });
+        sim.advance_to(0.0)?;
+        Ok(sim)
+    }
+
+    /// Advances the fault schedule to model time `t_s`, re-resolving the
+    /// active [`FaultPlan`] into the analog engine. Cheap when the plan
+    /// has not changed since the last call; a no-op without a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained error when a newly active fault is
+    /// uncompensatable (drift beyond the tuning range, droop below the
+    /// noise floor, all receiver lanes dead) — the accelerator is down,
+    /// not silently wrong.
+    pub fn advance_to(&mut self, t_s: f64) -> Result<(), PhotonicError> {
+        let Some(rt) = self.fault_runtime.as_mut() else {
+            return Ok(());
+        };
+        let plan = rt
+            .schedule
+            .plan_at(t_s)
+            .ctx("advancing GHOST fault schedule")?;
+        if plan == rt.current {
+            return Ok(());
+        }
+        if plan.is_empty() {
+            self.engine.clear_faults();
+        } else {
+            let impact = plan
+                .impact(&rt.mr, &rt.tuning, &rt.noise, rt.bits)
+                .ctx("advancing GHOST fault schedule")?;
+            self.engine
+                .set_fault_impact(&impact, plan.array_rows, plan.array_channels)
+                .ctx("advancing GHOST fault schedule")?;
+        }
+        rt.current = plan;
+        Ok(())
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.fault_runtime.as_ref().map(|rt| &rt.schedule)
     }
 
     /// The underlying analog engine.

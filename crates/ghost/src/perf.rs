@@ -19,6 +19,7 @@ use phox_memsim::dram::HbmStack;
 use phox_memsim::sram::{Sram, SramConfig};
 use phox_nn::datasets::GraphShape;
 use phox_nn::gnn::{CsrGraph, GnnConfig, GnnKind};
+use phox_photonics::fault::FaultImpact;
 use phox_photonics::{Ctx, PhotonicError};
 
 use crate::config::GhostConfig;
@@ -212,6 +213,49 @@ impl GhostAccelerator {
     pub fn service_cost(&self, workload: &GnnWorkload) -> Result<ServiceCost, PhotonicError> {
         let balance = self.balance_factor(workload);
         Ok(self.simulate_core(workload, balance, None, None)?.1)
+    }
+
+    /// Maps a resolved fault impact onto the serving-cost degradation it
+    /// causes on this accelerator: dead-lane remapping re-runs the lost
+    /// output columns on the surviving lanes (a marginal slowdown of
+    /// `rows / (rows − dead)`), and TO drift compensation draws standing
+    /// power (extra leakage, one compensation budget per array).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] when every receiver lane
+    /// is dead — there is nothing left to remap onto.
+    pub fn fault_degradation(&self, impact: &FaultImpact) -> Result<(f64, f64), PhotonicError> {
+        let rows = self.config.array_rows;
+        if rows == 0 || impact.dead_lanes.len() >= rows {
+            return Err(PhotonicError::InvalidConfig {
+                what: "every receiver lane is dead",
+            }
+            .ctx("deriving fault degradation"));
+        }
+        let slowdown = rows as f64 / (rows - impact.dead_lanes.len()) as f64;
+        Ok((slowdown, impact.compensation_power_w))
+    }
+
+    /// [`GhostAccelerator::service_cost`] on an accelerator degraded by
+    /// `impact` — the serving layer's dead-lane-remap / drift-compensation
+    /// cost seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GhostAccelerator::service_cost`] and degradation
+    /// failures.
+    pub fn degraded_service_cost(
+        &self,
+        workload: &GnnWorkload,
+        impact: &FaultImpact,
+    ) -> Result<ServiceCost, PhotonicError> {
+        let (slowdown, extra_leakage_w) = self.fault_degradation(impact)?;
+        self.service_cost(workload)?
+            .degraded(slowdown, extra_leakage_w)
+            .map_err(|e| {
+                PhotonicError::upstream("arch", e).ctx("validating the degraded GHOST service cost")
+            })
     }
 
     /// Simulates one full-graph inference over an *instantiated* graph:

@@ -62,6 +62,57 @@ pub fn evaluate_gnn_int8(
     gnn_report(model, task, &q)
 }
 
+/// Scores *externally produced* GNN outputs (e.g. a photonic simulator
+/// running under an injected [fault plan]) against the model's own f64
+/// oracle and the task labels. The "int8" leg of the report is whatever
+/// datapath produced `outputs`.
+///
+/// [fault plan]: https://docs.rs/phox-photonics
+///
+/// # Errors
+///
+/// [`TensorError::ShapeMismatch`] when `outputs` does not match the
+/// oracle's shape; otherwise propagates forward-pass shape errors.
+pub fn evaluate_gnn_outputs(
+    model: &GnnModel,
+    task: &LabelledGraph,
+    outputs: &Matrix,
+) -> Result<QuantReport, TensorError> {
+    gnn_report(model, task, outputs)
+}
+
+/// Scores externally produced transformer outputs, one matrix per input
+/// sequence, against the f64 oracle and the task labels. See
+/// [`evaluate_gnn_outputs`].
+///
+/// # Errors
+///
+/// [`TensorError::LengthMismatch`] when `outputs.len()` differs from the
+/// task's input count; otherwise propagates forward-pass shape errors.
+pub fn evaluate_transformer_outputs(
+    model: &TransformerModel,
+    task: &LabelledSequences,
+    outputs: &[Matrix],
+) -> Result<QuantReport, TensorError> {
+    if outputs.len() != task.inputs.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: task.inputs.len(),
+            actual: outputs.len(),
+        });
+    }
+    // The report loop calls the quantized leg once per input, in order;
+    // a Cell cursor hands each precomputed output back in turn.
+    let cursor = std::cell::Cell::new(0usize);
+    transformer_report(model, task, &|_, _| {
+        let i = cursor.get();
+        cursor.set(i + 1);
+        outputs.get(i).cloned().ok_or(TensorError::LengthMismatch {
+            expected: task.inputs.len(),
+            actual: outputs.len(),
+        })
+    })
+}
+
 fn gnn_report(
     model: &GnnModel,
     task: &LabelledGraph,
@@ -180,6 +231,32 @@ mod tests {
         assert!(r.agreement >= 0.8, "agreement {}", r.agreement);
         assert!(r.is_comparable(0.25), "{r:?}");
         assert!(r.mean_relative_error < 0.2, "err {}", r.mean_relative_error);
+    }
+
+    #[test]
+    fn external_outputs_score_like_the_builtin_legs() {
+        let task = sbm(3, 12, 16, 0.5, 0.05, 31).unwrap();
+        let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 16, 32, 3), 32).unwrap();
+        let q = model
+            .forward_quantized(&task.graph, &task.features)
+            .unwrap();
+        let via_outputs = evaluate_gnn_outputs(&model, &task, &q).unwrap();
+        let via_builtin = evaluate_gnn(&model, &task).unwrap();
+        assert_eq!(via_outputs, via_builtin);
+
+        let seq = labelled_sequences(6, 3, 8, 32, 33).unwrap();
+        let tf = TransformerModel::random(TransformerConfig::tiny(8), 34).unwrap();
+        let outs: Vec<_> = seq
+            .inputs
+            .iter()
+            .map(|x| tf.forward_quantized(x).unwrap())
+            .collect();
+        let via_outputs = evaluate_transformer_outputs(&tf, &seq, &outs).unwrap();
+        let via_builtin = evaluate_transformer(&tf, &seq).unwrap();
+        assert_eq!(via_outputs, via_builtin);
+
+        // Length mismatch is a typed error, not a panic.
+        assert!(evaluate_transformer_outputs(&tf, &seq, &outs[..2]).is_err());
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub const TILE: usize = 32;
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalogEngine {
     relative_sigma: f64,
+    /// The unfaulted receiver noise level. `relative_sigma` is always
+    /// `base_sigma ×` the current fault impact's `sigma_scale`, so fault
+    /// state can be replaced or cleared mid-run without compounding.
+    base_sigma: f64,
     adc_bits: u32,
     dac_bits: u32,
     soa: Soa,
@@ -91,6 +95,7 @@ impl AnalogEngine {
         }
         Ok(AnalogEngine {
             relative_sigma,
+            base_sigma: relative_sigma,
             adc_bits,
             dac_bits,
             soa: Soa::default(),
@@ -121,6 +126,7 @@ impl AnalogEngine {
     pub fn ideal(adc_bits: u32, dac_bits: u32, seed: u64) -> Self {
         AnalogEngine {
             relative_sigma: 0.0,
+            base_sigma: 0.0,
             adc_bits,
             dac_bits,
             soa: Soa::default(),
@@ -150,6 +156,26 @@ impl AnalogEngine {
         array_rows: usize,
         array_channels: usize,
     ) -> Result<(), PhotonicError> {
+        self.set_fault_impact(impact, array_rows, array_channels)
+    }
+
+    /// Replaces the engine's fault state with `impact`, recomputing the
+    /// effective noise from the stored unfaulted baseline. Unlike a
+    /// repeated [`AnalogEngine::inject_faults`] of old, calling this on
+    /// every schedule step never compounds sigma scales — the engine
+    /// always reflects exactly the *current* fault plan, which is what
+    /// the mid-run [`crate::fault::FaultSchedule`] path needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a context-chained [`PhotonicError::InvalidConfig`] for a
+    /// degenerate geometry or when every receiver lane is dead.
+    pub fn set_fault_impact(
+        &mut self,
+        impact: &FaultImpact,
+        array_rows: usize,
+        array_channels: usize,
+    ) -> Result<(), PhotonicError> {
         if array_rows == 0 || array_channels == 0 {
             return Err(PhotonicError::InvalidConfig {
                 what: "fault geometry must be non-zero",
@@ -162,13 +188,19 @@ impl AnalogEngine {
             }
             .ctx("injecting device faults"));
         }
-        self.relative_sigma *= impact.sigma_scale;
+        self.relative_sigma = self.base_sigma * impact.sigma_scale;
         self.faults = Some(FaultState {
             impact: impact.clone(),
             array_rows,
             array_channels,
         });
         Ok(())
+    }
+
+    /// Clears all fault state, restoring the unfaulted noise baseline.
+    pub fn clear_faults(&mut self) {
+        self.relative_sigma = self.base_sigma;
+        self.faults = None;
     }
 
     /// `true` when device faults are injected.
@@ -204,6 +236,7 @@ impl AnalogEngine {
         let child_seed = split_seed(key, unit);
         AnalogEngine {
             relative_sigma: self.relative_sigma,
+            base_sigma: self.base_sigma,
             adc_bits: self.adc_bits,
             dac_bits: self.dac_bits,
             soa: self.soa,
@@ -592,6 +625,26 @@ mod tests {
         let y1 = parent.make_child(key, 1).matmul(&a, &b).unwrap();
         assert_eq!(y0, y0_again);
         assert_ne!(y0, y1, "sibling units draw independent noise");
+    }
+
+    #[test]
+    fn fault_state_replacement_never_compounds() {
+        let mut eng = AnalogEngine::new(2e-3, 8, 8, 1).unwrap();
+        let impact = FaultImpact {
+            sigma_scale: 2.0,
+            weight_gain: 1.0,
+            compensation_power_w: 0.0,
+            dead_lanes: Vec::new(),
+            stuck: Vec::new(),
+        };
+        eng.set_fault_impact(&impact, 64, 16).unwrap();
+        assert!((eng.relative_sigma() - 4e-3).abs() < 1e-15);
+        // Re-applying the same impact reflects it once, not twice.
+        eng.set_fault_impact(&impact, 64, 16).unwrap();
+        assert!((eng.relative_sigma() - 4e-3).abs() < 1e-15);
+        eng.clear_faults();
+        assert!(!eng.faulted());
+        assert!((eng.relative_sigma() - 2e-3).abs() < 1e-15);
     }
 
     #[test]

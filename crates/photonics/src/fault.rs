@@ -13,6 +13,13 @@
 //! [`PhotonicError`] when the fault is uncompensatable (drift beyond the
 //! tuning range, droop below the noise floor).
 //!
+//! Faults also arrive and clear over model time: a [`FaultSchedule`]
+//! holds seeded, deterministic onset/clearance events
+//! ([`ScheduledFault`]) and materialises the [`FaultPlan`] active at any
+//! instant via [`FaultSchedule::plan_at`], so the functional simulators
+//! and the serving engine can consume faults mid-run instead of only at
+//! construction.
+//!
 //! The design goal is the tentpole's contract: a faulted simulation
 //! **either degrades gracefully with a measurable accuracy loss or
 //! returns a chained error — it never panics.**
@@ -21,6 +28,7 @@ use crate::mr::MrConfig;
 use crate::noise::NoiseBudget;
 use crate::tuning::HybridTuning;
 use crate::{Ctx, PhotonicError};
+use phox_tensor::Prng;
 
 /// One injected device fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +71,106 @@ pub enum DeviceFault {
     },
 }
 
+/// Validates one fault against the array geometry and physical ranges.
+fn check_fault(rows: usize, channels: usize, fault: &DeviceFault) -> Result<(), PhotonicError> {
+    match *fault {
+        DeviceFault::StuckAtMr {
+            row,
+            channel,
+            transmission,
+        } => {
+            if row >= rows {
+                return Err(PhotonicError::ValueOutOfRange {
+                    value: row as f64,
+                    lo: 0.0,
+                    hi: rows.saturating_sub(1) as f64,
+                }
+                .ctx("validating stuck-MR row index"));
+            }
+            if channel >= channels {
+                return Err(PhotonicError::ValueOutOfRange {
+                    value: channel as f64,
+                    lo: 0.0,
+                    hi: channels.saturating_sub(1) as f64,
+                }
+                .ctx("validating stuck-MR channel index"));
+            }
+            if !(0.0..=1.0).contains(&transmission) || !transmission.is_finite() {
+                return Err(PhotonicError::ValueOutOfRange {
+                    value: transmission,
+                    lo: 0.0,
+                    hi: 1.0,
+                }
+                .ctx("validating stuck-MR transmission"));
+            }
+        }
+        DeviceFault::ThermalDrift { drift_nm } => {
+            if !drift_nm.is_finite() {
+                return Err(PhotonicError::InvalidConfig {
+                    what: "thermal drift must be finite",
+                }
+                .ctx("validating thermal-drift fault"));
+            }
+        }
+        DeviceFault::DeadAdcLane { lane } => {
+            if lane >= rows {
+                return Err(PhotonicError::ValueOutOfRange {
+                    value: lane as f64,
+                    lo: 0.0,
+                    hi: rows.saturating_sub(1) as f64,
+                }
+                .ctx("validating dead-ADC-lane index"));
+            }
+        }
+        DeviceFault::LaserPowerDroop { droop_db } => {
+            if !(droop_db.is_finite() && droop_db >= 0.0) {
+                return Err(PhotonicError::InvalidConfig {
+                    what: "laser droop must be non-negative and finite",
+                }
+                .ctx("validating laser-droop fault"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rejects a fault that re-addresses a cell already faulted in
+/// `existing`. Two stuck levels on one ring (or two deaths of one lane)
+/// are contradictory, so they are a typed [`PhotonicError::DuplicateFault`]
+/// instead of a silent last-wins. Drift and droop are additive bank-wide
+/// magnitudes and may repeat.
+fn check_conflict(existing: &[DeviceFault], fault: &DeviceFault) -> Result<(), PhotonicError> {
+    match *fault {
+        DeviceFault::StuckAtMr { row, channel, .. } => {
+            let dup = existing.iter().any(|f| {
+                matches!(f, DeviceFault::StuckAtMr { row: r, channel: c, .. }
+                    if *r == row && *c == channel)
+            });
+            if dup {
+                return Err(PhotonicError::DuplicateFault {
+                    what: "stuck-MR cell",
+                    row,
+                    channel,
+                });
+            }
+        }
+        DeviceFault::DeadAdcLane { lane } => {
+            let dup = existing
+                .iter()
+                .any(|f| matches!(f, DeviceFault::DeadAdcLane { lane: l } if *l == lane));
+            if dup {
+                return Err(PhotonicError::DuplicateFault {
+                    what: "dead ADC lane",
+                    row: lane,
+                    channel: 0,
+                });
+            }
+        }
+        DeviceFault::ThermalDrift { .. } | DeviceFault::LaserPowerDroop { .. } => {}
+    }
+    Ok(())
+}
+
 /// A set of faults addressed against one bank-array geometry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -84,36 +192,87 @@ impl FaultPlan {
         }
     }
 
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds one fault, validating it eagerly against the geometry and
+    /// rejecting duplicate cell addresses.
+    fn push(mut self, fault: DeviceFault) -> Result<Self, PhotonicError> {
+        check_fault(self.array_rows, self.array_channels, &fault)?;
+        check_conflict(&self.faults, &fault)?;
+        self.faults.push(fault);
+        Ok(self)
+    }
+
+    /// Adds an already-constructed [`DeviceFault`], with the same eager
+    /// validation as the typed builders. Useful when replaying faults
+    /// recorded elsewhere (e.g. a [`ScheduledFault`]'s payload).
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as the typed builders: out-of-geometry cells and
+    /// invalid magnitudes are [`PhotonicError::ValueOutOfRange`] /
+    /// [`PhotonicError::InvalidConfig`], repeated cell addresses are
+    /// [`PhotonicError::DuplicateFault`].
+    pub fn with_fault(self, fault: DeviceFault) -> Result<Self, PhotonicError> {
+        self.push(fault).ctx("adding device fault")
+    }
+
     /// Adds a stuck microring.
-    #[must_use]
-    pub fn stuck_mr(mut self, row: usize, channel: usize, transmission: f64) -> Self {
-        self.faults.push(DeviceFault::StuckAtMr {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::ValueOutOfRange`] for an off-array cell
+    /// or non-`[0, 1]` transmission, and
+    /// [`PhotonicError::DuplicateFault`] when `(row, channel)` is already
+    /// stuck in this plan.
+    pub fn stuck_mr(
+        self,
+        row: usize,
+        channel: usize,
+        transmission: f64,
+    ) -> Result<Self, PhotonicError> {
+        self.push(DeviceFault::StuckAtMr {
             row,
             channel,
             transmission,
-        });
-        self
+        })
+        .ctx("adding stuck-MR fault")
     }
 
     /// Adds a thermal resonance drift.
-    #[must_use]
-    pub fn thermal_drift(mut self, drift_nm: f64) -> Self {
-        self.faults.push(DeviceFault::ThermalDrift { drift_nm });
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for a non-finite drift.
+    pub fn thermal_drift(self, drift_nm: f64) -> Result<Self, PhotonicError> {
+        self.push(DeviceFault::ThermalDrift { drift_nm })
+            .ctx("adding thermal-drift fault")
     }
 
     /// Adds a dead ADC lane.
-    #[must_use]
-    pub fn dead_adc_lane(mut self, lane: usize) -> Self {
-        self.faults.push(DeviceFault::DeadAdcLane { lane });
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::ValueOutOfRange`] for a lane outside the
+    /// array, and [`PhotonicError::DuplicateFault`] when the lane is
+    /// already dead in this plan.
+    pub fn dead_adc_lane(self, lane: usize) -> Result<Self, PhotonicError> {
+        self.push(DeviceFault::DeadAdcLane { lane })
+            .ctx("adding dead-ADC-lane fault")
     }
 
     /// Adds a laser power droop.
-    #[must_use]
-    pub fn laser_droop(mut self, droop_db: f64) -> Self {
-        self.faults.push(DeviceFault::LaserPowerDroop { droop_db });
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for a negative or
+    /// non-finite droop.
+    pub fn laser_droop(self, droop_db: f64) -> Result<Self, PhotonicError> {
+        self.push(DeviceFault::LaserPowerDroop { droop_db })
+            .ctx("adding laser-droop fault")
     }
 
     /// Total thermal drift in the plan, nm.
@@ -138,13 +297,16 @@ impl FaultPlan {
             .sum()
     }
 
-    /// Validates every fault against the plan's geometry and physical
-    /// ranges.
+    /// Validates every fault against the plan's geometry, physical
+    /// ranges, and duplicate-cell rule. The builders already enforce all
+    /// of this eagerly; `validated()` re-checks plans assembled directly
+    /// from struct fields.
     ///
     /// # Errors
     ///
     /// Returns a context-chained [`PhotonicError::ValueOutOfRange`] /
-    /// [`PhotonicError::InvalidConfig`] naming the offending fault.
+    /// [`PhotonicError::InvalidConfig`] /
+    /// [`PhotonicError::DuplicateFault`] naming the offending fault.
     pub fn validated(self) -> Result<Self, PhotonicError> {
         if self.array_rows == 0 || self.array_channels == 0 {
             return Err(PhotonicError::InvalidConfig {
@@ -152,65 +314,9 @@ impl FaultPlan {
             }
             .ctx("validating fault plan"));
         }
-        for f in &self.faults {
-            match *f {
-                DeviceFault::StuckAtMr {
-                    row,
-                    channel,
-                    transmission,
-                } => {
-                    if row >= self.array_rows {
-                        return Err(PhotonicError::ValueOutOfRange {
-                            value: row as f64,
-                            lo: 0.0,
-                            hi: (self.array_rows - 1) as f64,
-                        }
-                        .ctx("validating stuck-MR row index"));
-                    }
-                    if channel >= self.array_channels {
-                        return Err(PhotonicError::ValueOutOfRange {
-                            value: channel as f64,
-                            lo: 0.0,
-                            hi: (self.array_channels - 1) as f64,
-                        }
-                        .ctx("validating stuck-MR channel index"));
-                    }
-                    if !(0.0..=1.0).contains(&transmission) || !transmission.is_finite() {
-                        return Err(PhotonicError::ValueOutOfRange {
-                            value: transmission,
-                            lo: 0.0,
-                            hi: 1.0,
-                        }
-                        .ctx("validating stuck-MR transmission"));
-                    }
-                }
-                DeviceFault::ThermalDrift { drift_nm } => {
-                    if !drift_nm.is_finite() {
-                        return Err(PhotonicError::InvalidConfig {
-                            what: "thermal drift must be finite",
-                        }
-                        .ctx("validating thermal-drift fault"));
-                    }
-                }
-                DeviceFault::DeadAdcLane { lane } => {
-                    if lane >= self.array_rows {
-                        return Err(PhotonicError::ValueOutOfRange {
-                            value: lane as f64,
-                            lo: 0.0,
-                            hi: (self.array_rows - 1) as f64,
-                        }
-                        .ctx("validating dead-ADC-lane index"));
-                    }
-                }
-                DeviceFault::LaserPowerDroop { droop_db } => {
-                    if !(droop_db.is_finite() && droop_db >= 0.0) {
-                        return Err(PhotonicError::InvalidConfig {
-                            what: "laser droop must be non-negative and finite",
-                        }
-                        .ctx("validating laser-droop fault"));
-                    }
-                }
-            }
+        for (i, f) in self.faults.iter().enumerate() {
+            check_fault(self.array_rows, self.array_channels, f).ctx("validating fault plan")?;
+            check_conflict(&self.faults[..i], f).ctx("validating fault plan")?;
         }
         Ok(self)
     }
@@ -308,6 +414,308 @@ impl FaultPlan {
     }
 }
 
+/// One fault event on the model-time axis: the fault switches on at
+/// `onset_s`, optionally ramps its magnitude in over `ramp_s` (thermal
+/// drift and laser droop grow linearly; stuck cells and dead lanes are
+/// binary and ignore the ramp), and clears at `clear_s`
+/// (`f64::INFINITY` = permanent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// Model time the fault appears, s.
+    pub onset_s: f64,
+    /// Model time the fault clears, s (`f64::INFINITY` = permanent).
+    pub clear_s: f64,
+    /// Linear magnitude ramp-in window after onset, s (0 = step).
+    pub ramp_s: f64,
+    /// The fault itself, at full magnitude.
+    pub fault: DeviceFault,
+}
+
+impl ScheduledFault {
+    /// Whether the fault is active at model time `t_s`.
+    pub fn active_at(&self, t_s: f64) -> bool {
+        self.onset_s <= t_s && t_s < self.clear_s
+    }
+
+    /// The magnitude ramp factor at `t_s`, in `[0, 1]`.
+    fn ramp_factor(&self, t_s: f64) -> f64 {
+        if self.ramp_s <= 0.0 {
+            1.0
+        } else {
+            ((t_s - self.onset_s) / self.ramp_s).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The fault as it stands at `t_s`, with ramping magnitudes scaled.
+    fn fault_at(&self, t_s: f64) -> DeviceFault {
+        let r = self.ramp_factor(t_s);
+        match self.fault {
+            DeviceFault::ThermalDrift { drift_nm } => DeviceFault::ThermalDrift {
+                drift_nm: drift_nm * r,
+            },
+            DeviceFault::LaserPowerDroop { droop_db } => DeviceFault::LaserPowerDroop {
+                droop_db: droop_db * r,
+            },
+            f @ (DeviceFault::StuckAtMr { .. } | DeviceFault::DeadAdcLane { .. }) => f,
+        }
+    }
+}
+
+/// A deterministic, seeded model-time fault timeline for one bank-array
+/// geometry: faults arrive, optionally ramp in, and clear. The schedule
+/// is consumed mid-run by the functional simulators
+/// (`advance_to(t_s)` re-resolves the active [`FaultPlan`]) and by the
+/// serving engine's health monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Rows (waveguides / receiver lanes) per bank array.
+    pub array_rows: usize,
+    /// Wavelength channels per row.
+    pub array_channels: usize,
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule for the given geometry. An empty schedule is a
+    /// strict no-op: simulations driven by it are byte-identical to
+    /// unfaulted ones.
+    pub fn new(array_rows: usize, array_channels: usize) -> Self {
+        FaultSchedule {
+            array_rows,
+            array_channels,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the schedule contains no fault events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in onset order.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Validates and inserts one event, keeping onset order.
+    fn try_add(&mut self, event: ScheduledFault) -> Result<(), PhotonicError> {
+        if !(event.onset_s.is_finite() && event.onset_s >= 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault onset must be finite and non-negative",
+            });
+        }
+        if event.clear_s.is_nan() || event.clear_s <= event.onset_s {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault clearance must come after onset",
+            });
+        }
+        if !(event.ramp_s.is_finite() && event.ramp_s >= 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault ramp must be finite and non-negative",
+            });
+        }
+        check_fault(self.array_rows, self.array_channels, &event.fault)?;
+        // Two *time-overlapping* events on the same cell are as
+        // contradictory as two in one plan; the same cell may re-fault
+        // after clearing.
+        let overlapping: Vec<DeviceFault> = self
+            .events
+            .iter()
+            .filter(|e| e.onset_s < event.clear_s && event.onset_s < e.clear_s)
+            .map(|e| e.fault)
+            .collect();
+        check_conflict(&overlapping, &event.fault)?;
+        let at = self.events.partition_point(|e| e.onset_s <= event.onset_s);
+        self.events.insert(at, event);
+        Ok(())
+    }
+
+    /// Schedules a step fault: on at `onset_s`, off at `clear_s`
+    /// (`f64::INFINITY` = permanent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] /
+    /// [`PhotonicError::ValueOutOfRange`] for bad times or a
+    /// geometry-violating fault, and [`PhotonicError::DuplicateFault`]
+    /// when the event's active window overlaps another fault on the same
+    /// cell.
+    pub fn schedule(
+        mut self,
+        onset_s: f64,
+        clear_s: f64,
+        fault: DeviceFault,
+    ) -> Result<Self, PhotonicError> {
+        self.try_add(ScheduledFault {
+            onset_s,
+            clear_s,
+            ramp_s: 0.0,
+            fault,
+        })
+        .ctx("scheduling fault event")?;
+        Ok(self)
+    }
+
+    /// Schedules a ramped fault: magnitude grows linearly from zero over
+    /// `ramp_s` after onset (thermal drift heating up, laser slowly
+    /// drooping), then holds until `clear_s`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FaultSchedule::schedule`].
+    pub fn schedule_ramped(
+        mut self,
+        onset_s: f64,
+        clear_s: f64,
+        ramp_s: f64,
+        fault: DeviceFault,
+    ) -> Result<Self, PhotonicError> {
+        self.try_add(ScheduledFault {
+            onset_s,
+            clear_s,
+            ramp_s,
+            fault,
+        })
+        .ctx("scheduling ramped fault event")?;
+        Ok(self)
+    }
+
+    /// Materialises the [`FaultPlan`] active at model time `t_s`, with
+    /// ramping magnitudes scaled to their instantaneous value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for a non-finite query
+    /// time. (Active events were validated at insertion, so assembling
+    /// the plan itself cannot conflict.)
+    pub fn plan_at(&self, t_s: f64) -> Result<FaultPlan, PhotonicError> {
+        if !t_s.is_finite() {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault schedule query time must be finite",
+            }
+            .ctx("materialising fault plan"));
+        }
+        let mut plan = FaultPlan::new(self.array_rows, self.array_channels);
+        for e in &self.events {
+            if e.active_at(t_s) {
+                plan = plan.push(e.fault_at(t_s)).ctx("materialising fault plan")?;
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Generates a seeded random fault timeline: fault arrivals on a
+    /// Poisson process at `rate_hz` over `[0, duration_s)`, each active
+    /// for an exponential holding time with mean `mean_active_s`, fault
+    /// type drawn uniformly, and a `severe_share` fraction drawn at
+    /// uncompensatable magnitudes (drift beyond the tuning range, droop
+    /// below the noise floor). Arrivals that would double-fault an
+    /// already-faulted cell are skipped (the cell is busy failing
+    /// already), keeping the schedule valid by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for non-finite or
+    /// negative inputs, a zero geometry, or `severe_share` outside
+    /// `[0, 1]`. A zero `rate_hz` yields an empty schedule.
+    pub fn random(
+        seed: u64,
+        array_rows: usize,
+        array_channels: usize,
+        rate_hz: f64,
+        duration_s: f64,
+        mean_active_s: f64,
+        severe_share: f64,
+    ) -> Result<Self, PhotonicError> {
+        if array_rows == 0 || array_channels == 0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault schedule geometry must be non-zero",
+            }
+            .ctx("generating random fault schedule"));
+        }
+        if !(rate_hz.is_finite() && rate_hz >= 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault rate must be finite and non-negative",
+            }
+            .ctx("generating random fault schedule"));
+        }
+        if !(duration_s.is_finite() && duration_s > 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "fault horizon must be finite and positive",
+            }
+            .ctx("generating random fault schedule"));
+        }
+        if !(mean_active_s.is_finite() && mean_active_s > 0.0) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "mean fault holding time must be finite and positive",
+            }
+            .ctx("generating random fault schedule"));
+        }
+        if !(0.0..=1.0).contains(&severe_share) {
+            return Err(PhotonicError::InvalidConfig {
+                what: "severe fault share must lie in [0, 1]",
+            }
+            .ctx("generating random fault schedule"));
+        }
+        let mut sched = FaultSchedule::new(array_rows, array_channels);
+        if rate_hz == 0.0 {
+            return Ok(sched);
+        }
+        let mut rng = Prng::stream(seed, 0xFA17);
+        let mut t = 0.0f64;
+        loop {
+            t += -(1.0 - rng.next_f64()).ln() / rate_hz;
+            if t >= duration_s {
+                break;
+            }
+            let hold_s = -(1.0 - rng.next_f64()).ln() * mean_active_s;
+            let severe = rng.next_f64() < severe_share;
+            let kind = (rng.next_f64() * 4.0) as usize;
+            // Every arrival consumes the same number of draws regardless
+            // of kind or outcome, so the stream stays aligned across
+            // sweeps that vary only the rate.
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            let fault = match kind {
+                0 => DeviceFault::StuckAtMr {
+                    row: (a * array_rows as f64) as usize % array_rows,
+                    channel: (b * array_channels as f64) as usize % array_channels,
+                    transmission: if severe { 0.0 } else { 0.25 + 0.5 * a },
+                },
+                1 => DeviceFault::ThermalDrift {
+                    // Mild drift stays well inside the tuning range;
+                    // severe drift lands beyond it (uncompensatable).
+                    drift_nm: if severe { 8.0 + 4.0 * a } else { 0.1 + 0.9 * a },
+                },
+                2 => DeviceFault::DeadAdcLane {
+                    lane: (a * array_rows as f64) as usize % array_rows,
+                },
+                _ => DeviceFault::LaserPowerDroop {
+                    droop_db: if severe {
+                        40.0 + 50.0 * a
+                    } else {
+                        0.5 + 2.5 * a
+                    },
+                },
+            };
+            let event = ScheduledFault {
+                onset_s: t,
+                clear_s: t + hold_s.max(1e-9),
+                ramp_s: 0.0,
+                fault,
+            };
+            match sched.try_add(event) {
+                Ok(()) => {}
+                // The cell is already failing: skip the colliding arrival
+                // (deterministically — the draws were consumed above).
+                Err(PhotonicError::DuplicateFault { .. }) => {}
+                Err(e) => return Err(e.ctx("generating random fault schedule")),
+            }
+        }
+        Ok(sched)
+    }
+}
+
 /// A stuck weight cell, resolved to its array coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StuckWeight {
@@ -367,36 +775,73 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_out_of_geometry_faults() {
-        assert!(FaultPlan::new(64, 16)
-            .stuck_mr(64, 0, 0.5)
-            .validated()
-            .is_err());
-        assert!(FaultPlan::new(64, 16)
-            .stuck_mr(0, 16, 0.5)
-            .validated()
-            .is_err());
-        assert!(FaultPlan::new(64, 16)
-            .stuck_mr(0, 0, 1.5)
-            .validated()
-            .is_err());
-        assert!(FaultPlan::new(64, 16)
-            .dead_adc_lane(64)
-            .validated()
-            .is_err());
-        assert!(FaultPlan::new(64, 16)
-            .laser_droop(-1.0)
-            .validated()
-            .is_err());
+    fn builders_reject_out_of_geometry_faults_eagerly() {
+        assert!(FaultPlan::new(64, 16).stuck_mr(64, 0, 0.5).is_err());
+        assert!(FaultPlan::new(64, 16).stuck_mr(0, 16, 0.5).is_err());
+        assert!(FaultPlan::new(64, 16).stuck_mr(0, 0, 1.5).is_err());
+        assert!(FaultPlan::new(64, 16).stuck_mr(0, 0, f64::NAN).is_err());
+        assert!(FaultPlan::new(64, 16).dead_adc_lane(64).is_err());
+        assert!(FaultPlan::new(64, 16).laser_droop(-1.0).is_err());
+        assert!(FaultPlan::new(64, 16).thermal_drift(f64::NAN).is_err());
         assert!(FaultPlan::new(0, 16).validated().is_err());
     }
 
     #[test]
-    fn validation_errors_chain_to_a_root_cause() {
+    fn builders_reject_duplicate_cells() {
         let err = FaultPlan::new(64, 16)
-            .stuck_mr(99, 0, 0.5)
-            .validated()
+            .stuck_mr(3, 5, 0.25)
+            .and_then(|p| p.stuck_mr(3, 5, 0.75))
             .unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            PhotonicError::DuplicateFault {
+                what: "stuck-MR cell",
+                row: 3,
+                channel: 5
+            }
+        ));
+        let err = FaultPlan::new(64, 16)
+            .dead_adc_lane(7)
+            .and_then(|p| p.dead_adc_lane(7))
+            .unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            PhotonicError::DuplicateFault {
+                what: "dead ADC lane",
+                row: 7,
+                ..
+            }
+        ));
+        // Different cells are fine, and so are repeated bank-wide
+        // magnitude faults (they sum).
+        assert!(FaultPlan::new(64, 16)
+            .stuck_mr(3, 5, 0.25)
+            .and_then(|p| p.stuck_mr(3, 6, 0.25))
+            .and_then(|p| p.thermal_drift(0.2))
+            .and_then(|p| p.thermal_drift(0.3))
+            .is_ok());
+    }
+
+    #[test]
+    fn validated_catches_hand_assembled_duplicates() {
+        let plan = FaultPlan {
+            array_rows: 64,
+            array_channels: 16,
+            faults: vec![
+                DeviceFault::DeadAdcLane { lane: 7 },
+                DeviceFault::DeadAdcLane { lane: 7 },
+            ],
+        };
+        let err = plan.validated().unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            PhotonicError::DuplicateFault { .. }
+        ));
+    }
+
+    #[test]
+    fn validation_errors_chain_to_a_root_cause() {
+        let err = FaultPlan::new(64, 16).stuck_mr(99, 0, 0.5).unwrap_err();
         assert!(std::error::Error::source(&err).is_some());
         assert!(matches!(
             err.root_cause(),
@@ -407,10 +852,7 @@ mod tests {
     #[test]
     fn drift_within_range_costs_power_and_gain() {
         let (mr, tuning, noise) = devices();
-        let plan = FaultPlan::new(64, 16)
-            .thermal_drift(1.5)
-            .validated()
-            .unwrap();
+        let plan = FaultPlan::new(64, 16).thermal_drift(1.5).unwrap();
         let impact = plan.impact(&mr, &tuning, &noise, 8).unwrap();
         assert!(impact.compensation_power_w > 0.0);
         assert!(impact.weight_gain > 0.0 && impact.weight_gain != 1.0);
@@ -419,10 +861,7 @@ mod tests {
     #[test]
     fn drift_beyond_tuning_range_chains_tuning_error() {
         let (mr, tuning, noise) = devices();
-        let plan = FaultPlan::new(64, 16)
-            .thermal_drift(10.0)
-            .validated()
-            .unwrap();
+        let plan = FaultPlan::new(64, 16).thermal_drift(10.0).unwrap();
         let err = plan.impact(&mr, &tuning, &noise, 8).unwrap_err();
         assert!(matches!(
             err.root_cause(),
@@ -434,7 +873,7 @@ mod tests {
     #[test]
     fn droop_inflates_noise() {
         let (mr, tuning, noise) = devices();
-        let plan = FaultPlan::new(64, 16).laser_droop(3.0).validated().unwrap();
+        let plan = FaultPlan::new(64, 16).laser_droop(3.0).unwrap();
         let impact = plan.impact(&mr, &tuning, &noise, 8).unwrap();
         assert!(
             impact.sigma_scale > 1.0,
@@ -446,10 +885,7 @@ mod tests {
     #[test]
     fn extreme_droop_chains_noise_floor_error() {
         let (mr, tuning, noise) = devices();
-        let plan = FaultPlan::new(64, 16)
-            .laser_droop(90.0)
-            .validated()
-            .unwrap();
+        let plan = FaultPlan::new(64, 16).laser_droop(90.0).unwrap();
         let err = plan.impact(&mr, &tuning, &noise, 8).unwrap_err();
         assert!(matches!(
             err.root_cause(),
@@ -462,12 +898,134 @@ mod tests {
         let (mr, tuning, noise) = devices();
         let plan = FaultPlan::new(64, 16)
             .stuck_mr(3, 5, 0.25)
-            .dead_adc_lane(7)
-            .dead_adc_lane(7)
-            .validated()
+            .and_then(|p| p.dead_adc_lane(7))
+            .and_then(|p| p.dead_adc_lane(2))
             .unwrap();
         let impact = plan.impact(&mr, &tuning, &noise, 8).unwrap();
         assert_eq!(impact.stuck.len(), 1);
-        assert_eq!(impact.dead_lanes, vec![7]);
+        assert_eq!(impact.dead_lanes, vec![2, 7]);
+    }
+
+    #[test]
+    fn empty_schedule_yields_empty_plans() {
+        let sched = FaultSchedule::new(64, 16);
+        assert!(sched.is_empty());
+        for t in [0.0, 1.0, 1e6] {
+            let plan = sched.plan_at(t).unwrap();
+            assert!(plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn schedule_windows_switch_faults_on_and_off() {
+        let sched = FaultSchedule::new(64, 16)
+            .schedule(1.0, 2.0, DeviceFault::DeadAdcLane { lane: 3 })
+            .unwrap()
+            .schedule(
+                1.5,
+                f64::INFINITY,
+                DeviceFault::StuckAtMr {
+                    row: 0,
+                    channel: 0,
+                    transmission: 0.5,
+                },
+            )
+            .unwrap();
+        assert!(sched.plan_at(0.5).unwrap().is_empty());
+        assert_eq!(sched.plan_at(1.0).unwrap().faults.len(), 1);
+        assert_eq!(sched.plan_at(1.75).unwrap().faults.len(), 2);
+        // The lane clears at exactly 2.0 (half-open window); the stuck
+        // cell is permanent.
+        assert_eq!(
+            sched.plan_at(2.0).unwrap().faults,
+            vec![DeviceFault::StuckAtMr {
+                row: 0,
+                channel: 0,
+                transmission: 0.5,
+            }]
+        );
+        assert_eq!(sched.plan_at(1e9).unwrap().faults.len(), 1);
+    }
+
+    #[test]
+    fn ramped_drift_scales_linearly() {
+        let sched = FaultSchedule::new(64, 16)
+            .schedule_ramped(1.0, 10.0, 2.0, DeviceFault::ThermalDrift { drift_nm: 1.0 })
+            .unwrap();
+        assert_eq!(sched.plan_at(1.0).unwrap().total_drift_nm(), 0.0);
+        assert!((sched.plan_at(2.0).unwrap().total_drift_nm() - 0.5).abs() < 1e-12);
+        assert!((sched.plan_at(3.0).unwrap().total_drift_nm() - 1.0).abs() < 1e-12);
+        assert!((sched.plan_at(9.0).unwrap().total_drift_nm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_rejects_overlapping_same_cell_events() {
+        let err = FaultSchedule::new(64, 16)
+            .schedule(0.0, 2.0, DeviceFault::DeadAdcLane { lane: 3 })
+            .unwrap()
+            .schedule(1.0, 3.0, DeviceFault::DeadAdcLane { lane: 3 })
+            .unwrap_err();
+        assert!(matches!(
+            err.root_cause(),
+            PhotonicError::DuplicateFault { .. }
+        ));
+        // The same lane may die again after recovering.
+        assert!(FaultSchedule::new(64, 16)
+            .schedule(0.0, 2.0, DeviceFault::DeadAdcLane { lane: 3 })
+            .unwrap()
+            .schedule(2.0, 3.0, DeviceFault::DeadAdcLane { lane: 3 })
+            .is_ok());
+    }
+
+    #[test]
+    fn schedule_rejects_bad_times_and_geometry() {
+        let s = FaultSchedule::new(64, 16);
+        assert!(s
+            .clone()
+            .schedule(-1.0, 2.0, DeviceFault::DeadAdcLane { lane: 3 })
+            .is_err());
+        assert!(s
+            .clone()
+            .schedule(2.0, 1.0, DeviceFault::DeadAdcLane { lane: 3 })
+            .is_err());
+        assert!(s
+            .clone()
+            .schedule(0.0, 1.0, DeviceFault::DeadAdcLane { lane: 99 })
+            .is_err());
+        assert!(s
+            .schedule_ramped(0.0, 1.0, -1.0, DeviceFault::ThermalDrift { drift_nm: 0.1 })
+            .is_err());
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_and_valid() {
+        let a = FaultSchedule::random(7, 64, 16, 200.0, 0.05, 0.01, 0.25).unwrap();
+        let b = FaultSchedule::random(7, 64, 16, 200.0, 0.05, 0.01, 0.25).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for w in a.events().windows(2) {
+            assert!(w[0].onset_s <= w[1].onset_s);
+        }
+        // Every materialised plan re-validates cleanly.
+        for e in a.events() {
+            let plan = a.plan_at(e.onset_s).unwrap();
+            assert!(plan.validated().is_ok());
+        }
+        // Rate zero means no faults at all.
+        assert!(FaultSchedule::random(7, 64, 16, 0.0, 0.05, 0.01, 0.25)
+            .unwrap()
+            .is_empty());
+        // A different seed reshuffles the timeline.
+        let c = FaultSchedule::random(8, 64, 16, 200.0, 0.05, 0.01, 0.25).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_schedule_rejects_bad_inputs() {
+        assert!(FaultSchedule::random(1, 0, 16, 1.0, 1.0, 0.1, 0.0).is_err());
+        assert!(FaultSchedule::random(1, 64, 16, -1.0, 1.0, 0.1, 0.0).is_err());
+        assert!(FaultSchedule::random(1, 64, 16, 1.0, 0.0, 0.1, 0.0).is_err());
+        assert!(FaultSchedule::random(1, 64, 16, 1.0, 1.0, 0.0, 0.0).is_err());
+        assert!(FaultSchedule::random(1, 64, 16, 1.0, 1.0, 0.1, 1.5).is_err());
     }
 }

@@ -110,6 +110,20 @@ pub enum PhotonicError {
         /// Number of candidates examined.
         examined: usize,
     },
+    /// The same device cell was faulted twice in one plan or schedule.
+    /// Duplicate faults on one cell are contradictory (which level is
+    /// the ring stuck at?), so they are rejected when the plan is built
+    /// rather than silently resolved last-wins.
+    DuplicateFault {
+        /// Which fault type was duplicated (e.g. `"stuck-MR cell"`,
+        /// `"dead ADC lane"`).
+        what: &'static str,
+        /// Array row (or receiver lane) of the duplicated cell.
+        row: usize,
+        /// Wavelength channel of the duplicated cell (0 for per-lane
+        /// faults, which have no channel coordinate).
+        channel: usize,
+    },
     /// A numerical routine failed.
     NumericalFailure {
         /// Which routine.
@@ -250,6 +264,9 @@ impl fmt::Display for PhotonicError {
             ),
             PhotonicError::NoFeasibleDesign { examined } => {
                 write!(f, "no feasible design point among {examined} candidates")
+            }
+            PhotonicError::DuplicateFault { what, row, channel } => {
+                write!(f, "duplicate {what} at (row {row}, channel {channel})")
             }
             PhotonicError::NumericalFailure { what, detail } => {
                 write!(f, "numerical failure in {what}: {detail}")

@@ -25,10 +25,11 @@
 
 use std::collections::VecDeque;
 
-use phox_photonics::PhotonicError;
+use phox_photonics::{Ctx, PhotonicError};
 use phox_trace as trace;
 
 use crate::arrivals::ArrivalTrace;
+use crate::health::{FaultContext, HazardState, RecoveryPolicy};
 use crate::report::{percentile_s, ClassReport, ServeReport};
 use crate::workload::ServiceClass;
 
@@ -101,6 +102,10 @@ struct ClassState {
     admitted: u64,
     rejected: u64,
     completed: u64,
+    dropped: u64,
+    timed_out: u64,
+    retried: u64,
+    degraded: u64,
     latencies_s: Vec<f64>,
     energy_j: f64,
     occupancy_sum: u64,
@@ -108,13 +113,31 @@ struct ClassState {
 }
 
 struct QueuedRequest {
+    /// Original arrival time — latency and scheduling priority are
+    /// measured from here across retries.
     arrive_s: f64,
+    /// When the request entered the queue this attempt (arrival, or
+    /// retry re-entry) — per-attempt deadlines are measured from here.
+    enqueued_s: f64,
+    /// Service attempts already failed.
+    attempts: u32,
+}
+
+/// A request waiting out its retry backoff before re-entering its
+/// class queue.
+struct RetryEntry {
+    class: usize,
+    arrive_s: f64,
+    ready_s: f64,
+    attempts: u32,
+    seq: u64,
 }
 
 /// The deterministic batched-inference engine.
 pub struct ServeEngine {
     config: ServeConfig,
     classes: Vec<ServiceClass>,
+    faults: Option<FaultContext>,
 }
 
 impl ServeEngine {
@@ -131,7 +154,34 @@ impl ServeEngine {
                 what: "serve engine needs at least one service class",
             });
         }
-        Ok(ServeEngine { config, classes })
+        Ok(ServeEngine {
+            config,
+            classes,
+            faults: None,
+        })
+    }
+
+    /// Builds a fault-aware engine: the run consumes `faults.timeline`
+    /// as the device's ground truth, observes it through priced
+    /// calibration probes, and applies `faults.policy` to failed or
+    /// degraded windows.
+    ///
+    /// An engine built with an **empty** timeline is a strict no-op: it
+    /// produces a byte-identical report and trace to [`ServeEngine::new`]
+    /// with the same config and classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for degenerate configs
+    /// or an empty class list.
+    pub fn with_faults(
+        config: ServeConfig,
+        classes: Vec<ServiceClass>,
+        faults: FaultContext,
+    ) -> Result<Self, PhotonicError> {
+        let mut engine = ServeEngine::new(config, classes)?;
+        engine.faults = Some(faults);
+        Ok(engine)
     }
 
     /// The configured service classes, in scheduling-priority order.
@@ -139,16 +189,29 @@ impl ServeEngine {
         &self.classes
     }
 
+    /// The fault context, when the engine was built fault-aware.
+    pub fn fault_context(&self) -> Option<&FaultContext> {
+        self.faults.as_ref()
+    }
+
     /// Runs the full horizon — generate arrivals, admit, batch, serve,
     /// drain — and returns the steady-state report.
+    ///
+    /// When the engine was built with [`ServeEngine::with_faults`], the
+    /// loop also consumes the hazard timeline: calibration probes
+    /// (priced in time and joules) update the engine's *belief* about
+    /// the device, windows dispatched during a fatal hazard fail and
+    /// their occupants are retried or dropped per the policy, and the
+    /// `Degrade` policy pauses through detected finite fatal windows
+    /// and serves known-degraded periods in a slower remapped mode.
     ///
     /// # Errors
     ///
     /// Propagates arrival-generation failures and reports a
     /// [`PhotonicError::NumericalFailure`] if the queue-conservation
-    /// invariant (arrivals = admitted + rejected = completed + rejected
-    /// after drain) breaks — that would be an engine bug, never a
-    /// workload property.
+    /// invariant (arrivals = admitted + rejected, and after drain
+    /// admitted = completed + dropped + timed-out) breaks — that
+    /// would be an engine bug, never a workload property.
     pub fn run(&self) -> Result<ServeReport, PhotonicError> {
         let cfg = &self.config;
         let trace_handle = trace::active();
@@ -163,6 +226,10 @@ impl ServeEngine {
                 admitted: 0,
                 rejected: 0,
                 completed: 0,
+                dropped: 0,
+                timed_out: 0,
+                retried: 0,
+                degraded: 0,
                 latencies_s: Vec::new(),
                 energy_j: 0.0,
                 occupancy_sum: 0,
@@ -170,29 +237,73 @@ impl ServeEngine {
             })
             .collect();
 
+        // Fault machinery, armed only for a non-empty timeline so an
+        // empty schedule is a strict no-op against the unfaulted path.
+        let faults = self.faults.as_ref().filter(|c| !c.timeline.is_empty());
+        let retry_params = faults.and_then(|c| c.policy.retry_params());
+        let mut next_probe_s = faults.map_or(f64::INFINITY, |c| c.probe.interval_s);
+        let mut known = HazardState::NOMINAL; // belief, updated by probes
+        let mut probes: u64 = 0;
+        let mut probe_energy_j = 0.0f64;
+        let mut failed_windows: u64 = 0;
+        // Requests waiting out a retry backoff, ordered by (ready_s, seq).
+        let mut retries: VecDeque<RetryEntry> = VecDeque::new();
+        let mut retry_seq: u64 = 0;
+
         let mut next = 0usize; // next un-admitted arrival
         let mut server_free_s = 0.0f64;
         let mut makespan_s = 0.0f64;
 
-        // Admits every arrival at or before `t`, applying per-class
-        // admission control, and samples the aggregate queue depth.
-        let admit_until = |t: f64, next: &mut usize, states: &mut Vec<ClassState>| {
+        // Admits every arrival and ready retry at or before `t` in time
+        // order (arrivals win exact ties), applying per-class admission
+        // control, and samples the aggregate queue depth.
+        let admit_until = |t: f64,
+                           next: &mut usize,
+                           states: &mut Vec<ClassState>,
+                           retries: &mut VecDeque<RetryEntry>| {
             let mut changed = false;
-            while *next < events.len() && events[*next].arrive_s <= t {
-                let ev = &events[*next];
-                let state = &mut states[ev.class];
-                if state.queue.len() >= cfg.queue_capacity {
-                    state.rejected += 1;
-                    trace_handle.count("serve", "rejected", 1);
-                } else {
-                    state.queue.push_back(QueuedRequest {
-                        arrive_s: ev.arrive_s,
-                    });
-                    state.admitted += 1;
-                    trace_handle.count("serve", "admitted", 1);
+            loop {
+                let arrival_s = events.get(*next).map(|e| e.arrive_s).filter(|&a| a <= t);
+                let retry_s = retries.front().map(|r| r.ready_s).filter(|&r| r <= t);
+                match (arrival_s, retry_s) {
+                    (None, None) => break,
+                    (Some(a), r) if r.is_none_or(|r| a <= r) => {
+                        let ev = &events[*next];
+                        let state = &mut states[ev.class];
+                        if state.queue.len() >= cfg.queue_capacity {
+                            state.rejected += 1;
+                            trace_handle.count("serve", "rejected", 1);
+                        } else {
+                            state.queue.push_back(QueuedRequest {
+                                arrive_s: ev.arrive_s,
+                                enqueued_s: ev.arrive_s,
+                                attempts: 0,
+                            });
+                            state.admitted += 1;
+                            trace_handle.count("serve", "admitted", 1);
+                        }
+                        *next += 1;
+                        changed = true;
+                    }
+                    _ => {
+                        let Some(entry) = retries.pop_front() else {
+                            break;
+                        };
+                        let state = &mut states[entry.class];
+                        if state.queue.len() >= cfg.queue_capacity {
+                            // No room to retry into: the request drops.
+                            state.dropped += 1;
+                            trace_handle.count("serve", "dropped", 1);
+                        } else {
+                            state.queue.push_back(QueuedRequest {
+                                arrive_s: entry.arrive_s,
+                                enqueued_s: entry.ready_s,
+                                attempts: entry.attempts,
+                            });
+                        }
+                        changed = true;
+                    }
                 }
-                *next += 1;
-                changed = true;
             }
             if changed && trace_handle.is_enabled() {
                 let depth: usize = states.iter().map(|s| s.queue.len()).sum();
@@ -202,15 +313,21 @@ impl ServeEngine {
 
         loop {
             if states.iter().all(|s| s.queue.is_empty()) {
-                if next >= events.len() {
-                    break; // drained
-                }
-                // Idle: jump to the next arrival.
-                admit_until(events[next].arrive_s, &mut next, &mut states);
+                let next_arrival = events.get(next).map(|e| e.arrive_s);
+                let next_retry = retries.front().map(|r| r.ready_s);
+                let wake_s = match (next_arrival, next_retry) {
+                    (None, None) => break, // drained
+                    (Some(a), None) => a,
+                    (None, Some(r)) => r,
+                    (Some(a), Some(r)) => a.min(r),
+                };
+                // Idle: jump to the next arrival or ready retry.
+                admit_until(wake_s, &mut next, &mut states, &mut retries);
                 continue;
             }
 
-            // Oldest head-of-line request picks the window's class.
+            // Oldest head-of-line request picks the window's class
+            // (original arrival time, so retries keep their priority).
             let mut class = usize::MAX;
             let mut head_s = f64::INFINITY;
             for (i, s) in states.iter().enumerate() {
@@ -224,42 +341,190 @@ impl ServeEngine {
 
             // The window opens when the server is free; if it would be
             // under-filled, hold it open up to the batch timeout so more
-            // same-class arrivals can join.
+            // same-class requests can join.
             let mut dispatch_s = server_free_s.max(head_s);
-            admit_until(dispatch_s, &mut next, &mut states);
-            if states[class].queue.len() < cfg.max_batch && next < events.len() {
+            admit_until(dispatch_s, &mut next, &mut states, &mut retries);
+            if states[class].queue.len() < cfg.max_batch
+                && (next < events.len() || !retries.is_empty())
+            {
                 dispatch_s = dispatch_s.max(head_s + cfg.batch_timeout_s);
-                admit_until(dispatch_s, &mut next, &mut states);
+                admit_until(dispatch_s, &mut next, &mut states, &mut retries);
             }
+
+            // Per-attempt deadlines: requests that waited too long since
+            // entering the queue time out instead of being served.
+            // Enqueue times are monotonic along the queue, so expired
+            // entries form a prefix.
+            if let Some(deadline_s) = self.classes[class].deadline_s {
+                let state = &mut states[class];
+                while let Some(front) = state.queue.front() {
+                    if dispatch_s - front.enqueued_s > deadline_s {
+                        state.queue.pop_front();
+                        state.timed_out += 1;
+                        trace_handle.count("serve", "timed_out", 1);
+                    } else {
+                        break;
+                    }
+                }
+                if state.queue.is_empty() {
+                    continue; // everything expired; re-pick a class
+                }
+            }
+
+            // Health monitor: run a calibration probe ahead of the
+            // window when the monitoring interval has elapsed. The probe
+            // is the only place the engine reads the ground-truth
+            // timeline into its belief.
+            if let Some(ctx) = faults {
+                if dispatch_s >= next_probe_s {
+                    probes += 1;
+                    probe_energy_j += ctx.probe.energy_j;
+                    // The server is busy through the probe; the window's
+                    // own dispatch (or the recovery pause) carries the
+                    // time forward from here.
+                    dispatch_s += ctx.probe.latency_s;
+                    known = ctx.timeline.state_at(dispatch_s);
+                    next_probe_s = dispatch_s + ctx.probe.interval_s;
+                    trace_handle.count("serve", "probes", 1);
+                    if trace_handle.is_enabled() {
+                        trace_handle.mark(
+                            "serve",
+                            "probe",
+                            dispatch_s,
+                            vec![("fatal", trace::Value::Int(i64::from(known.fatal)))],
+                        );
+                    }
+                    // Graceful degradation: a detected fatal hazard with
+                    // a finite clearance is waited out, plus a
+                    // recalibration (TO-recompensation) downtime window.
+                    if let RecoveryPolicy::Degrade {
+                        recalibration_s, ..
+                    } = ctx.policy
+                    {
+                        if known.fatal {
+                            if let Some(clear_s) = ctx.timeline.fatal_clear_after(dispatch_s) {
+                                if clear_s.is_finite() {
+                                    let resume_s = clear_s + recalibration_s;
+                                    server_free_s = resume_s;
+                                    // Probe again on resume, before the
+                                    // next window opens.
+                                    next_probe_s = resume_s;
+                                    if trace_handle.is_enabled() {
+                                        trace_handle.mark(
+                                            "serve",
+                                            "recalibrate",
+                                            resume_s,
+                                            Vec::new(),
+                                        );
+                                    }
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Ground truth at dispatch; the belief (`known`) decides the
+            // serving mode, the truth decides the outcome.
+            let actual = faults.map_or(HazardState::NOMINAL, |c| c.timeline.state_at(dispatch_s));
+            let base_cost = &self.classes[class].cost;
+            // Under the Degrade policy, a *detected* degradation serves
+            // in a remapped precision-fallback mode: slower on the
+            // marginal time, but accuracy-safe.
+            let mut fallback_mode = false;
+            let degraded_cost = match faults.map(|c| c.policy) {
+                Some(RecoveryPolicy::Degrade {
+                    fallback_slowdown, ..
+                }) if !known.fatal && !known.is_nominal() => {
+                    fallback_mode = true;
+                    Some(
+                        base_cost
+                            .degraded(
+                                known.marginal_slowdown * fallback_slowdown,
+                                known.extra_leakage_w,
+                            )
+                            .map_err(|e| PhotonicError::upstream("arch", e))
+                            .ctx("deriving the degraded serving cost")?,
+                    )
+                }
+                _ => None,
+            };
+            let cost = degraded_cost.as_ref().unwrap_or(base_cost);
 
             let state = &mut states[class];
             let occupancy = state.queue.len().min(cfg.max_batch);
-            let cost = &self.classes[class].cost;
             let window_latency_s = cost.window_latency_s(occupancy);
             let window_energy_j = cost.window_energy_j(occupancy);
             let done_s = dispatch_s + window_latency_s;
-            for _ in 0..occupancy {
-                // Occupancy never exceeds the queue length, so the pop
-                // cannot fail; an empty queue here is an engine bug.
-                let Some(req) = state.queue.pop_front() else {
-                    return Err(PhotonicError::NumericalFailure {
-                        what: "serve window occupancy",
-                        detail: format!(
-                            "window for class {} claimed {occupancy} occupants \
-                             but the queue ran dry",
-                            self.classes[class].name
-                        ),
-                    });
-                };
-                state.latencies_s.push(done_s - req.arrive_s);
-                state.completed += 1;
+
+            if actual.fatal {
+                // The window ran and produced garbage; output validation
+                // catches it at window end, after the time and energy
+                // are spent. Occupants retry (with exponential backoff)
+                // or drop, per the policy.
+                failed_windows += 1;
+                trace_handle.count("serve", "failed_windows", 1);
+                for _ in 0..occupancy {
+                    let Some(req) = state.queue.pop_front() else {
+                        return Err(dry_queue_error(&self.classes[class].name, occupancy));
+                    };
+                    match retry_params {
+                        Some((max_retries, base_backoff_s)) if req.attempts < max_retries => {
+                            let attempts = req.attempts + 1;
+                            let ready_s = done_s + base_backoff_s * 2f64.powi(req.attempts as i32);
+                            retry_seq += 1;
+                            let seq = retry_seq;
+                            let at =
+                                retries.partition_point(|r| (r.ready_s, r.seq) <= (ready_s, seq));
+                            retries.insert(
+                                at,
+                                RetryEntry {
+                                    class,
+                                    arrive_s: req.arrive_s,
+                                    ready_s,
+                                    attempts,
+                                    seq,
+                                },
+                            );
+                            state.retried += 1;
+                            trace_handle.count("serve", "retried", 1);
+                        }
+                        _ => {
+                            state.dropped += 1;
+                            trace_handle.count("serve", "dropped", 1);
+                        }
+                    }
+                }
+                if trace_handle.is_enabled() {
+                    trace_handle.mark("serve", "window_failed", dispatch_s, Vec::new());
+                }
+            } else {
+                // A window served while the device is perturbed counts
+                // its occupants as degraded: accuracy-at-risk under
+                // None/RetryBackoff, slower-but-safe fallback service
+                // under Degrade.
+                let serve_degraded = !actual.is_nominal() || fallback_mode;
+                for _ in 0..occupancy {
+                    // Occupancy never exceeds the queue length, so the
+                    // pop cannot fail; an empty queue is an engine bug.
+                    let Some(req) = state.queue.pop_front() else {
+                        return Err(dry_queue_error(&self.classes[class].name, occupancy));
+                    };
+                    state.latencies_s.push(done_s - req.arrive_s);
+                    state.completed += 1;
+                }
+                if serve_degraded {
+                    state.degraded += occupancy as u64;
+                    trace_handle.count("serve", "degraded", occupancy as i64);
+                }
+                trace_handle.count("serve", "completed", occupancy as i64);
             }
             state.energy_j += window_energy_j;
             state.occupancy_sum += occupancy as u64;
             state.windows += 1;
             server_free_s = done_s;
             makespan_s = makespan_s.max(done_s);
-            trace_handle.count("serve", "completed", occupancy as i64);
             trace_handle.count("serve", "windows", 1);
             if trace_handle.is_enabled() {
                 trace_handle.sample(
@@ -283,7 +548,14 @@ impl ServeEngine {
             }
         }
 
-        self.finish(&arrivals, states, makespan_s)
+        self.finish(
+            &arrivals,
+            states,
+            makespan_s,
+            probes,
+            probe_energy_j,
+            failed_windows,
+        )
     }
 
     /// Folds the drained per-class accumulators into the report and
@@ -293,10 +565,17 @@ impl ServeEngine {
         arrivals: &ArrivalTrace,
         states: Vec<ClassState>,
         makespan_s: f64,
+        probes: u64,
+        probe_energy_j: f64,
+        failed_windows: u64,
     ) -> Result<ServeReport, PhotonicError> {
         let admitted: u64 = states.iter().map(|s| s.admitted).sum();
         let rejected: u64 = states.iter().map(|s| s.rejected).sum();
         let completed: u64 = states.iter().map(|s| s.completed).sum();
+        let dropped: u64 = states.iter().map(|s| s.dropped).sum();
+        let timed_out: u64 = states.iter().map(|s| s.timed_out).sum();
+        let retried: u64 = states.iter().map(|s| s.retried).sum();
+        let degraded: u64 = states.iter().map(|s| s.degraded).sum();
         let windows: u64 = states.iter().map(|s| s.windows).sum();
         let occupancy_sum: u64 = states.iter().map(|s| s.occupancy_sum).sum();
         if admitted + rejected != arrivals.len() as u64 {
@@ -308,16 +587,30 @@ impl ServeEngine {
                 ),
             });
         }
-        if completed != admitted {
+        // Every admitted request must reach exactly one terminal state.
+        for (class, s) in self.classes.iter().zip(&states) {
+            if s.completed + s.dropped + s.timed_out != s.admitted {
+                return Err(PhotonicError::NumericalFailure {
+                    what: "serve queue conservation",
+                    detail: format!(
+                        "class {}: {} admitted but {} completed + {} dropped + \
+                         {} timed out after drain",
+                        class.name, s.admitted, s.completed, s.dropped, s.timed_out
+                    ),
+                });
+            }
+        }
+        if completed + dropped + timed_out != admitted {
             return Err(PhotonicError::NumericalFailure {
                 what: "serve queue conservation",
                 detail: format!(
-                    "{admitted} admitted requests but {completed} completed after drain"
+                    "{admitted} admitted requests but {completed} completed + \
+                     {dropped} dropped + {timed_out} timed out after drain"
                 ),
             });
         }
 
-        let total_energy_j: f64 = states.iter().map(|s| s.energy_j).sum();
+        let total_energy_j: f64 = states.iter().map(|s| s.energy_j).sum::<f64>() + probe_energy_j;
         let mut all_latencies: Vec<f64> = Vec::with_capacity(completed as usize);
         for s in &states {
             all_latencies.extend_from_slice(&s.latencies_s);
@@ -337,6 +630,10 @@ impl ServeEngine {
                     admitted: s.admitted,
                     rejected: s.rejected,
                     completed: s.completed,
+                    dropped: s.dropped,
+                    timed_out: s.timed_out,
+                    retried: s.retried,
+                    degraded: s.degraded,
                     p50_latency_s: percentile_s(&s.latencies_s, 50.0),
                     p99_latency_s: percentile_s(&s.latencies_s, 99.0),
                     mean_latency_s: mean,
@@ -361,7 +658,13 @@ impl ServeEngine {
             admitted,
             rejected,
             completed,
+            dropped,
+            timed_out,
+            retried,
+            degraded,
             windows,
+            failed_windows,
+            probes,
             mean_occupancy: if windows == 0 {
                 0.0
             } else {
@@ -383,6 +686,15 @@ impl ServeEngine {
             makespan_s,
             classes,
         })
+    }
+}
+
+fn dry_queue_error(class: &str, occupancy: usize) -> PhotonicError {
+    PhotonicError::NumericalFailure {
+        what: "serve window occupancy",
+        detail: format!(
+            "window for class {class} claimed {occupancy} occupants but the queue ran dry"
+        ),
     }
 }
 
@@ -560,6 +872,195 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.track == "serve" && e.name == "batch_occupancy"));
+    }
+
+    fn fatal_window(onset_s: f64, clear_s: f64) -> crate::health::HazardTimeline {
+        crate::health::HazardTimeline::from_hazards(vec![crate::health::Hazard {
+            onset_s,
+            clear_s,
+            severity: crate::health::Severity::Fatal,
+        }])
+        .unwrap()
+    }
+
+    fn degraded_window(onset_s: f64, clear_s: f64, slowdown: f64) -> crate::health::HazardTimeline {
+        crate::health::HazardTimeline::from_hazards(vec![crate::health::Hazard {
+            onset_s,
+            clear_s,
+            severity: crate::health::Severity::Degraded {
+                marginal_slowdown: slowdown,
+                extra_leakage_w: 0.1,
+            },
+        }])
+        .unwrap()
+    }
+
+    fn faulted_run(
+        timeline: crate::health::HazardTimeline,
+        policy: crate::health::RecoveryPolicy,
+    ) -> ServeReport {
+        let ctx = crate::health::FaultContext::new(
+            timeline,
+            policy,
+            crate::health::ProbeConfig::default(),
+        )
+        .unwrap();
+        let config = ServeConfig {
+            arrival_rate_hz: 2_000.0,
+            duration_s: 0.02,
+            ..ServeConfig::default()
+        };
+        ServeEngine::with_faults(config, vec![synthetic_class(1.0)], ctx)
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_timeline_is_a_strict_noop() {
+        let config = ServeConfig {
+            arrival_rate_hz: 2_000.0,
+            duration_s: 0.02,
+            ..ServeConfig::default()
+        };
+        let plain = ServeEngine::new(config, vec![synthetic_class(1.0)])
+            .unwrap()
+            .run()
+            .unwrap();
+        let faulted = faulted_run(
+            crate::health::HazardTimeline::empty(),
+            crate::health::RecoveryPolicy::Degrade {
+                max_retries: 3,
+                base_backoff_s: 1e-4,
+                recalibration_s: 1e-3,
+                fallback_slowdown: 2.0,
+            },
+        );
+        assert_eq!(plain.to_json(), faulted.to_json());
+        assert_eq!(faulted.probes, 0);
+        assert_eq!(faulted.failed_windows, 0);
+    }
+
+    #[test]
+    fn permanent_fatal_hazard_drops_everything_without_recovery() {
+        let report = faulted_run(
+            fatal_window(0.0, f64::INFINITY),
+            crate::health::RecoveryPolicy::None,
+        );
+        assert!(report.admitted > 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.dropped, report.admitted);
+        assert!(report.failed_windows > 0);
+        assert!(report.probes > 0, "monitoring should still probe");
+        // Failed windows still burn energy.
+        assert!(report.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn retry_backoff_recovers_after_the_hazard_clears() {
+        let report = faulted_run(
+            fatal_window(0.0, 5e-3),
+            crate::health::RecoveryPolicy::RetryBackoff {
+                max_retries: 8,
+                base_backoff_s: 250e-6,
+            },
+        );
+        assert!(report.retried > 0, "windows inside the hazard must retry");
+        assert!(
+            report.completed > report.admitted / 2,
+            "most requests should complete after the hazard clears: {} of {}",
+            report.completed,
+            report.admitted
+        );
+        assert_eq!(
+            report.completed + report.dropped + report.timed_out,
+            report.admitted
+        );
+    }
+
+    #[test]
+    fn degrade_policy_beats_none_on_availability_under_finite_hazard() {
+        let none = faulted_run(fatal_window(0.0, 5e-3), crate::health::RecoveryPolicy::None);
+        let degrade = faulted_run(
+            fatal_window(0.0, 5e-3),
+            crate::health::RecoveryPolicy::Degrade {
+                max_retries: 8,
+                base_backoff_s: 250e-6,
+                recalibration_s: 500e-6,
+                fallback_slowdown: 2.0,
+            },
+        );
+        let availability = |r: &ServeReport| r.completed as f64 / r.admitted as f64;
+        assert!(
+            availability(&degrade) > availability(&none),
+            "degrade {} vs none {}",
+            availability(&degrade),
+            availability(&none)
+        );
+        assert!(degrade.probes > 0);
+    }
+
+    #[test]
+    fn detected_degradation_serves_slower_but_safe() {
+        // The whole run sits inside a degraded (dead-lane) hazard.
+        let none = faulted_run(
+            degraded_window(0.0, f64::INFINITY, 2.0),
+            crate::health::RecoveryPolicy::None,
+        );
+        let degrade = faulted_run(
+            degraded_window(0.0, f64::INFINITY, 2.0),
+            crate::health::RecoveryPolicy::Degrade {
+                max_retries: 3,
+                base_backoff_s: 250e-6,
+                recalibration_s: 500e-6,
+                fallback_slowdown: 2.0,
+            },
+        );
+        // Both complete everything: a degraded hazard never fails windows.
+        assert_eq!(none.completed, none.admitted);
+        assert_eq!(degrade.completed, degrade.admitted);
+        assert!(none.degraded > 0, "unmitigated service is accuracy-at-risk");
+        assert!(degrade.degraded > 0);
+        // Fallback mode pays real marginal time and leakage.
+        assert!(
+            degrade.joules_per_request > none.joules_per_request,
+            "degrade {} vs none {}",
+            degrade.joules_per_request,
+            none.joules_per_request
+        );
+        assert!(degrade.p99_latency_s >= none.p99_latency_s);
+    }
+
+    #[test]
+    fn deadlines_time_out_stale_requests_during_outage() {
+        // The Degrade policy pauses through the outage; requests queued
+        // during the pause overrun their 2 ms deadline and time out.
+        let class = synthetic_class(1.0).with_deadline(2e-3).unwrap();
+        let ctx = crate::health::FaultContext::new(
+            fatal_window(0.0, 10e-3),
+            crate::health::RecoveryPolicy::Degrade {
+                max_retries: 2,
+                base_backoff_s: 250e-6,
+                recalibration_s: 500e-6,
+                fallback_slowdown: 2.0,
+            },
+            crate::health::ProbeConfig::default(),
+        )
+        .unwrap();
+        let config = ServeConfig {
+            arrival_rate_hz: 2_000.0,
+            duration_s: 0.02,
+            ..ServeConfig::default()
+        };
+        let report = ServeEngine::with_faults(config, vec![class], ctx)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.timed_out > 0, "stale requests must time out");
+        assert_eq!(
+            report.completed + report.dropped + report.timed_out,
+            report.admitted
+        );
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! * **Observable.** With a [`phox_trace::Trace`] installed, the engine
 //!   emits `serve/*` counters plus queue-depth and batch-occupancy
 //!   time-series samples ([`phox_trace::Trace::sample`]).
+//! * **Fault-aware.** A [`phox_photonics::fault::FaultSchedule`]
+//!   resolved into a [`health::HazardTimeline`] turns the run into an
+//!   availability experiment: windows dispatched during uncompensatable
+//!   hazards fail, priced calibration probes detect them, and a
+//!   [`health::RecoveryPolicy`] decides between dropping, retrying with
+//!   exponential backoff, or gracefully degrading. Reports then account
+//!   for every admitted request: completed + dropped + timed-out.
 //!
 //! # Example
 //!
@@ -53,10 +60,14 @@
 
 pub mod arrivals;
 pub mod engine;
+pub mod health;
 pub mod report;
 pub mod workload;
 
 pub use arrivals::{Arrival, ArrivalTrace};
 pub use engine::{ServeConfig, ServeEngine};
+pub use health::{
+    FaultContext, Hazard, HazardState, HazardTimeline, ProbeConfig, RecoveryPolicy, Severity,
+};
 pub use report::{ClassReport, ServeReport};
 pub use workload::{standard_mix, ServiceClass};

@@ -27,6 +27,18 @@ pub struct ClassReport {
     pub rejected: u64,
     /// Requests that finished service.
     pub completed: u64,
+    /// Requests lost to failed windows after exhausting their retry
+    /// budget (or immediately, under [`crate::health::RecoveryPolicy::None`]).
+    pub dropped: u64,
+    /// Requests that exceeded their class deadline while queued.
+    pub timed_out: u64,
+    /// Retry events (re-queues after a failed window); not a terminal
+    /// state — a retried request still completes, drops, or times out.
+    pub retried: u64,
+    /// Completed requests served while the device was perturbed —
+    /// accuracy-at-risk without the `Degrade` policy, slower fallback
+    /// mode with it.
+    pub degraded: u64,
     /// Median request latency (arrival to completion), s.
     pub p50_latency_s: f64,
     /// 99th-percentile request latency, s.
@@ -44,12 +56,17 @@ impl ClassReport {
     fn to_json(&self) -> String {
         format!(
             "{{\"name\":{},\"admitted\":{},\"rejected\":{},\"completed\":{},\
+             \"dropped\":{},\"timed_out\":{},\"retried\":{},\"degraded\":{},\
              \"p50_latency_s\":{},\"p99_latency_s\":{},\"mean_latency_s\":{},\
              \"mean_occupancy\":{},\"joules_per_request\":{}}}",
             json_string(&self.name),
             self.admitted,
             self.rejected,
             self.completed,
+            self.dropped,
+            self.timed_out,
+            self.retried,
+            self.degraded,
             json_number(self.p50_latency_s),
             json_number(self.p99_latency_s),
             json_number(self.mean_latency_s),
@@ -74,8 +91,22 @@ pub struct ServeReport {
     pub rejected: u64,
     /// Requests that completed service.
     pub completed: u64,
+    /// Requests lost to failed windows (terminal).
+    pub dropped: u64,
+    /// Requests that exceeded their class deadline while queued
+    /// (terminal).
+    pub timed_out: u64,
+    /// Retry events across all classes (non-terminal).
+    pub retried: u64,
+    /// Completed requests served while the device was perturbed.
+    pub degraded: u64,
     /// Batch windows dispatched.
     pub windows: u64,
+    /// Windows dispatched during a fatal hazard: time and energy spent,
+    /// results discarded.
+    pub failed_windows: u64,
+    /// Calibration probes the health monitor ran.
+    pub probes: u64,
     /// Mean occupancy across all windows.
     pub mean_occupancy: f64,
     /// Completed requests divided by the busy horizon (last completion
@@ -103,7 +134,9 @@ impl ServeReport {
         let classes: Vec<String> = self.classes.iter().map(|c| c.to_json()).collect();
         format!(
             "{{\"seed\":{},\"offered_rate_hz\":{},\"arrivals\":{},\"admitted\":{},\
-             \"rejected\":{},\"completed\":{},\"windows\":{},\"mean_occupancy\":{},\
+             \"rejected\":{},\"completed\":{},\"dropped\":{},\"timed_out\":{},\
+             \"retried\":{},\"degraded\":{},\"windows\":{},\"failed_windows\":{},\
+             \"probes\":{},\"mean_occupancy\":{},\
              \"sustained_qps\":{},\"p50_latency_s\":{},\"p99_latency_s\":{},\
              \"total_energy_j\":{},\"joules_per_request\":{},\"makespan_s\":{},\
              \"classes\":[{}]}}",
@@ -113,7 +146,13 @@ impl ServeReport {
             self.admitted,
             self.rejected,
             self.completed,
+            self.dropped,
+            self.timed_out,
+            self.retried,
+            self.degraded,
             self.windows,
+            self.failed_windows,
+            self.probes,
             json_number(self.mean_occupancy),
             json_number(self.sustained_qps),
             json_number(self.p50_latency_s),
@@ -148,8 +187,14 @@ mod tests {
             arrivals: 10,
             admitted: 9,
             rejected: 1,
-            completed: 9,
+            completed: 8,
+            dropped: 1,
+            timed_out: 0,
+            retried: 2,
+            degraded: 3,
             windows: 4,
+            failed_windows: 1,
+            probes: 5,
             mean_occupancy: 2.25,
             sustained_qps: 900.0,
             p50_latency_s: 1e-3,
@@ -161,7 +206,11 @@ mod tests {
                 name: "prefill/bert-base".into(),
                 admitted: 9,
                 rejected: 1,
-                completed: 9,
+                completed: 8,
+                dropped: 1,
+                timed_out: 0,
+                retried: 2,
+                degraded: 3,
                 p50_latency_s: 1e-3,
                 p99_latency_s: 2e-3,
                 mean_latency_s: 1.1e-3,
@@ -173,7 +222,13 @@ mod tests {
         let b = report.clone().to_json();
         assert_eq!(a, b);
         assert!(a.starts_with('{') && a.ends_with('}'));
-        assert!(a.contains("\"completed\":9"));
+        assert!(a.contains("\"completed\":8"));
+        assert!(a.contains("\"dropped\":1"));
+        assert!(a.contains("\"timed_out\":0"));
+        assert!(a.contains("\"retried\":2"));
+        assert!(a.contains("\"degraded\":3"));
+        assert!(a.contains("\"failed_windows\":1"));
+        assert!(a.contains("\"probes\":5"));
         assert!(a.contains("prefill/bert-base"));
     }
 }

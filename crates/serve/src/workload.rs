@@ -21,6 +21,11 @@ pub struct ServiceClass {
     pub cost: ServiceCost,
     /// Relative share of the arrival mix (normalised over all classes).
     pub weight: f64,
+    /// Queueing-deadline for one service attempt, s: a request that has
+    /// waited longer than this since entering the queue (arrival, or
+    /// re-entry on retry) times out instead of being served. `None`
+    /// disables the deadline.
+    pub deadline_s: Option<f64>,
 }
 
 impl ServiceClass {
@@ -44,7 +49,24 @@ impl ServiceClass {
             name: name.into(),
             cost,
             weight,
+            deadline_s: None,
         })
+    }
+
+    /// Attaches a per-attempt queueing deadline to the class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] for a non-finite or
+    /// non-positive deadline.
+    pub fn with_deadline(mut self, deadline_s: f64) -> Result<Self, PhotonicError> {
+        if !deadline_s.is_finite() || deadline_s <= 0.0 {
+            return Err(PhotonicError::InvalidConfig {
+                what: "service class deadline must be finite and positive",
+            });
+        }
+        self.deadline_s = Some(deadline_s);
+        Ok(self)
     }
 
     /// A transformer prefill class: one full forward pass of `model`.
@@ -154,5 +176,18 @@ mod tests {
         assert!(ServiceClass::new("x", cost, 0.0).is_err());
         assert!(ServiceClass::new("x", cost, f64::NAN).is_err());
         assert!(ServiceClass::new("x", cost, -1.0).is_err());
+    }
+
+    #[test]
+    fn deadline_builder_validates() {
+        let tron = TronAccelerator::new(TronConfig::default()).unwrap();
+        let model = TransformerConfig::tiny(16);
+        let cost = tron.service_cost(&model).unwrap();
+        let class = ServiceClass::new("x", cost, 1.0).unwrap();
+        assert_eq!(class.deadline_s, None);
+        let with = class.clone().with_deadline(5e-3).unwrap();
+        assert_eq!(with.deadline_s, Some(5e-3));
+        assert!(class.clone().with_deadline(0.0).is_err());
+        assert!(class.with_deadline(f64::INFINITY).is_err());
     }
 }

@@ -1,0 +1,171 @@
+//! The empty-fault-schedule no-op property and fault-mode determinism.
+//!
+//! A fault-aware engine built over an **empty** `FaultSchedule` must be
+//! indistinguishable — byte-identical report JSON *and* byte-identical
+//! trace exports — from the plain engine, at every thread-pool width.
+//! And a *non*-empty timeline must itself be deterministic across
+//! thread counts: faults perturb the physics, never the scheduling
+//! reproducibility.
+
+use proptest::prelude::*;
+
+use phox_arch::metrics::ServiceCost;
+use phox_photonics::fault::FaultSchedule;
+use phox_serve::{
+    FaultContext, Hazard, HazardTimeline, ProbeConfig, RecoveryPolicy, ServeConfig, ServeEngine,
+    ServiceClass, Severity,
+};
+use phox_tensor::parallel::with_threads;
+use phox_tron::config::TronConfig;
+
+fn synthetic_classes() -> Vec<ServiceClass> {
+    vec![
+        ServiceClass::new(
+            "fast",
+            ServiceCost {
+                resident_s: 100e-6,
+                resident_j: 1e-3,
+                marginal_s: 10e-6,
+                marginal_j: 20e-6,
+                leakage_w: 0.05,
+            },
+            2.0,
+        )
+        .expect("class"),
+        ServiceClass::new(
+            "slow",
+            ServiceCost {
+                resident_s: 30e-6,
+                resident_j: 4e-4,
+                marginal_s: 25e-6,
+                marginal_j: 5e-6,
+                leakage_w: 0.05,
+            },
+            1.0,
+        )
+        .expect("class"),
+    ]
+}
+
+/// Runs under an installed trace; returns (report JSON, trace JSONL).
+fn traced_run(engine: &ServeEngine) -> (String, String) {
+    let trace = phox_trace::Trace::new();
+    let report = phox_trace::with_installed(trace.clone(), || engine.run().expect("run"));
+    (report.to_json(), trace.export_jsonl())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Empty schedule ⇒ strict no-op: same report bytes and same trace
+    /// bytes as the unfaulted engine, across 1/2/4/8 threads, for every
+    /// recovery policy.
+    #[test]
+    fn empty_schedule_is_byte_identical_to_unfaulted(
+        seed in any::<u64>(),
+        rate in 500.0f64..10_000.0,
+        duration in 0.002f64..0.01,
+        policy_idx in 0usize..3,
+    ) {
+        let config = ServeConfig {
+            seed,
+            arrival_rate_hz: rate,
+            duration_s: duration,
+            ..ServeConfig::default()
+        };
+        let policy = [
+            RecoveryPolicy::None,
+            RecoveryPolicy::RetryBackoff { max_retries: 3, base_backoff_s: 100e-6 },
+            RecoveryPolicy::Degrade {
+                max_retries: 3,
+                base_backoff_s: 100e-6,
+                recalibration_s: 500e-6,
+                fallback_slowdown: 2.0,
+            },
+        ][policy_idx];
+        // An empty FaultSchedule resolves to an empty timeline, as the
+        // serving entry point would build it.
+        let cfg = TronConfig::default();
+        let schedule = FaultSchedule::new(cfg.array_rows, cfg.array_channels);
+        let timeline = HazardTimeline::resolve_tron(&schedule, &cfg).expect("resolve");
+        prop_assert!(timeline.is_empty());
+
+        let plain = ServeEngine::new(config, synthetic_classes()).expect("engine");
+        let ctx = FaultContext::new(timeline, policy, ProbeConfig::default()).expect("ctx");
+        let faulted =
+            ServeEngine::with_faults(config, synthetic_classes(), ctx).expect("engine");
+
+        let (base_report, base_trace) = with_threads(1, || traced_run(&plain));
+        for threads in [1usize, 2, 4, 8] {
+            let (report, trace) = with_threads(threads, || traced_run(&faulted));
+            prop_assert_eq!(&base_report, &report, "report diverged at {} threads", threads);
+            prop_assert_eq!(&base_trace, &trace, "trace diverged at {} threads", threads);
+        }
+    }
+
+    /// A faulted run is itself thread-invariant, and its report
+    /// conserves every admitted request into a terminal state.
+    #[test]
+    fn faulted_runs_are_thread_invariant_and_conserve(
+        seed in any::<u64>(),
+        rate in 500.0f64..10_000.0,
+        duration in 0.004f64..0.012,
+        onset_ms in 0.0f64..4.0,
+        hold_ms in 0.5f64..6.0,
+        policy_idx in 0usize..3,
+    ) {
+        let config = ServeConfig {
+            seed,
+            arrival_rate_hz: rate,
+            duration_s: duration,
+            ..ServeConfig::default()
+        };
+        let policy = [
+            RecoveryPolicy::None,
+            RecoveryPolicy::RetryBackoff { max_retries: 4, base_backoff_s: 100e-6 },
+            RecoveryPolicy::Degrade {
+                max_retries: 4,
+                base_backoff_s: 100e-6,
+                recalibration_s: 500e-6,
+                fallback_slowdown: 2.0,
+            },
+        ][policy_idx];
+        let timeline = HazardTimeline::from_hazards(vec![
+            Hazard {
+                onset_s: onset_ms * 1e-3,
+                clear_s: (onset_ms + hold_ms) * 1e-3,
+                severity: Severity::Fatal,
+            },
+            Hazard {
+                onset_s: 0.0,
+                clear_s: f64::INFINITY,
+                severity: Severity::Degraded {
+                    marginal_slowdown: 1.25,
+                    extra_leakage_w: 0.02,
+                },
+            },
+        ]).expect("timeline");
+        let ctx = FaultContext::new(timeline, policy, ProbeConfig::default()).expect("ctx");
+        let engine = ServeEngine::with_faults(config, synthetic_classes(), ctx).expect("engine");
+
+        let (base_report, base_trace) = with_threads(1, || traced_run(&engine));
+        for threads in [2usize, 4, 8] {
+            let (report, trace) = with_threads(threads, || traced_run(&engine));
+            prop_assert_eq!(&base_report, &report, "report diverged at {} threads", threads);
+            prop_assert_eq!(&base_trace, &trace, "trace diverged at {} threads", threads);
+        }
+
+        let report = engine.run().expect("run");
+        prop_assert_eq!(report.admitted + report.rejected, report.arrivals);
+        prop_assert_eq!(
+            report.completed + report.dropped + report.timed_out,
+            report.admitted
+        );
+        let class_terminal: u64 = report
+            .classes
+            .iter()
+            .map(|c| c.completed + c.dropped + c.timed_out)
+            .sum();
+        prop_assert_eq!(class_terminal, report.admitted);
+    }
+}

@@ -145,6 +145,15 @@ pub enum Kind {
         /// Observed value.
         value: f64,
     },
+    /// A zero-duration event pinned to a *model-time* instant — a fault
+    /// onset, a health-probe firing, a recalibration window. Unlike
+    /// [`Kind::Instant`] (which has no timestamp), marks carry the
+    /// simulated second they happened at, so exports place them on the
+    /// timeline next to the spans they explain.
+    Mark {
+        /// Model-time instant of the occurrence, seconds.
+        t_s: f64,
+    },
 }
 
 impl Kind {
@@ -153,6 +162,7 @@ impl Kind {
             Kind::Span { .. } => 0,
             Kind::Instant => 1,
             Kind::Sample { .. } => 2,
+            Kind::Mark { .. } => 3,
         }
     }
 }
@@ -199,6 +209,7 @@ fn event_cmp(a: &Event, b: &Event) -> Ordering {
             (Kind::Sample { t_s: t1, value: v1 }, Kind::Sample { t_s: t2, value: v2 }) => {
                 t1.total_cmp(t2).then_with(|| v1.total_cmp(v2))
             }
+            (Kind::Mark { t_s: t1 }, Kind::Mark { t_s: t2 }) => t1.total_cmp(t2),
             _ => Ordering::Equal,
         })
         .then_with(|| {
@@ -355,6 +366,30 @@ impl Trace {
             track: track.into(),
             name: name.into(),
             kind: Kind::Sample { t_s, value },
+            args,
+        };
+        self.with_state(|s| s.events.push(event));
+    }
+
+    /// Records a model-time mark: a zero-duration occurrence pinned to
+    /// simulated second `t_s` — e.g. a fault onset, a calibration probe,
+    /// or the start of a recovery window in the serving simulator.
+    /// Deterministic like [`Trace::model_span`]: only model time is
+    /// recorded, and exports sort marks by `t_s`.
+    pub fn mark(
+        &self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        t_s: f64,
+        args: Vec<(&'static str, Value)>,
+    ) {
+        if self.0.is_none() {
+            return;
+        }
+        let event = Event {
+            track: track.into(),
+            name: name.into(),
+            kind: Kind::Mark { t_s },
             args,
         };
         self.with_state(|s| s.events.push(event));
@@ -578,6 +613,13 @@ fn event_jsonl(e: &Event) -> String {
             json_number(*value),
             args_json(&e.args)
         ),
+        Kind::Mark { t_s } => format!(
+            "{{\"type\":\"mark\",\"track\":{},\"name\":{},\"t_s\":{},\"args\":{}}}",
+            json_string(&e.track),
+            json_string(&e.name),
+            json_number(*t_s),
+            args_json(&e.args)
+        ),
     }
 }
 
@@ -618,6 +660,16 @@ fn event_chrome(e: &Event, tid: usize) -> String {
             tid,
             json_number(t_s * 1e6),
             json_number(*value)
+        ),
+        // Marks are timestamped instants ("i") so they land on the model
+        // timeline between the spans they annotate.
+        Kind::Mark { t_s } => format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"name\":{},\"pid\":0,\"tid\":{},\
+             \"ts\":{},\"args\":{}}}",
+            json_string(&e.name),
+            tid,
+            json_number(t_s * 1e6),
+            args_json(&e.args)
         ),
     }
 }
@@ -883,6 +935,37 @@ mod tests {
         assert!(matches!(events[0].kind, Kind::Span { .. }));
         assert!(matches!(events[1].kind, Kind::Instant));
         assert!(matches!(events[2].kind, Kind::Sample { .. }));
+    }
+
+    #[test]
+    fn marks_sort_by_time_and_export_in_both_formats() {
+        let t1 = Trace::new();
+        t1.mark("serve", "probe", 2.0e-3, vec![("fatal", Value::Int(0))]);
+        t1.mark("serve", "probe", 1.0e-3, vec![("fatal", Value::Int(1))]);
+        let t2 = Trace::new();
+        t2.mark("serve", "probe", 1.0e-3, vec![("fatal", Value::Int(1))]);
+        t2.mark("serve", "probe", 2.0e-3, vec![("fatal", Value::Int(0))]);
+        assert_eq!(t1.events(), t2.events());
+        assert_eq!(t1.export_jsonl(), t2.export_jsonl());
+        let jsonl = t1.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"mark\""));
+        assert!(lines[0].contains("\"t_s\":0.001"));
+        assert!(lines[1].contains("\"t_s\":0.002"));
+        let chrome = t1.export_chrome();
+        assert!(chrome.contains("\"ph\":\"i\""));
+        assert!(chrome.contains("\"ts\":1000"));
+    }
+
+    #[test]
+    fn marks_rank_after_samples() {
+        let t = Trace::new();
+        t.mark("x", "n", 0.0, vec![]);
+        t.sample("x", "n", 0.0, 1.0, vec![]);
+        let events = t.events();
+        assert!(matches!(events[0].kind, Kind::Sample { .. }));
+        assert!(matches!(events[1].kind, Kind::Mark { .. }));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use phox_arch::schedule::{overlap_time_s, Tiling};
 use phox_memsim::dram::HbmStack;
 use phox_memsim::sram::{Sram, SramConfig};
 use phox_nn::transformer::{TransformerConfig, TransformerKind};
+use phox_photonics::fault::FaultImpact;
 use phox_photonics::{Ctx, PhotonicError};
 
 use crate::config::TronConfig;
@@ -1245,6 +1246,80 @@ impl TronAccelerator {
             PhotonicError::upstream("arch", e).ctx("validating the TRON decode service cost")
         })
     }
+
+    /// Maps a resolved fault impact onto the serving-cost degradation it
+    /// causes on this accelerator: dead-lane remapping re-runs the lost
+    /// output columns on the surviving lanes (a marginal slowdown of
+    /// `rows / (rows − dead)`), and TO drift compensation draws standing
+    /// power (extra leakage, one compensation budget per array).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicError::InvalidConfig`] when every receiver lane
+    /// is dead — there is nothing left to remap onto.
+    pub fn fault_degradation(&self, impact: &FaultImpact) -> Result<(f64, f64), PhotonicError> {
+        fault_degradation(self.config.array_rows, impact)
+    }
+
+    /// [`TronAccelerator::service_cost`] on an accelerator degraded by
+    /// `impact` — the serving layer's dead-lane-remap / drift-compensation
+    /// cost seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TronAccelerator::service_cost`] and degradation
+    /// failures.
+    pub fn degraded_service_cost(
+        &self,
+        model: &TransformerConfig,
+        impact: &FaultImpact,
+    ) -> Result<ServiceCost, PhotonicError> {
+        let (slowdown, extra_leakage_w) = self.fault_degradation(impact)?;
+        self.service_cost(model)?
+            .degraded(slowdown, extra_leakage_w)
+            .map_err(|e| {
+                PhotonicError::upstream("arch", e).ctx("validating the degraded TRON service cost")
+            })
+    }
+
+    /// [`TronAccelerator::decode_service_cost`] on an accelerator
+    /// degraded by `impact`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TronAccelerator::decode_service_cost`] and
+    /// degradation failures.
+    pub fn degraded_decode_service_cost(
+        &self,
+        model: &TransformerConfig,
+        gen_tokens: usize,
+        impact: &FaultImpact,
+    ) -> Result<ServiceCost, PhotonicError> {
+        let (slowdown, extra_leakage_w) = self.fault_degradation(impact)?;
+        self.decode_service_cost(model, gen_tokens)?
+            .degraded(slowdown, extra_leakage_w)
+            .map_err(|e| {
+                PhotonicError::upstream("arch", e)
+                    .ctx("validating the degraded TRON decode service cost")
+            })
+    }
+}
+
+/// The shared dead-lane-remap / drift-compensation degradation model:
+/// `rows / (rows − dead)` marginal slowdown plus the impact's
+/// compensation power as extra leakage.
+pub(crate) fn fault_degradation(
+    rows: usize,
+    impact: &FaultImpact,
+) -> Result<(f64, f64), PhotonicError> {
+    if rows == 0 || impact.dead_lanes.len() >= rows {
+        return Err(PhotonicError::InvalidConfig {
+            what: "every receiver lane is dead",
+        }
+        .ctx("deriving fault degradation"));
+    }
+    let slowdown = rows as f64 / (rows - impact.dead_lanes.len()) as f64;
+    Ok((slowdown, impact.compensation_power_w))
 }
 
 #[cfg(test)]

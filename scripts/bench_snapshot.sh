@@ -17,8 +17,14 @@
 #                  sustained QPS, batch occupancy and joules/request
 #                  for the prefill + decode + GNN mix, with
 #                  occupancy/energy and thread bit-identity verdicts.
+#   BENCH_6.json — accuracy under physics: the fault-budget accuracy
+#                  cliff through both functional simulators plus the
+#                  availability/p99/joules-per-request sweep over
+#                  fault arrival rates for each recovery policy, with
+#                  empty-schedule no-op and thread bit-identity
+#                  verdicts.
 #
-# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|decode|serve|all] [OUTPUT.json]
+# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|decode|serve|faults|all] [OUTPUT.json]
 # Default is "all". A bare OUTPUT.json argument keeps the legacy
 # behaviour of writing the GEMM snapshot there.
 set -eu

@@ -18,24 +18,25 @@ fn ghost_cfg() -> GhostConfig {
     GhostConfig::default()
 }
 
-/// One plan per fault type, addressed to the given bank geometry.
+/// One plan per fault type, addressed to the given bank geometry. The
+/// builders validate eagerly now, so a failure here is a test bug.
 fn single_fault_plans(rows: usize, channels: usize) -> Vec<(&'static str, FaultPlan)> {
     vec![
         (
             "stuck-at MR",
-            FaultPlan::new(rows, channels).stuck_mr(3, 5, 0.25),
+            FaultPlan::new(rows, channels).stuck_mr(3, 5, 0.25).unwrap(),
         ),
         (
             "thermal drift",
-            FaultPlan::new(rows, channels).thermal_drift(1.5),
+            FaultPlan::new(rows, channels).thermal_drift(1.5).unwrap(),
         ),
         (
             "dead ADC lane",
-            FaultPlan::new(rows, channels).dead_adc_lane(7),
+            FaultPlan::new(rows, channels).dead_adc_lane(7).unwrap(),
         ),
         (
             "laser droop",
-            FaultPlan::new(rows, channels).laser_droop(3.0),
+            FaultPlan::new(rows, channels).laser_droop(3.0).unwrap(),
         ),
     ]
 }
@@ -124,7 +125,8 @@ fn faults_actually_change_the_output() {
     let baseline = clean.forward(&model, &x).unwrap();
     let plan = FaultPlan::new(cfg.array_rows, cfg.array_channels)
         .stuck_mr(0, 0, 1.0)
-        .dead_adc_lane(1);
+        .and_then(|p| p.dead_adc_lane(1))
+        .unwrap();
     let mut faulted = TronFunctional::with_faults(&cfg, plan, 43).unwrap();
     let degraded = faulted.forward(&model, &x).unwrap();
     assert_ne!(baseline, degraded, "injected faults must be observable");
@@ -136,7 +138,9 @@ fn uncompensatable_faults_return_typed_chained_errors() {
     let ghost = ghost_cfg();
 
     // Thermal drift beyond the TO tuning range.
-    let drift = FaultPlan::new(tron.array_rows, tron.array_channels).thermal_drift(10.0);
+    let drift = FaultPlan::new(tron.array_rows, tron.array_channels)
+        .thermal_drift(10.0)
+        .unwrap();
     let err = TronFunctional::with_faults(&tron, drift.clone(), 1).unwrap_err();
     assert!(matches!(
         err.root_cause(),
@@ -144,7 +148,9 @@ fn uncompensatable_faults_return_typed_chained_errors() {
     ));
     assert!(std::error::Error::source(&err).is_some());
 
-    let drift = FaultPlan::new(ghost.array_rows, ghost.array_channels).thermal_drift(10.0);
+    let drift = FaultPlan::new(ghost.array_rows, ghost.array_channels)
+        .thermal_drift(10.0)
+        .unwrap();
     let err = GhostFunctional::with_faults(&ghost, drift, 1).unwrap_err();
     assert!(matches!(
         err.root_cause(),
@@ -152,14 +158,18 @@ fn uncompensatable_faults_return_typed_chained_errors() {
     ));
 
     // Laser droop below the receiver's noise floor.
-    let droop = FaultPlan::new(tron.array_rows, tron.array_channels).laser_droop(90.0);
+    let droop = FaultPlan::new(tron.array_rows, tron.array_channels)
+        .laser_droop(90.0)
+        .unwrap();
     let err = TronFunctional::with_faults(&tron, droop, 1).unwrap_err();
     assert!(matches!(
         err.root_cause(),
         PhotonicError::SignalUndetectable { .. } | PhotonicError::PrecisionUnreachable { .. }
     ));
 
-    let droop = FaultPlan::new(ghost.array_rows, ghost.array_channels).laser_droop(90.0);
+    let droop = FaultPlan::new(ghost.array_rows, ghost.array_channels)
+        .laser_droop(90.0)
+        .unwrap();
     let err = GhostFunctional::with_faults(&ghost, droop, 1).unwrap_err();
     assert!(matches!(
         err.root_cause(),
@@ -176,12 +186,24 @@ fn out_of_geometry_plans_are_rejected_with_context() {
     assert!(err.to_string().contains("injecting device faults"), "{err}");
     assert!(std::error::Error::source(&err).is_some());
 
-    // Plan with a stuck ring outside the arrays.
-    let out = FaultPlan::new(cfg.array_rows, cfg.array_channels).stuck_mr(cfg.array_rows, 0, 0.5);
-    let err = TronFunctional::with_faults(&cfg, out, 1).unwrap_err();
+    // A stuck ring outside the arrays is rejected at build time now —
+    // the plan never exists to be injected.
+    let err = FaultPlan::new(cfg.array_rows, cfg.array_channels)
+        .stuck_mr(cfg.array_rows, 0, 0.5)
+        .unwrap_err();
     assert!(matches!(
         err.root_cause(),
         PhotonicError::ValueOutOfRange { .. }
+    ));
+
+    // As is a duplicate cell address.
+    let err = FaultPlan::new(cfg.array_rows, cfg.array_channels)
+        .stuck_mr(1, 1, 0.5)
+        .and_then(|p| p.stuck_mr(1, 1, 0.9))
+        .unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        PhotonicError::DuplicateFault { .. }
     ));
 }
 
@@ -190,7 +212,7 @@ fn drift_compensation_reports_tuning_power() {
     let cfg = tron_cfg();
     let plan = FaultPlan::new(cfg.array_rows, cfg.array_channels)
         .thermal_drift(1.5)
-        .validated()
+        .and_then(|p| p.validated())
         .unwrap();
     let impact = plan
         .impact(&cfg.mr, &cfg.tuning, &cfg.noise, cfg.adc.bits)
@@ -200,6 +222,125 @@ fn drift_compensation_reports_tuning_power() {
         "drift compensation must burn tuning power"
     );
     assert!(impact.weight_gain.is_finite() && impact.weight_gain > 0.0);
+}
+
+#[test]
+fn fault_schedule_switches_mid_run_and_clears() {
+    // A scheduled dead lane: identical to the clean simulator before
+    // onset, observably different while active, identical again after
+    // clearance — on matched noise-stream seeds.
+    let cfg = tron_cfg();
+    let model = tiny_transformer(61);
+    let x = Prng::new(62).fill_normal(8, 32, 0.0, 1.0);
+    let schedule = FaultSchedule::new(cfg.array_rows, cfg.array_channels)
+        .schedule(1.0, 2.0, DeviceFault::DeadAdcLane { lane: 1 })
+        .unwrap();
+    let mut scheduled = TronFunctional::with_fault_schedule(&cfg, schedule, 63).unwrap();
+    let mut clean = TronFunctional::new(&cfg, 63).unwrap();
+
+    scheduled.advance_to(0.5).unwrap();
+    assert_eq!(
+        scheduled.forward(&model, &x).unwrap(),
+        clean.forward(&model, &x).unwrap(),
+        "before onset the schedule must be inert"
+    );
+
+    scheduled.advance_to(1.5).unwrap();
+    assert_ne!(
+        scheduled.forward(&model, &x).unwrap(),
+        clean.forward(&model, &x).unwrap(),
+        "inside the window the fault must be observable"
+    );
+
+    scheduled.advance_to(2.5).unwrap();
+    assert_eq!(
+        scheduled.forward(&model, &x).unwrap(),
+        clean.forward(&model, &x).unwrap(),
+        "after clearance the datapath must recover exactly"
+    );
+}
+
+#[test]
+fn ghost_fault_schedule_switches_mid_run() {
+    let cfg = ghost_cfg();
+    let task = small_graph_task();
+    let model = GnnModel::random(GnnConfig::two_layer(GnnKind::Gcn, 12, 16, 3), 82).unwrap();
+    let schedule = FaultSchedule::new(cfg.array_rows, cfg.array_channels)
+        .schedule(1.0, f64::INFINITY, DeviceFault::DeadAdcLane { lane: 2 })
+        .unwrap();
+    let mut scheduled = GhostFunctional::with_fault_schedule(&cfg, schedule, 83).unwrap();
+    let mut clean = GhostFunctional::new(&cfg, 83).unwrap();
+
+    scheduled.advance_to(0.5).unwrap();
+    assert_eq!(
+        scheduled
+            .forward(&model, &task.graph, &task.features)
+            .unwrap(),
+        clean.forward(&model, &task.graph, &task.features).unwrap(),
+    );
+    scheduled.advance_to(1.5).unwrap();
+    assert_ne!(
+        scheduled
+            .forward(&model, &task.graph, &task.features)
+            .unwrap(),
+        clean.forward(&model, &task.graph, &task.features).unwrap(),
+    );
+}
+
+#[test]
+fn fatal_scheduled_fault_is_a_typed_error_mid_run_never_a_panic() {
+    let cfg = tron_cfg();
+    let schedule = FaultSchedule::new(cfg.array_rows, cfg.array_channels)
+        .schedule(1.0, 2.0, DeviceFault::ThermalDrift { drift_nm: 10.0 })
+        .unwrap();
+    let mut sim = TronFunctional::with_fault_schedule(&cfg, schedule, 93).unwrap();
+    // Before onset: fine.
+    sim.advance_to(0.5).unwrap();
+    // Inside the window the drift exceeds the tuning range — a typed,
+    // chained error, not a panic.
+    let err = sim.advance_to(1.5).unwrap_err();
+    assert!(matches!(
+        err.root_cause(),
+        PhotonicError::TuningRangeExceeded { .. }
+    ));
+    assert!(std::error::Error::source(&err).is_some());
+    // Non-finite model time is also a typed error.
+    assert!(sim.advance_to(f64::NAN).is_err());
+}
+
+#[test]
+fn random_schedule_drives_both_simulators_without_panicking() {
+    // A seeded random schedule (severe faults included) never panics:
+    // every advance_to either succeeds or returns a typed error.
+    let cfg = tron_cfg();
+    let schedule = FaultSchedule::random(
+        0xD15EA5E,
+        cfg.array_rows,
+        cfg.array_channels,
+        200.0, // arrivals/s of model time
+        0.05,  // horizon, s
+        5e-3,  // mean hold, s
+        0.5,   // half the faults severe
+    )
+    .unwrap();
+    assert!(!schedule.is_empty());
+    let mut sim = TronFunctional::with_fault_schedule(&cfg, schedule, 103).unwrap();
+    let mut outcomes = (0u32, 0u32);
+    for step in 0..=100 {
+        let t = step as f64 * 5e-4;
+        match sim.advance_to(t) {
+            Ok(()) => outcomes.0 += 1,
+            Err(e) => {
+                outcomes.1 += 1;
+                // Every failure is typed and context-chained.
+                assert!(
+                    e.to_string().contains("advancing TRON fault schedule"),
+                    "{e}"
+                );
+            }
+        }
+    }
+    assert!(outcomes.0 > 0, "schedule must leave servable instants");
 }
 
 #[test]
@@ -213,7 +354,9 @@ fn droop_widens_the_error_distribution() {
     let reference = model.forward(&x).unwrap();
     let mut healthy = TronFunctional::new(&cfg, 53).unwrap();
     let e_healthy = stats::relative_error(&reference, &healthy.forward(&model, &x).unwrap());
-    let plan = FaultPlan::new(cfg.array_rows, cfg.array_channels).laser_droop(6.0);
+    let plan = FaultPlan::new(cfg.array_rows, cfg.array_channels)
+        .laser_droop(6.0)
+        .unwrap();
     let mut drooped = TronFunctional::with_faults(&cfg, plan, 53).unwrap();
     let e_drooped = stats::relative_error(&reference, &drooped.forward(&model, &x).unwrap());
     assert!(
