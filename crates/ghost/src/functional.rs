@@ -17,7 +17,7 @@ use phox_photonics::summation::OpticalComparator;
 use phox_photonics::tuning::HybridTuning;
 use phox_photonics::{Ctx, PhotonicError};
 use phox_tensor::sparse::DegreeBuckets;
-use phox_tensor::{ops, parallel, Matrix, Prng};
+use phox_tensor::{ops, parallel, Matrix, Prng, Quantizer};
 
 use crate::config::GhostConfig;
 
@@ -255,6 +255,16 @@ impl GhostFunctional {
     /// Optical aggregation through the reduce units: sum/mean use
     /// coherent summation, max uses the optical comparator tournament.
     ///
+    /// Int8 datapath: sum/mean members enter through the DAC, so the
+    /// reduce unit accumulates exact integer level counts — the same
+    /// accumulators as the digital int8 reference
+    /// ([`phox_tensor::sparse_i8::aggregate_i8_into`]) — and receiver
+    /// noise perturbs the accumulated count *before* dequantization. A
+    /// noiseless sum aggregation therefore reproduces the digital int8
+    /// reference bit for bit. Max stays on the optical amplitudes
+    /// directly (the comparator is value-preserving, not a quantizing
+    /// stage).
+    ///
     /// Sparse compute path: nodes are scheduled in degree-bucketed
     /// [`phox_tensor::sparse::ROW_TILE`]-row tiles (hubs first, so the
     /// work-stealing loop never straggles on a power-law tail), and each
@@ -287,11 +297,18 @@ impl GhostFunctional {
         let key = self.engine.stream_key();
         let sigma = self.engine.relative_sigma();
         let comparator = self.comparator;
+        // DAC stage for the coherent-summation path: member rows enter
+        // as symmetric int8 levels, one calibration per aggregate call.
+        let qh = Quantizer::calibrate(h).quantize(h);
+        let codes = qh.as_i8_slice();
+        let h_scale = qh.scale();
         let sched = DegreeBuckets::new(graph.offsets());
         let tiles: Vec<Vec<f64>> = parallel::par_map_indexed(sched.num_tiles(), |t| {
             let rows = sched.tile_rows(t);
-            // One scratch buffer per tile, reused across its rows.
+            // One scratch buffer per tile, reused across its rows, plus
+            // one integer accumulator reused across the tile's nodes.
             let mut buf = vec![0.0; rows.len() * f];
+            let mut acc = vec![0i64; f];
             for (i, &v) in rows.iter().enumerate() {
                 let v = v as usize;
                 let slot = &mut buf[i * f..(i + 1) * f];
@@ -301,15 +318,23 @@ impl GhostFunctional {
                 }
                 match agg {
                     Aggregation::Sum | Aggregation::Mean => {
-                        // Coherent summation: member rows accumulate in
-                        // CSR order, then every column's sum picks up
-                        // receiver noise from the node's stream.
+                        // Coherent summation on the int8 codes: member
+                        // levels accumulate exactly in CSR order (the
+                        // digital reference's accumulator), then every
+                        // column's count picks up receiver noise from
+                        // the node's stream before dequantization.
+                        for a in acc.iter_mut() {
+                            *a = 0;
+                        }
                         if include_self {
-                            slot.copy_from_slice(h.row(v));
+                            for (a, &q) in acc.iter_mut().zip(&codes[v * f..(v + 1) * f]) {
+                                *a = i64::from(q);
+                            }
                         }
                         for &u in neigh {
-                            for (s, &x) in slot.iter_mut().zip(h.row(u as usize)) {
-                                *s += x;
+                            let u = u as usize;
+                            for (a, &q) in acc.iter_mut().zip(&codes[u * f..(u + 1) * f]) {
+                                *a += i64::from(q);
                             }
                         }
                         let denom = if agg == Aggregation::Mean {
@@ -318,8 +343,10 @@ impl GhostFunctional {
                             1.0
                         };
                         let mut rng = Prng::stream(key, v as u64);
-                        for s in slot.iter_mut() {
-                            *s = perturb(*s, sigma, &mut rng) / denom;
+                        for (s, &a) in slot.iter_mut().zip(acc.iter()) {
+                            #[allow(clippy::cast_precision_loss)]
+                            let count = a as f64;
+                            *s = perturb(count, sigma, &mut rng) * h_scale / denom;
                         }
                     }
                     Aggregation::Max => {
@@ -353,19 +380,30 @@ impl GhostFunctional {
                     .copy_from_slice(&buf[i * f..(i + 1) * f]);
             }
         }
-        self.trace_aggregate("optical_aggregate", &sched, f);
+        self.trace_aggregate(
+            "optical_aggregate",
+            &sched,
+            f,
+            !matches!(agg, Aggregation::Max),
+        );
         Ok(out)
     }
 
     /// Records sparse-aggregation counters and a summary event. Called
     /// from the serial assembly path only, so traces stay byte-identical
-    /// across thread counts.
-    fn trace_aggregate(&self, op: &'static str, sched: &DegreeBuckets, f: usize) {
+    /// across thread counts. `int8` marks calls whose accumulation ran
+    /// on integer DAC codes (sum/mean/attention — everything but the
+    /// comparator max).
+    fn trace_aggregate(&self, op: &'static str, sched: &DegreeBuckets, f: usize, int8: bool) {
         if !phox_trace::enabled() {
             return;
         }
         let tr = phox_trace::active();
         tr.count("ghost", "sparse_agg_calls", 1);
+        if int8 {
+            tr.count("int8", "analog_agg_calls", 1);
+            tr.count("int8", "analog_agg_accs", (sched.nnz() * f) as i64);
+        }
         tr.count("ghost", "sparse_agg_rows", sched.rows() as i64);
         tr.count("ghost", "sparse_agg_nnz", sched.nnz() as i64);
         // Rows beyond the first of each tile reuse the tile's scratch
@@ -420,14 +458,26 @@ impl GhostFunctional {
         // receiver noise comes from the `(operation key, node)` stream —
         // the same determinism scheme as
         // [`GhostFunctional::optical_aggregate`].
+        //
+        // Int8 datapath: the transformed features re-enter through the
+        // DAC as int8 levels, and the LUT softmax already emits
+        // attention weights on the DAC grid — multiples of
+        // `1 / dac_levels()` — so the weighted accumulation is an exact
+        // integer MAC (`alpha code × feature code`) with receiver noise
+        // perturbing the accumulated count before dequantization.
         let key = self.engine.stream_key();
         let sigma = self.engine.relative_sigma();
         let engine = &self.engine;
+        let qz = Quantizer::calibrate(&z).quantize(&z);
+        let zcodes = qz.as_i8_slice();
+        let alpha_levels = engine.dac_levels();
+        let acc_scale = qz.scale() / alpha_levels;
         let sched = DegreeBuckets::new(graph.offsets());
         let tiles: Vec<Vec<f64>> =
             parallel::par_map_indexed(sched.num_tiles(), |t| {
                 let rows = sched.tile_rows(t);
                 let mut buf = vec![0.0; rows.len() * fout];
+                let mut acc = vec![0i64; fout];
                 let mut alphas: Vec<f64> = Vec::new();
                 for (i, &v) in rows.iter().enumerate() {
                     let v = v as usize;
@@ -444,14 +494,25 @@ impl GhostFunctional {
                         ops::leaky_relu_scalar(src_logit[u as usize] + dst_logit[v], 0.2)
                     }));
                     engine.lut_softmax_in_place(&mut alphas);
+                    for a in acc.iter_mut() {
+                        *a = 0;
+                    }
                     for (&u, &a) in neigh.iter().zip(alphas.iter()) {
-                        for (s, &x) in slot.iter_mut().zip(z.row(u as usize)) {
-                            *s += a * x;
+                        let u = u as usize;
+                        // Recover the exact integer LUT code of the
+                        // attention weight (the softmax output is a
+                        // multiple of 1/alpha_levels by construction).
+                        #[allow(clippy::cast_possible_truncation)]
+                        let code = (a * alpha_levels).round() as i64;
+                        for (s, &q) in acc.iter_mut().zip(&zcodes[u * fout..(u + 1) * fout]) {
+                            *s += code * i64::from(q);
                         }
                     }
                     let mut rng = Prng::stream(key, v as u64);
-                    for s in slot.iter_mut() {
-                        *s = perturb(*s, sigma, &mut rng);
+                    for (s, &a) in slot.iter_mut().zip(acc.iter()) {
+                        #[allow(clippy::cast_precision_loss)]
+                        let count = a as f64;
+                        *s = perturb(count, sigma, &mut rng) * acc_scale;
                     }
                 }
                 buf
@@ -463,7 +524,7 @@ impl GhostFunctional {
                     .copy_from_slice(&buf[i * fout..(i + 1) * fout]);
             }
         }
-        self.trace_aggregate("gat_attention_aggregate", &sched, fout);
+        self.trace_aggregate("gat_attention_aggregate", &sched, fout, true);
         Ok(out)
     }
 }
@@ -521,6 +582,64 @@ mod tests {
             .unwrap();
         assert_eq!(agg.get(2, 0), 5.0);
         let _ = model;
+    }
+
+    #[test]
+    fn ideal_sum_aggregation_is_bitwise_the_digital_int8_reference() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (2, 1), (3, 1), (1, 4), (4, 0)]).unwrap();
+        let h = Prng::new(90).fill_normal(5, 7, 0.0, 1.0);
+        let mut sim = GhostFunctional::ideal(&GhostConfig::default(), 91);
+        let agg = sim
+            .optical_aggregate(&g, &h, Aggregation::Sum, false)
+            .unwrap();
+        // Digital int8 reference: exact integer level sums, dequantized.
+        let qh = Quantizer::calibrate(&h).quantize(&h);
+        let codes = qh.as_i8_slice();
+        let f = h.cols();
+        for v in 0..5 {
+            for c in 0..f {
+                let count: i64 = g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| i64::from(codes[u as usize * f + c]))
+                    .sum();
+                #[allow(clippy::cast_precision_loss)]
+                let expected = count as f64 * qh.scale();
+                assert_eq!(
+                    agg.get(v, c).to_bits(),
+                    expected.to_bits(),
+                    "node {v} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_counters_fire_during_forward() {
+        let task = small_task();
+        let trace = phox_trace::Trace::new();
+        phox_trace::with_installed(trace.clone(), || {
+            for kind in [GnnKind::Gcn, GnnKind::Gat] {
+                let model = GnnModel::random(GnnConfig::two_layer(kind, 12, 16, 3), 92).unwrap();
+                let mut sim = GhostFunctional::new(&GhostConfig::default(), 93).unwrap();
+                sim.forward(&model, &task.graph, &task.features).unwrap();
+            }
+        });
+        let counters = trace.counters();
+        for name in ["analog_gemm_calls", "analog_macs", "analog_agg_calls"] {
+            assert!(
+                counters
+                    .iter()
+                    .any(|(track, n, _)| track == "int8" && n == name),
+                "missing int8/{name} counter: {counters:?}"
+            );
+        }
+        assert!(
+            counters
+                .iter()
+                .any(|(track, n, _)| track == "analog" && n == "scratch_reuse_hits"),
+            "missing analog/scratch_reuse_hits counter"
+        );
     }
 
     #[test]

@@ -389,15 +389,15 @@ impl TransformerModel {
                 let w = phox_tensor::ops::softmax_rows(&scores);
                 // Context product in the same sequential order as the
                 // full path's `ops::matmul_seq`: one accumulator per
-                // output element, ascending context index.
+                // output element, ascending context index. The SIMD axpy
+                // vectorizes across the `dh` output columns only, so the
+                // per-element order (and the prefix-invariance oracle)
+                // is bitwise unchanged.
                 let wrow = w.row(0);
                 let vbuf = &cache.layers[layer].v;
-                for c in 0..dh {
-                    let mut acc = 0.0;
-                    for (j, &wj) in wrow.iter().enumerate() {
-                        acc += wj * vbuf[j * d + lo + c];
-                    }
-                    concat.set(0, lo + c, acc);
+                let ctx = &mut concat.as_mut_slice()[lo..hi];
+                for (j, &wj) in wrow.iter().enumerate() {
+                    phox_tensor::gemm::simd::axpy(ctx, wj, &vbuf[j * d + lo..j * d + hi]);
                 }
             }
             let mha = eng.mm_weight_only(&concat, &lw.w_o)?;

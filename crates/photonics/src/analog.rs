@@ -3,11 +3,16 @@
 //! simulators.
 //!
 //! The engine models the full signal chain of one analog operation:
-//! int8 DAC quantization of every operand, signed arithmetic through the
-//! balanced-photodetector positive/negative arms, receiver noise
-//! injection, and 8-bit ADC read-back with per-tile auto-ranging.
+//! int8 DAC quantization of every operand, signed accumulation of the
+//! balanced-photodetector difference current in exact level-product
+//! counts (the same `i32` accumulators as the digital int8 reference,
+//! via [`phox_tensor::gemm_i8`]), receiver noise injected on the
+//! accumulated counts, and ADC read-back with per-tile auto-ranging
+//! whose code grid coincides with the accumulator grid — so a
+//! noiseless, fault-free engine reproduces the digital int8 reference
+//! bit for bit.
 
-use phox_tensor::{ops, parallel, split_seed, Matrix, Prng, Quantizer};
+use phox_tensor::{gemm_i8, ops, parallel, split_seed, Matrix, Prng, Quantizer};
 
 use crate::devices::{OpticalActivation, Soa};
 use crate::fault::FaultImpact;
@@ -29,6 +34,20 @@ struct FaultState {
 /// product is one work item with its own noise stream.
 pub const TILE: usize = 32;
 
+/// Reusable per-engine matmul scratch: the packed int8 `bᵀ` panel and
+/// the flat per-tile accumulator buffer (fixed `TILE × TILE` stride per
+/// tile). Capacities persist across calls, so steady-state serving hits
+/// the same allocations on every step; the `analog/scratch_reuse_hits`
+/// trace counter reports how often each buffer was large enough.
+///
+/// Scratch is a cache, not engine state: it is excluded from the
+/// engine's `PartialEq` and children start with empty buffers.
+#[derive(Debug, Clone, Default)]
+struct MatmulScratch {
+    qbt: Vec<i8>,
+    tiles: Vec<f64>,
+}
+
 /// A value-level analog compute engine.
 ///
 /// # Example
@@ -48,7 +67,7 @@ pub const TILE: usize = 32;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct AnalogEngine {
     relative_sigma: f64,
     /// The unfaulted receiver noise level. `relative_sigma` is always
@@ -68,6 +87,25 @@ pub struct AnalogEngine {
     rng: Prng,
     /// Injected device faults, if any (inherited by child engines).
     faults: Option<FaultState>,
+    /// Reusable matmul buffers (see [`MatmulScratch`]).
+    scratch: MatmulScratch,
+}
+
+/// Scratch buffers are a cache, never observable state: two engines
+/// compare equal whenever they would produce identical outputs from
+/// here on, regardless of what either one has allocated so far.
+impl PartialEq for AnalogEngine {
+    fn eq(&self, other: &Self) -> bool {
+        self.relative_sigma == other.relative_sigma
+            && self.base_sigma == other.base_sigma
+            && self.adc_bits == other.adc_bits
+            && self.dac_bits == other.dac_bits
+            && self.soa == other.soa
+            && self.seed == other.seed
+            && self.ops == other.ops
+            && self.rng == other.rng
+            && self.faults == other.faults
+    }
 }
 
 impl AnalogEngine {
@@ -103,6 +141,7 @@ impl AnalogEngine {
             ops: 0,
             rng: Prng::new(seed),
             faults: None,
+            scratch: MatmulScratch::default(),
         })
     }
 
@@ -134,6 +173,7 @@ impl AnalogEngine {
             ops: 0,
             rng: Prng::new(seed),
             faults: None,
+            scratch: MatmulScratch::default(),
         }
     }
 
@@ -213,6 +253,14 @@ impl AnalogEngine {
         self.relative_sigma
     }
 
+    /// Number of output levels of the DAC / LUT grid (`2^dac_bits − 1`):
+    /// [`AnalogEngine::lut_softmax_in_place`] emits multiples of
+    /// `1 / dac_levels()`, so callers can recover the exact integer LUT
+    /// codes for an int8-routed weighted accumulation.
+    pub fn dac_levels(&self) -> f64 {
+        (2u64.pow(self.dac_bits) - 1) as f64
+    }
+
     /// Takes the next operation stream key.
     ///
     /// Each key roots an independent family of noise streams (one per
@@ -244,19 +292,34 @@ impl AnalogEngine {
             ops: 0,
             rng: Prng::new(child_seed),
             faults: self.faults.clone(),
+            scratch: MatmulScratch::default(),
         }
     }
 
     /// Analog matrix multiplication `a · b`.
     ///
     /// The product is computed [`TILE`]`×`[`TILE`] output tile by tile,
-    /// in parallel across tiles. Each tile draws its receiver noise from
-    /// an independent stream keyed on `(engine seed, operation counter,
-    /// tile index)`, so the result is **bit-identical for any thread
-    /// count** — the tile's noise depends only on which tile it is, never
-    /// on which thread computes it or in what order. The cross-tile
-    /// `abs_max` reduction for ADC auto-ranging is a plain `max`, which
-    /// is order-independent.
+    /// in parallel across tiles. Each output element accumulates the
+    /// balanced-photodetector difference current in exact level-product
+    /// counts — the same `i32` accumulation the digital int8 reference
+    /// ([`phox_tensor::QuantMatrix::matmul`]) performs, run through the
+    /// [`gemm_i8`] microkernel — and receiver noise perturbs the
+    /// accumulated count before dequantization. Each tile draws its
+    /// noise from an independent stream keyed on `(engine seed,
+    /// operation counter, tile index)`, so the result is
+    /// **bit-identical for any thread count** — the tile's noise depends
+    /// only on which tile it is, never on which thread computes it or
+    /// in what order. The cross-tile `abs_max` reduction for ADC
+    /// auto-ranging is a plain `max`, which is order-independent.
+    ///
+    /// The ADC read-back rounds to the nearest level-product count,
+    /// clamped to the auto-ranged window: with the int8 datapath the
+    /// accumulator grid *is* the converter's code grid (the TIA gain
+    /// maps the tile's dynamic range onto full scale, and the
+    /// sub-count quantization residual is subsumed by the receiver
+    /// noise term). A noiseless, fault-free engine therefore returns
+    /// exactly the digital int8 product. `adc_bits` continues to gate
+    /// constructor validation and the digital conversion blocks.
     ///
     /// # Errors
     ///
@@ -276,10 +339,24 @@ impl AnalogEngine {
         let op_key = self.stream_key();
         let sigma = self.relative_sigma;
 
+        let tile_rows = m.div_ceil(TILE);
+        let tile_cols = n.div_ceil(TILE).max(1);
+        let num_tiles = tile_rows * tile_cols;
+
+        // Reusable scratch, moved out of `self` for the duration of the
+        // call so the parallel section can borrow both buffers freely.
+        let mut qbt = std::mem::take(&mut self.scratch.qbt);
+        let mut tile_vals = std::mem::take(&mut self.scratch.tiles);
+        let scratch_hits = i64::from(qbt.capacity() >= k * n)
+            + i64::from(tile_vals.capacity() >= num_tiles * TILE * TILE);
+        qbt.clear();
+        qbt.resize(k * n, 0);
+        tile_vals.clear();
+        tile_vals.resize(num_tiles * TILE * TILE, 0.0);
+
         // Pack bᵀ so every output element reads both operands
         // contiguously (blocked copy, same scheme as the digital kernel).
         let qbs = qb.as_i8_slice();
-        let mut qbt = vec![0i8; k * n];
         for r0 in (0..k).step_by(TILE) {
             let r1 = (r0 + TILE).min(k);
             for c0 in (0..n).step_by(TILE) {
@@ -317,49 +394,37 @@ impl AnalogEngine {
         };
 
         let qas = qa.as_i8_slice();
-        let tile_rows = m.div_ceil(TILE);
-        let tile_cols = n.div_ceil(TILE).max(1);
-        let tiles: Vec<(Vec<f64>, f64)> = parallel::par_map_indexed(tile_rows * tile_cols, |t| {
+        parallel::par_chunks_mut(&mut tile_vals, TILE * TILE, |t, chunk| {
             let (i0, j0) = ((t / tile_cols) * TILE, (t % tile_cols) * TILE);
             let (i1, j1) = ((i0 + TILE).min(m), (j0 + TILE).min(n));
             let mut rng = Prng::stream(op_key, t as u64);
-            let mut vals = Vec::with_capacity((i1 - i0) * (j1 - j0));
-            let mut tile_max = 0.0f64;
             for i in i0..i1 {
                 let arow = &qas[i * k..(i + 1) * k];
                 for j in j0..j1 {
                     let brow = &qbt[j * k..(j + 1) * k];
-                    // Positive and negative BPD arms accumulate level
-                    // products by sign (exact in i64).
-                    let mut pos = 0i64;
-                    let mut neg = 0i64;
-                    for kk in 0..k {
-                        let p = i32::from(arow[kk]) * i32::from(brow[kk]);
-                        if p >= 0 {
-                            pos += i64::from(p);
-                        } else {
-                            neg -= i64::from(p);
-                        }
-                    }
-                    let pos_n = perturb(pos as f64, sigma, &mut rng);
-                    let neg_n = perturb(neg as f64, sigma, &mut rng);
+                    // The BPD difference current accumulates level
+                    // products exactly — the int8 microkernel's i32
+                    // accumulator, shared with the digital reference.
+                    let s = gemm_i8::dot_i8(arow, brow);
+                    // Receiver noise perturbs the accumulated count
+                    // (pre-dequantization). The draw happens even for
+                    // dead-lane outputs, to keep stream alignment with
+                    // the fault-free engine.
+                    let noisy = perturb(f64::from(s), sigma, &mut rng);
                     // Device faults, part 2: residual thermal-drift
                     // mis-bias is a uniform gain error on the analog
                     // difference; a dead ADC lane reads its output
                     // columns as zero. Both are pure functions of (i, j),
                     // so the result stays bit-identical across thread
-                    // counts. The noise draws above happen regardless, to
-                    // keep stream alignment with the fault-free engine.
+                    // counts.
                     let diff = if dead_lanes.contains(&(j % dead_period)) {
                         0.0
                     } else {
-                        (pos_n - neg_n) * weight_gain
+                        noisy * weight_gain
                     };
-                    tile_max = tile_max.max(diff.abs());
-                    vals.push(diff);
+                    chunk[(i - i0) * TILE + (j - j0)] = diff;
                 }
             }
-            (vals, tile_max)
         });
 
         let mut raw = Matrix::zeros(m, n);
@@ -372,20 +437,27 @@ impl AnalogEngine {
         let tracer = if phox_trace::enabled() {
             let tr = phox_trace::active();
             tr.count("analog", "matmuls", 1);
-            tr.count("analog", "tiles", (tile_rows * tile_cols) as i64);
+            tr.count("analog", "tiles", num_tiles as i64);
+            tr.count("analog", "scratch_reuse_hits", scratch_hits);
+            tr.count("int8", "analog_gemm_calls", 1);
+            tr.count("int8", "analog_macs", (m * k * n) as i64);
             Some(tr)
         } else {
             None
         };
-        for (t, (vals, tile_max)) in tiles.iter().enumerate() {
+        for (t, chunk) in tile_vals.chunks(TILE * TILE).enumerate() {
             let (i0, j0) = ((t / tile_cols) * TILE, (t % tile_cols) * TILE);
             let (i1, j1) = ((i0 + TILE).min(m), (j0 + TILE).min(n));
             let tile_w = j1 - j0;
+            let mut tile_max = 0.0f64;
             for i in i0..i1 {
-                let row = raw.row_mut(i);
-                row[j0..j1].copy_from_slice(&vals[(i - i0) * tile_w..(i - i0 + 1) * tile_w]);
+                let vals = &chunk[(i - i0) * TILE..(i - i0) * TILE + tile_w];
+                for &v in vals {
+                    tile_max = tile_max.max(v.abs());
+                }
+                raw.row_mut(i)[j0..j1].copy_from_slice(vals);
             }
-            abs_max = abs_max.max(*tile_max);
+            abs_max = abs_max.max(tile_max);
             if let Some(tr) = &tracer {
                 tr.model_span(
                     "analog",
@@ -400,20 +472,23 @@ impl AnalogEngine {
                         ("j0", phox_trace::Value::UInt(j0 as u64)),
                         ("rows", phox_trace::Value::UInt((i1 - i0) as u64)),
                         ("cols", phox_trace::Value::UInt((j1 - j0) as u64)),
-                        ("abs_max", phox_trace::Value::Float(*tile_max)),
+                        ("abs_max", phox_trace::Value::Float(tile_max)),
                     ],
                 );
             }
         }
-        // ADC stage: signed quantization with per-tile auto-ranging (the
-        // TIA gain is set to the tile's dynamic range).
+        self.scratch.qbt = qbt;
+        self.scratch.tiles = tile_vals;
+        // ADC stage: per-tile auto-ranged read-back on the accumulator
+        // code grid — round to the nearest level-product count, clamped
+        // to the ranged window (the TIA gain maps `range` onto full
+        // scale). Noiseless, fault-free counts are already exact
+        // integers, so the read-back is the identity there and the
+        // dequantized product equals the digital int8 reference bitwise.
         let range = if abs_max > 0.0 { abs_max } else { full_scale };
-        let levels = (2u64.pow(self.adc_bits - 1) - 1) as f64;
+        let window = range.round();
         let scale = qa.scale() * qb.scale();
-        Ok(raw.map(|v| {
-            let q = (v / range * levels).round() / levels * range;
-            q * scale
-        }))
+        Ok(raw.map(|v| v.round().clamp(-window, window) * scale))
     }
 
     /// Coherent summation of the rows of `inputs` (each column summed
@@ -542,6 +617,51 @@ mod tests {
         let b = rng.fill_normal(16, 8, 0.0, 1.0);
         let err = stats::relative_error(&a.matmul(&b).unwrap(), &eng.matmul(&a, &b).unwrap());
         assert!(err < 0.02, "{err}");
+    }
+
+    #[test]
+    fn ideal_matmul_is_bitwise_the_digital_int8_reference() {
+        let mut eng = AnalogEngine::ideal(8, 8, 5);
+        let mut rng = Prng::new(6);
+        // Ragged shapes: partial edge tiles on both axes.
+        let a = rng.fill_normal(41, 70, 0.0, 1.0);
+        let b = rng.fill_normal(70, 37, 0.0, 1.0);
+        let analog = eng.matmul(&a, &b).unwrap();
+        let qa = Quantizer::calibrate(&a).quantize(&a);
+        let qb = Quantizer::calibrate(&b).quantize(&b);
+        let digital = qa.matmul(&qb).unwrap();
+        let analog_bits: Vec<u64> = analog.as_slice().iter().map(|v| v.to_bits()).collect();
+        let digital_bits: Vec<u64> = digital.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(analog_bits, digital_bits);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls_and_excluded_from_eq() {
+        let mut eng = AnalogEngine::new(2e-3, 8, 8, 9).unwrap();
+        let mut twin = eng.clone();
+        let mut rng = Prng::new(10);
+        let a = rng.fill_normal(40, 40, 0.0, 1.0);
+        let b = rng.fill_normal(40, 40, 0.0, 1.0);
+        eng.matmul(&a, &b).unwrap();
+        let (cap_qbt, cap_tiles) = (eng.scratch.qbt.capacity(), eng.scratch.tiles.capacity());
+        assert!(cap_qbt > 0 && cap_tiles > 0);
+        eng.matmul(&a, &b).unwrap();
+        assert_eq!(
+            eng.scratch.qbt.capacity(),
+            cap_qbt,
+            "qbt scratch reallocated"
+        );
+        assert_eq!(
+            eng.scratch.tiles.capacity(),
+            cap_tiles,
+            "tile scratch reallocated"
+        );
+        // The twin performs the same ops but drops its scratch: engines
+        // must still compare equal (scratch is a cache, not state).
+        twin.matmul(&a, &b).unwrap();
+        twin.matmul(&a, &b).unwrap();
+        twin.scratch = MatmulScratch::default();
+        assert_eq!(eng, twin);
     }
 
     #[test]

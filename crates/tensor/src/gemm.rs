@@ -13,12 +13,14 @@
 //! * **Panel blocking.** Output columns are processed in panels of
 //!   [`NC`] so the active `Bᵀ` rows stay resident in L2 while each `A`
 //!   row (L1-resident) is reused across the whole panel.
-//! * **Unrolled accumulation.** The inner dot product accumulates in four
-//!   independent lanes, breaking the FP add dependency chain. The lane
-//!   split is fixed, so results are deterministic — but they are *not*
-//!   bit-identical to the naive single-accumulator order (the equivalence
-//!   suite bounds the difference at `1e-12` per element on unit-scale
-//!   inputs).
+//! * **SIMD accumulation with a pinned lane order.** The inner dot
+//!   product lives in [`simd`]: an AVX2+FMA kernel (four `vfmadd231pd`
+//!   accumulators per 16-element step) whose scalar fallback replays the
+//!   *identical* operation schedule with [`f64::mul_add`], so scalar and
+//!   SIMD dispatch agree bit-for-bit. The lane split is fixed, so
+//!   results are deterministic — but they are *not* bit-identical to the
+//!   naive single-accumulator order (the equivalence suite bounds the
+//!   difference at `1e-12` per element on unit-scale inputs).
 //! * **Row-band parallelism.** Above [`PAR_ELEMS_MIN`] multiply-adds the
 //!   output is split into row bands handed to scoped threads
 //!   (see [`crate::parallel`]); each band is computed identically
@@ -27,6 +29,8 @@
 
 use crate::matrix::{Matrix, TensorError};
 use crate::parallel;
+
+pub mod simd;
 
 /// Output-column panel width: `NC` rows of `Bᵀ` (each `k` elements long)
 /// are kept hot in L2 while `A` rows stream against them.
@@ -40,26 +44,12 @@ pub const TRANSPOSE_TILE: usize = 32;
 /// below this the scope/join overhead outweighs the work.
 pub const PAR_ELEMS_MIN: usize = 1 << 18;
 
-/// Dot product with four fixed accumulation lanes (deterministic, but a
+/// Dot product in the pinned 16-lane FMA accumulation order of
+/// [`simd::dot`] (deterministic and bitwise dispatch-independent, but a
 /// different FP order than a single-accumulator loop).
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    let n = a.len().min(b.len());
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let mut k = 0;
-    while k + 4 <= n {
-        s0 += a[k] * b[k];
-        s1 += a[k + 1] * b[k + 1];
-        s2 += a[k + 2] * b[k + 2];
-        s3 += a[k + 3] * b[k + 3];
-        k += 4;
-    }
-    let mut s = (s0 + s1) + (s2 + s3);
-    while k < n {
-        s += a[k] * b[k];
-        k += 1;
-    }
-    s
+    simd::dot(a, b)
 }
 
 fn check_shapes(a: &Matrix, b: &Matrix) -> Result<(), TensorError> {
@@ -186,6 +176,10 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
                 (
                     "transpose_tile",
                     phox_trace::Value::UInt(TRANSPOSE_TILE as u64),
+                ),
+                (
+                    "simd",
+                    phox_trace::Value::UInt(u64::from(simd::simd_active())),
                 ),
             ],
         );

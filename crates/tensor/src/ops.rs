@@ -85,11 +85,13 @@ pub fn matmul_seq(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
     for i in 0..m {
         let arow = a.row(i);
         let orow = out.row_mut(i);
+        // SIMD over the output columns only: each output element keeps
+        // its own single accumulator advancing in ascending `k`, so the
+        // prefix-invariance contract above is bitwise unchanged. This is
+        // the decode-GEMV hot loop (`m == 1` inside a KV-cached step).
         for (p, &av) in arow.iter().enumerate().take(k) {
             let brow = &b.as_slice()[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
+            crate::gemm::simd::axpy(orow, av, brow);
         }
     }
     Ok(out)

@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+use crate::gemm::simd;
 use crate::{parallel, Matrix, TensorError};
 
 /// Rows per parallel work item: one tile is the scheduling granule of
@@ -316,21 +317,18 @@ pub fn spmm_into(a: &CsrView<'_>, x: &Matrix, out: &mut Matrix) -> Result<(), Te
             let r = r0 + local;
             slot.fill(0.0);
             let idx = a.row_indices(r);
+            // The SIMD axpy vectorizes over the feature dimension only —
+            // each output element keeps its own accumulator, so the
+            // CSR-order reduction per element is bitwise unchanged.
             match a.row_values(r) {
                 Some(vals) => {
                     for (&u, &w) in idx.iter().zip(vals) {
-                        let src = x_ref.row(u as usize);
-                        for (s, &v) in slot.iter_mut().zip(src) {
-                            *s += w * v;
-                        }
+                        simd::axpy(slot, w, x_ref.row(u as usize));
                     }
                 }
                 None => {
                     for &u in idx {
-                        let src = x_ref.row(u as usize);
-                        for (s, &v) in slot.iter_mut().zip(src) {
-                            *s += v;
-                        }
+                        simd::axpy_unit(slot, x_ref.row(u as usize));
                     }
                 }
             }
@@ -394,14 +392,10 @@ pub fn aggregate_into(
                 SparseReduce::Sum | SparseReduce::Mean => {
                     slot.fill(0.0);
                     if include_self {
-                        for (s, &v) in slot.iter_mut().zip(x_ref.row(r)) {
-                            *s += v;
-                        }
+                        simd::axpy_unit(slot, x_ref.row(r));
                     }
                     for &u in neigh {
-                        for (s, &v) in slot.iter_mut().zip(x_ref.row(u as usize)) {
-                            *s += v;
-                        }
+                        simd::axpy_unit(slot, x_ref.row(u as usize));
                     }
                     if reduce == SparseReduce::Mean {
                         let denom = (neigh.len() + usize::from(include_self)).max(1) as f64;

@@ -1,0 +1,161 @@
+//! Property-based tests for the f64 SIMD path: the dispatched kernels
+//! (whatever path dispatch selected — AVX2+FMA, or forced-scalar under
+//! `PHOX_FORCE_SCALAR=1`) must be *bitwise* equal to the public scalar
+//! reference kernels, and the blocked/parallel GEMM built on them must
+//! be byte-identical across 1/2/4/8 threads — over arbitrary shapes,
+//! `k = 0`, ragged (non-multiple-of-16) inner dimensions, and subnormal
+//! operands.
+//!
+//! CI's `simd-smoke` job runs this suite twice, once per dispatch mode;
+//! each run pins its own mode against the same scalar reference, which
+//! transitively pins the two modes against each other.
+
+use proptest::prelude::*;
+
+use phox_tensor::gemm::{self, simd};
+use phox_tensor::{parallel, Matrix};
+
+/// Strategy: an f64 buffer of exactly `len` elements mixing unit-scale
+/// values, exact zeros, huge/tiny magnitudes, and subnormals — the
+/// operand classes where a non-fused or reassociated kernel would drift
+/// in the last bits.
+fn operands(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    (
+        proptest::collection::vec(-1.0f64..1.0, len),
+        proptest::collection::vec(0u8..9, len),
+    )
+        .prop_map(|(vals, classes)| {
+            vals.into_iter()
+                .zip(classes)
+                .map(|(v, class)| match class {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => v * 1e300,
+                    3 => v * f64::MIN_POSITIVE,
+                    // Subnormals: scale far below MIN_POSITIVE.
+                    4 => v * f64::MIN_POSITIVE * 1e-8,
+                    _ => v,
+                })
+                .collect()
+        })
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dispatched_dot_bitwise_equals_scalar_reference(
+        (a, b) in (0usize..=96).prop_flat_map(|k| (operands(k), operands(k))),
+    ) {
+        // Covers k = 0 and every ragged tail length around the 16-lane
+        // boundary via the shape strategy.
+        let reference = simd::dot_scalar(&a, &b);
+        let dispatched = simd::dot(&a, &b);
+        prop_assert_eq!(
+            reference.to_bits(), dispatched.to_bits(),
+            "k = {}, ref = {:e}, dispatched = {:e}", a.len(), reference, dispatched
+        );
+    }
+
+    #[test]
+    fn dispatched_axpy_bitwise_equals_scalar_reference(
+        (x, out0, b) in (0usize..=80).prop_flat_map(|n| {
+            (-2.0f64..2.0, operands(n), operands(n))
+        }),
+    ) {
+        let mut fast = out0.clone();
+        let mut slow = out0;
+        simd::axpy(&mut fast, x, &b);
+        simd::axpy_scalar(&mut slow, x, &b);
+        let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+        let slow_bits: Vec<u64> = slow.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_bits, slow_bits);
+
+        let mut fast_u = b.clone();
+        let mut slow_u = b.clone();
+        simd::axpy_unit(&mut fast_u, &slow);
+        simd::axpy_unit_scalar(&mut slow_u, &slow);
+        let fast_bits: Vec<u64> = fast_u.iter().map(|v| v.to_bits()).collect();
+        let slow_bits: Vec<u64> = slow_u.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_bits, slow_bits);
+    }
+
+    #[test]
+    fn blocked_gemm_bitwise_equals_scalar_reference_gemm(
+        ((m, k, n), a, b) in (1usize..=20, 0usize..=40, 1usize..=20)
+            .prop_flat_map(|(m, k, n)| {
+                (Just((m, k, n)), operands(m * k), operands(k * n))
+            }),
+    ) {
+        // Rebuild the blocked product from the scalar reference dot over
+        // the same packed-Bᵀ panels; the production kernel must match it
+        // bitwise no matter which dispatch path is active.
+        let am = Matrix::from_vec(m, k, a).unwrap();
+        let bm = Matrix::from_vec(k, n, b).unwrap();
+        let blocked = gemm::matmul_blocked(&am, &bm).unwrap();
+        let bt = gemm::transpose_blocked(&bm);
+        let btv = bt.as_slice();
+        let av = am.as_slice();
+        for i in 0..m {
+            for j in 0..n {
+                let reference =
+                    simd::dot_scalar(&av[i * k..(i + 1) * k], &btv[j * k..(j + 1) * k]);
+                prop_assert_eq!(
+                    blocked.get(i, j).to_bits(), reference.to_bits(),
+                    "({}, {}) of {}x{}x{}", i, j, m, k, n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_byte_identical_across_thread_counts(
+        ((m, k, n), a, b) in (1usize..=24, 0usize..=32, 1usize..=24)
+            .prop_flat_map(|(m, k, n)| {
+                (Just((m, k, n)), operands(m * k), operands(k * n))
+            }),
+    ) {
+        let am = Matrix::from_vec(m, k, a).unwrap();
+        let bm = Matrix::from_vec(k, n, b).unwrap();
+        let serial = gemm::matmul_blocked(&am, &bm).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = parallel::with_threads(threads, || gemm::matmul(&am, &bm).unwrap());
+            prop_assert_eq!(bits(&par), bits(&serial), "threads = {}", threads);
+        }
+    }
+}
+
+/// Thread-invariance must hold above the parallel threshold too (the
+/// proptest shapes stay below [`gemm::PAR_ELEMS_MIN`] for speed, so this
+/// deterministic case pins the banded path with real worker threads).
+#[test]
+fn large_gemm_is_byte_identical_across_thread_counts() {
+    let a = phox_tensor::Prng::new(40).fill_uniform(96, 96, -1.0, 1.0);
+    let b = phox_tensor::Prng::new(41).fill_uniform(96, 96, -1.0, 1.0);
+    let serial = gemm::matmul_blocked(&a, &b).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let par = parallel::with_threads(threads, || gemm::matmul(&a, &b).unwrap());
+        assert_eq!(bits(&par), bits(&serial), "threads = {threads}");
+    }
+}
+
+/// The dispatched dot must remain bit-identical to the scalar reference
+/// on fully subnormal panels long enough to engage the 16-lane body.
+#[test]
+fn subnormal_panels_agree_bitwise() {
+    let a: Vec<f64> = (0..333)
+        .map(|i| f64::from_bits(1 + (i as u64 * 2654435761) % ((1u64 << 52) - 1)))
+        .collect();
+    let b: Vec<f64> = (0..333)
+        .map(|i| f64::from_bits(1 + (i as u64 * 40503) % ((1u64 << 52) - 1)) * 1e-10)
+        .collect();
+    assert!(a.iter().all(|v| v.is_subnormal()));
+    assert_eq!(
+        simd::dot_scalar(&a, &b).to_bits(),
+        simd::dot(&a, &b).to_bits()
+    );
+}

@@ -435,6 +435,32 @@ mod tests {
     }
 
     #[test]
+    fn int8_counters_fire_during_forward() {
+        let model = tiny_model(61);
+        let x = Prng::new(62).fill_normal(8, 32, 0.0, 1.0);
+        let trace = phox_trace::Trace::new();
+        phox_trace::with_installed(trace.clone(), || {
+            let mut sim = TronFunctional::new(&TronConfig::default(), 63).unwrap();
+            sim.forward(&model, &x).unwrap();
+        });
+        let counters = trace.counters();
+        for name in ["analog_gemm_calls", "analog_macs"] {
+            assert!(
+                counters
+                    .iter()
+                    .any(|(track, n, _)| track == "int8" && n == name),
+                "missing int8/{name} counter: {counters:?}"
+            );
+        }
+        assert!(
+            counters
+                .iter()
+                .any(|(track, n, _)| track == "analog" && n == "scratch_reuse_hits"),
+            "missing analog/scratch_reuse_hits counter"
+        );
+    }
+
+    #[test]
     fn functional_forward_shape_validation() {
         let model = tiny_model(41);
         let mut sim = TronFunctional::ideal(&TronConfig::default(), 42);

@@ -24,7 +24,13 @@
 #                  empty-schedule no-op and thread bit-identity
 #                  verdicts.
 #
-# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|decode|serve|faults|all] [OUTPUT.json]
+# There is also a timing-free mode that never writes to the repo root:
+#   digest        — reduces a deterministic battery (GEMM, SpMM,
+#                  decode, analog int8 engine, Tron/Ghost forwards) to
+#                  FNV-1a digests over result bit patterns; CI
+#                  byte-diffs the AVX2 and PHOX_FORCE_SCALAR=1 files.
+#
+# Usage: scripts/bench_snapshot.sh [gemm|sparse|int8|decode|serve|faults|digest|all] [OUTPUT.json]
 # Default is "all". A bare OUTPUT.json argument keeps the legacy
 # behaviour of writing the GEMM snapshot there.
 set -eu
